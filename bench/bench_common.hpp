@@ -1,0 +1,65 @@
+// Shared harness for the figure benches: the Beskow-like machine profile,
+// the weak-scaling sweep, and mean ± stddev reporting over repeated seeds
+// (the paper reports the average and standard deviation of ten runs; we
+// default to DS_BENCH_REPS=3 — raise it for tighter error bars).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mpi/machine.hpp"
+#include "util/options.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ds::bench {
+
+/// Cray-XC40-flavoured machine: Aries-like fabric, production-node noise,
+/// Lustre-like file system whose OST count grows with the allocation (a
+/// larger job writes to more of the file system).
+[[nodiscard]] inline mpi::MachineConfig beskow_like(int procs,
+                                                    std::uint64_t seed) {
+  mpi::MachineConfig config;
+  config.world_size = procs;
+  config.network = net::NetworkConfig::aries_like();
+  config.engine.noise = sim::NoiseConfig::production_node();
+  config.engine.seed = seed;
+  config.filesystem.num_servers = std::max(16, procs / 8);
+  return config;
+}
+
+/// The paper's weak-scaling x-axis: 32 ... 8192 processes.
+[[nodiscard]] inline std::vector<int> scaling_sweep(const util::BenchOptions& opt) {
+  std::vector<int> procs;
+  const int limit = opt.fast ? std::min(opt.max_procs, 512) : opt.max_procs;
+  for (int p = 32; p <= limit; p *= 2) procs.push_back(p);
+  return procs;
+}
+
+/// Run `measure(procs, seed)` opt.repetitions times; returns the stats.
+[[nodiscard]] inline util::RunningStats repeat(
+    const util::BenchOptions& opt, int procs,
+    const std::function<double(int, std::uint64_t)>& measure) {
+  util::RunningStats stats;
+  for (int r = 0; r < opt.repetitions; ++r)
+    stats.add(measure(procs, opt.seed + static_cast<std::uint64_t>(r) * 1000003ull));
+  return stats;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  const auto opt = util::BenchOptions::from_env();
+  std::printf("(max_procs=%d reps=%d%s; tune with DS_BENCH_MAX_PROCS / "
+              "DS_BENCH_REPS / DS_BENCH_FAST)\n\n",
+              opt.max_procs, opt.repetitions, opt.fast ? " FAST" : "");
+}
+
+inline void print_table(const util::Table& table) {
+  std::fputs(table.to_text().c_str(), stdout);
+  std::printf("\nCSV:\n%s\n", table.to_csv().c_str());
+}
+
+}  // namespace ds::bench

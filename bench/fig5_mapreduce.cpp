@@ -1,0 +1,49 @@
+// Figure 5: weak-scaling of the MapReduce word-histogram application.
+// Series: Reference (Iallgatherv keys + Ireduce counts) and Decoupling with
+// alpha = 12.5% / 6.25% / 3.125% of the processes in the reduce group.
+//
+// Paper result: decoupling wins 2x at 32 procs growing to 4x at 8,192; the
+// alpha = 6.25% curve is best; the un-aggregated reduce group congests the
+// master at 4,096+ procs, producing a visible uptick.
+#include "apps/wordcount/wordcount.hpp"
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace ds;
+  const auto opt = util::BenchOptions::from_env();
+  bench::print_header("Fig. 5 — MapReduce weak scaling",
+                      "2.9 TB corpus on 8,192 procs; Reference vs Decoupling "
+                      "(alpha = 1/8, 1/16, 1/32)");
+
+  util::Table table({"procs", "reference_s", "decoupled_a12.5%_s",
+                     "decoupled_a6.25%_s", "decoupled_a3.125%_s",
+                     "speedup_a6.25%"});
+
+  for (const int procs : bench::scaling_sweep(opt)) {
+    auto run = [&](int stride) {
+      return bench::repeat(opt, procs, [&](int p, std::uint64_t seed) {
+        apps::wordcount::WordcountConfig cfg;
+        cfg.corpus.seed = seed;
+        if (stride > 0) cfg.stride = stride;
+        const auto machine = bench::beskow_like(p, seed);
+        const auto result = stride > 0
+                                ? apps::wordcount::run_decoupled(cfg, machine)
+                                : apps::wordcount::run_reference(cfg, machine);
+        return result.seconds;
+      });
+    };
+    const auto reference = run(0);
+    const auto alpha8 = run(8);
+    const auto alpha16 = run(16);
+    const auto alpha32 = run(32);
+    table.add_row({std::to_string(procs),
+                   util::Table::fmt_mean_std(reference.mean(), reference.stddev()),
+                   util::Table::fmt_mean_std(alpha8.mean(), alpha8.stddev()),
+                   util::Table::fmt_mean_std(alpha16.mean(), alpha16.stddev()),
+                   util::Table::fmt_mean_std(alpha32.mean(), alpha32.stddev()),
+                   util::Table::fmt(reference.mean() / alpha16.mean())});
+    std::printf("  procs=%d done\n", procs);
+  }
+  bench::print_table(table);
+  return 0;
+}

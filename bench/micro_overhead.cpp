@@ -1,0 +1,96 @@
+// Micro-benchmarks of the simulator substrate itself (host wall-clock, via
+// google-benchmark): fiber context switches, event queue throughput, and
+// the end-to-end cost of simulating one stream element — the practical
+// limits on how large a virtual machine this laptop-scale simulator can
+// sweep.
+#include <benchmark/benchmark.h>
+
+#include "core/channel.hpp"
+#include "core/stream.hpp"
+#include "mpi/rank.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fiber.hpp"
+
+namespace {
+
+using namespace ds;
+
+void BM_FiberSwitch(benchmark::State& state) {
+  sim::Fiber fiber([] {
+    while (true) sim::Fiber::yield();
+  });
+  for (auto _ : state) fiber.resume();
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  util::SimTime t = 0;
+  for (auto _ : state) {
+    queue.push(++t, [] {});
+    if (queue.size() > 1024) benchmark::DoNotOptimize(queue.pop());
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_EngineSelfWake(benchmark::State& state) {
+  // One advance() = schedule + fiber switch out + event dispatch + switch in.
+  const std::int64_t steps = state.range(0);
+  for (auto _ : state) {
+    sim::Engine engine;
+    engine.spawn([steps](sim::Process& p) {
+      for (std::int64_t i = 0; i < steps; ++i) p.advance(1);
+    });
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_EngineSelfWake)->Arg(10000);
+
+void BM_SimulatedP2PMessage(benchmark::State& state) {
+  const std::int64_t messages = state.range(0);
+  for (auto _ : state) {
+    mpi::Machine machine(mpi::MachineConfig::testbed(2));
+    machine.run([messages](mpi::Rank& self) {
+      if (self.world_rank() == 0) {
+        for (std::int64_t i = 0; i < messages; ++i)
+          self.send(self.world(), 1, 0, mpi::SendBuf::synthetic(64));
+      } else {
+        for (std::int64_t i = 0; i < messages; ++i)
+          (void)self.recv(self.world(), 0, 0, mpi::RecvBuf::discard(64));
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * messages);
+}
+BENCHMARK(BM_SimulatedP2PMessage)->Arg(5000);
+
+void BM_SimulatedStreamElement(benchmark::State& state) {
+  // Host cost per simulated MPIStream element: producer inject -> fabric ->
+  // consumer operate. This is the harness's `o` in wall-clock terms.
+  const std::int64_t elements = state.range(0);
+  for (auto _ : state) {
+    mpi::Machine machine(mpi::MachineConfig::testbed(2));
+    machine.run([elements](mpi::Rank& self) {
+      const bool producer = self.world_rank() == 0;
+      const stream::Channel ch =
+          stream::Channel::create(self, self.world(), producer, !producer);
+      stream::Stream s = stream::Stream::attach(
+          ch, mpi::Datatype::bytes(256),
+          producer ? stream::Operator{} : [](const stream::StreamElement&) {});
+      if (producer) {
+        for (std::int64_t i = 0; i < elements; ++i) s.isend_synthetic(self);
+        s.terminate(self);
+      } else {
+        (void)s.operate(self);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * elements);
+}
+BENCHMARK(BM_SimulatedStreamElement)->Arg(5000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Decoupled particle I/O (paper Sec. IV-D2).
+//
+// Dumps the same particle data through the three write paths of Fig. 8 on a
+// 64-rank simulated machine and prints the time each takes — a miniature of
+// the bench_fig8_particleio experiment, small enough to run in a second.
+//
+// Run: ./decoupled_io
+#include <cstdio>
+
+#include "apps/pic/pic_io.hpp"
+
+using namespace ds;
+
+int main() {
+  apps::pic::PicIoConfig cfg;
+  cfg.particles_per_rank = 50'000;
+  cfg.steps = 3;
+  cfg.stride = 16;
+
+  mpi::MachineConfig machine = mpi::MachineConfig::testbed(64);
+  machine.engine.noise = sim::NoiseConfig::production_node();
+
+  struct Variant {
+    const char* name;
+    apps::pic::IoVariant io;
+  };
+  const Variant variants[] = {
+      {"write_all   (collective, view per dump)", apps::pic::IoVariant::Collective},
+      {"write_shared (shared file pointer)     ", apps::pic::IoVariant::Shared},
+      {"decoupled   (buffered I/O group)       ", apps::pic::IoVariant::Decoupled},
+  };
+  std::printf("dumping %d steps x %llu particles/rank x 64 ranks:\n\n",
+              cfg.steps, static_cast<unsigned long long>(cfg.particles_per_rank));
+  for (const auto& variant : variants) {
+    const auto result = apps::pic::run_pic_io(variant.io, cfg, machine);
+    std::printf("%s : %7.2f ms total, %llu MB written\n", variant.name,
+                result.seconds * 1e3,
+                static_cast<unsigned long long>(result.file_bytes >> 20));
+  }
+  std::printf("\nthe I/O group buffers 64 MB before touching the file system,\n"
+              "so the compute ranks stream and move on — the paper's\n"
+              "\"aggressive buffering\" optimization.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Distributed CG application with three halo-exchange strategies (paper
+// Sec. IV-C, Fig. 6):
+//
+//  * Blocking    — alltoallv halo exchange completed before any stencil work
+//                  (the reference's blocking collective path);
+//  * Nonblocking — ialltoallv posted, the interior stencil overlaps the
+//                  exchange, boundary stencil after completion (Hoefler et
+//                  al.'s nonblocking-collective CG);
+//  * Decoupled   — boundary faces stream to a helper group that aggregates
+//                  each worker's six neighbour faces into one bundle and
+//                  streams it back, overlapping the interior stencil
+//                  (paper's decoupling).
+//
+// Real-data mode solves an actual Poisson system and is validated against
+// the sequential oracle; modeled mode charges calibrated per-cell costs and
+// ships synthetic face payloads, which is what the weak-scaling bench runs.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "apps/cg/grid.hpp"
+#include "mpi/machine.hpp"
+
+namespace ds::apps::cg {
+
+enum class HaloVariant { Blocking, Nonblocking, Decoupled };
+
+struct CgConfig {
+  /// Modeled per-process subdomain edge (reference layout; paper: 120^3).
+  int n = 120;
+  int iterations = 30;
+
+  /// Modeled workload rates.
+  double ns_stencil_per_cell = 40.0;
+  double ns_vector_per_cell = 25.0;
+  double ns_aggregate_per_byte = 0.3;  ///< helper-side bundle assembly
+
+  /// Decoupling: one of every `stride` ranks becomes a helper (6.25% = 16).
+  int stride = 16;
+
+  /// Real-data mode: solve this global grid (must divide by the process
+  /// grid in every dimension, for both the reference and worker layouts).
+  bool real_data = false;
+  std::array<int, 3> global_grid{0, 0, 0};
+};
+
+struct CgPiece {
+  std::array<int, 3> offset{};  ///< global offset of this subdomain
+  LocalGrid grid;               ///< final solution block
+};
+
+struct CgResult {
+  double seconds = 0.0;
+  double residual2 = 0.0;           ///< real mode: final global ||r||^2
+  std::vector<CgPiece> pieces;      ///< real mode: per-compute-rank solution
+};
+
+[[nodiscard]] CgResult run_cg(HaloVariant variant, const CgConfig& config,
+                              const mpi::MachineConfig& machine_config);
+
+}  // namespace ds::apps::cg

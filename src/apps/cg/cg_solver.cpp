@@ -1,0 +1,42 @@
+#include "apps/cg/cg_solver.hpp"
+
+#include "util/rng.hpp"
+
+namespace ds::apps::cg {
+
+double rhs_value(std::int64_t gi, std::int64_t gj, std::int64_t gk) noexcept {
+  std::uint64_t h = 0x9E3779B97F4A7C15ull;
+  h ^= static_cast<std::uint64_t>(gi + 1) * 0xBF58476D1CE4E5B9ull;
+  h ^= static_cast<std::uint64_t>(gj + 1) * 0x94D049BB133111EBull;
+  h ^= static_cast<std::uint64_t>(gk + 1) * 0xD6E8FEB86659FD93ull;
+  (void)util::splitmix64(h);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+}
+
+SequentialCgResult solve_sequential(int nx, int ny, int nz, int iterations) {
+  LocalGrid x(nx, ny, nz), r(nx, ny, nz), p(nx, ny, nz), ap(nx, ny, nz);
+  // x0 = 0  =>  r0 = b, p0 = r0.
+  for (int i = 0; i < nx; ++i)
+    for (int j = 0; j < ny; ++j)
+      for (int k = 0; k < nz; ++k) {
+        const double b = rhs_value(i, j, k);
+        r.at(i, j, k) = b;
+        p.at(i, j, k) = b;
+      }
+  double rr = dot_interior(r, r);
+  for (int it = 0; it < iterations; ++it) {
+    apply_poisson(p, ap, {0, 0, 0}, {nx, ny, nz});
+    const double pap = dot_interior(p, ap);
+    if (pap == 0.0) break;
+    const double alpha = rr / pap;
+    axpy_interior(alpha, p, x);
+    axpy_interior(-alpha, ap, r);
+    const double rr_new = dot_interior(r, r);
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    xpby_interior(r, beta, p);
+  }
+  return SequentialCgResult{std::move(x), rr};
+}
+
+}  // namespace ds::apps::cg

@@ -1,0 +1,26 @@
+// Sequential conjugate-gradient solver: the correctness oracle for the
+// distributed variants, and the definition of the problem both share.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/cg/grid.hpp"
+
+namespace ds::apps::cg {
+
+/// Deterministic right-hand side value at global cell (gi, gj, gk): a
+/// hash-derived value in [-1, 1] so every decomposition assembles the same
+/// global problem.
+[[nodiscard]] double rhs_value(std::int64_t gi, std::int64_t gj, std::int64_t gk) noexcept;
+
+struct SequentialCgResult {
+  LocalGrid x;           ///< solution estimate after `iterations`
+  double residual2 = 0;  ///< final squared residual norm
+};
+
+/// Run `iterations` of CG on the 7-point Poisson system over an
+/// (nx, ny, nz) grid with zero Dirichlet boundaries and rhs_value() data.
+[[nodiscard]] SequentialCgResult solve_sequential(int nx, int ny, int nz,
+                                                  int iterations);
+
+}  // namespace ds::apps::cg

@@ -1,0 +1,117 @@
+#include "apps/cg/grid.hpp"
+
+#include <cassert>
+
+namespace ds::apps::cg {
+
+LocalGrid::LocalGrid(int nx, int ny, int nz) : nx_(nx), ny_(ny), nz_(nz) {
+  assert(nx > 0 && ny > 0 && nz > 0);
+  data_.assign(static_cast<std::size_t>(nx + 2) * (ny + 2) * (nz + 2), 0.0);
+}
+
+void LocalGrid::fill(double value) {
+  for (int i = 0; i < nx_; ++i)
+    for (int j = 0; j < ny_; ++j)
+      for (int k = 0; k < nz_; ++k) at(i, j, k) = value;
+}
+
+std::size_t LocalGrid::face_cells(int face) const noexcept {
+  switch (face) {
+    case kXMinus:
+    case kXPlus:
+      return static_cast<std::size_t>(ny_) * nz_;
+    case kYMinus:
+    case kYPlus:
+      return static_cast<std::size_t>(nx_) * nz_;
+    default:
+      return static_cast<std::size_t>(nx_) * ny_;
+  }
+}
+
+namespace {
+/// Iterate a face's cells, calling fn(i, j, k). layer_index 0 touches the
+/// interior layer adjacent to the face; -1 touches the ghost layer.
+template <typename Fn>
+void for_face(int face, int nx, int ny, int nz, int layer_index, Fn&& fn) {
+  switch (face) {
+    case kXMinus:
+      for (int j = 0; j < ny; ++j)
+        for (int k = 0; k < nz; ++k) fn(layer_index == -1 ? -1 : 0, j, k);
+      break;
+    case kXPlus:
+      for (int j = 0; j < ny; ++j)
+        for (int k = 0; k < nz; ++k) fn(layer_index == -1 ? nx : nx - 1, j, k);
+      break;
+    case kYMinus:
+      for (int i = 0; i < nx; ++i)
+        for (int k = 0; k < nz; ++k) fn(i, layer_index == -1 ? -1 : 0, k);
+      break;
+    case kYPlus:
+      for (int i = 0; i < nx; ++i)
+        for (int k = 0; k < nz; ++k) fn(i, layer_index == -1 ? ny : ny - 1, k);
+      break;
+    case kZMinus:
+      for (int i = 0; i < nx; ++i)
+        for (int j = 0; j < ny; ++j) fn(i, j, layer_index == -1 ? -1 : 0);
+      break;
+    default:
+      for (int i = 0; i < nx; ++i)
+        for (int j = 0; j < ny; ++j) fn(i, j, layer_index == -1 ? nz : nz - 1);
+      break;
+  }
+}
+}  // namespace
+
+void LocalGrid::extract_face(int face, std::vector<double>& out) const {
+  out.clear();
+  out.reserve(face_cells(face));
+  for_face(face, nx_, ny_, nz_, 0,
+           [&](int i, int j, int k) { out.push_back(at(i, j, k)); });
+}
+
+void LocalGrid::fill_ghost(int face, const double* values, std::size_t count) {
+  assert(count == face_cells(face));
+  (void)count;
+  std::size_t idx = 0;
+  for_face(face, nx_, ny_, nz_, -1,
+           [&](int i, int j, int k) { at(i, j, k) = values[idx++]; });
+}
+
+void LocalGrid::zero_ghost(int face) {
+  for_face(face, nx_, ny_, nz_, -1,
+           [&](int i, int j, int k) { at(i, j, k) = 0.0; });
+}
+
+void apply_poisson(const LocalGrid& in, LocalGrid& out,
+                   const std::array<int, 3>& lo, const std::array<int, 3>& hi) {
+  for (int i = lo[0]; i < hi[0]; ++i)
+    for (int j = lo[1]; j < hi[1]; ++j)
+      for (int k = lo[2]; k < hi[2]; ++k)
+        out.at(i, j, k) = 6.0 * in.at(i, j, k) - in.at(i - 1, j, k) -
+                          in.at(i + 1, j, k) - in.at(i, j - 1, k) -
+                          in.at(i, j + 1, k) - in.at(i, j, k - 1) -
+                          in.at(i, j, k + 1);
+}
+
+double dot_interior(const LocalGrid& a, const LocalGrid& b) {
+  double sum = 0.0;
+  for (int i = 0; i < a.nx(); ++i)
+    for (int j = 0; j < a.ny(); ++j)
+      for (int k = 0; k < a.nz(); ++k) sum += a.at(i, j, k) * b.at(i, j, k);
+  return sum;
+}
+
+void axpy_interior(double alpha, const LocalGrid& x, LocalGrid& y) {
+  for (int i = 0; i < x.nx(); ++i)
+    for (int j = 0; j < x.ny(); ++j)
+      for (int k = 0; k < x.nz(); ++k) y.at(i, j, k) += alpha * x.at(i, j, k);
+}
+
+void xpby_interior(const LocalGrid& r, double beta, LocalGrid& p) {
+  for (int i = 0; i < r.nx(); ++i)
+    for (int j = 0; j < r.ny(); ++j)
+      for (int k = 0; k < r.nz(); ++k)
+        p.at(i, j, k) = r.at(i, j, k) + beta * p.at(i, j, k);
+}
+
+}  // namespace ds::apps::cg

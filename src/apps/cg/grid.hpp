@@ -1,0 +1,81 @@
+// Local 3-D grid with ghost layers, plus the 7-point Poisson stencil the CG
+// solver applies (paper Sec. IV-C: Poisson equation on a Cartesian uniform
+// grid).
+//
+// Values are stored with one ghost cell on each side; indices run over
+// [-1, n] in each dimension. Dirichlet boundaries are zero-valued ghosts
+// that never get overwritten; interior faces are refreshed by the halo
+// exchange each iteration.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace ds::apps::cg {
+
+/// Face directions in the order (-x, +x, -y, +y, -z, +z), matching
+/// mpi::CartTopology::face_neighbors.
+enum Face : int { kXMinus = 0, kXPlus, kYMinus, kYPlus, kZMinus, kZPlus };
+
+/// Opposite face (received data lands on the opposite ghost layer).
+[[nodiscard]] constexpr int opposite(int face) noexcept { return face ^ 1; }
+
+class LocalGrid {
+ public:
+  LocalGrid() = default;
+  LocalGrid(int nx, int ny, int nz);
+
+  [[nodiscard]] int nx() const noexcept { return nx_; }
+  [[nodiscard]] int ny() const noexcept { return ny_; }
+  [[nodiscard]] int nz() const noexcept { return nz_; }
+  [[nodiscard]] std::size_t cells() const noexcept {
+    return static_cast<std::size_t>(nx_) * ny_ * nz_;
+  }
+
+  /// Interior + ghost access; i in [-1, nx], etc.
+  [[nodiscard]] double& at(int i, int j, int k) noexcept {
+    return data_[index(i, j, k)];
+  }
+  [[nodiscard]] double at(int i, int j, int k) const noexcept {
+    return data_[index(i, j, k)];
+  }
+
+  void fill(double value);
+
+  /// Number of values on face `f` (its area).
+  [[nodiscard]] std::size_t face_cells(int face) const noexcept;
+
+  /// Copy the interior layer adjacent to `face` into `out` (resized).
+  void extract_face(int face, std::vector<double>& out) const;
+  /// Write received neighbour data into the ghost layer of `face`.
+  void fill_ghost(int face, const double* values, std::size_t count);
+  /// Zero the ghost layer of `face` (physical boundary).
+  void zero_ghost(int face);
+
+  [[nodiscard]] const std::vector<double>& raw() const noexcept { return data_; }
+
+ private:
+  [[nodiscard]] std::size_t index(int i, int j, int k) const noexcept {
+    return (static_cast<std::size_t>(i + 1) * (ny_ + 2) + (j + 1)) * (nz_ + 2) +
+           (k + 1);
+  }
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = A * in over the interior range [lo, hi) in each dimension, where A
+/// is the 7-point Poisson operator: (6*c - sum of neighbours). Ghosts of
+/// `in` must be current for touched boundary cells.
+void apply_poisson(const LocalGrid& in, LocalGrid& out,
+                   const std::array<int, 3>& lo, const std::array<int, 3>& hi);
+
+/// Interior dot product (no ghosts).
+[[nodiscard]] double dot_interior(const LocalGrid& a, const LocalGrid& b);
+
+/// y += alpha * x over the interior.
+void axpy_interior(double alpha, const LocalGrid& x, LocalGrid& y);
+/// p = r + beta * p over the interior.
+void xpby_interior(const LocalGrid& r, double beta, LocalGrid& p);
+
+}  // namespace ds::apps::cg

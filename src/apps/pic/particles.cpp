@@ -1,0 +1,159 @@
+#include "apps/pic/particles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace ds::apps::pic {
+
+double sheet_density(double y) noexcept {
+  const double d = (y - 0.5) / 0.15;
+  return 0.2 + 2.4 * std::exp(-d * d);
+}
+
+std::array<double, 3> Domain::lo(int rank) const {
+  const auto c = cart.coords_of(rank);
+  const auto& d = cart.dims();
+  return {static_cast<double>(c[0]) / d[0], static_cast<double>(c[1]) / d[1],
+          static_cast<double>(c[2]) / d[2]};
+}
+
+std::array<double, 3> Domain::hi(int rank) const {
+  const auto c = cart.coords_of(rank);
+  const auto& d = cart.dims();
+  return {static_cast<double>(c[0] + 1) / d[0],
+          static_cast<double>(c[1] + 1) / d[1],
+          static_cast<double>(c[2] + 1) / d[2]};
+}
+
+int Domain::owner(double x, double y, double z) const {
+  const auto& d = cart.dims();
+  auto clamp_coord = [](double v, int n) {
+    int c = static_cast<int>(v * n);
+    return std::clamp(c, 0, n - 1);
+  };
+  return cart.rank_of({clamp_coord(x, d[0]), clamp_coord(y, d[1]),
+                       clamp_coord(z, d[2])});
+}
+
+bool Domain::contains(int rank, const Particle& p) const {
+  return owner(p.x, p.y, p.z) == rank;
+}
+
+double subdomain_density(const mpi::CartTopology& cart, int rank) {
+  // Average the sheet profile over the rank's x-extent (midpoint rule over a
+  // few samples keeps it cheap and deterministic). The sheet is oriented
+  // perpendicular to the x axis — the most-divided dimension of the process
+  // grid — so the skew is visible for every decomposition, including 1-D.
+  const auto c = cart.coords_of(rank);
+  const double x0 = static_cast<double>(c[0]) / cart.dims()[0];
+  const double x1 = static_cast<double>(c[0] + 1) / cart.dims()[0];
+  double sum = 0.0;
+  constexpr int kSamples = 8;
+  for (int s = 0; s < kSamples; ++s)
+    sum += sheet_density(x0 + (x1 - x0) * (s + 0.5) / kSamples);
+  return sum / kSamples;
+}
+
+std::vector<std::vector<Particle>> initialize_particles(
+    const Domain& domain, std::uint64_t total_particles, std::uint64_t seed) {
+  const int ranks = domain.cart.size();
+  std::vector<std::vector<Particle>> per_rank(static_cast<std::size_t>(ranks));
+  util::Rng rng = util::Rng::for_stream(seed, 0xFA111);
+  for (std::uint64_t i = 0; i < total_particles; ++i) {
+    Particle p;
+    p.id = static_cast<std::int64_t>(i);
+    // Rejection-sample the sheet profile in x; uniform in y/z.
+    do {
+      p.x = rng.next_double();
+    } while (rng.next_double() * 2.6 > sheet_density(p.x));
+    p.y = rng.next_double();
+    p.z = rng.next_double();
+    p.vx = rng.normal(0.0, 0.08);
+    p.vy = rng.normal(0.0, 0.08);
+    p.vz = rng.normal(0.0, 0.08);
+    per_rank[static_cast<std::size_t>(domain.owner(p.x, p.y, p.z))].push_back(p);
+  }
+  return per_rank;
+}
+
+void move_particle(Particle& p, double dt) noexcept {
+  auto reflect = [](double& pos, double& vel) {
+    if (pos < 0.0) {
+      pos = -pos;
+      vel = -vel;
+    } else if (pos >= 1.0) {
+      pos = 2.0 - pos;
+      vel = -vel;
+      // A particle exactly on the wall after reflection stays inside.
+      if (pos >= 1.0) pos = std::nextafter(1.0, 0.0);
+    }
+  };
+  p.x += p.vx * dt;
+  p.y += p.vy * dt;
+  p.z += p.vz * dt;
+  reflect(p.x, p.vx);
+  reflect(p.y, p.vy);
+  reflect(p.z, p.vz);
+}
+
+std::vector<std::vector<Particle>> oracle_advance(
+    const Domain& domain, std::vector<std::vector<Particle>> particles,
+    int steps, double dt) {
+  for (int s = 0; s < steps; ++s) {
+    std::vector<std::vector<Particle>> next(particles.size());
+    for (auto& list : particles) {
+      for (Particle p : list) {
+        move_particle(p, dt);
+        next[static_cast<std::size_t>(domain.owner(p.x, p.y, p.z))].push_back(p);
+      }
+    }
+    particles = std::move(next);
+  }
+  return particles;
+}
+
+std::vector<std::uint64_t> modeled_rank_counts(const Domain& domain,
+                                               std::uint64_t total_particles) {
+  const int ranks = domain.cart.size();
+  std::vector<double> density(static_cast<std::size_t>(ranks));
+  double sum = 0.0;
+  for (int r = 0; r < ranks; ++r) {
+    density[static_cast<std::size_t>(r)] = subdomain_density(domain.cart, r);
+    sum += density[static_cast<std::size_t>(r)];
+  }
+  const double total = static_cast<double>(total_particles);
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(ranks));
+  std::uint64_t assigned = 0;
+  for (int r = 0; r < ranks; ++r) {
+    counts[static_cast<std::size_t>(r)] = static_cast<std::uint64_t>(
+        total * density[static_cast<std::size_t>(r)] / sum);
+    assigned += counts[static_cast<std::size_t>(r)];
+  }
+  counts[0] += static_cast<std::uint64_t>(total) - assigned;  // exact total
+  return counts;
+}
+
+std::uint64_t particle_signature(const std::vector<Particle>& list) {
+  // Order-independent: combine per-particle hashes with addition.
+  std::uint64_t total = 0;
+  for (const Particle& p : list) {
+    std::uint64_t h = static_cast<std::uint64_t>(p.id) * 0x9E3779B97F4A7C15ull;
+    auto mix = [&h](double v) {
+      std::uint64_t bits;
+      static_assert(sizeof bits == sizeof v);
+      std::memcpy(&bits, &v, sizeof bits);
+      h = (h ^ bits) * 0xBF58476D1CE4E5B9ull;
+    };
+    mix(p.x);
+    mix(p.y);
+    mix(p.z);
+    mix(p.vx);
+    mix(p.vy);
+    mix(p.vz);
+    total += h ^ (h >> 31);
+  }
+  return total;
+}
+
+}  // namespace ds::apps::pic

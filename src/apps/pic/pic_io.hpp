@@ -1,0 +1,54 @@
+// Particle I/O: the three write strategies of paper Sec. IV-D2 (Fig. 8).
+//
+//  * Collective — MPI_File_write_all with a per-dump file-view redefinition
+//    (particle counts change every step, so iPIC3D must recompute
+//    displacements and reset the view each time), then a two-phase
+//    collective write.
+//  * Shared     — MPI_File_write_shared: every rank independently appends
+//    through the shared file pointer, serializing at the lock manager.
+//  * Decoupled  — compute ranks stream particle batches to an I/O group
+//    that buffers aggressively in memory and issues few large writes,
+//    overlapping compute with I/O (paper: "it can dedicate substantial
+//    memory for buffering").
+//
+// Real-data mode writes actual particle ids so tests can verify that all
+// three paths produce files with identical content (as a multiset).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/pic/particles.hpp"
+#include "mpi/machine.hpp"
+
+namespace ds::apps::pic {
+
+enum class IoVariant { Collective, Shared, Decoupled };
+
+struct PicIoConfig {
+  std::uint64_t particles_per_rank = 250'000;
+  int steps = 5;  ///< dumps
+  double ns_mover_per_particle = 24.0;
+  std::size_t particle_bytes = sizeof(Particle);
+
+  int stride = 16;                              ///< decoupling split
+  std::size_t batch_particles = 4096;           ///< stream element batch
+  std::size_t helper_buffer_bytes = 64u << 20;  ///< flush threshold
+
+  bool real_data = false;  ///< write real particle-id payloads
+  std::uint64_t seed = 42;
+};
+
+struct PicIoResult {
+  double seconds = 0.0;      ///< whole-app makespan
+  double io_seconds = 0.0;   ///< max over compute ranks: time in dump phase
+  std::uint64_t file_bytes = 0;
+  std::vector<std::byte> file_content;  ///< real-data mode only
+};
+
+[[nodiscard]] PicIoResult run_pic_io(IoVariant variant, const PicIoConfig& config,
+                                     const mpi::MachineConfig& machine_config);
+
+/// The file name each run writes (for content inspection in tests).
+[[nodiscard]] const char* pic_io_file_name();
+
+}  // namespace ds::apps::pic

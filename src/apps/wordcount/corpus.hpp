@@ -1,0 +1,81 @@
+// Synthetic log-file corpus, standing in for the PUMA Wikipedia dataset
+// (paper Sec. IV-B: 2.9 TB over 8,192 processes, file sizes 256 MB - 1 GB).
+//
+// The corpus is a deterministic list of file sizes (uniform in the
+// configured range) plus a Zipf word model. Three properties the experiment
+// depends on are preserved:
+//   * variable file sizes  -> map-phase imbalance,
+//   * Zipf word skew       -> irregular reduce load,
+//   * vocabulary growth with corpus size (Heaps' law) -> collective payloads
+//     that grow with scale in the reference implementation.
+//
+// Real-data mode (tests) samples actual word ids per block so histograms can
+// be checked against a sequential oracle; modeled mode (benches) only uses
+// the byte/size accessors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace ds::apps::wordcount {
+
+struct CorpusParams {
+  int files_per_rank = 4;
+  std::uint64_t min_file_bytes = 64ull << 20;   ///< 64 MB
+  std::uint64_t max_file_bytes = 256ull << 20;  ///< 256 MB
+  double avg_word_bytes = 6.0;
+
+  /// Heaps' law V(n) = k * n^beta with n = corpus bytes.
+  double heaps_k = 60.0;
+  double heaps_beta = 0.55;
+
+  /// Real-data mode vocabulary and skew.
+  std::size_t sample_vocabulary = 101;
+  double zipf_exponent = 1.05;
+
+  std::uint64_t seed = 42;
+};
+
+class Corpus {
+ public:
+  /// Builds the file list for a weak-scaling run: `map_tasks * files_per_rank`
+  /// files with deterministic pseudo-random sizes.
+  Corpus(CorpusParams params, int map_tasks);
+
+  [[nodiscard]] const CorpusParams& params() const noexcept { return params_; }
+  [[nodiscard]] int file_count() const noexcept {
+    return static_cast<int>(file_bytes_.size());
+  }
+  [[nodiscard]] std::uint64_t file_bytes(int file) const {
+    return file_bytes_.at(static_cast<std::size_t>(file));
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+
+  /// Files assigned to `owner` when files are dealt round-robin over
+  /// `owners` owners.
+  [[nodiscard]] std::vector<int> files_of(int owner, int owners) const;
+  [[nodiscard]] std::uint64_t bytes_of(int owner, int owners) const;
+
+  /// Heaps-law distinct-word estimates (modeled mode wire sizes).
+  [[nodiscard]] std::size_t distinct_words(std::uint64_t bytes) const noexcept;
+  [[nodiscard]] std::size_t union_distinct_words() const noexcept {
+    return distinct_words(total_bytes_);
+  }
+
+  /// Real-data mode: histogram of one block of `words` words of `file`,
+  /// appended into `histogram` (indexed by word id). Deterministic in
+  /// (seed, file, block).
+  void sample_block(int file, int block, std::uint64_t words,
+                    std::vector<std::uint64_t>& histogram) const;
+
+ private:
+  CorpusParams params_;
+  std::vector<std::uint64_t> file_bytes_;
+  std::uint64_t total_bytes_ = 0;
+  util::ZipfSampler zipf_;
+};
+
+}  // namespace ds::apps::wordcount

@@ -1,0 +1,76 @@
+// MapReduce word-histogram application (paper Sec. IV-B, Fig. 5).
+//
+// Reference implementation follows Hoefler et al., "Towards efficient
+// MapReduce using MPI": every process maps its files, then the global key
+// set is built with a nonblocking allgatherv and the per-key counts are
+// combined with a nonblocking reduce.
+//
+// Decoupled implementation: the map group streams per-block partial
+// histograms to a reduce group through an MPIStream channel; the reduce
+// group is itself split into local reducers and one master that aggregates
+// global results. Without in-group aggregation (the paper's configuration)
+// every reducer forwards its updates to the master, whose drain port
+// congests at large scale — the Fig. 5 uptick at 4,096/8,192 processes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/wordcount/corpus.hpp"
+#include "mpi/machine.hpp"
+
+namespace ds::apps::wordcount {
+
+struct WordcountConfig {
+  CorpusParams corpus{};
+
+  /// Stream granularity: one element carries one block's partial histogram,
+  /// whose wire size follows Heaps' law on the block bytes (modeled mode).
+  std::uint64_t block_bytes = 32ull << 20;  ///< file bytes per block
+  std::size_t element_bytes = 4096;         ///< real-data mode element cap
+
+  /// Workload rates.
+  /// Reading + tokenizing + block-local hashing, per input byte (I/O-bound).
+  double map_ns_per_byte = 55.0;
+  /// The conventional reduce pass merges raw intermediate pairs word by
+  /// word, per input byte (the reference lacks the pre-aggregation the
+  /// decoupled reduce group applies with application-specific knowledge).
+  double reduce_ns_per_byte = 45.0;
+  /// Merging pre-aggregated histograms, per histogram byte.
+  double histogram_merge_ns_per_byte = 2.0;
+
+  /// Decoupling: one of every `stride` ranks joins the reduce group.
+  int stride = 16;
+  /// Fraction of consumed histogram bytes a reducer forwards to the master
+  /// when aggregation is off (partially-deduplicated update traffic).
+  /// At 5%, the master keeps up through ~2,048 procs and becomes the tail
+  /// beyond — the Fig. 5 uptick at 4,096/8,192.
+  double forward_fraction = 0.05;
+  /// Paper default: no aggregation inside the reduce group.
+  bool aggregate_reduce_group = false;
+
+  /// Real-data mode: actually sample words and keep exact histograms.
+  bool real_data = false;
+  std::uint64_t words_per_block_real = 512;
+};
+
+struct WordcountResult {
+  double seconds = 0.0;                     ///< virtual makespan
+  std::uint64_t elements_streamed = 0;      ///< decoupled runs only
+  std::vector<std::uint64_t> histogram;     ///< real-data mode: root's result
+};
+
+/// Sequential oracle for real-data mode: exact histogram of the whole corpus.
+[[nodiscard]] std::vector<std::uint64_t> sequential_histogram(
+    const WordcountConfig& config, int map_tasks);
+
+/// Number of blocks a file of `bytes` is processed in.
+[[nodiscard]] std::uint64_t blocks_of(const WordcountConfig& config,
+                                      std::uint64_t bytes);
+
+[[nodiscard]] WordcountResult run_reference(const WordcountConfig& config,
+                                            const mpi::MachineConfig& machine);
+[[nodiscard]] WordcountResult run_decoupled(const WordcountConfig& config,
+                                            const mpi::MachineConfig& machine);
+
+}  // namespace ds::apps::wordcount

@@ -1,0 +1,91 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "mpi/rank.hpp"
+
+namespace ds::stream {
+
+AdaptiveBatcher::AdaptiveBatcher(Stream& stream, std::size_t record_bytes,
+                                 AdaptiveConfig config)
+    : stream_(&stream),
+      record_bytes_(record_bytes),
+      config_(config),
+      target_(std::clamp(config.initial_records, config.min_records,
+                         config.max_records)) {
+  if (config_.min_records == 0 || config_.min_records > config_.max_records)
+    throw std::invalid_argument("AdaptiveBatcher: bad record bounds");
+  if (element_bytes(record_bytes, config_.max_records) >
+      stream.element_size())
+    throw std::invalid_argument(
+        "AdaptiveBatcher: stream element too small for max_records");
+}
+
+void AdaptiveBatcher::push(mpi::Rank& self) {
+  ++pending_;
+  ++records_;
+  if (pending_ >= target_) flush(self);
+}
+
+void AdaptiveBatcher::flush(mpi::Rank& self) {
+  if (pending_ == 0) return;
+  const AdaptiveHeader header{pending_, 0};
+  const util::SimTime before = self.now();
+  stream_->isend(self, mpi::SendBuf::header_only(
+                           header, sizeof header + pending_ * record_bytes_));
+  // Everything the injection charged to this fiber counts as overhead o.
+  overhead_in_window_ += self.now() - before;
+  pending_ = 0;
+  ++elements_;
+
+  const util::SimTime now = self.now();
+  if (flushes_in_window_ > 0) flush_gap_sum_ += now - last_flush_at_;
+  last_flush_at_ = now;
+  if (++flushes_in_window_ >= config_.window) adapt(self);
+}
+
+void AdaptiveBatcher::finish(mpi::Rank& self) {
+  flush(self);
+  stream_->terminate(self);
+}
+
+void AdaptiveBatcher::adapt(mpi::Rank& self) {
+  const util::SimTime elapsed = self.now() - window_start_;
+  const double overhead_fraction =
+      elapsed > 0 ? static_cast<double>(overhead_in_window_) /
+                        static_cast<double>(elapsed)
+                  : 0.0;
+  const util::SimTime mean_gap =
+      flushes_in_window_ > 1
+          ? flush_gap_sum_ / (flushes_in_window_ - 1)
+          : 0;
+
+  // Eq. 4's two failure modes: too much (D/S)*o -> grow S; flow too coarse
+  // for pipelining/absorption -> shrink S. Overhead pressure wins ties (the
+  // paper calls congestion from over-fine elements the costlier error).
+  if (overhead_fraction > config_.max_overhead_fraction) {
+    target_ = std::min<std::uint32_t>(
+        config_.max_records,
+        static_cast<std::uint32_t>(static_cast<double>(target_) * config_.growth));
+  } else if (mean_gap > config_.max_flush_interval) {
+    target_ = std::max<std::uint32_t>(
+        config_.min_records,
+        static_cast<std::uint32_t>(static_cast<double>(target_) / config_.growth));
+  }
+
+  flushes_in_window_ = 0;
+  flush_gap_sum_ = 0;
+  overhead_in_window_ = 0;
+  window_start_ = self.now();
+}
+
+std::uint32_t adaptive_record_count(const StreamElement& element) {
+  if (!element.data || element.bytes < sizeof(AdaptiveHeader)) return 0;
+  AdaptiveHeader header;
+  std::memcpy(&header, element.data, sizeof header);
+  return header.records;
+}
+
+}  // namespace ds::stream

@@ -1,0 +1,101 @@
+// Adaptive stream granularity — the paper's stated future work.
+//
+// Sec. III ends with: "Currently, the library only supports static
+// configuration of these values. An extension to support adaptive changes of
+// the configuration is subject of a current work." This module is that
+// extension: a producer-side controller that batches logical records into
+// stream elements and adapts the batch size S online toward the Eq. 4
+// trade-off — large enough that the per-element overhead o stays a bounded
+// fraction of production time, small enough that the consumer receives a
+// steady fine-grained flow (pipelining and imbalance absorption).
+//
+// The controller needs no global coordination: it watches two local signals,
+//   * overhead ratio   — (elements * o) / elapsed production time,
+//   * flow interval    — virtual time between consecutive flushes,
+// and multiplicatively grows/shrinks the batch within [min, max] records.
+// Consumers are unchanged: they see ordinary elements whose leading header
+// states the record count.
+#pragma once
+
+#include <cstdint>
+
+#include "core/stream.hpp"
+#include "util/time.hpp"
+
+namespace ds::stream {
+
+struct AdaptiveConfig {
+  std::uint32_t min_records = 1;
+  std::uint32_t max_records = 4096;
+  std::uint32_t initial_records = 16;
+
+  /// Target ceiling for injection overhead as a fraction of production time;
+  /// above it the batch grows (fewer, larger elements).
+  double max_overhead_fraction = 0.05;
+  /// Target ceiling for the virtual time between element flushes; above it
+  /// the batch shrinks so the consumer keeps receiving a fine-grained flow.
+  util::SimTime max_flush_interval = util::milliseconds(5);
+
+  /// Multiplicative step for both directions.
+  double growth = 2.0;
+  /// Controller reacts once per `window` flushed elements.
+  std::uint32_t window = 8;
+};
+
+/// Header prepended to every adaptive element (real bytes on the wire).
+struct AdaptiveHeader {
+  std::uint32_t records = 0;
+  std::uint32_t reserved = 0;
+};
+
+/// Producer-side batching controller over a Stream whose element type must
+/// hold `sizeof(AdaptiveHeader) + max_records * record_bytes` bytes.
+class AdaptiveBatcher {
+ public:
+  AdaptiveBatcher(Stream& stream, std::size_t record_bytes,
+                  AdaptiveConfig config = {});
+
+  /// Append one logical record (modeled payload); flushes when the current
+  /// batch target is reached.
+  void push(mpi::Rank& self);
+
+  /// Flush a partial batch, if any.
+  void flush(mpi::Rank& self);
+
+  /// Flush and terminate the underlying stream.
+  void finish(mpi::Rank& self);
+
+  [[nodiscard]] std::uint32_t current_batch() const noexcept { return target_; }
+  [[nodiscard]] std::uint64_t records_sent() const noexcept { return records_; }
+  [[nodiscard]] std::uint64_t elements_sent() const noexcept { return elements_; }
+
+  /// Element wire size needed for `max_records` records of `record_bytes`.
+  [[nodiscard]] static std::size_t element_bytes(std::size_t record_bytes,
+                                                 std::uint32_t max_records) {
+    return sizeof(AdaptiveHeader) + record_bytes * max_records;
+  }
+
+ private:
+  void adapt(mpi::Rank& self);
+
+  Stream* stream_;
+  std::size_t record_bytes_;
+  AdaptiveConfig config_;
+  std::uint32_t target_;
+  std::uint32_t pending_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t elements_ = 0;
+
+  // controller state, sampled per window
+  std::uint32_t flushes_in_window_ = 0;
+  util::SimTime window_start_ = 0;
+  util::SimTime busy_before_window_ = 0;
+  util::SimTime overhead_in_window_ = 0;
+  util::SimTime last_flush_at_ = 0;
+  util::SimTime flush_gap_sum_ = 0;
+};
+
+/// Consumer-side helper: decode the record count of an adaptive element.
+[[nodiscard]] std::uint32_t adaptive_record_count(const StreamElement& element);
+
+}  // namespace ds::stream

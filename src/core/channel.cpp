@@ -1,0 +1,93 @@
+#include "core/channel.hpp"
+
+#include <stdexcept>
+
+namespace ds::stream {
+
+Channel Channel::create(mpi::Rank& self, const mpi::Comm& parent,
+                        bool is_producer, bool is_consumer,
+                        ChannelConfig config) {
+  if (is_producer && is_consumer)
+    throw std::invalid_argument(
+        "Channel::create: producer and consumer groups must be disjoint");
+  const int me = self.rank_in(parent);
+  if (me < 0)
+    throw std::logic_error("Channel::create: caller not in parent communicator");
+  const int size = parent.size();
+
+  // Everyone learns everyone's role — the same traffic MPI_Comm_split pays.
+  const std::int8_t my_role = is_producer ? 1 : (is_consumer ? 2 : 0);
+  std::vector<std::int8_t> roles(static_cast<std::size_t>(size));
+  const std::vector<std::size_t> counts(static_cast<std::size_t>(size), 1);
+  self.allgatherv(parent, mpi::SendBuf::of(&my_role, 1), roles.data(), counts);
+
+  std::vector<int> members;  // world ranks: producers first, then consumers
+  int producers = 0;
+  for (int r = 0; r < size; ++r)
+    if (roles[static_cast<std::size_t>(r)] == 1) {
+      members.push_back(parent.world_rank(r));
+      ++producers;
+    }
+  int consumers = 0;
+  for (int r = 0; r < size; ++r)
+    if (roles[static_cast<std::size_t>(r)] == 2) {
+      members.push_back(parent.world_rank(r));
+      ++consumers;
+    }
+  if (producers == 0 || consumers == 0)
+    throw std::invalid_argument(
+        "Channel::create: need at least one producer and one consumer");
+
+  Channel ch;
+  ch.config_ = config;
+  ch.producer_count_ = producers;
+  ch.consumer_count_ = consumers;
+  const std::uint64_t ctx = mpi::Machine::derive_context(
+      parent.context(), 0xC4A77E1ull, config.channel_id);
+  const mpi::Comm channel_comm(ctx, mpi::Group(std::move(members)));
+  // Non-members keep an invalid comm -> inert handle.
+  if (channel_comm.rank_of_world(self.world_rank()) >= 0) ch.comm_ = channel_comm;
+  return ch;
+}
+
+void Channel::free(mpi::Rank& self) {
+  if (!valid() || self.rank_in(comm_) < 0) return;
+  self.barrier(comm_);
+}
+
+int Channel::my_producer_index(const mpi::Rank& self) const noexcept {
+  if (!valid()) return -1;
+  const int r = comm_.rank_of_world(self.world_rank());
+  return (r >= 0 && r < producer_count_) ? r : -1;
+}
+
+int Channel::my_consumer_index(const mpi::Rank& self) const noexcept {
+  if (!valid()) return -1;
+  const int r = comm_.rank_of_world(self.world_rank());
+  return r >= producer_count_ ? r - producer_count_ : -1;
+}
+
+int Channel::route(int producer, std::uint64_t seq) const noexcept {
+  if (config_.mapping == ChannelConfig::Mapping::RoundRobin) {
+    return static_cast<int>((static_cast<std::uint64_t>(producer) + seq) %
+                            static_cast<std::uint64_t>(consumer_count_));
+  }
+  // Block (and the default peer for Directed): contiguous producer slices
+  // share one consumer.
+  const auto p = static_cast<long long>(producer);
+  return static_cast<int>(p * consumer_count_ / producer_count_);
+}
+
+std::vector<int> Channel::producers_of(int consumer) const {
+  std::vector<int> result;
+  for (int p = 0; p < producer_count_; ++p) {
+    if (config_.mapping != ChannelConfig::Mapping::Block) {
+      result.push_back(p);  // round-robin/directed producers reach everyone
+    } else if (route(p, 0) == consumer) {
+      result.push_back(p);
+    }
+  }
+  return result;
+}
+
+}  // namespace ds::stream

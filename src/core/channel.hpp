@@ -1,0 +1,90 @@
+// MPIStream channels (paper Sec. III-A, step 1).
+//
+// A channel is the communication fabric between two disjoint groups of a
+// parent communicator: data producers and data consumers. Creation is
+// collective over the parent (mirroring MPIStream_CreateChannel's
+// is_data_producer / is_data_consumer flags); every member learns both
+// groups and non-members receive an inert handle.
+//
+// Producers address consumers through a mapping policy:
+//  * Block      — producer p always streams to consumer floor(p*C/P); stable
+//                 peer, preserves per-producer element order at the consumer.
+//  * RoundRobin — producer p spreads elements over all consumers; spreads
+//                 load, order preserved only per (producer, consumer) pair.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/rank.hpp"
+#include "util/time.hpp"
+
+namespace ds::stream {
+
+struct ChannelConfig {
+  /// Distinguishes channels created over the same parent communicator; every
+  /// concurrently live channel on one parent needs a distinct id.
+  std::uint64_t channel_id = 0;
+
+  /// Per-element injection overhead `o` (paper Eq. 4): element construction
+  /// plus the library call, charged to the producer at every stream_isend.
+  util::SimTime inject_overhead = util::nanoseconds(150);
+
+  /// Block      — producer p streams to one fixed consumer.
+  /// RoundRobin — producer p rotates over all consumers.
+  /// Directed   — producers address consumers per element via isend_to;
+  ///              termination is broadcast to every consumer.
+  enum class Mapping { Block, RoundRobin, Directed };
+  Mapping mapping = Mapping::Block;
+};
+
+class Channel {
+ public:
+  Channel() = default;
+
+  /// Collective over `parent`: every member calls with its role. A rank may
+  /// be producer, consumer, or neither (inert handle); producer+consumer on
+  /// the same rank is rejected (the groups must be disjoint).
+  [[nodiscard]] static Channel create(mpi::Rank& self, const mpi::Comm& parent,
+                                      bool is_producer, bool is_consumer,
+                                      ChannelConfig config = {});
+
+  /// Collective over the channel members: quiesce and release (paper's
+  /// MPIStream_FreeChannel). No-op for non-members.
+  void free(mpi::Rank& self);
+
+  [[nodiscard]] bool valid() const noexcept { return comm_.valid(); }
+  [[nodiscard]] const ChannelConfig& config() const noexcept { return config_; }
+  /// Communicator spanning producers (ranks [0, P)) then consumers
+  /// (ranks [P, P+C)).
+  [[nodiscard]] const mpi::Comm& comm() const noexcept { return comm_; }
+  [[nodiscard]] int producer_count() const noexcept { return producer_count_; }
+  [[nodiscard]] int consumer_count() const noexcept { return consumer_count_; }
+
+  /// This rank's producer index, or -1.
+  [[nodiscard]] int my_producer_index(const mpi::Rank& self) const noexcept;
+  /// This rank's consumer index, or -1.
+  [[nodiscard]] int my_consumer_index(const mpi::Rank& self) const noexcept;
+
+  /// Consumer index element #`seq` from producer `p` is routed to.
+  [[nodiscard]] int route(int producer, std::uint64_t seq) const noexcept;
+
+  /// Producers that may route elements to consumer `c` (for termination
+  /// accounting).
+  [[nodiscard]] std::vector<int> producers_of(int consumer) const;
+
+  /// Channel rank (in comm()) of producer p / consumer c.
+  [[nodiscard]] static int producer_rank(int p) noexcept { return p; }
+  [[nodiscard]] int consumer_rank(int c) const noexcept {
+    return producer_count_ + c;
+  }
+
+ private:
+  ChannelConfig config_{};
+  mpi::Comm comm_{};
+  int producer_count_ = 0;
+  int consumer_count_ = 0;
+};
+
+}  // namespace ds::stream

@@ -1,0 +1,138 @@
+#include "core/stream.hpp"
+
+#include <stdexcept>
+
+#include "mpi/machine.hpp"
+
+namespace ds::stream {
+
+Stream Stream::attach(const Channel& channel, const mpi::Datatype& element_type,
+                      Operator op, std::uint64_t stream_id) {
+  Stream s;
+  s.channel_ = &channel;
+  s.element_size_ = element_type.size();
+  s.operator_ = std::move(op);
+  if (channel.valid()) {
+    s.context_ = mpi::Machine::derive_context(channel.comm().context(),
+                                              0x57BEA4ull, stream_id);
+  }
+  return s;
+}
+
+void Stream::isend(mpi::Rank& self, mpi::SendBuf element) {
+  const int p = channel_->my_producer_index(self);
+  if (p < 0) throw std::logic_error("Stream::isend: caller is not a producer");
+  isend_to(self, channel_->route(p, sent_), element);
+}
+
+void Stream::isend_to(mpi::Rank& self, int consumer, mpi::SendBuf element) {
+  const int p = channel_->my_producer_index(self);
+  if (p < 0) throw std::logic_error("Stream::isend_to: caller is not a producer");
+  if (element.on_wire() > element_size_)
+    throw std::invalid_argument("Stream::isend: element larger than its datatype");
+  if (terminated_)
+    throw std::logic_error("Stream::isend: stream already terminated");
+  ++sent_;
+
+  // Per-element library overhead `o` (Eq. 4) plus the transport's own o_s.
+  auto& machine = self.machine();
+  self.process().advance(channel_->config().inject_overhead);
+  self.process().advance(machine.config().network.send_overhead);
+  machine.post_send(context_, p, self.world_rank(),
+                    channel_->comm().world_rank(channel_->consumer_rank(consumer)),
+                    kTagData, element);
+}
+
+void Stream::terminate(mpi::Rank& self) {
+  const int p = channel_->my_producer_index(self);
+  if (p < 0) throw std::logic_error("Stream::terminate: caller is not a producer");
+  if (terminated_) return;
+  terminated_ = true;
+
+  // Tell every consumer this producer can route to.
+  auto& machine = self.machine();
+  std::vector<bool> notified(static_cast<std::size_t>(channel_->consumer_count()),
+                             false);
+  auto notify = [&](int consumer) {
+    if (notified[static_cast<std::size_t>(consumer)]) return;
+    notified[static_cast<std::size_t>(consumer)] = true;
+    self.process().advance(machine.config().network.send_overhead);
+    machine.post_send(context_, p, self.world_rank(),
+                      channel_->comm().world_rank(channel_->consumer_rank(consumer)),
+                      kTagTerm, mpi::SendBuf::synthetic(0));
+  };
+  if (channel_->config().mapping == ChannelConfig::Mapping::Block) {
+    notify(channel_->route(p, 0));
+  } else {
+    for (int c = 0; c < channel_->consumer_count(); ++c) notify(c);
+  }
+}
+
+void Stream::ensure_consumer_state(mpi::Rank& self) {
+  if (my_consumer_ >= 0) return;
+  my_consumer_ = channel_->my_consumer_index(self);
+  if (my_consumer_ < 0)
+    throw std::logic_error("Stream::operate: caller is not a consumer");
+  expected_terms_ =
+      static_cast<int>(channel_->producers_of(my_consumer_).size());
+  element_buffer_.resize(element_size_);
+}
+
+void Stream::handle(mpi::Rank& /*self*/, const mpi::Status& status) {
+  if (status.tag == kTagTerm) {
+    ++terms_seen_;
+    return;
+  }
+  if (operator_) {
+    StreamElement el{status.synthetic || element_buffer_.empty()
+                         ? nullptr
+                         : element_buffer_.data(),
+                     status.bytes, status.source};
+    operator_(el);
+  }
+}
+
+std::uint64_t Stream::operate(mpi::Rank& self) {
+  return operate_while(self, [] { return true; });
+}
+
+std::uint64_t Stream::operate_while(mpi::Rank& self,
+                                    const std::function<bool()>& keep_going) {
+  ensure_consumer_state(self);
+  std::uint64_t processed = 0;
+  // First-come-first-served across every producer: whichever element arrives
+  // next gets processed, regardless of which peer sent it. Streams use their
+  // own derived matching context, so receives post through the machine.
+  auto& machine = self.machine();
+  while (!exhausted() && keep_going()) {
+    auto req = machine.post_recv(
+        context_, self.world_rank(), mpi::kAnySource, mpi::kAnyTag,
+        element_buffer_.empty()
+            ? mpi::RecvBuf::discard(element_size_)
+            : mpi::RecvBuf{element_buffer_.data(), element_buffer_.size()});
+    self.wait(req);
+    handle(self, req->status);
+    if (req->status.tag == kTagData) ++processed;
+  }
+  return processed;
+}
+
+bool Stream::poll_one(mpi::Rank& self) {
+  ensure_consumer_state(self);
+  if (exhausted()) return false;
+  auto& machine = self.machine();
+  mpi::Status status;
+  if (!machine.match_probe(context_, self.world_rank(), mpi::kAnySource,
+                           mpi::kAnyTag, &status))
+    return false;
+  auto req = machine.post_recv(
+      context_, self.world_rank(), status.source, status.tag,
+      element_buffer_.empty()
+          ? mpi::RecvBuf::discard(element_size_)
+          : mpi::RecvBuf{element_buffer_.data(), element_buffer_.size()});
+  self.wait(req);
+  handle(self, req->status);
+  return true;
+}
+
+}  // namespace ds::stream

@@ -1,0 +1,110 @@
+// MPIStream data streams (paper Sec. III-A, steps 2-5).
+//
+// A Stream binds a datatype (the stream-element granularity S of Eq. 4) and
+// a consumer-side operator to a Channel. Producers inject elements with
+// stream_isend as soon as each element is ready — fine-grained asynchronous
+// dataflow. Consumers run operate(), which applies the operator to elements
+// in first-come-first-served arrival order across all of their producers;
+// that FCFS consumption is the mechanism that absorbs producer imbalance.
+//
+// Termination (MPIStream_Terminate): a producer that is done sends a
+// zero-byte control element to every consumer it routes to; operate()
+// returns once every routed producer has terminated.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "mpi/datatype.hpp"
+
+namespace ds::stream {
+
+/// A received stream element, valid only during the operator invocation.
+/// `data` is null for synthetic elements (modeled payloads).
+struct StreamElement {
+  const std::byte* data = nullptr;
+  std::size_t bytes = 0;
+  int producer = -1;  ///< producer index in the channel
+};
+
+/// Consumer-side operator applied on-the-fly to arriving elements.
+using Operator = std::function<void(const StreamElement&)>;
+
+class Stream {
+ public:
+  Stream() = default;
+
+  /// Attach a stream to `channel` (paper's MPIStream_Attach). Local call;
+  /// every channel member must attach with the same `stream_id` before
+  /// using it. `element_type` fixes the element wire size; `op` is invoked
+  /// on consumers only and may be empty elsewhere.
+  [[nodiscard]] static Stream attach(const Channel& channel,
+                                     const mpi::Datatype& element_type,
+                                     Operator op, std::uint64_t stream_id = 0);
+
+  /// Producer: asynchronously inject one element (paper's MPIStream_Isend).
+  /// `element.bytes` must not exceed the element type's size. Charges the
+  /// per-element overhead and sender overhead; returns without blocking on
+  /// delivery. Routed by the channel's mapping policy.
+  void isend(mpi::Rank& self, mpi::SendBuf element);
+
+  /// Producer: inject one element addressed to a specific consumer index
+  /// (Directed routing; used when elements carry their own destination,
+  /// e.g. halo faces addressed to a neighbour's helper).
+  void isend_to(mpi::Rank& self, int consumer, mpi::SendBuf element);
+
+  /// Producer: inject a synthetic element of the full element size.
+  void isend_synthetic(mpi::Rank& self) {
+    isend(self, mpi::SendBuf::synthetic(element_size_));
+  }
+
+  /// Producer: signal end-of-stream (paper's MPIStream_Terminate).
+  void terminate(mpi::Rank& self);
+
+  /// Consumer: process elements FCFS until every routed producer terminated
+  /// (paper's MPIStream_Operate). Returns the number of elements processed.
+  std::uint64_t operate(mpi::Rank& self);
+
+  /// Consumer: process arrivals until `stop()` is true or all producers
+  /// terminated; re-checks `stop` after each element. Returns elements
+  /// processed. Used by consumers that interleave other duties.
+  std::uint64_t operate_while(mpi::Rank& self, const std::function<bool()>& keep_going);
+
+  /// Consumer: drain at most one pending element without blocking.
+  /// Returns true if an element or termination was consumed.
+  bool poll_one(mpi::Rank& self);
+
+  [[nodiscard]] std::size_t element_size() const noexcept { return element_size_; }
+  [[nodiscard]] const Channel& channel() const noexcept { return *channel_; }
+  [[nodiscard]] std::uint64_t elements_sent() const noexcept { return sent_; }
+  /// True once all routed producers have terminated (consumer side).
+  [[nodiscard]] bool exhausted() const noexcept {
+    return expected_terms_ >= 0 && terms_seen_ >= expected_terms_;
+  }
+
+ private:
+  void ensure_consumer_state(mpi::Rank& self);
+  void handle(mpi::Rank& self, const mpi::Status& status);
+
+  const Channel* channel_ = nullptr;
+  std::uint64_t context_ = 0;  ///< matching context derived per stream
+  std::size_t element_size_ = 0;
+  Operator operator_;
+
+  // producer state
+  std::uint64_t sent_ = 0;
+  bool terminated_ = false;
+
+  // consumer state
+  int my_consumer_ = -1;
+  int expected_terms_ = -1;
+  int terms_seen_ = 0;
+  std::vector<std::byte> element_buffer_;
+
+  static constexpr int kTagData = 0;
+  static constexpr int kTagTerm = 1;
+};
+
+}  // namespace ds::stream

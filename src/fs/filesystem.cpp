@@ -1,0 +1,80 @@
+#include "fs/filesystem.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ds::fs {
+
+void SimFile::store(std::uint64_t offset, const void* data, std::uint64_t bytes) {
+  note_extent(offset, bytes);
+  if (!data || bytes == 0) return;
+  auto& chunk = chunks_[offset];
+  chunk.resize(bytes);
+  std::memcpy(chunk.data(), data, bytes);
+}
+
+std::vector<std::byte> SimFile::content() const {
+  std::vector<std::byte> out(size_, std::byte{0});
+  for (const auto& [offset, chunk] : chunks_) {
+    const std::uint64_t n = std::min<std::uint64_t>(chunk.size(), size_ - offset);
+    std::memcpy(out.data() + offset, chunk.data(), n);
+  }
+  return out;
+}
+
+FileSystem::FileSystem(FsConfig config)
+    : config_(config),
+      server_free_(static_cast<std::size_t>(std::max(1, config.num_servers)), 0) {}
+
+SimFile* FileSystem::open(const std::string& name) {
+  auto [it, inserted] = files_.try_emplace(name, name);
+  return &it->second;
+}
+
+util::SimTime FileSystem::write(SimFile& file, std::uint64_t offset,
+                                std::uint64_t bytes, const void* data,
+                                util::SimTime start) {
+  file.store(offset, data, bytes);
+  total_bytes_ += bytes;
+  ++total_requests_;
+  if (bytes == 0) return start + config_.op_latency;
+
+  // Walk the stripes the byte range covers; each stripe's server serializes.
+  util::SimTime done = start;
+  std::uint64_t cursor = offset;
+  const std::uint64_t end = offset + bytes;
+  while (cursor < end) {
+    const std::uint64_t stripe_index = cursor / config_.stripe_bytes;
+    const std::uint64_t stripe_end = (stripe_index + 1) * config_.stripe_bytes;
+    const std::uint64_t chunk = std::min(end, stripe_end) - cursor;
+    auto& server = server_free_[static_cast<std::size_t>(
+        stripe_index % static_cast<std::uint64_t>(server_free_.size()))];
+    const util::SimTime begin = std::max(start + config_.op_latency, server);
+    const auto service = static_cast<util::SimTime>(
+        config_.server_ns_per_byte * static_cast<double>(chunk));
+    server = begin + config_.server_op_service + service;
+    done = std::max(done, server);
+    cursor += chunk;
+  }
+  return done;
+}
+
+util::SimTime FileSystem::metadata_rpc(util::SimTime start) {
+  ++total_requests_;
+  const util::SimTime begin = std::max(start + config_.metadata_latency, mds_free_);
+  mds_free_ = begin + config_.metadata_service;
+  return mds_free_ + config_.metadata_latency;  // reply wire time
+}
+
+FileSystem::SharedAppendResult FileSystem::shared_append(SimFile& file,
+                                                         std::uint64_t bytes,
+                                                         const void* data,
+                                                         util::SimTime start) {
+  // Acquire the shared pointer (serialized at the MDS), then write the data.
+  const util::SimTime lock_done = metadata_rpc(start);
+  const std::uint64_t offset = file.reserve_shared(bytes);
+  const util::SimTime done = write(file, offset, bytes, data, lock_done);
+  return SharedAppendResult{offset, done};
+}
+
+}  // namespace ds::fs

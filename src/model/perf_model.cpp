@@ -1,0 +1,62 @@
+#include "model/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ds::model {
+
+double conventional_time(const TwoOpWorkload& w) noexcept {
+  return w.t_w0 + w.t_sigma + w.t_w1;
+}
+
+double decoupled_time_ideal(const TwoOpWorkload& w) noexcept {
+  const double workers = w.t_w0 / (1.0 - w.alpha) + w.t_sigma;
+  const double helpers = w.t_w1_decoupled / w.alpha;
+  return std::max(workers, helpers);
+}
+
+double decoupled_time_beta(const TwoOpWorkload& w) noexcept {
+  return w.beta * (w.t_w0 / (1.0 - w.alpha) + w.t_sigma) +
+         w.t_w1_decoupled / w.alpha;
+}
+
+double decoupled_time_full(const TwoOpWorkload& w) noexcept {
+  const double elements =
+      w.granularity > 0.0 ? w.total_data / w.granularity : 0.0;
+  const double stream_overhead = elements * w.overhead_per_element;
+  return w.beta * (w.t_w0 / (1.0 - w.alpha) + w.t_sigma + stream_overhead) +
+         w.t_w1_decoupled / w.alpha;
+}
+
+double beta_of_granularity(double beta_min, double granularity,
+                           double total_data) noexcept {
+  if (total_data <= 0.0) return beta_min;
+  const double beta = beta_min + (1.0 - beta_min) * (granularity / total_data);
+  return std::clamp(beta, beta_min, 1.0);
+}
+
+double predicted_speedup(const TwoOpWorkload& w) noexcept {
+  const double decoupled = decoupled_time_full(w);
+  return decoupled > 0.0 ? conventional_time(w) / decoupled : 0.0;
+}
+
+double optimal_granularity(TwoOpWorkload w, double beta_min, double s_min,
+                           double s_max) {
+  double best_s = s_min;
+  double best_t = HUGE_VAL;
+  constexpr int kSteps = 200;
+  for (int i = 0; i <= kSteps; ++i) {
+    const double s =
+        s_min * std::pow(s_max / s_min, static_cast<double>(i) / kSteps);
+    w.granularity = s;
+    w.beta = beta_of_granularity(beta_min, s, w.total_data);
+    const double t = decoupled_time_full(w);
+    if (t < best_t) {
+      best_t = t;
+      best_s = s;
+    }
+  }
+  return best_s;
+}
+
+}  // namespace ds::model

@@ -1,0 +1,59 @@
+// Analytic performance model of the decoupling strategy (paper Sec. II-D,
+// Eqs. 1-4).
+//
+// Two operations Op0, Op1 with per-process workloads T_W0, T_W1, imbalance
+// T_sigma, on P processes. Decoupling moves Op1 to an alpha-fraction group;
+// the workers' Op0 grows by 1/(1-alpha), the helpers' Op1 shrinks (or not)
+// to T'_W1 / alpha. beta is the non-overlapped fraction of Op0; streaming D
+// bytes in elements of S costs (D/S)*o extra on the producers.
+//
+// All times in seconds (the model is dimensionless in P beyond the
+// alpha-scaling, matching the paper's presentation).
+#pragma once
+
+namespace ds::model {
+
+struct TwoOpWorkload {
+  double t_w0 = 0.0;      ///< per-process time of the kept operation Op0
+  double t_w1 = 0.0;      ///< per-process time of Op1 in the conventional run
+  double t_sigma = 0.0;   ///< expected imbalance/idle time
+  double alpha = 0.0625;  ///< fraction of processes running decoupled Op1
+  double beta = 0.0;      ///< non-overlapped fraction of Op0 (0 = perfect pipe)
+  double t_w1_decoupled = 0.0;  ///< T'_W1: per-helper-process Op1 time after
+                                ///< decoupling (already reflects optimization)
+  double total_data = 0.0;      ///< D: bytes streamed between the groups
+  double granularity = 1.0;     ///< S: bytes per stream element
+  double overhead_per_element = 0.0;  ///< o: injection overhead per element
+};
+
+/// Eq. 1: conventional model, T_c = T_W0 + T_sigma + T_W1.
+[[nodiscard]] double conventional_time(const TwoOpWorkload& w) noexcept;
+
+/// Eq. 2: perfectly pipelined decoupling,
+/// T_d = max( T_W0/(1-alpha) + T_sigma , T'_W1/alpha ).
+[[nodiscard]] double decoupled_time_ideal(const TwoOpWorkload& w) noexcept;
+
+/// Eq. 3: partial pipelining with non-overlapped fraction beta,
+/// T_d = beta*(T_W0/(1-alpha) + T_sigma) + T'_W1/alpha.
+[[nodiscard]] double decoupled_time_beta(const TwoOpWorkload& w) noexcept;
+
+/// Eq. 4: Eq. 3 plus per-element streaming overhead (D/S)*o on the producer
+/// side: T_d = beta(S)*(T_W0/(1-alpha) + T_sigma + (D/S)*o) + T'_W1/alpha.
+[[nodiscard]] double decoupled_time_full(const TwoOpWorkload& w) noexcept;
+
+/// A simple beta(S) refinement the paper alludes to ("beta is a function of
+/// S: the finer the stream element, the higher the pipelining"): beta rises
+/// from beta_min toward 1 as S approaches the whole of D.
+/// beta(S) = beta_min + (1 - beta_min) * (S / D), clamped to [beta_min, 1].
+[[nodiscard]] double beta_of_granularity(double beta_min, double granularity,
+                                         double total_data) noexcept;
+
+/// Predicted speedup conventional/decoupled under Eq. 4.
+[[nodiscard]] double predicted_speedup(const TwoOpWorkload& w) noexcept;
+
+/// Granularity minimizing Eq. 4 over a log-spaced scan of [s_min, s_max]
+/// with beta(S) = beta_of_granularity. Returns the best S.
+[[nodiscard]] double optimal_granularity(TwoOpWorkload w, double beta_min,
+                                         double s_min, double s_max);
+
+}  // namespace ds::model

@@ -1,0 +1,109 @@
+#include "mpi/cart.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace ds::mpi {
+
+CartTopology::CartTopology(std::array<int, 3> dims, std::array<bool, 3> periodic)
+    : dims_(dims), periodic_(periodic) {
+  for (const int d : dims_)
+    if (d <= 0) throw std::invalid_argument("CartTopology: dims must be > 0");
+}
+
+std::array<int, 3> CartTopology::dims_create(int nprocs) {
+  if (nprocs <= 0) throw std::invalid_argument("dims_create: nprocs must be > 0");
+  std::array<int, 3> dims{1, 1, 1};
+  int remaining = nprocs;
+  // Repeatedly peel the largest prime factor onto the smallest dimension.
+  auto smallest_dim = [&dims]() {
+    int idx = 0;
+    for (int i = 1; i < 3; ++i)
+      if (dims[static_cast<std::size_t>(i)] < dims[static_cast<std::size_t>(idx)]) idx = i;
+    return idx;
+  };
+  while (remaining > 1) {
+    int factor = remaining;
+    for (int p = 2; p * p <= remaining; ++p) {
+      if (remaining % p == 0) {
+        factor = p;
+        break;
+      }
+    }
+    dims[static_cast<std::size_t>(smallest_dim())] *= factor;
+    remaining /= factor;
+  }
+  // Sort descending for a stable convention (DimX >= DimY >= DimZ).
+  std::sort(dims.begin(), dims.end(), std::greater<>());
+  return dims;
+}
+
+int CartTopology::rank_of(const std::array<int, 3>& coords) const {
+  for (int i = 0; i < 3; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (coords[idx] < 0 || coords[idx] >= dims_[idx])
+      throw std::out_of_range("CartTopology::rank_of: coordinate out of range");
+  }
+  return (coords[0] * dims_[1] + coords[1]) * dims_[2] + coords[2];
+}
+
+std::array<int, 3> CartTopology::coords_of(int rank) const {
+  if (rank < 0 || rank >= size())
+    throw std::out_of_range("CartTopology::coords_of: rank out of range");
+  std::array<int, 3> c{};
+  c[2] = rank % dims_[2];
+  c[1] = (rank / dims_[2]) % dims_[1];
+  c[0] = rank / (dims_[1] * dims_[2]);
+  return c;
+}
+
+int CartTopology::neighbor(int rank, int dim, int disp) const {
+  if (dim < 0 || dim >= 3) throw std::out_of_range("CartTopology::neighbor: bad dim");
+  auto coords = coords_of(rank);
+  const auto idx = static_cast<std::size_t>(dim);
+  int c = coords[idx] + disp;
+  if (periodic_[idx]) {
+    const int n = dims_[idx];
+    c = ((c % n) + n) % n;
+  } else if (c < 0 || c >= dims_[idx]) {
+    return -1;
+  }
+  coords[idx] = c;
+  return rank_of(coords);
+}
+
+std::array<int, 6> CartTopology::face_neighbors(int rank) const {
+  return {neighbor(rank, 0, -1), neighbor(rank, 0, +1),
+          neighbor(rank, 1, -1), neighbor(rank, 1, +1),
+          neighbor(rank, 2, -1), neighbor(rank, 2, +1)};
+}
+
+std::vector<int> CartTopology::moore_neighbors(int rank) const {
+  const auto base = coords_of(rank);
+  std::vector<int> result;
+  for (int dx = -1; dx <= 1; ++dx)
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dz = -1; dz <= 1; ++dz) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        std::array<int, 3> c{base[0] + dx, base[1] + dy, base[2] + dz};
+        bool inside = true;
+        for (int d = 0; d < 3; ++d) {
+          const auto idx = static_cast<std::size_t>(d);
+          if (periodic_[idx]) {
+            c[idx] = ((c[idx] % dims_[idx]) + dims_[idx]) % dims_[idx];
+          } else if (c[idx] < 0 || c[idx] >= dims_[idx]) {
+            inside = false;
+            break;
+          }
+        }
+        if (!inside) continue;
+        const int r = rank_of(c);
+        if (r != rank) result.push_back(r);
+      }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace ds::mpi

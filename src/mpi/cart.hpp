@@ -1,0 +1,48 @@
+// 3-D Cartesian process topology (MPI_Cart_* equivalents).
+//
+// The CG solver and the PIC mini-app decompose their domains over a 3-D
+// process grid; the reference particle exchange forwards along the six
+// direct neighbours, bounding the step count by DimX+DimY+DimZ (paper
+// Sec. IV-D1).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "mpi/comm.hpp"
+
+namespace ds::mpi {
+
+class CartTopology {
+ public:
+  CartTopology(std::array<int, 3> dims, std::array<bool, 3> periodic);
+
+  /// Factor `nprocs` into three dims as close to a cube as possible
+  /// (largest factors first, like MPI_Dims_create).
+  [[nodiscard]] static std::array<int, 3> dims_create(int nprocs);
+
+  [[nodiscard]] const std::array<int, 3>& dims() const noexcept { return dims_; }
+  [[nodiscard]] int size() const noexcept { return dims_[0] * dims_[1] * dims_[2]; }
+
+  /// Row-major rank of coordinates (x slowest, z fastest).
+  [[nodiscard]] int rank_of(const std::array<int, 3>& coords) const;
+  [[nodiscard]] std::array<int, 3> coords_of(int rank) const;
+
+  /// Neighbour `disp` steps along `dim` from `rank`; -1 when the walk falls
+  /// off a non-periodic boundary (MPI_PROC_NULL semantics).
+  [[nodiscard]] int neighbor(int rank, int dim, int disp) const;
+
+  /// The six face neighbours (-x, +x, -y, +y, -z, +z); entries may be -1.
+  [[nodiscard]] std::array<int, 6> face_neighbors(int rank) const;
+
+  /// All ranks within Chebyshev distance 1 (the Moore neighbourhood: faces,
+  /// edges and corners — up to 26), excluding `rank` itself and anything
+  /// beyond a non-periodic boundary. Sorted ascending.
+  [[nodiscard]] std::vector<int> moore_neighbors(int rank) const;
+
+ private:
+  std::array<int, 3> dims_;
+  std::array<bool, 3> periodic_;
+};
+
+}  // namespace ds::mpi

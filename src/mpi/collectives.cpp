@@ -1,0 +1,580 @@
+// Event-driven collective algorithms.
+//
+// Each nonblocking collective is a per-rank state machine advanced by message
+// completion continuations, never by the owning fiber. That models offloaded
+// / asynchronous progress: communication proceeds while the fiber computes,
+// which the paper's nonblocking baselines (MPI_Iallgatherv, MPI_Ireduce,
+// nonblocking halo exchange) depend on for overlap.
+//
+// Algorithms (matching mainstream MPI implementations, so cost scales with P
+// the way the paper's testbed did):
+//   barrier    — dissemination, ceil(log2 P) rounds
+//   bcast      — binomial tree
+//   reduce     — binomial tree (children combined in order)
+//   allreduce  — reduce to 0 + bcast (2 log P rounds)
+//   allgatherv — ring, P-1 rounds
+//   alltoallv  — pairwise exchange, P-1 rounds
+//   gatherv    — flat tree into root (root's drain port is the bottleneck,
+//                deliberately: that is the paper's master-congestion effect)
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "mpi/machine.hpp"
+#include "mpi/rank.hpp"
+
+namespace ds::mpi {
+
+namespace {
+
+[[nodiscard]] int ceil_log2(int n) noexcept {
+  int rounds = 0;
+  int reach = 1;
+  while (reach < n) {
+    reach <<= 1;
+    ++rounds;
+  }
+  return rounds;
+}
+
+/// Common plumbing for collective state machines.
+struct CollBase : detail::OpState {
+  Machine* m = nullptr;
+  Comm comm;
+  int me = -1;  // my rank in comm
+  int size = 0;
+  int tag = 0;
+
+  void init(Machine& machine, const Comm& c, int my_rank, int coll_tag) {
+    m = &machine;
+    comm = c;
+    me = my_rank;
+    size = c.size();
+    tag = coll_tag;
+  }
+
+  void csend(int dst, SendBuf data, std::function<void()> k) {
+    m->post_send(comm.context(), me, comm.world_rank(me), comm.world_rank(dst),
+                 tag, data, std::move(k));
+  }
+  void crecv(int src, RecvBuf out, std::function<void()> k) {
+    m->post_recv(comm.context(), comm.world_rank(me), src, tag, out,
+                 std::move(k));
+  }
+  void finish() { m->complete_op(*this); }
+};
+
+// ---------------------------------------------------------------- barrier --
+struct IbarrierOp final : CollBase {
+  int round = 0;
+  int rounds = 0;
+  int pending = 0;
+
+  static Request launch(Machine& m, const Comm& c, int me, int tag) {
+    auto op = std::make_shared<IbarrierOp>();
+    op->init(m, c, me, tag);
+    op->rounds = ceil_log2(c.size());
+    op->step(op);
+    return op;
+  }
+
+  void step(const std::shared_ptr<IbarrierOp>& self) {
+    if (round >= rounds) {
+      finish();
+      return;
+    }
+    const int dist = 1 << round;
+    ++round;
+    const int to = (me + dist) % size;
+    const int from = (me - dist % size + size) % size;
+    pending = 2;
+    auto k = [this, self] {
+      if (--pending == 0) step(self);
+    };
+    csend(to, SendBuf::synthetic(1), k);
+    crecv(from, RecvBuf::discard(1), k);
+  }
+};
+
+// ------------------------------------------------------------------ bcast --
+struct IbcastOp final : CollBase {
+  int root = 0;
+  void* data = nullptr;
+  std::size_t bytes = 0;
+  int pending = 0;
+
+  [[nodiscard]] int rel(int r) const noexcept { return (r - root + size) % size; }
+  [[nodiscard]] int abs(int r) const noexcept { return (r + root) % size; }
+
+  static Request launch(Machine& m, const Comm& c, int me, int root,
+                        RecvBuf buf, int tag) {
+    auto op = std::make_shared<IbcastOp>();
+    op->init(m, c, me, tag);
+    op->root = root;
+    op->data = buf.ptr;
+    op->bytes = buf.bytes;
+    const int relrank = op->rel(me);
+    if (relrank == 0) {
+      op->send_to_children(op);
+    } else {
+      // Find my parent: clear my lowest set bit.
+      int mask = 1;
+      while (!(relrank & mask)) mask <<= 1;
+      const int parent = op->abs(relrank ^ mask);
+      op->crecv(parent, RecvBuf{op->data, op->bytes},
+                [op] { op->send_to_children(op); });
+    }
+    return op;
+  }
+
+  void send_to_children(const std::shared_ptr<IbcastOp>& self) {
+    const int relrank = rel(me);
+    // Children: relrank | mask for masks strictly below my lowest set bit
+    // (every mask up to the tree reach for the root).
+    int lowest = 1;
+    while (relrank != 0 && !(relrank & lowest)) lowest <<= 1;
+    std::vector<int> children;
+    const int limit = (relrank == 0) ? (1 << ceil_log2(size)) : lowest;
+    for (int mask = limit >> 1; mask >= 1; mask >>= 1) {
+      const int child = relrank | mask;
+      if (child != relrank && child < size) children.push_back(child);
+    }
+    if (children.empty()) {
+      finish();
+      return;
+    }
+    pending = static_cast<int>(children.size());
+    for (const int child : children) {
+      csend(abs(child), SendBuf{data, bytes}, [this, self] {
+        if (--pending == 0) finish();
+      });
+    }
+  }
+};
+
+// ----------------------------------------------------------------- reduce --
+struct IreduceOp final : CollBase {
+  int root = 0;
+  const void* in = nullptr;
+  void* out = nullptr;
+  std::size_t bytes = 0;
+  ReduceFn fn;
+  bool synthetic = true;
+  std::vector<std::byte> accum;
+  std::vector<std::byte> incoming;
+  int mask = 1;
+
+  [[nodiscard]] int rel(int r) const noexcept { return (r - root + size) % size; }
+  [[nodiscard]] int abs(int r) const noexcept { return (r + root) % size; }
+
+  static Request launch(Machine& m, const Comm& c, int me, int root, SendBuf in,
+                        void* out, ReduceFn fn, int tag) {
+    auto op = std::make_shared<IreduceOp>();
+    op->init(m, c, me, tag);
+    op->root = root;
+    op->in = in.ptr;
+    op->out = out;
+    op->bytes = in.on_wire();
+    op->fn = std::move(fn);
+    op->synthetic = (in.ptr == nullptr);
+    if (!op->synthetic) {
+      op->accum.resize(op->bytes);
+      std::memcpy(op->accum.data(), in.ptr, op->bytes);
+      op->incoming.resize(op->bytes);
+    }
+    op->step(op);
+    return op;
+  }
+
+  void step(const std::shared_ptr<IreduceOp>& self) {
+    const int relrank = rel(me);
+    while (mask < size) {
+      if (relrank & mask) {
+        // My turn to fold upward: single send to parent, then done.
+        const int parent = abs(relrank ^ mask);
+        csend(parent,
+              synthetic ? SendBuf::synthetic(bytes)
+                        : SendBuf{accum.data(), bytes},
+              [this, self] { finish(); });
+        return;
+      }
+      const int child = relrank | mask;
+      mask <<= 1;
+      if (child < size) {
+        crecv(abs(child),
+              synthetic ? RecvBuf::discard(bytes)
+                        : RecvBuf{incoming.data(), bytes},
+              [this, self] {
+                if (!synthetic && fn) fn(incoming.data(), accum.data(), bytes);
+                step(self);
+              });
+        return;  // resume from the continuation
+      }
+    }
+    // Only the root exits the loop without sending.
+    if (!synthetic && out) std::memcpy(out, accum.data(), bytes);
+    finish();
+  }
+};
+
+// ------------------------------------------------------------- allgatherv --
+// Recursive doubling (log2 P rounds) when P is a power of two — essential at
+// scale, where a ring's P-1 rounds per rank would mean O(P^2) messages — and
+// a ring otherwise.
+struct IallgathervOp final : CollBase {
+  std::byte* out = nullptr;
+  std::vector<std::size_t> counts;
+  std::vector<std::size_t> displs;
+  int round = 0;
+  int pending = 0;
+  bool power_of_two = false;
+
+  [[nodiscard]] std::size_t segment_bytes(int from, int to) const {
+    return displs[static_cast<std::size_t>(to)] -
+           displs[static_cast<std::size_t>(from)];
+  }
+
+  static Request launch(Machine& m, const Comm& c, int me, SendBuf mine,
+                        void* out, const std::vector<std::size_t>& counts,
+                        int tag) {
+    if (static_cast<int>(counts.size()) != c.size())
+      throw std::invalid_argument("iallgatherv: counts.size() != comm size");
+    if (mine.ptr && mine.bytes != counts[static_cast<std::size_t>(me)])
+      throw std::invalid_argument("iallgatherv: my block size != counts[me]");
+    auto op = std::make_shared<IallgathervOp>();
+    op->init(m, c, me, tag);
+    op->out = static_cast<std::byte*>(out);
+    op->counts = counts;
+    op->power_of_two = (c.size() & (c.size() - 1)) == 0;
+    op->displs.resize(counts.size() + 1, 0);
+    std::partial_sum(counts.begin(), counts.end(), op->displs.begin() + 1);
+    if (op->out && mine.ptr) {
+      std::memcpy(op->out + op->displs[static_cast<std::size_t>(me)], mine.ptr,
+                  mine.bytes);
+    }
+    op->step(op);
+    return op;
+  }
+
+  void step(const std::shared_ptr<IallgathervOp>& self) {
+    if (power_of_two ? (1 << round) >= size : round >= size - 1) {
+      finish();
+      return;
+    }
+    pending = 2;
+    auto k_done = [this, self] {
+      if (--pending == 0) step(self);
+    };
+    if (power_of_two) {
+      // Round k: swap my accumulated 2^k-rank block with partner me^2^k.
+      const int k = round++;
+      const int half = 1 << k;
+      const int partner = me ^ half;
+      const int mine_lo = me & ~(half - 1);      // start of my held block
+      const int theirs_lo = partner & ~(half - 1);
+      csend(partner,
+            out ? SendBuf{out + displs[static_cast<std::size_t>(mine_lo)],
+                          segment_bytes(mine_lo, mine_lo + half)}
+                : SendBuf::synthetic(segment_bytes(mine_lo, mine_lo + half)),
+            k_done);
+      crecv(partner,
+            out ? RecvBuf{out + displs[static_cast<std::size_t>(theirs_lo)],
+                          segment_bytes(theirs_lo, theirs_lo + half)}
+                : RecvBuf::discard(segment_bytes(theirs_lo, theirs_lo + half)),
+            k_done);
+      return;
+    }
+    // Ring: in round k, pass along the block received in round k-1.
+    const int k = round++;
+    const auto send_idx = static_cast<std::size_t>((me - k + size) % size);
+    const auto recv_idx = static_cast<std::size_t>((me - k - 1 + size) % size);
+    const int right = (me + 1) % size;
+    const int left = (me - 1 + size) % size;
+    csend(right,
+          out ? SendBuf{out + displs[send_idx], counts[send_idx]}
+              : SendBuf::synthetic(counts[send_idx]),
+          k_done);
+    crecv(left,
+          out ? RecvBuf{out + displs[recv_idx], counts[recv_idx]}
+              : RecvBuf::discard(counts[recv_idx]),
+          k_done);
+  }
+};
+
+// -------------------------------------------------------------- alltoallv --
+struct IalltoallvOp final : CollBase {
+  const std::byte* send_buf = nullptr;
+  std::byte* recv_buf = nullptr;
+  std::vector<std::size_t> send_counts, recv_counts;
+  std::vector<std::size_t> send_displs, recv_displs;
+  int round = 1;
+  int pending = 0;
+
+  static Request launch(Machine& m, const Comm& c, int me, const void* send_buf,
+                        const std::vector<std::size_t>& send_counts,
+                        void* recv_buf,
+                        const std::vector<std::size_t>& recv_counts, int tag) {
+    if (static_cast<int>(send_counts.size()) != c.size() ||
+        static_cast<int>(recv_counts.size()) != c.size())
+      throw std::invalid_argument("ialltoallv: counts size != comm size");
+    auto op = std::make_shared<IalltoallvOp>();
+    op->init(m, c, me, tag);
+    op->send_buf = static_cast<const std::byte*>(send_buf);
+    op->recv_buf = static_cast<std::byte*>(recv_buf);
+    op->send_counts = send_counts;
+    op->recv_counts = recv_counts;
+    op->send_displs.resize(send_counts.size() + 1, 0);
+    op->recv_displs.resize(recv_counts.size() + 1, 0);
+    std::partial_sum(send_counts.begin(), send_counts.end(),
+                     op->send_displs.begin() + 1);
+    std::partial_sum(recv_counts.begin(), recv_counts.end(),
+                     op->recv_displs.begin() + 1);
+    const auto self_idx = static_cast<std::size_t>(me);
+    if (op->send_buf && op->recv_buf) {
+      std::memcpy(op->recv_buf + op->recv_displs[self_idx],
+                  op->send_buf + op->send_displs[self_idx],
+                  std::min(send_counts[self_idx], recv_counts[self_idx]));
+    }
+    op->step(op);
+    return op;
+  }
+
+  void step(const std::shared_ptr<IalltoallvOp>& self) {
+    int skipped = 0;
+    while (round < size) {
+      const int k = round++;
+      const auto dst = static_cast<std::size_t>((me + k) % size);
+      const auto src = static_cast<std::size_t>((me - k + size) % size);
+      // Empty rounds are priced, not exchanged: a dense pairwise alltoall
+      // still walks every peer (one zero-byte message each way), but
+      // simulating O(P^2) empty messages would sink the event engine. We
+      // charge the per-round wire time in bulk and move on.
+      if (send_counts[dst] == 0 && recv_counts[src] == 0) {
+        ++skipped;
+        continue;
+      }
+      auto launch = [this, self, dst, src] {
+        pending = 2;
+        auto k_done = [this, self] {
+          if (--pending == 0) step(self);
+        };
+        csend(static_cast<int>(dst),
+              send_buf ? SendBuf{send_buf + send_displs[dst], send_counts[dst]}
+                       : SendBuf::synthetic(send_counts[dst]),
+              k_done);
+        crecv(static_cast<int>(src),
+              recv_buf ? RecvBuf{recv_buf + recv_displs[src], recv_counts[src]}
+                       : RecvBuf::discard(recv_counts[src]),
+              k_done);
+      };
+      if (skipped > 0) {
+        m->engine().schedule_after(skipped * empty_round_cost(), launch);
+      } else {
+        launch();
+      }
+      return;
+    }
+    if (skipped > 0) {
+      m->engine().schedule_after(skipped * empty_round_cost(),
+                                 [this, self] { finish(); });
+    } else {
+      finish();
+    }
+  }
+
+  [[nodiscard]] util::SimTime empty_round_cost() const {
+    // One zero-byte message each way: wire latency, injection, and the
+    // per-message software overheads on both ends.
+    const auto& net = m->fabric().config();
+    return net.latency + net.injection_gap + net.send_overhead +
+           net.recv_overhead;
+  }
+};
+
+// ---------------------------------------------------------------- gatherv --
+struct IgathervOp final : CollBase {
+  int pending = 0;
+
+  static Request launch(Machine& m, const Comm& c, int me, int root,
+                        SendBuf mine, void* out,
+                        const std::vector<std::size_t>& counts, int tag) {
+    auto op = std::make_shared<IgathervOp>();
+    op->init(m, c, me, tag);
+    if (me != root) {
+      op->csend(root, mine, [op] { op->finish(); });
+      return op;
+    }
+    std::vector<std::size_t> displs(counts.size() + 1, 0);
+    std::partial_sum(counts.begin(), counts.end(), displs.begin() + 1);
+    auto* base = static_cast<std::byte*>(out);
+    if (base && mine.ptr)
+      std::memcpy(base + displs[static_cast<std::size_t>(root)], mine.ptr,
+                  mine.bytes);
+    op->pending = op->size - 1;
+    if (op->pending == 0) {
+      op->finish();
+      return op;
+    }
+    for (int r = 0; r < op->size; ++r) {
+      if (r == root) continue;
+      const auto idx = static_cast<std::size_t>(r);
+      op->crecv(r,
+                base ? RecvBuf{base + displs[idx], counts[idx]}
+                     : RecvBuf::discard(counts[idx]),
+                [op] {
+                  if (--op->pending == 0) op->finish();
+                });
+    }
+    return op;
+  }
+};
+
+// -------------------------------------------------------------- composite --
+struct CompositeOp final : detail::OpState {
+  /// Chains two already-launched stages? No — the second stage must only
+  /// start after the first completes, so we hold launch thunks.
+  static Request launch(Machine& m, std::function<Request()> first,
+                        std::function<Request()> second) {
+    auto op = std::make_shared<CompositeOp>();
+    Request a = first();
+    auto chain = [&m, op, second] {
+      Request b = second();
+      auto finish = [&m, op] { m.complete_op(*op); };
+      if (b->complete) {
+        finish();
+      } else {
+        b->on_complete = finish;
+      }
+      op->stage2 = std::move(b);
+    };
+    if (a->complete) {
+      chain();
+    } else {
+      a->on_complete = chain;
+    }
+    op->stage1 = std::move(a);
+    return op;
+  }
+
+  Request stage1, stage2;
+};
+
+}  // namespace
+
+// ---- Rank entry points -----------------------------------------------
+
+Request Rank::ibarrier(const Comm& comm) {
+  const int me = rank_in(comm);
+  if (me < 0) throw std::logic_error("ibarrier: not a member");
+  return IbarrierOp::launch(*machine_, comm, me, next_coll_tag(comm));
+}
+
+void Rank::barrier(const Comm& comm) { wait(ibarrier(comm)); }
+
+Request Rank::ibcast(const Comm& comm, int root, RecvBuf data) {
+  const int me = rank_in(comm);
+  if (me < 0) throw std::logic_error("ibcast: not a member");
+  return IbcastOp::launch(*machine_, comm, me, root, data, next_coll_tag(comm));
+}
+
+void Rank::bcast(const Comm& comm, int root, RecvBuf data) {
+  wait(ibcast(comm, root, data));
+}
+
+Request Rank::ireduce(const Comm& comm, int root, SendBuf in, void* out,
+                      ReduceFn fn) {
+  const int me = rank_in(comm);
+  if (me < 0) throw std::logic_error("ireduce: not a member");
+  return IreduceOp::launch(*machine_, comm, me, root, in, out, std::move(fn),
+                           next_coll_tag(comm));
+}
+
+void Rank::reduce(const Comm& comm, int root, SendBuf in, void* out,
+                  ReduceFn fn) {
+  wait(ireduce(comm, root, in, out, std::move(fn)));
+}
+
+Request Rank::iallreduce(const Comm& comm, SendBuf in, void* out, ReduceFn fn) {
+  const int me = rank_in(comm);
+  if (me < 0) throw std::logic_error("iallreduce: not a member");
+  const int tag_reduce = next_coll_tag(comm);
+  const int tag_bcast = next_coll_tag(comm);
+  Machine& m = *machine_;
+  const std::size_t bytes = in.on_wire();
+  return CompositeOp::launch(
+      m,
+      [&m, comm, me, in, out, fn = std::move(fn), tag_reduce] {
+        return IreduceOp::launch(m, comm, me, /*root=*/0, in, out, fn,
+                                 tag_reduce);
+      },
+      [&m, comm, me, out, bytes, tag_bcast] {
+        return IbcastOp::launch(m, comm, me, /*root=*/0, RecvBuf{out, bytes},
+                                tag_bcast);
+      });
+}
+
+void Rank::allreduce(const Comm& comm, SendBuf in, void* out, ReduceFn fn) {
+  wait(iallreduce(comm, in, out, std::move(fn)));
+}
+
+Request Rank::iallgatherv(const Comm& comm, SendBuf mine, void* out,
+                          const std::vector<std::size_t>& counts) {
+  const int me = rank_in(comm);
+  if (me < 0) throw std::logic_error("iallgatherv: not a member");
+  process_->advance(static_cast<util::SimTime>(
+      machine_->config().network.coll_post_ns_per_peer * comm.size()));
+  return IallgathervOp::launch(*machine_, comm, me, mine, out, counts,
+                               next_coll_tag(comm));
+}
+
+void Rank::allgatherv(const Comm& comm, SendBuf mine, void* out,
+                      const std::vector<std::size_t>& counts) {
+  wait(iallgatherv(comm, mine, out, counts));
+}
+
+Request Rank::ialltoallv(const Comm& comm, const void* send_buf,
+                         const std::vector<std::size_t>& send_counts,
+                         void* recv_buf,
+                         const std::vector<std::size_t>& recv_counts) {
+  const int me = rank_in(comm);
+  if (me < 0) throw std::logic_error("ialltoallv: not a member");
+  process_->advance(static_cast<util::SimTime>(
+      machine_->config().network.coll_post_ns_per_peer * comm.size()));
+  const int tag_sync = next_coll_tag(comm);
+  const int tag_data = next_coll_tag(comm);
+  // A dense pairwise alltoall cannot complete until every member has
+  // entered: stragglers stall their partners round by round. We model that
+  // global coupling as an embedded dissemination barrier ahead of the data
+  // rounds; nonblocking callers hide it under their overlapped compute,
+  // blocking callers pay it in full — the gap Fig. 6 measures.
+  Machine& m = *machine_;
+  return CompositeOp::launch(
+      m,
+      [&m, comm, me, tag_sync] {
+        return IbarrierOp::launch(m, comm, me, tag_sync);
+      },
+      [&m, comm, me, send_buf, &send_counts, recv_buf, &recv_counts, tag_data] {
+        return IalltoallvOp::launch(m, comm, me, send_buf, send_counts,
+                                    recv_buf, recv_counts, tag_data);
+      });
+}
+
+void Rank::alltoallv(const Comm& comm, const void* send_buf,
+                     const std::vector<std::size_t>& send_counts,
+                     void* recv_buf,
+                     const std::vector<std::size_t>& recv_counts) {
+  wait(ialltoallv(comm, send_buf, send_counts, recv_buf, recv_counts));
+}
+
+void Rank::gatherv(const Comm& comm, int root, SendBuf mine, void* out,
+                   const std::vector<std::size_t>& counts) {
+  const int me = rank_in(comm);
+  if (me < 0) throw std::logic_error("gatherv: not a member");
+  wait(IgathervOp::launch(*machine_, comm, me, root, mine, out, counts,
+                          next_coll_tag(comm)));
+}
+
+}  // namespace ds::mpi

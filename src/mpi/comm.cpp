@@ -1,0 +1,4 @@
+#include "mpi/comm.hpp"
+
+// Comm is header-only today; this TU anchors the target and keeps room for
+// out-of-line growth (attribute caching, error handlers).

@@ -1,0 +1,85 @@
+#include "mpi/datatype.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ds::mpi {
+
+Datatype Datatype::bytes(std::size_t n, std::string name) {
+  Datatype t(std::move(name), n, n);
+  if (n > 0) t.segments_.push_back(Segment{0, n});
+  return t;
+}
+
+Datatype Datatype::int32() { return bytes(4, "int32"); }
+Datatype Datatype::int64() { return bytes(8, "int64"); }
+Datatype Datatype::float64() { return bytes(8, "float64"); }
+
+Datatype Datatype::contiguous(std::size_t count, const Datatype& base) {
+  return vector(count, 1, 1, base);
+}
+
+Datatype Datatype::vector(std::size_t count, std::size_t block_len,
+                          std::size_t stride, const Datatype& base) {
+  if (stride < block_len)
+    throw std::invalid_argument("Datatype::vector: stride < block_len");
+  Datatype t(base.name_ + "[v]", count * block_len * base.size_,
+             count == 0 ? 0 : ((count - 1) * stride + block_len) * base.extent_);
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t block_base = c * stride * base.extent_;
+    for (std::size_t b = 0; b < block_len; ++b) {
+      const std::size_t elem_base = block_base + b * base.extent_;
+      for (const auto& seg : base.segments_) {
+        const Segment shifted{elem_base + seg.mem_offset, seg.length};
+        if (!t.segments_.empty() &&
+            t.segments_.back().mem_offset + t.segments_.back().length ==
+                shifted.mem_offset) {
+          t.segments_.back().length += shifted.length;  // merge adjacent runs
+        } else {
+          t.segments_.push_back(shifted);
+        }
+      }
+    }
+  }
+  return t;
+}
+
+Datatype Datatype::record(const std::vector<DatatypeField>& fields,
+                          std::size_t extent, std::string name) {
+  std::size_t size = 0;
+  for (const auto& f : fields) size += f.type.size();
+  Datatype t(std::move(name), size, extent);
+  for (const auto& f : fields) {
+    for (const auto& seg : f.type.segments_) {
+      const Segment shifted{f.offset + seg.mem_offset, seg.length};
+      if (shifted.mem_offset + shifted.length > extent)
+        throw std::invalid_argument("Datatype::record: field exceeds extent");
+      if (!t.segments_.empty() &&
+          t.segments_.back().mem_offset + t.segments_.back().length ==
+              shifted.mem_offset) {
+        t.segments_.back().length += shifted.length;
+      } else {
+        t.segments_.push_back(shifted);
+      }
+    }
+  }
+  return t;
+}
+
+void Datatype::pack(const std::byte* src, std::byte* dst) const {
+  std::size_t wire = 0;
+  for (const auto& seg : segments_) {
+    std::memcpy(dst + wire, src + seg.mem_offset, seg.length);
+    wire += seg.length;
+  }
+}
+
+void Datatype::unpack(const std::byte* src, std::byte* dst) const {
+  std::size_t wire = 0;
+  for (const auto& seg : segments_) {
+    std::memcpy(dst + seg.mem_offset, src + wire, seg.length);
+    wire += seg.length;
+  }
+}
+
+}  // namespace ds::mpi

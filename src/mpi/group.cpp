@@ -1,0 +1,53 @@
+#include "mpi/group.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ds::mpi {
+
+Group::Group(std::vector<int> world_ranks) : members_(std::move(world_ranks)) {
+  // Membership must be unique; duplicate world ranks would make rank_of
+  // ambiguous and break point-to-point addressing.
+  std::vector<int> sorted = members_;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+    throw std::invalid_argument("Group: duplicate world rank");
+}
+
+Group Group::world(int n) {
+  std::vector<int> all(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) all[static_cast<std::size_t>(i)] = i;
+  return Group(std::move(all));
+}
+
+int Group::world_rank(int r) const {
+  return members_.at(static_cast<std::size_t>(r));
+}
+
+int Group::rank_of(int world_rank) const noexcept {
+  for (std::size_t i = 0; i < members_.size(); ++i)
+    if (members_[i] == world_rank) return static_cast<int>(i);
+  return -1;
+}
+
+Group Group::include(const std::vector<int>& ranks) const {
+  std::vector<int> out;
+  out.reserve(ranks.size());
+  for (int r : ranks) out.push_back(world_rank(r));
+  return Group(std::move(out));
+}
+
+Group Group::exclude(const std::vector<int>& ranks) const {
+  std::vector<bool> drop(members_.size(), false);
+  for (int r : ranks) {
+    if (r < 0 || static_cast<std::size_t>(r) >= members_.size())
+      throw std::out_of_range("Group::exclude: rank out of range");
+    drop[static_cast<std::size_t>(r)] = true;
+  }
+  std::vector<int> out;
+  for (std::size_t i = 0; i < members_.size(); ++i)
+    if (!drop[i]) out.push_back(members_[i]);
+  return Group(std::move(out));
+}
+
+}  // namespace ds::mpi

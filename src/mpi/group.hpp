@@ -1,0 +1,56 @@
+// Process groups: ordered sets of world ranks (MPI_Group).
+//
+// Decoupling (paper Sec. II-C) starts by splitting COMM_WORLD's processes
+// into disjoint groups, one per operation subset; Group is the value type
+// those splits produce.
+#pragma once
+
+#include <vector>
+
+namespace ds::mpi {
+
+class Group {
+ public:
+  Group() = default;
+  explicit Group(std::vector<int> world_ranks);
+
+  /// The world group {0, 1, ..., n-1}.
+  [[nodiscard]] static Group world(int n);
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(members_.size()); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+
+  /// World rank of group member `r`; throws std::out_of_range if invalid.
+  [[nodiscard]] int world_rank(int r) const;
+
+  /// Rank of `world_rank` in this group, or -1 if not a member.
+  [[nodiscard]] int rank_of(int world_rank) const noexcept;
+  [[nodiscard]] bool contains(int world_rank) const noexcept {
+    return rank_of(world_rank) >= 0;
+  }
+
+  /// New group keeping members at positions `ranks`, in that order.
+  [[nodiscard]] Group include(const std::vector<int>& ranks) const;
+  /// New group dropping members at positions `ranks` (order preserved).
+  [[nodiscard]] Group exclude(const std::vector<int>& ranks) const;
+
+  /// Members whose position in this group satisfies `pred(position)`.
+  template <typename Pred>
+  [[nodiscard]] Group filter_by_position(Pred pred) const {
+    std::vector<int> out;
+    for (int r = 0; r < size(); ++r)
+      if (pred(r)) out.push_back(members_[static_cast<std::size_t>(r)]);
+    return Group(std::move(out));
+  }
+
+  [[nodiscard]] const std::vector<int>& members() const noexcept { return members_; }
+
+  [[nodiscard]] bool operator==(const Group& other) const noexcept {
+    return members_ == other.members_;
+  }
+
+ private:
+  std::vector<int> members_;  // position (group rank) -> world rank
+};
+
+}  // namespace ds::mpi

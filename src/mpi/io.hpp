@@ -1,0 +1,62 @@
+// MPI-IO-style file access over the parallel file-system model.
+//
+// Implements the three write paths the particle-I/O experiment compares
+// (paper Sec. IV-D2, Fig. 8):
+//
+//  * write_all    — collective two-phase: exchange sizes, ship blocks to one
+//    aggregator per node, aggregators issue large contiguous writes, then a
+//    barrier. Matches ROMP/ROMIO-style collective buffering.
+//  * write_shared — independent append through the shared file pointer; each
+//    call serializes at the metadata server's lock before data moves.
+//  * write_at     — independent write at an explicit offset (used by the
+//    decoupled I/O group, which computes its own offsets and buffers big).
+//
+// set_view models the per-iteration file-view recomputation iPIC3D's
+// collective path needs because particle counts change every step: one
+// metadata RPC per rank plus a synchronizing barrier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fs/filesystem.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/types.hpp"
+
+namespace ds::mpi {
+
+class Machine;
+class Rank;
+
+class File {
+ public:
+  /// Opens (creates) `name` on `machine`'s file system, shared by the
+  /// members of `comm`. Every member must construct its own File handle.
+  File(Machine& machine, Comm comm, std::string name,
+       int aggregator_stride = 32);
+
+  /// Collective append of each member's block, laid out in rank order.
+  /// All members must call; `local.ptr` may be null (synthetic).
+  void write_all(Rank& self, SendBuf local);
+
+  /// Independent shared-pointer append.
+  void write_shared(Rank& self, SendBuf local);
+
+  /// Independent write at an explicit offset.
+  void write_at(Rank& self, std::uint64_t offset, SendBuf local);
+
+  /// Collective file-view (re)definition: per-rank metadata RPC + barrier.
+  void set_view(Rank& self);
+
+  [[nodiscard]] fs::SimFile& sim_file() noexcept { return *file_; }
+
+ private:
+  Machine* machine_;
+  Comm comm_;
+  fs::SimFile* file_;
+  int aggregator_stride_;
+  std::uint64_t epoch_ = 0;  ///< collective-write sequence on this handle
+};
+
+}  // namespace ds::mpi

@@ -1,0 +1,183 @@
+#include "mpi/machine.hpp"
+
+#include <cstring>
+
+#include "mpi/rank.hpp"
+#include "util/rng.hpp"
+
+namespace ds::mpi {
+
+Machine::Machine(MachineConfig config)
+    : config_(config),
+      engine_(config.engine),
+      fabric_(config.network, config.world_size),
+      filesystem_(config.filesystem),
+      world_(/*context=*/1, Group::world(config.world_size)),
+      mailboxes_(static_cast<std::size_t>(config.world_size)) {}
+
+Machine::~Machine() = default;
+
+util::SimTime Machine::run(std::function<void(Rank&)> program) {
+  for (int r = 0; r < config_.world_size; ++r) {
+    engine_.spawn([this, r, program](sim::Process& p) {
+      Rank rank(*this, p, r);
+      program(rank);
+    });
+  }
+  engine_.run();
+  return engine_.now();
+}
+
+std::uint64_t Machine::derive_context(std::uint64_t parent, std::uint64_t salt,
+                                      std::uint64_t color) noexcept {
+  // SplitMix-style avalanche over the triple; deterministic everywhere.
+  std::uint64_t state = parent * 0x9E3779B97F4A7C15ull + salt;
+  (void)util::splitmix64(state);
+  state ^= color * 0xC2B2AE3D27D4EB4Full;
+  return util::splitmix64(state) | 1ull;  // never 0 (0 = invalid)
+}
+
+void Machine::complete_op(detail::OpState& op) {
+  op.complete = true;
+  if (op.on_complete) {
+    auto continuation = std::move(op.on_complete);
+    op.on_complete = nullptr;
+    continuation();
+  }
+  if (op.waiter_pid >= 0) engine_.wake(op.waiter_pid);
+}
+
+std::shared_ptr<detail::SendOp> Machine::post_send(
+    std::uint64_t context, int src_comm_rank, int src_world, int dst_world,
+    int tag, SendBuf data, std::function<void()> on_complete) {
+  auto op = std::make_shared<detail::SendOp>();
+  op->context = context;
+  op->src_comm_rank = src_comm_rank;
+  op->src_world = src_world;
+  op->dst_world = dst_world;
+  op->tag = tag;
+  op->bytes = data.on_wire();
+  op->on_complete = std::move(on_complete);
+  if (data.ptr && data.bytes > 0) {
+    // Buffered-send semantics: the payload is copied out immediately, so the
+    // caller may reuse its buffer as soon as post_send returns.
+    op->payload.resize(data.bytes);
+    std::memcpy(op->payload.data(), data.ptr, data.bytes);
+  }
+  op->mode = op->bytes > fabric_.config().eager_threshold
+                 ? detail::SendMode::Rendezvous
+                 : detail::SendMode::Eager;
+
+  const util::SimTime now = engine_.now();
+  if (op->mode == detail::SendMode::Eager) {
+    // Payload moves immediately; envelope+payload as one fabric message.
+    const auto sched = fabric_.schedule_message(src_world, dst_world,
+                                                kControlBytes + op->bytes, now);
+    engine_.schedule(sched.deliver_at, [this, op] { deposit(op); });
+    engine_.schedule(sched.sender_free_at, [this, op] { complete_op(*op); });
+  } else {
+    // Rendezvous: only the envelope moves now; the payload transfer is set
+    // up in start_transfer once a matching receive exists.
+    const auto sched =
+        fabric_.schedule_message(src_world, dst_world, kControlBytes, now);
+    engine_.schedule(sched.deliver_at, [this, op] { deposit(op); });
+  }
+  return op;
+}
+
+std::shared_ptr<detail::RecvOp> Machine::post_recv(
+    std::uint64_t context, int dst_world, int src_filter, int tag_filter,
+    RecvBuf out, std::function<void()> on_complete) {
+  auto op = std::make_shared<detail::RecvOp>();
+  op->context = context;
+  op->dst_world = dst_world;
+  op->src_filter = src_filter;
+  op->tag_filter = tag_filter;
+  op->out = out.ptr;
+  op->capacity = out.bytes;
+  op->on_complete = std::move(on_complete);
+
+  auto& box = mailboxes_.at(static_cast<std::size_t>(dst_world));
+  for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
+    if (detail::matches(*op, **it)) {
+      auto send = *it;
+      box.unexpected.erase(it);
+      start_transfer(op, send);
+      return op;
+    }
+  }
+  box.posted.push_back(op);
+  return op;
+}
+
+void Machine::deposit(const std::shared_ptr<detail::SendOp>& msg) {
+  auto& box = mailboxes_.at(static_cast<std::size_t>(msg->dst_world));
+  for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
+    if (detail::matches(**it, *msg)) {
+      auto recv = *it;
+      box.posted.erase(it);
+      start_transfer(recv, msg);
+      return;
+    }
+  }
+  box.unexpected.push_back(msg);
+  if (!box.probe_waiters.empty()) {
+    auto waiters = std::move(box.probe_waiters);
+    box.probe_waiters.clear();
+    for (int pid : waiters) engine_.wake(pid);
+  }
+}
+
+void Machine::start_transfer(const std::shared_ptr<detail::RecvOp>& recv,
+                             const std::shared_ptr<detail::SendOp>& send) {
+  if (send->mode == detail::SendMode::Eager) {
+    finish_delivery(recv, send);  // payload already arrived with the envelope
+    return;
+  }
+  // Rendezvous: clear-to-send control back to the sender, then the payload
+  // crosses the fabric; both endpoints complete on their own schedule.
+  const util::SimTime now = engine_.now();
+  const auto cts = fabric_.schedule_message(send->dst_world, send->src_world,
+                                            kControlBytes, now);
+  const auto payload = fabric_.schedule_message(send->src_world, send->dst_world,
+                                                send->bytes, cts.deliver_at);
+  engine_.schedule(payload.sender_free_at, [this, send] { complete_op(*send); });
+  engine_.schedule(payload.deliver_at,
+                   [this, recv, send] { finish_delivery(recv, send); });
+}
+
+void Machine::finish_delivery(const std::shared_ptr<detail::RecvOp>& recv,
+                              const std::shared_ptr<detail::SendOp>& send) {
+  if (recv->out && !send->payload.empty()) {
+    std::memcpy(recv->out, send->payload.data(),
+                std::min(recv->capacity, send->payload.size()));
+  }
+  recv->status = Status{send->src_comm_rank, send->tag, send->bytes,
+                        send->bytes > 0 && send->payload.empty()};
+  if (send->mode == detail::SendMode::Rendezvous) {
+    // The sender-side completion event fires independently; nothing to do.
+  }
+  complete_op(*recv);
+}
+
+bool Machine::match_probe(std::uint64_t context, int dst_world, int src_filter,
+                          int tag_filter, Status* out) {
+  detail::RecvOp pattern;
+  pattern.context = context;
+  pattern.src_filter = src_filter;
+  pattern.tag_filter = tag_filter;
+  const auto& box = mailboxes_.at(static_cast<std::size_t>(dst_world));
+  for (const auto& msg : box.unexpected) {
+    if (detail::matches(pattern, *msg)) {
+      if (out) *out = Status{msg->src_comm_rank, msg->tag, msg->bytes};
+      return true;
+    }
+  }
+  return false;
+}
+
+void Machine::add_probe_waiter(int dst_world, int pid) {
+  mailboxes_.at(static_cast<std::size_t>(dst_world)).probe_waiters.push_back(pid);
+}
+
+}  // namespace ds::mpi

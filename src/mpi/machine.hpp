@@ -1,0 +1,103 @@
+// The simulated parallel machine: engine + fabric + file system + the
+// message matching/transport core that the Rank facade and the collective
+// state machines sit on.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fs/filesystem.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/ops.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace ds::mpi {
+
+class Rank;
+
+struct MachineConfig {
+  int world_size = 1;
+  net::NetworkConfig network = net::NetworkConfig::aries_like();
+  fs::FsConfig filesystem = fs::FsConfig::lustre_like();
+  sim::EngineConfig engine{};
+
+  [[nodiscard]] static MachineConfig testbed(int world_size) {
+    MachineConfig c;
+    c.world_size = world_size;
+    return c;
+  }
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Spawn one fiber per world rank running `program`, then run the engine
+  /// to completion. Returns the virtual makespan (latest event time).
+  util::SimTime run(std::function<void(Rank&)> program);
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] fs::FileSystem& filesystem() noexcept { return filesystem_; }
+  [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] int world_size() const noexcept { return config_.world_size; }
+  [[nodiscard]] const Comm& world() const noexcept { return world_; }
+
+  // ---- runtime services (used by Rank, collectives, streams) ----
+
+  /// Transport a message. Charges no CPU time (callers charge o_s/o_r);
+  /// reserves fabric ports, schedules arrival and sender-completion events.
+  /// Callable from fiber or event context.
+  std::shared_ptr<detail::SendOp> post_send(std::uint64_t context, int src_comm_rank,
+                                            int src_world, int dst_world, int tag,
+                                            SendBuf data,
+                                            std::function<void()> on_complete = {});
+
+  /// Post a receive; matches immediately against unexpected arrivals.
+  std::shared_ptr<detail::RecvOp> post_recv(std::uint64_t context, int dst_world,
+                                            int src_filter, int tag_filter,
+                                            RecvBuf out,
+                                            std::function<void()> on_complete = {});
+
+  /// Non-consuming look into dst's unexpected queue. Returns true and fills
+  /// `out` when a matching message has arrived.
+  bool match_probe(std::uint64_t context, int dst_world, int src_filter,
+                   int tag_filter, Status* out);
+
+  /// Register a fiber to be woken at the next arrival for dst_world.
+  void add_probe_waiter(int dst_world, int pid);
+
+  /// Deterministic derived context id (same inputs -> same id on all ranks,
+  /// no coordination needed).
+  [[nodiscard]] static std::uint64_t derive_context(std::uint64_t parent,
+                                                    std::uint64_t salt,
+                                                    std::uint64_t color) noexcept;
+
+  /// Mark an op complete: fire continuation, wake waiter.
+  void complete_op(detail::OpState& op);
+
+  /// Control-message wire size used by rendezvous handshakes.
+  static constexpr std::size_t kControlBytes = 64;
+
+ private:
+  void deposit(const std::shared_ptr<detail::SendOp>& msg);
+  void start_transfer(const std::shared_ptr<detail::RecvOp>& recv,
+                      const std::shared_ptr<detail::SendOp>& send);
+  void finish_delivery(const std::shared_ptr<detail::RecvOp>& recv,
+                       const std::shared_ptr<detail::SendOp>& send);
+
+  MachineConfig config_;
+  sim::Engine engine_;
+  net::Fabric fabric_;
+  fs::FileSystem filesystem_;
+  Comm world_;
+  std::vector<detail::Mailbox> mailboxes_;  // by world rank
+};
+
+}  // namespace ds::mpi

@@ -1,0 +1,73 @@
+// Internal operation states for the message-passing runtime.
+//
+// Every asynchronous operation (send, receive, nonblocking collective) is a
+// heap-allocated state object shared between the issuing fiber, the matching
+// engine, and scheduled events. Completion both wakes a waiting fiber (for
+// Rank::wait) and fires an event-context continuation (for collective state
+// machines) — the two mechanisms never conflict.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpi/types.hpp"
+
+namespace ds::mpi {
+
+namespace detail {
+
+struct OpState {
+  bool complete = false;
+  int waiter_pid = -1;                ///< fiber to wake on completion
+  std::function<void()> on_complete;  ///< event-context continuation
+  Status status{};                    ///< filled in for receive-like ops
+  virtual ~OpState() = default;
+};
+
+enum class SendMode { Eager, Rendezvous };
+
+struct SendOp final : OpState {
+  std::uint64_t context = 0;
+  int src_comm_rank = 0;  ///< sender's rank in the communicator
+  int src_world = 0;
+  int dst_world = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;  ///< empty for synthetic messages
+  std::size_t bytes = 0;           ///< wire size
+  SendMode mode = SendMode::Eager;
+};
+
+struct RecvOp final : OpState {
+  std::uint64_t context = 0;
+  int dst_world = 0;
+  int src_filter = kAnySource;  ///< comm rank or kAnySource
+  int tag_filter = kAnyTag;
+  void* out = nullptr;
+  std::size_t capacity = 0;
+  bool overhead_charged = false;  ///< o_r charged at observation, once
+};
+
+/// Per-world-rank matching state: unexpected arrivals and posted receives,
+/// both in order, per MPI matching semantics.
+struct Mailbox {
+  std::deque<std::shared_ptr<SendOp>> unexpected;
+  std::deque<std::shared_ptr<RecvOp>> posted;
+  std::vector<int> probe_waiters;  ///< pids to wake on any new arrival
+};
+
+[[nodiscard]] inline bool matches(const RecvOp& r, const SendOp& s) noexcept {
+  return r.context == s.context &&
+         (r.src_filter == kAnySource || r.src_filter == s.src_comm_rank) &&
+         (r.tag_filter == kAnyTag || r.tag_filter == s.tag);
+}
+
+}  // namespace detail
+
+/// Public handle to any asynchronous operation.
+using Request = std::shared_ptr<detail::OpState>;
+
+}  // namespace ds::mpi

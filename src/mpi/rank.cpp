@@ -1,0 +1,160 @@
+#include "mpi/rank.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace ds::mpi {
+
+namespace {
+[[nodiscard]] int require_member(const Comm& comm, int world_rank,
+                                 const char* who) {
+  const int r = comm.rank_of_world(world_rank);
+  if (r < 0)
+    throw std::logic_error(std::string(who) + ": calling rank is not in the communicator");
+  return r;
+}
+}  // namespace
+
+Request Rank::isend(const Comm& comm, int dst, int tag, SendBuf data) {
+  const int me = require_member(comm, world_rank_, "isend");
+  if (tag < kMinUserTag) throw std::invalid_argument("isend: user tags must be >= 0");
+  process_->advance(machine_->config().network.send_overhead);
+  return machine_->post_send(comm.context(), me, world_rank_,
+                             comm.world_rank(dst), tag, data);
+}
+
+Request Rank::irecv(const Comm& comm, int src, int tag, RecvBuf out) {
+  require_member(comm, world_rank_, "irecv");
+  if (tag != kAnyTag && tag < kMinUserTag)
+    throw std::invalid_argument("irecv: user tags must be >= 0 or kAnyTag");
+  return machine_->post_recv(comm.context(), world_rank_, src, tag, out);
+}
+
+void Rank::send(const Comm& comm, int dst, int tag, SendBuf data) {
+  wait(isend(comm, dst, tag, data));
+}
+
+Status Rank::recv(const Comm& comm, int src, int tag, RecvBuf out) {
+  const Request req = irecv(comm, src, tag, out);
+  wait(req);
+  return req->status;
+}
+
+Status Rank::sendrecv(const Comm& comm, int dst, int send_tag, SendBuf data,
+                      int src, int recv_tag, RecvBuf out) {
+  const Request r = irecv(comm, src, recv_tag, out);
+  const Request s = isend(comm, dst, send_tag, data);
+  wait(s);
+  wait(r);
+  return r->status;
+}
+
+void Rank::wait(const Request& req) {
+  if (!req) throw std::invalid_argument("wait: null request");
+  while (!req->complete) {
+    req->waiter_pid = process_->id();
+    process_->set_state_note("blocked in wait()");
+    process_->suspend();
+  }
+  req->waiter_pid = -1;
+  process_->set_state_note({});
+  charge_recv_overhead(req);
+}
+
+bool Rank::test(const Request& req) {
+  if (!req) throw std::invalid_argument("test: null request");
+  if (!req->complete) return false;
+  charge_recv_overhead(req);
+  return true;
+}
+
+void Rank::wait_all(std::span<const Request> reqs) {
+  for (const Request& r : reqs) wait(r);
+}
+
+std::size_t Rank::wait_any(std::span<const Request> reqs) {
+  if (reqs.empty()) throw std::invalid_argument("wait_any: empty request list");
+  while (true) {
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i]->complete) {
+        for (const Request& r : reqs) r->waiter_pid = -1;
+        process_->set_state_note({});
+        charge_recv_overhead(reqs[i]);
+        return i;
+      }
+    }
+    for (const Request& r : reqs) r->waiter_pid = process_->id();
+    process_->set_state_note("blocked in wait_any()");
+    process_->suspend();
+  }
+}
+
+Status Rank::probe(const Comm& comm, int src, int tag) {
+  require_member(comm, world_rank_, "probe");
+  Status st;
+  while (!machine_->match_probe(comm.context(), world_rank_, src, tag, &st)) {
+    machine_->add_probe_waiter(world_rank_, process_->id());
+    process_->set_state_note("blocked in probe()");
+    process_->suspend();
+  }
+  process_->set_state_note({});
+  return st;
+}
+
+bool Rank::iprobe(const Comm& comm, int src, int tag, Status* status) {
+  require_member(comm, world_rank_, "iprobe");
+  return machine_->match_probe(comm.context(), world_rank_, src, tag, status);
+}
+
+int Rank::next_coll_tag(const Comm& comm) {
+  const std::uint64_t seq = coll_seq_[comm.context()]++;
+  // Negative tags are reserved for the runtime; user tags are >= 0.
+  return -2 - static_cast<int>(seq % 1'000'000'000ull);
+}
+
+void Rank::charge_recv_overhead(const Request& req) {
+  if (auto* recv = dynamic_cast<detail::RecvOp*>(req.get());
+      recv && !recv->overhead_charged) {
+    recv->overhead_charged = true;
+    process_->advance(machine_->config().network.recv_overhead);
+  }
+}
+
+Comm Rank::split(const Comm& comm, int color, int key) {
+  const int me = require_member(comm, world_rank_, "split");
+  const int size = comm.size();
+
+  // Allgather (color, key) pairs — the same wire traffic MPI_Comm_split pays.
+  std::vector<std::int32_t> mine = {color, key};
+  std::vector<std::int32_t> all(static_cast<std::size_t>(2 * size));
+  const std::vector<std::size_t> counts(static_cast<std::size_t>(size),
+                                        2 * sizeof(std::int32_t));
+  allgatherv(comm, SendBuf::of(mine.data(), 2), all.data(), counts);
+
+  const std::uint64_t epoch = split_seq_[comm.context()]++;
+  if (color < 0) return Comm{};  // MPI_UNDEFINED: not a member of any result
+
+  // Members of my color, ordered by (key, old rank); stable sort keeps old
+  // rank order among equal keys, matching MPI_Comm_split.
+  std::vector<std::pair<std::int32_t, int>> picked;  // (key, old comm rank)
+  for (int r = 0; r < size; ++r) {
+    if (all[static_cast<std::size_t>(2 * r)] == color)
+      picked.emplace_back(all[static_cast<std::size_t>(2 * r + 1)], r);
+  }
+  std::stable_sort(picked.begin(), picked.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<int> world_ranks;
+  world_ranks.reserve(picked.size());
+  for (const auto& [k, old_rank] : picked)
+    world_ranks.push_back(comm.world_rank(old_rank));
+
+  const std::uint64_t ctx = Machine::derive_context(
+      comm.context(), 0x5B17'0000ull + epoch,
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(color)));
+  (void)me;
+  return Comm(ctx, Group(std::move(world_ranks)));
+}
+
+}  // namespace ds::mpi

@@ -1,0 +1,127 @@
+// Per-rank facade: the API simulated application code programs against.
+//
+// A Rank is handed to the program body of every simulated process (fiber).
+// Point-to-point calls charge CPU overheads to the calling fiber and go
+// through the Machine's matching engine; collectives are event-driven state
+// machines (see collectives.cpp) so their communication overlaps with the
+// fiber's compute — the property the paper's nonblocking baselines rely on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/machine.hpp"
+#include "mpi/ops.hpp"
+#include "mpi/types.hpp"
+#include "sim/engine.hpp"
+
+namespace ds::mpi {
+
+class Rank {
+ public:
+  Rank(Machine& machine, sim::Process& process, int world_rank)
+      : machine_(&machine), process_(&process), world_rank_(world_rank) {}
+
+  // ---- identity & machine access ----
+  [[nodiscard]] int world_rank() const noexcept { return world_rank_; }
+  [[nodiscard]] int world_size() const noexcept { return machine_->world_size(); }
+  [[nodiscard]] const Comm& world() const noexcept { return machine_->world(); }
+  [[nodiscard]] sim::Process& process() noexcept { return *process_; }
+  [[nodiscard]] Machine& machine() noexcept { return *machine_; }
+  [[nodiscard]] util::SimTime now() const noexcept { return machine_->engine().now(); }
+  /// This rank's number in `comm`, or -1 if not a member.
+  [[nodiscard]] int rank_in(const Comm& comm) const noexcept {
+    return comm.rank_of_world(world_rank_);
+  }
+
+  /// Busy the rank for `nominal` virtual time, noise-perturbed and traced.
+  void compute(util::SimTime nominal, const char* label = "comp") {
+    process_->compute(nominal, label);
+  }
+
+  // ---- point-to-point ----
+  /// Start a send; completes when the payload (eager) or handshake+payload
+  /// (rendezvous) has left this rank. Charges sender overhead o_s now.
+  Request isend(const Comm& comm, int dst, int tag, SendBuf data);
+  /// Start a receive from `src` (or kAnySource) with `tag` (or kAnyTag).
+  Request irecv(const Comm& comm, int src, int tag, RecvBuf out);
+
+  void send(const Comm& comm, int dst, int tag, SendBuf data);
+  Status recv(const Comm& comm, int src, int tag, RecvBuf out);
+  /// Combined send+recv, deadlock-free regardless of peer order.
+  Status sendrecv(const Comm& comm, int dst, int send_tag, SendBuf data,
+                  int src, int recv_tag, RecvBuf out);
+
+  /// Block until `req` completes. Charges receiver overhead o_r exactly once
+  /// for receive requests.
+  void wait(const Request& req);
+  /// Nonblocking completion check (charges o_r on first true for receives).
+  bool test(const Request& req);
+  void wait_all(std::span<const Request> reqs);
+  /// Block until any completes; returns its index.
+  std::size_t wait_any(std::span<const Request> reqs);
+
+  /// Block until a matching message has arrived (not consumed).
+  Status probe(const Comm& comm, int src, int tag);
+  bool iprobe(const Comm& comm, int src, int tag, Status* status = nullptr);
+
+  // ---- collectives (all members of `comm` must call, in the same order) ----
+  void barrier(const Comm& comm);
+  Request ibarrier(const Comm& comm);
+
+  /// Broadcast `data` (significant at root) to all members.
+  void bcast(const Comm& comm, int root, RecvBuf data);
+  Request ibcast(const Comm& comm, int root, RecvBuf data);
+
+  /// Reduce elementwise into `out` at root. `fn` combines byte buffers; null
+  /// `in.ptr` or `out` runs the collective with synthetic payloads.
+  void reduce(const Comm& comm, int root, SendBuf in, void* out, ReduceFn fn);
+  Request ireduce(const Comm& comm, int root, SendBuf in, void* out, ReduceFn fn);
+
+  void allreduce(const Comm& comm, SendBuf in, void* out, ReduceFn fn);
+  Request iallreduce(const Comm& comm, SendBuf in, void* out, ReduceFn fn);
+
+  /// Gather variable-size blocks from all ranks into `out` on every rank.
+  /// `counts[r]` is rank r's block size in bytes; block r lands at offset
+  /// sum(counts[0..r)). `mine.bytes` must equal `counts[my rank]`.
+  void allgatherv(const Comm& comm, SendBuf mine, void* out,
+                  const std::vector<std::size_t>& counts);
+  Request iallgatherv(const Comm& comm, SendBuf mine, void* out,
+                      const std::vector<std::size_t>& counts);
+
+  /// Variable all-to-all; `send_counts[r]`/`recv_counts[r]` are byte counts
+  /// to/from rank r, packed contiguously in rank order. As with
+  /// MPI_Ialltoallv, the count arrays must stay valid until completion.
+  void alltoallv(const Comm& comm, const void* send_buf,
+                 const std::vector<std::size_t>& send_counts, void* recv_buf,
+                 const std::vector<std::size_t>& recv_counts);
+  Request ialltoallv(const Comm& comm, const void* send_buf,
+                     const std::vector<std::size_t>& send_counts, void* recv_buf,
+                     const std::vector<std::size_t>& recv_counts);
+
+  /// Gather variable-size blocks to `root` only.
+  void gatherv(const Comm& comm, int root, SendBuf mine, void* out,
+               const std::vector<std::size_t>& counts);
+
+  /// Partition `comm` by color; ranks order by (key, old rank). Negative
+  /// color returns an invalid Comm (MPI_UNDEFINED semantics).
+  Comm split(const Comm& comm, int color, int key);
+
+ private:
+  friend class File;
+  /// Reserved tag for the next collective on `comm` (same value on every
+  /// member because collectives are called in communicator order).
+  int next_coll_tag(const Comm& comm);
+  void charge_recv_overhead(const Request& req);
+
+  Machine* machine_;
+  sim::Process* process_;
+  int world_rank_;
+  std::map<std::uint64_t, std::uint64_t> coll_seq_;
+  std::map<std::uint64_t, std::uint64_t> split_seq_;
+};
+
+}  // namespace ds::mpi

@@ -1,0 +1,108 @@
+// Shared value types of the message-passing runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ds::mpi {
+
+/// Wildcards, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Tags below this are reserved for the runtime (collectives, streams).
+inline constexpr int kMinUserTag = 0;
+
+/// Completion information for a receive.
+struct Status {
+  int source = kAnySource;  ///< sending rank, in the communicator's numbering
+  int tag = kAnyTag;
+  std::size_t bytes = 0;    ///< payload size on the wire
+  bool synthetic = false;   ///< true when the sender attached no real payload
+};
+
+/// Outgoing payload. `ptr == nullptr` marks a *synthetic* payload: the
+/// message occupies `bytes` on the simulated wire but carries no host memory.
+/// Benches use synthetic payloads so that 8,192-rank runs do not allocate
+/// terabytes; tests use real payloads and check content end to end.
+///
+/// `wire_bytes`, when nonzero, declares a wire size larger than the real
+/// payload: the first `bytes` are carried (e.g. a routing header) while the
+/// message still occupies `wire_bytes` on the simulated network. Used by the
+/// modeled app modes to keep headers addressable without allocating bodies.
+struct SendBuf {
+  const void* ptr = nullptr;
+  std::size_t bytes = 0;
+  std::size_t wire_bytes = 0;  ///< 0 = same as `bytes`
+
+  [[nodiscard]] std::size_t on_wire() const noexcept {
+    return wire_bytes > bytes ? wire_bytes : bytes;
+  }
+
+  [[nodiscard]] static SendBuf synthetic(std::size_t bytes) noexcept {
+    return SendBuf{nullptr, 0, bytes};
+  }
+  template <typename T>
+  [[nodiscard]] static SendBuf of(const T* data, std::size_t count) noexcept {
+    return SendBuf{data, count * sizeof(T), 0};
+  }
+  /// Real header of `header` with a modeled body totalling `wire` bytes.
+  template <typename T>
+  [[nodiscard]] static SendBuf header_only(const T& header,
+                                           std::size_t wire) noexcept {
+    return SendBuf{&header, sizeof(T), wire};
+  }
+};
+
+/// Incoming buffer. `ptr == nullptr` discards payload content (synthetic
+/// receive); `bytes` is the capacity.
+struct RecvBuf {
+  void* ptr = nullptr;
+  std::size_t bytes = 0;
+
+  [[nodiscard]] static RecvBuf discard(std::size_t capacity) noexcept {
+    return RecvBuf{nullptr, capacity};
+  }
+  template <typename T>
+  [[nodiscard]] static RecvBuf of(T* data, std::size_t count) noexcept {
+    return RecvBuf{data, count * sizeof(T)};
+  }
+};
+
+/// Reduction combiner: fold `bytes` of `in` into `accum`. Called only when
+/// both operands carry real data.
+using ReduceFn = std::function<void(const std::byte* in, std::byte* accum,
+                                    std::size_t bytes)>;
+
+/// Elementwise sum combiner for arithmetic element type T.
+template <typename T>
+[[nodiscard]] ReduceFn reduce_sum() {
+  return [](const std::byte* in, std::byte* accum, std::size_t bytes) {
+    const auto* a = reinterpret_cast<const T*>(in);
+    auto* b = reinterpret_cast<T*>(accum);
+    for (std::size_t i = 0; i < bytes / sizeof(T); ++i) b[i] += a[i];
+  };
+}
+
+template <typename T>
+[[nodiscard]] ReduceFn reduce_min() {
+  return [](const std::byte* in, std::byte* accum, std::size_t bytes) {
+    const auto* a = reinterpret_cast<const T*>(in);
+    auto* b = reinterpret_cast<T*>(accum);
+    for (std::size_t i = 0; i < bytes / sizeof(T); ++i)
+      if (a[i] < b[i]) b[i] = a[i];
+  };
+}
+
+template <typename T>
+[[nodiscard]] ReduceFn reduce_max() {
+  return [](const std::byte* in, std::byte* accum, std::size_t bytes) {
+    const auto* a = reinterpret_cast<const T*>(in);
+    auto* b = reinterpret_cast<T*>(accum);
+    for (std::size_t i = 0; i < bytes / sizeof(T); ++i)
+      if (a[i] > b[i]) b[i] = a[i];
+  };
+}
+
+}  // namespace ds::mpi

@@ -1,0 +1,48 @@
+// Stateful fabric: tracks when each endpoint's transmit and drain ports free
+// up, serializing concurrent messages through them. This is where congestion
+// emerges: a rank receiving from many peers accumulates drain-port backlog.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/time.hpp"
+
+namespace ds::net {
+
+struct DeliverySchedule {
+  /// When the payload has fully arrived and is matchable at the receiver.
+  util::SimTime deliver_at = 0;
+  /// When the sender's transmit port is free again (isend completion for
+  /// buffered/eager sends).
+  util::SimTime sender_free_at = 0;
+};
+
+class Fabric {
+ public:
+  Fabric(NetworkConfig config, int endpoints);
+
+  /// Reserve transmit (src) and drain (dst) port time for a message of
+  /// `bytes` injected no earlier than `earliest`. Mutates port state; callers
+  /// must invoke it in nondecreasing `earliest` order per endpoint pair for
+  /// physical sensibility (the engine's event order guarantees this).
+  DeliverySchedule schedule_message(int src, int dst, std::size_t bytes,
+                                    util::SimTime earliest);
+
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+  [[nodiscard]] int endpoints() const noexcept { return static_cast<int>(tx_free_.size()); }
+
+  /// Cumulative bytes scheduled through the fabric (for bench reporting).
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] std::uint64_t total_messages() const noexcept { return total_messages_; }
+
+ private:
+  NetworkConfig config_;
+  std::vector<util::SimTime> tx_free_;  // per-endpoint transmit port
+  std::vector<util::SimTime> rx_free_;  // per-endpoint drain port
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_messages_ = 0;
+};
+
+}  // namespace ds::net

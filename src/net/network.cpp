@@ -1,0 +1,26 @@
+#include "net/network.hpp"
+
+namespace ds::net {
+
+NetworkConfig NetworkConfig::ideal() noexcept {
+  NetworkConfig c;
+  c.latency = 0;
+  c.latency_intra_node = 0;
+  c.ns_per_byte = 0.0;
+  c.ns_per_byte_intra_node = 0.0;
+  c.send_overhead = 0;
+  c.recv_overhead = 0;
+  c.injection_gap = 0;
+  c.receiver_drain_factor = 0.0;
+  c.coll_post_ns_per_peer = 0.0;
+  return c;
+}
+
+util::SimTime NetworkConfig::uncontended_cost(int src, int dst,
+                                              std::size_t bytes) const noexcept {
+  const double payload = byte_time(src, dst) * static_cast<double>(bytes);
+  return send_overhead + injection_gap + static_cast<util::SimTime>(payload) +
+         wire_latency(src, dst) + recv_overhead;
+}
+
+}  // namespace ds::net

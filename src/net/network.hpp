@@ -1,0 +1,82 @@
+// Network cost model (LogGP family).
+//
+// Parameters follow Alexandrov/Culler LogGP extended with the two effects the
+// paper's results hinge on:
+//
+//  * per-endpoint serialization — each rank's NIC transmits and drains one
+//    message at a time at link bandwidth, so a rank addressed by thousands of
+//    peers becomes a hotspot (Fig. 5's master-congestion uptick, Fig. 8's
+//    shared-file serialization);
+//  * node locality — ranks on the same node (32 per node, as on Beskow's
+//    XC40) communicate with lower latency and higher bandwidth.
+//
+// The model is *costs only*: stateful link occupancy lives in net::Fabric.
+#pragma once
+
+#include <cstddef>
+
+#include "util/time.hpp"
+
+namespace ds::net {
+
+struct NetworkConfig {
+  /// One-way wire latency between nodes.
+  util::SimTime latency = util::nanoseconds(1300);
+  /// One-way latency inside a node (shared memory transport).
+  util::SimTime latency_intra_node = util::nanoseconds(250);
+
+  /// Inter-node per-byte time in ns/byte (8 GB/s ~ 0.125 ns/B).
+  double ns_per_byte = 0.125;
+  /// Intra-node per-byte time (shared memory ~ 20 GB/s).
+  double ns_per_byte_intra_node = 0.05;
+
+  /// Sender CPU overhead per message (o_s): stack traversal, descriptor setup.
+  util::SimTime send_overhead = util::nanoseconds(450);
+  /// Receiver CPU overhead per message (o_r): matching, completion.
+  util::SimTime recv_overhead = util::nanoseconds(450);
+  /// Per-message gap at the sending NIC (g): injection-rate limit.
+  util::SimTime injection_gap = util::nanoseconds(100);
+
+  /// Messages up to this size are sent eagerly; larger ones use a rendezvous
+  /// handshake (one extra round trip before the payload moves).
+  std::size_t eager_threshold = 8 * 1024;
+
+  /// Ranks per compute node for the locality model (0 = every rank remote).
+  int ranks_per_node = 32;
+
+  /// CPU time per communicator peer charged to the caller of vector
+  /// collectives (alltoallv/allgatherv): marshalling O(P) count/displacement
+  /// arrays is real work that grows with scale even when most entries are 0.
+  double coll_post_ns_per_peer = 30.0;
+
+  /// Fraction of the payload byte-time also charged to the *receiving*
+  /// endpoint's drain port. 1.0 = full serialization at the receiver NIC.
+  double receiver_drain_factor = 1.0;
+
+  /// A Cray-Aries-class calibration (matches the defaults above).
+  [[nodiscard]] static NetworkConfig aries_like() noexcept { return {}; }
+
+  /// An idealized zero-latency infinite-bandwidth network (for unit tests
+  /// that want pure semantics without timing).
+  [[nodiscard]] static NetworkConfig ideal() noexcept;
+
+  [[nodiscard]] bool same_node(int rank_a, int rank_b) const noexcept {
+    if (ranks_per_node <= 0) return false;
+    return rank_a / ranks_per_node == rank_b / ranks_per_node;
+  }
+
+  [[nodiscard]] util::SimTime wire_latency(int src, int dst) const noexcept {
+    return same_node(src, dst) ? latency_intra_node : latency;
+  }
+
+  [[nodiscard]] double byte_time(int src, int dst) const noexcept {
+    return same_node(src, dst) ? ns_per_byte_intra_node : ns_per_byte;
+  }
+
+  /// Pure (stateless) end-to-end cost of one uncontended message: the LogGP
+  /// sum o_s + g + n*G + L + o_r. Used by tests and the analytic model.
+  [[nodiscard]] util::SimTime uncontended_cost(int src, int dst,
+                                               std::size_t bytes) const noexcept;
+};
+
+}  // namespace ds::net

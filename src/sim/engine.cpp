@@ -1,0 +1,133 @@
+#include "sim/engine.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ds::sim {
+
+util::SimTime Process::now() const noexcept { return engine_->now(); }
+
+void Process::advance(util::SimTime d) {
+  if (d < 0) throw std::logic_error("Process::advance: negative duration");
+  if (engine_->current() != this)
+    throw std::logic_error("Process::advance called from outside the process");
+  Engine& eng = *engine_;
+  const int pid = id_;
+  eng.schedule(eng.now() + d, [&eng, pid] { eng.wake(pid); });
+  // Consume any stray wake token first so we sleep for the full duration:
+  // advance() models busy CPU time, not interruptible waiting.
+  state_ = State::Suspended;
+  Fiber::yield();
+}
+
+void Process::compute(util::SimTime nominal, const char* label) {
+  const util::SimTime d = engine_->noise().perturb(nominal, rng_);
+  trace_begin(label);
+  advance(d);
+  trace_end();
+}
+
+void Process::suspend() {
+  if (engine_->current() != this)
+    throw std::logic_error("Process::suspend called from outside the process");
+  if (wake_pending_) {
+    wake_pending_ = false;
+    return;
+  }
+  state_ = State::Suspended;
+  Fiber::yield();
+}
+
+void Process::trace_begin(const char* label) {
+  if (auto* t = engine_->trace()) t->begin(id_, engine_->now(), label);
+}
+
+void Process::trace_end() {
+  if (auto* t = engine_->trace()) t->end(id_, engine_->now());
+}
+
+Engine::Engine(EngineConfig config)
+    : config_(config), noise_(config.noise) {
+  if (config_.record_trace) trace_ = std::make_unique<TraceRecorder>();
+}
+
+Engine::~Engine() = default;
+
+int Engine::spawn(std::function<void(Process&)> body) {
+  const int pid = static_cast<int>(processes_.size());
+  auto process = std::unique_ptr<Process>(new Process(this, pid, config_.seed));
+  Process* p = process.get();
+  p->fiber_ = std::make_unique<Fiber>(
+      [p, body = std::move(body)] { body(*p); }, config_.stack_bytes);
+  p->state_ = Process::State::Runnable;
+  processes_.push_back(std::move(process));
+  ++live_;
+  schedule(clock_, [this, p] { resume_process(*p); });
+  return pid;
+}
+
+void Engine::schedule(util::SimTime t, std::function<void()> action) {
+  if (t < clock_) throw std::logic_error("Engine::schedule: time in the past");
+  queue_.push(t, std::move(action));
+}
+
+void Engine::schedule_after(util::SimTime delay, std::function<void()> action) {
+  schedule(clock_ + delay, std::move(action));
+}
+
+void Engine::wake(int pid) {
+  Process& p = *processes_.at(static_cast<std::size_t>(pid));
+  if (p.state_ == Process::State::Finished) return;
+  if (p.state_ == Process::State::Suspended) {
+    p.state_ = Process::State::Runnable;
+    queue_.push(clock_, [this, pp = &p] { resume_process(*pp); });
+  } else {
+    // Not yet suspended: leave a token so the upcoming suspend doesn't sleep.
+    p.wake_pending_ = true;
+  }
+}
+
+void Engine::resume_process(Process& p) {
+  if (p.state_ == Process::State::Finished) return;
+  // A process can be woken twice (token + event). The second resume of an
+  // already-running or runnable-but-moved-on process must be harmless.
+  if (p.state_ != Process::State::Runnable) return;
+  p.state_ = Process::State::Running;
+  running_ = &p;
+  p.fiber_->resume();  // rethrows process exceptions on this (host) stack
+  running_ = nullptr;
+  if (p.fiber_->finished()) {
+    p.state_ = Process::State::Finished;
+    --live_;
+  }
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.pop();
+    clock_ = ev.time;
+    ++events_executed_;
+    ev.action();
+  }
+  if (live_ > 0) report_deadlock();
+}
+
+void Engine::report_deadlock() const {
+  std::ostringstream msg;
+  msg << "simulation deadlock at t=" << util::to_seconds(clock_) << "s; "
+      << live_ << " process(es) still blocked:";
+  int listed = 0;
+  for (const auto& p : processes_) {
+    if (p->state_ == Process::State::Finished) continue;
+    msg << "\n  P" << p->id_
+        << (p->state_note_.empty() ? std::string{" (no state note)"}
+                                   : " " + p->state_note_);
+    if (++listed >= 20) {
+      msg << "\n  ... (" << live_ - 20 << " more)";
+      break;
+    }
+  }
+  throw DeadlockError(msg.str());
+}
+
+}  // namespace ds::sim

@@ -1,0 +1,145 @@
+// Discrete-event engine multiplexing simulated ranks (fibers) over a virtual
+// clock.
+//
+// Execution model:
+//  * Every simulated process is a fiber; the engine runs on the host stack.
+//  * Time only advances between events; while a fiber runs, the clock is
+//    frozen at the event's timestamp (standard DES semantics).
+//  * All cross-process interaction goes through scheduled events, so a run is
+//    a pure function of (program, seed): same inputs, same event order, same
+//    virtual times — on any machine.
+//
+// Blocking primitives for higher layers (the message-passing runtime):
+//  * Process::advance(d)    — occupy the CPU for d of virtual time.
+//  * Process::compute(d, l) — advance with noise applied and trace label l.
+//  * Process::suspend()     — sleep until Engine::wake(pid); a wake arriving
+//    before the suspend is not lost (binary token, condition-loop friendly).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/fiber.hpp"
+#include "sim/noise.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace ds::sim {
+
+class Engine;
+
+struct EngineConfig {
+  std::size_t stack_bytes = Fiber::kDefaultStackBytes;
+  std::uint64_t seed = 42;
+  NoiseConfig noise{};
+  bool record_trace = false;
+};
+
+/// Raised when the event queue drains while processes are still blocked.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Handle a simulated process body uses to interact with the engine.
+/// Only valid inside the fiber it was issued to.
+class Process {
+ public:
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] Engine& engine() const noexcept { return *engine_; }
+  [[nodiscard]] util::SimTime now() const noexcept;
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
+  /// Occupy this process for exactly `d` of virtual time (no noise).
+  void advance(util::SimTime d);
+
+  /// Occupy this process for `nominal` perturbed by the engine's noise model;
+  /// records a trace interval labeled `label` when tracing is on.
+  void compute(util::SimTime nominal, const char* label = "comp");
+
+  /// Sleep until woken. Returns immediately (consuming the token) if a wake
+  /// arrived since the last suspend.
+  void suspend();
+
+  /// Trace-section helpers (no-ops when tracing is off).
+  void trace_begin(const char* label);
+  void trace_end();
+
+  /// Free-form state string shown in deadlock reports ("waiting recv src=3").
+  void set_state_note(std::string note) { state_note_ = std::move(note); }
+
+ private:
+  friend class Engine;
+  Process(Engine* engine, int id, std::uint64_t seed)
+      : engine_(engine), id_(id), rng_(util::Rng::for_stream(seed, static_cast<std::uint64_t>(id))) {}
+
+  enum class State { Created, Runnable, Running, Suspended, Finished };
+
+  Engine* engine_;
+  int id_;
+  util::Rng rng_;
+  State state_ = State::Created;
+  bool wake_pending_ = false;
+  std::string state_note_;
+  std::unique_ptr<Fiber> fiber_;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Create a simulated process; `body` starts at the current virtual time.
+  /// Returns the process id (dense, starting at 0).
+  int spawn(std::function<void(Process&)> body);
+
+  /// Schedule an action at absolute virtual time `t` (must be >= now()).
+  void schedule(util::SimTime t, std::function<void()> action);
+  void schedule_after(util::SimTime delay, std::function<void()> action);
+
+  /// Wake a suspended process. Safe to call before the process suspends.
+  void wake(int pid);
+
+  /// Run until every process finished. Throws DeadlockError if the event
+  /// queue drains first; propagates exceptions thrown by process bodies.
+  void run();
+
+  [[nodiscard]] util::SimTime now() const noexcept { return clock_; }
+  [[nodiscard]] std::size_t process_count() const noexcept { return processes_.size(); }
+  [[nodiscard]] std::size_t live_count() const noexcept { return live_; }
+  [[nodiscard]] const NoiseModel& noise() const noexcept { return noise_; }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+  /// Process currently executing, or nullptr when the engine itself runs.
+  [[nodiscard]] Process* current() noexcept { return running_; }
+
+  /// Trace recorder, or nullptr when EngineConfig::record_trace is false.
+  [[nodiscard]] TraceRecorder* trace() noexcept { return trace_.get(); }
+
+  /// Events executed so far (proxy for simulation cost; used by benches).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return events_executed_; }
+
+ private:
+  friend class Process;
+  void resume_process(Process& p);
+  [[noreturn]] void report_deadlock() const;
+
+  EngineConfig config_;
+  NoiseModel noise_;
+  EventQueue queue_;
+  util::SimTime clock_ = 0;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::size_t live_ = 0;
+  Process* running_ = nullptr;
+  std::unique_ptr<TraceRecorder> trace_;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace ds::sim

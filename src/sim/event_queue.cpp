@@ -1,0 +1,49 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace ds::sim {
+
+std::uint64_t EventQueue::push(util::SimTime t, std::function<void()> action) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Event{t, seq, std::move(action)});
+  sift_up(heap_.size() - 1);
+  return seq;
+}
+
+Event EventQueue::pop() {
+  Event top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return top;
+}
+
+util::SimTime EventQueue::next_time() const noexcept {
+  return heap_.empty() ? util::kTimeInfinity : heap_.front().time;
+}
+
+void EventQueue::sift_up(std::size_t i) noexcept {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    std::size_t smallest = i;
+    if (left < n && before(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && before(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace ds::sim

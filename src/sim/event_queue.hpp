@@ -1,0 +1,46 @@
+// Deterministic event queue: a binary min-heap ordered by (time, sequence).
+//
+// The sequence number makes the ordering a total order — two events at the
+// same virtual instant fire in the order they were scheduled, on every
+// platform, every run. std::priority_queue is avoided because its top() is
+// const and would force copying the std::function payloads out.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace ds::sim {
+
+struct Event {
+  util::SimTime time = 0;
+  std::uint64_t seq = 0;
+  std::function<void()> action;
+};
+
+class EventQueue {
+ public:
+  /// Schedule `action` at absolute time `t`. Returns the event sequence id.
+  std::uint64_t push(util::SimTime t, std::function<void()> action);
+
+  /// Remove and return the earliest event. Requires !empty().
+  [[nodiscard]] Event pop();
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] util::SimTime next_time() const noexcept;
+
+ private:
+  [[nodiscard]] static bool before(const Event& a, const Event& b) noexcept {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  }
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ds::sim

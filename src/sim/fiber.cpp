@@ -1,0 +1,98 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace ds::sim {
+
+namespace {
+thread_local Fiber* t_current_fiber = nullptr;
+
+[[nodiscard]] std::size_t page_size() {
+  static const auto size = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+[[nodiscard]] std::size_t round_up_pages(std::size_t bytes) {
+  const std::size_t p = page_size();
+  return (bytes + p - 1) / p * p;
+}
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)) {
+  const std::size_t stack = round_up_pages(stack_bytes);
+  map_bytes_ = stack + page_size();  // one guard page below the stack
+  stack_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (stack_ == MAP_FAILED) {
+    stack_ = nullptr;
+    throw std::runtime_error("Fiber: mmap of stack failed");
+  }
+  if (::mprotect(stack_, page_size(), PROT_NONE) != 0) {
+    ::munmap(stack_, map_bytes_);
+    stack_ = nullptr;
+    throw std::runtime_error("Fiber: mprotect of guard page failed");
+  }
+
+  if (::getcontext(&context_) != 0)
+    throw std::runtime_error("Fiber: getcontext failed");
+  context_.uc_stack.ss_sp = static_cast<char*>(stack_) + page_size();
+  context_.uc_stack.ss_size = stack;
+  context_.uc_link = &return_context_;  // falling off the end returns to resumer
+
+  // makecontext only forwards ints; split `this` across two unsigned halves.
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  ::makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned>(self >> 32),
+                static_cast<unsigned>(self & 0xFFFFFFFFu));
+}
+
+Fiber::~Fiber() {
+  if (stack_) ::munmap(stack_, map_bytes_);
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  const auto self_bits =
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(self_bits)->run_body();
+}
+
+void Fiber::run_body() {
+  try {
+    body_();
+  } catch (...) {
+    pending_exception_ = std::current_exception();
+  }
+  finished_ = true;
+  // uc_link takes control back to return_context_ when this function returns.
+}
+
+void Fiber::resume() {
+  if (finished_) throw std::logic_error("Fiber::resume on finished fiber");
+  Fiber* previous = t_current_fiber;
+  t_current_fiber = this;
+  started_ = true;
+  if (::swapcontext(&return_context_, &context_) != 0)
+    throw std::runtime_error("Fiber: swapcontext into fiber failed");
+  t_current_fiber = previous;
+  if (finished_ && pending_exception_) {
+    auto ex = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(ex);
+  }
+}
+
+void Fiber::yield() {
+  Fiber* self = t_current_fiber;
+  if (!self) throw std::logic_error("Fiber::yield called outside any fiber");
+  if (::swapcontext(&self->context_, &self->return_context_) != 0)
+    throw std::runtime_error("Fiber: swapcontext out of fiber failed");
+}
+
+bool Fiber::in_fiber() noexcept { return t_current_fiber != nullptr; }
+
+}  // namespace ds::sim

@@ -1,0 +1,79 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ds::sim {
+
+void TraceRecorder::begin(int rank, util::SimTime t, std::string label) {
+  if (rank < 0) return;
+  if (static_cast<std::size_t>(rank) >= open_.size()) open_.resize(rank + 1);
+  open_[rank].push_back(Open{rank, t, std::move(label)});
+}
+
+void TraceRecorder::end(int rank, util::SimTime t) {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= open_.size() ||
+      open_[rank].empty())
+    return;
+  Open o = std::move(open_[rank].back());
+  open_[rank].pop_back();
+  intervals_.push_back(TraceInterval{o.rank, o.begin, t, std::move(o.label)});
+}
+
+util::SimTime TraceRecorder::total(int rank, const std::string& label) const {
+  util::SimTime sum = 0;
+  for (const auto& iv : intervals_)
+    if (iv.rank == rank && iv.label == label) sum += iv.end - iv.begin;
+  return sum;
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::ostringstream out;
+  out << "rank,begin_ns,end_ns,label\n";
+  for (const auto& iv : intervals_)
+    out << iv.rank << ',' << iv.begin << ',' << iv.end << ',' << iv.label << '\n';
+  return out.str();
+}
+
+std::string TraceRecorder::to_ascii(int width) const {
+  if (intervals_.empty() || width <= 0) return {};
+  int max_rank = 0;
+  util::SimTime makespan = 1;
+  for (const auto& iv : intervals_) {
+    max_rank = std::max(max_rank, iv.rank);
+    makespan = std::max(makespan, iv.end);
+  }
+  std::vector<std::string> rows(max_rank + 1, std::string(width, '.'));
+  // Later-recorded intervals win a bucket; since nested inner intervals are
+  // recorded before their enclosing outer interval finishes... record order is
+  // end order, so paint outer (ends later) after inner would overwrite the
+  // detail. Paint longest-first so fine-grained intervals stay visible.
+  std::vector<const TraceInterval*> sorted;
+  sorted.reserve(intervals_.size());
+  for (const auto& iv : intervals_) sorted.push_back(&iv);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceInterval* a, const TraceInterval* b) {
+                     return (a->end - a->begin) > (b->end - b->begin);
+                   });
+  for (const TraceInterval* iv : sorted) {
+    const char mark = iv->label.empty() ? '?' : iv->label.front();
+    auto bucket = [&](util::SimTime t) {
+      auto b = static_cast<long>(static_cast<double>(t) / static_cast<double>(makespan) * width);
+      return std::clamp<long>(b, 0, width - 1);
+    };
+    const long from = bucket(iv->begin);
+    const long to = std::max(from, bucket(iv->end - 1));
+    for (long c = from; c <= to; ++c) rows[iv->rank][static_cast<std::size_t>(c)] = mark;
+  }
+  std::ostringstream out;
+  for (int r = 0; r <= max_rank; ++r)
+    out << 'P' << r << (r < 10 ? "  |" : " |") << rows[r] << "|\n";
+  return out.str();
+}
+
+void TraceRecorder::clear() {
+  intervals_.clear();
+  open_.clear();
+}
+
+}  // namespace ds::sim

@@ -1,0 +1,57 @@
+// Per-rank execution traces, the simulator's answer to HPCToolkit.
+//
+// Paper Fig. 2 is a trace view of iPIC3D before/after decoupling: grey
+// compute intervals, blue particle-communication intervals, idle gaps. The
+// recorder collects labeled [begin, end) intervals per rank; renderers emit
+// CSV (for plotting) and an ASCII timeline (one row per rank) that makes the
+// pipelining visible in a terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace ds::sim {
+
+struct TraceInterval {
+  int rank = 0;
+  util::SimTime begin = 0;
+  util::SimTime end = 0;
+  std::string label;
+};
+
+class TraceRecorder {
+ public:
+  /// Open a labeled interval on `rank` at time `t`. Intervals may nest; the
+  /// innermost open interval is the one closed by end().
+  void begin(int rank, util::SimTime t, std::string label);
+  /// Close the innermost open interval on `rank` at time `t`.
+  void end(int rank, util::SimTime t);
+
+  [[nodiscard]] const std::vector<TraceInterval>& intervals() const noexcept {
+    return intervals_;
+  }
+  /// Total recorded time on `rank` across intervals whose label matches.
+  [[nodiscard]] util::SimTime total(int rank, const std::string& label) const;
+
+  [[nodiscard]] std::string to_csv() const;
+
+  /// One text row per rank; each column is a time bucket filled with the
+  /// first letter of the dominant label ('.' = idle). `width` buckets span
+  /// [0, makespan].
+  [[nodiscard]] std::string to_ascii(int width = 96) const;
+
+  void clear();
+
+ private:
+  struct Open {
+    int rank;
+    util::SimTime begin;
+    std::string label;
+  };
+  std::vector<TraceInterval> intervals_;
+  std::vector<std::vector<Open>> open_;  // indexed by rank
+};
+
+}  // namespace ds::sim

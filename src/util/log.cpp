@@ -1,0 +1,39 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ds::util {
+
+namespace {
+LogLevel parse_env_level() {
+  const char* v = std::getenv("DS_LOG");
+  if (!v) return LogLevel::Warn;
+  if (std::strcmp(v, "debug") == 0) return LogLevel::Debug;
+  if (std::strcmp(v, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(v, "error") == 0) return LogLevel::Error;
+  return LogLevel::Warn;
+}
+LogLevel g_level = parse_env_level();
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (!log_enabled(level)) return;
+  std::fprintf(stderr, "[ds %-5s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace ds::util

@@ -1,0 +1,43 @@
+// Minimal leveled logging. Default level is Warn so tests and benches stay
+// quiet; set DS_LOG=debug|info|warn|error to change it.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ds::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+[[nodiscard]] LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, out_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+[[nodiscard]] inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+}  // namespace ds::util
+
+#define DS_LOG(level)                                        \
+  if (!::ds::util::log_enabled(::ds::util::LogLevel::level)) \
+    ;                                                        \
+  else                                                       \
+    ::ds::util::detail::LogLine(::ds::util::LogLevel::level)

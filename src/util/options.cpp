@@ -1,0 +1,43 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+
+namespace ds::util {
+
+namespace {
+[[nodiscard]] const char* get(const char* name) { return std::getenv(name); }
+}  // namespace
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = get(name);
+  if (!v || !*v) return fallback;
+  return std::strtoll(v, nullptr, 10);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = get(name);
+  if (!v || !*v) return fallback;
+  return std::strtod(v, nullptr);
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = get(name);
+  return (v && *v) ? std::string{v} : fallback;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const char* v = get(name);
+  if (!v || !*v) return fallback;
+  return !(v[0] == '0' || v[0] == 'f' || v[0] == 'F' || v[0] == 'n' || v[0] == 'N');
+}
+
+BenchOptions BenchOptions::from_env() {
+  BenchOptions o;
+  o.max_procs = static_cast<int>(env_int("DS_BENCH_MAX_PROCS", o.max_procs));
+  o.repetitions = static_cast<int>(env_int("DS_BENCH_REPS", o.repetitions));
+  o.fast = env_flag("DS_BENCH_FAST", o.fast);
+  o.seed = static_cast<std::uint64_t>(env_int("DS_BENCH_SEED", static_cast<std::int64_t>(o.seed)));
+  return o;
+}
+
+}  // namespace ds::util

@@ -1,0 +1,28 @@
+// Environment-variable options for the bench harness.
+//
+// Bench binaries must run argument-free (the harness invokes them as
+// `build/bench/*`), so tunables (scale caps, repetition counts, fast mode)
+// come from DS_* environment variables with conservative defaults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ds::util {
+
+[[nodiscard]] std::int64_t env_int(const char* name, std::int64_t fallback);
+[[nodiscard]] double env_double(const char* name, double fallback);
+[[nodiscard]] std::string env_string(const char* name, const std::string& fallback);
+[[nodiscard]] bool env_flag(const char* name, bool fallback);
+
+/// Shared bench knobs.
+struct BenchOptions {
+  int max_procs = 8192;   ///< DS_BENCH_MAX_PROCS: largest P in the weak-scaling sweeps
+  int repetitions = 3;    ///< DS_BENCH_REPS: runs (seeds) per configuration
+  bool fast = false;      ///< DS_BENCH_FAST: shrink workloads for smoke runs
+  std::uint64_t seed = 42;///< DS_BENCH_SEED: base RNG seed
+
+  [[nodiscard]] static BenchOptions from_env();
+};
+
+}  // namespace ds::util

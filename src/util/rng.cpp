@@ -1,0 +1,97 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace ds::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Rng Rng::for_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Mix the stream id through SplitMix64 so that consecutive stream ids give
+  // decorrelated generators.
+  std::uint64_t sm = seed ^ (0xA3EC647659359ACDull * (stream + 1));
+  return Rng{splitmix64(sm)};
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() noexcept {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Debiased modulo (Lemire-style rejection kept simple and portable).
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  std::uint64_t x = next_u64();
+  while (x >= limit) x = next_u64();
+  return lo + static_cast<std::int64_t>(x % range);
+}
+
+double Rng::uniform_real(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse CDF; guard against log(0).
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mu, double sigma) noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mu + sigma * cached_normal_;
+  }
+  double u1 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mu + sigma * r * std::cos(theta);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double x_m, double alpha) noexcept {
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+bool Rng::bernoulli(double p) noexcept { return next_double() < p; }
+
+}  // namespace ds::util

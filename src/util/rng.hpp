@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// The simulator must be exactly reproducible for a given seed: the same seed
+// yields the same event order, the same noise, the same particle movements.
+// We therefore use a self-contained xoshiro256** implementation (public
+// domain algorithm by Blackman & Vigna) instead of std::mt19937 + std::
+// distributions, whose outputs are not specified identically across standard
+// library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ds::util {
+
+/// SplitMix64 — used to expand a single 64-bit seed into generator state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** PRNG with explicit, portable distributions.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from one 64-bit value via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  /// Derive an independent stream, e.g. one per simulated rank. The pair
+  /// (seed, stream) fully determines the sequence.
+  [[nodiscard]] static Rng for_stream(std::uint64_t seed, std::uint64_t stream) noexcept;
+
+  /// Next raw 64 random bits.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) noexcept;
+
+  /// Exponential with given mean (mean > 0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Standard normal via Box-Muller (deterministic given state).
+  [[nodiscard]] double normal(double mu, double sigma) noexcept;
+
+  /// Lognormal: exp(normal(mu, sigma)).
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept;
+
+  /// Pareto with scale x_m > 0 and shape alpha > 0 (heavy-tailed detours).
+  [[nodiscard]] double pareto(double x_m, double alpha) noexcept;
+
+  /// Bernoulli trial with probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace ds::util

@@ -1,0 +1,40 @@
+// Streaming statistics used by benches (mean ± stddev over repeated runs,
+// matching the paper's "average and standard deviation of ten runs") and by
+// tests (distribution checks).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ds::util {
+
+/// Welford online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// p in [0,1]; linear interpolation between order statistics. Copies + sorts.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Coefficient of variation convenience: stddev/mean (0 when mean == 0).
+[[nodiscard]] double coefficient_of_variation(const RunningStats& s) noexcept;
+
+}  // namespace ds::util

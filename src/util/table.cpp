@@ -1,0 +1,68 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ds::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_mean_std(double mean, double stddev, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.*f ± %.*f", precision, mean, precision, stddev);
+  return buf;
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](std::ostringstream& out, const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out << ' ' << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  emit_row(out, headers_);
+  out << "|";
+  for (const std::size_t w : widths) out << std::string(w + 2, '-') << "|";
+  out << '\n';
+  for (const auto& row : rows_) emit_row(out, row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  auto join = [](const std::vector<std::string>& cells) {
+    std::ostringstream line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) line << ',';
+      line << cells[c];
+    }
+    return line.str();
+  };
+  std::ostringstream out;
+  out << join(headers_) << '\n';
+  for (const auto& row : rows_) out << join(row) << '\n';
+  return out.str();
+}
+
+}  // namespace ds::util

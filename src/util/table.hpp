@@ -1,0 +1,34 @@
+// Plain-text table / CSV emission for the bench harness. Each figure bench
+// prints the same series the paper plots; Table renders them aligned for
+// humans and as CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ds::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; it is padded or truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Formatting helpers for numeric cells.
+  [[nodiscard]] static std::string fmt(double v, int precision = 2);
+  [[nodiscard]] static std::string fmt_mean_std(double mean, double stddev, int precision = 2);
+
+  /// Aligned, pipe-separated rendering (markdown-compatible).
+  [[nodiscard]] std::string to_text() const;
+  /// Comma-separated rendering with a header line.
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ds::util

@@ -1,0 +1,33 @@
+// Simulated-time representation.
+//
+// All virtual clocks in the simulator are integer nanoseconds. Integer time
+// keeps the event engine exactly deterministic across platforms and makes
+// (time, sequence) a total order with no floating-point tie ambiguity.
+#pragma once
+
+#include <cstdint>
+
+namespace ds::util {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Largest representable time; used as "never" sentinel.
+inline constexpr SimTime kTimeInfinity = INT64_MAX;
+
+[[nodiscard]] constexpr SimTime nanoseconds(std::int64_t n) noexcept { return n; }
+[[nodiscard]] constexpr SimTime microseconds(std::int64_t u) noexcept { return u * 1'000; }
+[[nodiscard]] constexpr SimTime milliseconds(std::int64_t m) noexcept { return m * 1'000'000; }
+[[nodiscard]] constexpr SimTime seconds_i(std::int64_t s) noexcept { return s * 1'000'000'000; }
+
+/// Convert a duration in (floating) seconds to SimTime, rounding to nearest ns.
+[[nodiscard]] constexpr SimTime from_seconds(double s) noexcept {
+  return static_cast<SimTime>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Convert SimTime to floating seconds (for reporting only; never for ordering).
+[[nodiscard]] constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) * 1e-9;
+}
+
+}  // namespace ds::util

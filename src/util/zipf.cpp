@@ -1,0 +1,33 @@
+#include "util/zipf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ds::util {
+
+ZipfSampler::ZipfSampler(std::size_t vocabulary, double exponent)
+    : exponent_(exponent) {
+  assert(vocabulary > 0);
+  cdf_.resize(vocabulary);
+  double total = 0.0;
+  for (std::size_t k = 0; k < vocabulary; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding leaving the last CDF < 1
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::size_t k) const noexcept {
+  if (k >= cdf_.size()) return 0.0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace ds::util

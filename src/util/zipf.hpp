@@ -1,0 +1,37 @@
+// Zipf-distributed sampling.
+//
+// Natural-language word frequencies are approximately Zipfian; the wordcount
+// workload (paper Sec. IV-B) relies on this irregularity to create variable
+// per-rank reduce load. The sampler precomputes the inverse CDF once and
+// draws in O(log V).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ds::util {
+
+/// Samples integers in [0, vocabulary) with P(k) proportional to 1/(k+1)^s.
+class ZipfSampler {
+ public:
+  /// @param vocabulary number of distinct values (> 0)
+  /// @param exponent   Zipf exponent s (1.0 is classic natural language)
+  ZipfSampler(std::size_t vocabulary, double exponent);
+
+  /// Draw one value using the supplied generator.
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::size_t vocabulary() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double exponent() const noexcept { return exponent_; }
+
+  /// Exact probability of value k (for test oracles).
+  [[nodiscard]] double probability(std::size_t k) const noexcept;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(value <= k)
+  double exponent_ = 1.0;
+};
+
+}  // namespace ds::util

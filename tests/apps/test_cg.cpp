@@ -1,0 +1,139 @@
+#include "apps/cg/cg_app.hpp"
+#include "apps/cg/cg_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/machine_helpers.hpp"
+
+namespace ds::apps::cg {
+namespace {
+
+constexpr std::array<int, 3> kGlobal{6, 4, 4};
+constexpr int kIters = 8;
+
+CgConfig real_config() {
+  CgConfig cfg;
+  cfg.real_data = true;
+  cfg.global_grid = kGlobal;
+  cfg.iterations = kIters;
+  cfg.stride = 4;  // 8 ranks -> 6 workers (3x2x1), 2 helpers
+  cfg.n = 4;       // modeled costs stay small
+  return cfg;
+}
+
+/// Reassemble the distributed solution and compare to the sequential oracle.
+void expect_matches_oracle(const CgResult& result, double tolerance) {
+  const auto oracle = solve_sequential(kGlobal[0], kGlobal[1], kGlobal[2], kIters);
+  ASSERT_FALSE(result.pieces.empty());
+  for (const auto& piece : result.pieces) {
+    for (int i = 0; i < piece.grid.nx(); ++i)
+      for (int j = 0; j < piece.grid.ny(); ++j)
+        for (int k = 0; k < piece.grid.nz(); ++k) {
+          const double expected =
+              oracle.x.at(piece.offset[0] + i, piece.offset[1] + j,
+                          piece.offset[2] + k);
+          EXPECT_NEAR(piece.grid.at(i, j, k), expected, tolerance)
+              << "at " << piece.offset[0] + i << "," << piece.offset[1] + j
+              << "," << piece.offset[2] + k;
+        }
+  }
+}
+
+TEST(CgSequential, ResidualDecreasesWithIterations) {
+  const auto r2 = solve_sequential(6, 6, 6, 2);
+  const auto r10 = solve_sequential(6, 6, 6, 10);
+  EXPECT_LT(r10.residual2, r2.residual2);
+  EXPECT_GT(r2.residual2, 0.0);
+}
+
+TEST(CgSequential, SolvesTinySystemAccurately) {
+  // 30 iterations on a 4^3 system (64 unknowns) should converge hard.
+  const auto result = solve_sequential(4, 4, 4, 30);
+  EXPECT_LT(result.residual2, 1e-18);
+}
+
+TEST(CgGrid, FaceExtractFillRoundTrip) {
+  LocalGrid g(3, 4, 5);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 4; ++j)
+      for (int k = 0; k < 5; ++k) g.at(i, j, k) = i * 100 + j * 10 + k;
+  std::vector<double> face;
+  g.extract_face(kXPlus, face);
+  EXPECT_EQ(face.size(), 20u);
+  LocalGrid h(3, 4, 5);
+  h.fill_ghost(kXMinus, face.data(), face.size());
+  // h's -x ghost must equal g's +x interior layer.
+  for (int j = 0; j < 4; ++j)
+    for (int k = 0; k < 5; ++k) EXPECT_EQ(h.at(-1, j, k), g.at(2, j, k));
+}
+
+TEST(CgGrid, PoissonOperatorOnConstantFieldLeavesBoundaryResidue) {
+  LocalGrid g(4, 4, 4), out(4, 4, 4);
+  g.fill(1.0);
+  // Interior cells see 6 neighbours of 1.0 -> 0; cells at the edge see
+  // zero ghosts -> positive residue.
+  apply_poisson(g, out, {0, 0, 0}, {4, 4, 4});
+  EXPECT_EQ(out.at(1, 1, 1), 0.0);
+  EXPECT_GT(out.at(0, 1, 1), 0.0);
+}
+
+TEST(CgApp, BlockingMatchesOracle) {
+  CgConfig cfg = real_config();
+  const auto result = run_cg(HaloVariant::Blocking, cfg, testing::tiny_machine(8));
+  expect_matches_oracle(result, 1e-9);
+}
+
+TEST(CgApp, NonblockingMatchesOracle) {
+  CgConfig cfg = real_config();
+  const auto result =
+      run_cg(HaloVariant::Nonblocking, cfg, testing::tiny_machine(8));
+  expect_matches_oracle(result, 1e-9);
+}
+
+TEST(CgApp, DecoupledMatchesOracle) {
+  CgConfig cfg = real_config();
+  const auto result =
+      run_cg(HaloVariant::Decoupled, cfg, testing::tiny_machine(8));
+  expect_matches_oracle(result, 1e-9);
+}
+
+TEST(CgApp, BlockingAndNonblockingResidualsAgree) {
+  CgConfig cfg = real_config();
+  const auto a = run_cg(HaloVariant::Blocking, cfg, testing::tiny_machine(8));
+  const auto b = run_cg(HaloVariant::Nonblocking, cfg, testing::tiny_machine(8));
+  // Same decomposition, same reduction order: bitwise-identical trajectories.
+  EXPECT_EQ(a.residual2, b.residual2);
+}
+
+TEST(CgApp, IndivisibleGridRejected) {
+  CgConfig cfg = real_config();
+  cfg.global_grid = {7, 4, 4};  // 7 not divisible by dim 2 (or 3)
+  EXPECT_THROW((void)run_cg(HaloVariant::Blocking, cfg, testing::tiny_machine(8)),
+               std::invalid_argument);
+}
+
+TEST(CgApp, ModeledVariantsAdvanceTime) {
+  CgConfig cfg;
+  cfg.n = 16;
+  cfg.iterations = 3;
+  cfg.stride = 4;
+  for (const auto variant : {HaloVariant::Blocking, HaloVariant::Nonblocking,
+                             HaloVariant::Decoupled}) {
+    const auto result = run_cg(variant, cfg, testing::tiny_machine(8));
+    EXPECT_GT(result.seconds, 0.0);
+  }
+}
+
+TEST(CgApp, NonblockingNotSlowerThanBlockingWithNoise) {
+  CgConfig cfg;
+  cfg.n = 32;
+  cfg.iterations = 10;
+  mpi::MachineConfig machine = testing::tiny_machine(27);
+  machine.engine.noise = sim::NoiseConfig{0.05, 20.0, util::microseconds(300)};
+  const auto blocking = run_cg(HaloVariant::Blocking, cfg, machine);
+  const auto nonblocking = run_cg(HaloVariant::Nonblocking, cfg, machine);
+  EXPECT_LE(nonblocking.seconds, blocking.seconds * 1.02);
+}
+
+}  // namespace
+}  // namespace ds::apps::cg

@@ -1,0 +1,177 @@
+#include "apps/pic/pic_app.hpp"
+#include "apps/pic/pic_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include <algorithm>
+
+#include "common/machine_helpers.hpp"
+
+namespace ds::apps::pic {
+namespace {
+
+PicConfig small_real_config() {
+  PicConfig cfg;
+  cfg.real_data = true;
+  cfg.particles_per_rank = 120;
+  cfg.steps = 4;
+  cfg.dt = 0.07;
+  cfg.stride = 4;
+  return cfg;
+}
+
+void expect_matches_oracle(const PicResult& result, const PicConfig& cfg,
+                           int world_size, int compute_ranks) {
+  const Domain domain = domain_of(compute_ranks);
+  const auto initial = initialize_particles(
+      domain, cfg.particles_per_rank * static_cast<std::uint64_t>(world_size),
+      cfg.seed);
+  const auto expected = oracle_advance(domain, initial, cfg.steps, cfg.dt);
+  ASSERT_EQ(result.final_particles.size(), expected.size());
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    EXPECT_EQ(result.final_particles[r].size(), expected[r].size()) << "rank " << r;
+    EXPECT_EQ(particle_signature(result.final_particles[r]),
+              particle_signature(expected[r]))
+        << "rank " << r;
+  }
+}
+
+TEST(PicParticles, SheetDensityPeaksAtCenter) {
+  EXPECT_GT(sheet_density(0.5), sheet_density(0.1));
+  EXPECT_GT(sheet_density(0.5), sheet_density(0.9));
+  EXPECT_GT(sheet_density(0.0), 0.0);  // floor keeps all ranks populated
+}
+
+TEST(PicParticles, InitializationIsSkewedAndComplete) {
+  const Domain domain = domain_of(8);
+  const auto lists = initialize_particles(domain, 4000, 1);
+  std::uint64_t total = 0;
+  for (const auto& l : lists) total += l.size();
+  EXPECT_EQ(total, 4000u);
+  // Ranks along the sheet-divided x axis should hold unequal shares.
+  std::uint64_t lo_x = 0, hi_x = 0;
+  for (int r = 0; r < 8; ++r) {
+    const auto c = domain.cart.coords_of(r);
+    if (c[0] == 0)
+      lo_x += lists[static_cast<std::size_t>(r)].size();
+    else
+      hi_x += lists[static_cast<std::size_t>(r)].size();
+  }
+  EXPECT_NE(lo_x, hi_x);
+}
+
+TEST(PicParticles, OwnershipIsConsistentWithBoxes) {
+  const Domain domain = domain_of(12);
+  const auto lists = initialize_particles(domain, 1000, 7);
+  for (int r = 0; r < 12; ++r)
+    for (const auto& p : lists[static_cast<std::size_t>(r)])
+      EXPECT_TRUE(domain.contains(r, p));
+}
+
+TEST(PicParticles, ReflectionKeepsParticlesInDomain) {
+  Particle p;
+  p.x = 0.98;
+  p.vx = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    move_particle(p, 0.05);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 1.0);
+  }
+}
+
+TEST(PicParticles, SignatureIsOrderIndependent) {
+  const Domain domain = domain_of(2);
+  auto lists = initialize_particles(domain, 100, 3);
+  auto shuffled = lists[0];
+  std::reverse(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(particle_signature(lists[0]), particle_signature(shuffled));
+  shuffled.pop_back();
+  EXPECT_NE(particle_signature(lists[0]), particle_signature(shuffled));
+}
+
+TEST(PicParticles, ModeledCountsConserveTotal) {
+  const Domain domain = domain_of(16);
+  const auto counts = modeled_rank_counts(domain, 16'000);
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_EQ(total, 16000u);
+}
+
+TEST(PicExchange, ReferenceMatchesOracle) {
+  const PicConfig cfg = small_real_config();
+  const auto result =
+      run_pic(ExchangeVariant::Reference, cfg, testing::tiny_machine(8));
+  expect_matches_oracle(result, cfg, 8, 8);
+}
+
+TEST(PicExchange, DecoupledMatchesOracle) {
+  const PicConfig cfg = small_real_config();
+  const auto result =
+      run_pic(ExchangeVariant::Decoupled, cfg, testing::tiny_machine(8));
+  expect_matches_oracle(result, cfg, 8,
+                        compute_ranks_of(ExchangeVariant::Decoupled, cfg, 8));
+}
+
+TEST(PicExchange, ModeledRunsConserveParticles) {
+  PicConfig cfg;
+  cfg.particles_per_rank = 5000;
+  cfg.steps = 6;
+  cfg.stride = 4;
+  for (const auto variant : {ExchangeVariant::Reference, ExchangeVariant::Decoupled}) {
+    const auto result = run_pic(variant, cfg, testing::tiny_machine(16));
+    const auto ranks = static_cast<std::uint64_t>(
+        compute_ranks_of(variant, cfg, 16));
+    EXPECT_EQ(result.total_particles_end, cfg.particles_per_rank * 16)
+        << "variant " << static_cast<int>(variant) << " ranks " << ranks;
+    EXPECT_GT(result.comm_seconds, 0.0);
+    EXPECT_GT(result.seconds, result.comm_seconds);
+  }
+}
+
+TEST(PicIo, CollectiveAndSharedProduceSameContent) {
+  PicIoConfig cfg;
+  cfg.real_data = true;
+  cfg.particles_per_rank = 50;
+  cfg.steps = 2;
+  auto ids_of = [](const std::vector<std::byte>& content) {
+    std::vector<std::uint64_t> ids(content.size() / 8);
+    std::memcpy(ids.data(), content.data(), ids.size() * 8);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  const auto coll = run_pic_io(IoVariant::Collective, cfg, testing::tiny_machine(4));
+  const auto shared = run_pic_io(IoVariant::Shared, cfg, testing::tiny_machine(4));
+  EXPECT_EQ(coll.file_bytes, shared.file_bytes);
+  EXPECT_GT(coll.file_bytes, 0u);
+  // Same records, possibly in a different order in the file.
+  EXPECT_EQ(ids_of(coll.file_content), ids_of(shared.file_content));
+}
+
+TEST(PicIo, DecoupledWritesEverything) {
+  PicIoConfig cfg;
+  cfg.particles_per_rank = 1000;
+  cfg.steps = 3;
+  cfg.stride = 4;
+  const auto result = run_pic_io(IoVariant::Decoupled, cfg, testing::tiny_machine(8));
+  // Total bytes = total particles x particle_bytes x steps (weak-scaled to
+  // the same total as the reference layouts).
+  const std::uint64_t expected = 1000ull * 8 * sizeof(Particle) * 3;
+  EXPECT_EQ(result.file_bytes, expected);
+}
+
+TEST(PicIo, AllVariantsWriteSameTotalBytes) {
+  PicIoConfig cfg;
+  cfg.particles_per_rank = 500;
+  cfg.steps = 2;
+  cfg.stride = 4;
+  const auto coll = run_pic_io(IoVariant::Collective, cfg, testing::tiny_machine(8));
+  const auto shared = run_pic_io(IoVariant::Shared, cfg, testing::tiny_machine(8));
+  const auto dec = run_pic_io(IoVariant::Decoupled, cfg, testing::tiny_machine(8));
+  EXPECT_EQ(coll.file_bytes, shared.file_bytes);
+  EXPECT_EQ(coll.file_bytes, dec.file_bytes);
+}
+
+}  // namespace
+}  // namespace ds::apps::pic

@@ -1,0 +1,118 @@
+#include "apps/wordcount/wordcount.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/machine_helpers.hpp"
+
+namespace ds::apps::wordcount {
+namespace {
+
+WordcountConfig small_real_config() {
+  WordcountConfig cfg;
+  cfg.corpus.files_per_rank = 2;
+  cfg.corpus.min_file_bytes = 1 << 20;
+  cfg.corpus.max_file_bytes = 4 << 20;
+  cfg.corpus.sample_vocabulary = 101;
+  cfg.block_bytes = 1 << 20;
+  cfg.element_bytes = 4096;
+  cfg.real_data = true;
+  cfg.words_per_block_real = 300;
+  cfg.stride = 4;
+  return cfg;
+}
+
+TEST(WordcountCorpus, DeterministicSizesInRange) {
+  CorpusParams p;
+  const Corpus a(p, 8), b(p, 8);
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+  EXPECT_EQ(a.file_count(), 8 * p.files_per_rank);
+  for (int f = 0; f < a.file_count(); ++f) {
+    EXPECT_GE(a.file_bytes(f), p.min_file_bytes);
+    EXPECT_LE(a.file_bytes(f), p.max_file_bytes);
+  }
+}
+
+TEST(WordcountCorpus, RoundRobinAssignmentCoversAllFiles) {
+  const Corpus corpus(CorpusParams{}, 4);
+  std::uint64_t total = 0;
+  for (int owner = 0; owner < 4; ++owner) total += corpus.bytes_of(owner, 4);
+  EXPECT_EQ(total, corpus.total_bytes());
+}
+
+TEST(WordcountCorpus, HeapsLawGrowsSublinearly) {
+  const Corpus corpus(CorpusParams{}, 4);
+  const auto v1 = corpus.distinct_words(1 << 20);
+  const auto v2 = corpus.distinct_words(1ull << 30);
+  EXPECT_GT(v2, v1);
+  EXPECT_LT(static_cast<double>(v2), 1024.0 * static_cast<double>(v1));
+}
+
+TEST(WordcountCorpus, BlockSamplingIsDeterministic) {
+  const Corpus corpus(CorpusParams{}, 2);
+  std::vector<std::uint64_t> a, b;
+  corpus.sample_block(1, 3, 500, a);
+  corpus.sample_block(1, 3, 500, b);
+  EXPECT_EQ(a, b);
+  std::uint64_t total = 0;
+  for (const auto c : a) total += c;
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(Wordcount, ReferenceMatchesSequentialOracle) {
+  const WordcountConfig cfg = small_real_config();
+  const auto oracle = sequential_histogram(cfg, 8);
+  const auto result = run_reference(cfg, testing::tiny_machine(8));
+  ASSERT_EQ(result.histogram.size(), oracle.size());
+  EXPECT_EQ(result.histogram, oracle);
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST(Wordcount, DecoupledMatchesSequentialOracle) {
+  const WordcountConfig cfg = small_real_config();
+  const auto oracle = sequential_histogram(cfg, 8);
+  const auto result = run_decoupled(cfg, testing::tiny_machine(8));
+  ASSERT_EQ(result.histogram.size(), oracle.size());
+  EXPECT_EQ(result.histogram, oracle);
+}
+
+TEST(Wordcount, DecoupledWithAggregationAlsoExact) {
+  WordcountConfig cfg = small_real_config();
+  cfg.aggregate_reduce_group = true;
+  const auto oracle = sequential_histogram(cfg, 8);
+  const auto result = run_decoupled(cfg, testing::tiny_machine(8));
+  EXPECT_EQ(result.histogram, oracle);
+}
+
+TEST(Wordcount, ModeledRunsProduceTimeAndElements) {
+  WordcountConfig cfg;
+  cfg.stride = 4;
+  const auto ref = run_reference(cfg, testing::tiny_machine(16));
+  const auto dec = run_decoupled(cfg, testing::tiny_machine(16));
+  EXPECT_GT(ref.seconds, 0.0);
+  EXPECT_GT(dec.seconds, 0.0);
+  EXPECT_GT(dec.elements_streamed, 0u);
+}
+
+TEST(Wordcount, ElementCountMatchesBlockCount) {
+  WordcountConfig cfg;
+  cfg.stride = 4;
+  const int p = 8;
+  const Corpus corpus(cfg.corpus, p);
+  std::uint64_t expected = 0;
+  for (int f = 0; f < corpus.file_count(); ++f)
+    expected += blocks_of(cfg, corpus.file_bytes(f));
+  const auto dec = run_decoupled(cfg, testing::tiny_machine(p));
+  EXPECT_EQ(dec.elements_streamed, expected);
+}
+
+TEST(Wordcount, SingleHelperDegeneratesToMasterOnly) {
+  // One helper = the reduce group is just the master; still exact.
+  WordcountConfig cfg = small_real_config();
+  cfg.stride = 8;  // 8 ranks -> exactly one helper
+  const auto oracle = sequential_histogram(cfg, 8);
+  const auto result = run_decoupled(cfg, testing::tiny_machine(8));
+  EXPECT_EQ(result.histogram, oracle);
+}
+
+}  // namespace
+}  // namespace ds::apps::wordcount

@@ -1,0 +1,26 @@
+// Shared helpers for tests that spin up a simulated machine.
+#pragma once
+
+#include <functional>
+
+#include "mpi/machine.hpp"
+#include "mpi/rank.hpp"
+
+namespace ds::testing {
+
+/// Small machine with Aries-like costs (deterministic, no noise).
+[[nodiscard]] inline mpi::MachineConfig tiny_machine(int world_size) {
+  mpi::MachineConfig config;
+  config.world_size = world_size;
+  config.engine.stack_bytes = 64 * 1024;
+  return config;
+}
+
+/// Run `program` on all ranks; returns the virtual makespan.
+inline util::SimTime run_program(const mpi::MachineConfig& config,
+                                 const std::function<void(mpi::Rank&)>& program) {
+  mpi::Machine machine(config);
+  return machine.run(program);
+}
+
+}  // namespace ds::testing

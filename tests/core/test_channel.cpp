@@ -1,0 +1,117 @@
+#include "core/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/machine_helpers.hpp"
+
+namespace ds::stream {
+namespace {
+
+using mpi::Rank;
+
+TEST(Channel, CreatePartitionsProducersAndConsumers) {
+  testing::run_program(testing::tiny_machine(6), [&](Rank& self) {
+    const int me = self.world_rank();
+    const bool producer = me < 4;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    EXPECT_TRUE(ch.valid());
+    EXPECT_EQ(ch.producer_count(), 4);
+    EXPECT_EQ(ch.consumer_count(), 2);
+    if (producer) {
+      EXPECT_EQ(ch.my_producer_index(self), me);
+      EXPECT_EQ(ch.my_consumer_index(self), -1);
+    } else {
+      EXPECT_EQ(ch.my_consumer_index(self), me - 4);
+      EXPECT_EQ(ch.my_producer_index(self), -1);
+    }
+  });
+}
+
+TEST(Channel, NonMembersGetInertHandle) {
+  testing::run_program(testing::tiny_machine(4), [&](Rank& self) {
+    const int me = self.world_rank();
+    // Rank 3 stays out entirely.
+    const Channel ch = Channel::create(self, self.world(), me == 0 || me == 1,
+                                       me == 2);
+    if (me == 3) {
+      EXPECT_FALSE(ch.valid());
+    } else {
+      EXPECT_TRUE(ch.valid());
+    }
+  });
+}
+
+TEST(Channel, ProducerAndConsumerRolesAreExclusive) {
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    EXPECT_THROW(Channel::create(self, self.world(), true, true),
+                 std::invalid_argument);
+    // Keep the collective count consistent for both ranks: nothing else.
+  });
+}
+
+TEST(Channel, BlockMappingIsStableAndBalanced) {
+  testing::run_program(testing::tiny_machine(10), [&](Rank& self) {
+    const int me = self.world_rank();
+    const Channel ch = Channel::create(self, self.world(), me < 8, me >= 8);
+    if (!ch.valid()) return;
+    // 8 producers over 2 consumers: first half -> 0, second half -> 1.
+    EXPECT_EQ(ch.route(0, 0), 0);
+    EXPECT_EQ(ch.route(3, 99), 0);
+    EXPECT_EQ(ch.route(4, 0), 1);
+    EXPECT_EQ(ch.route(7, 5), 1);
+    EXPECT_EQ(ch.producers_of(0), (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(ch.producers_of(1), (std::vector<int>{4, 5, 6, 7}));
+  });
+}
+
+TEST(Channel, RoundRobinCyclesConsumers) {
+  testing::run_program(testing::tiny_machine(5), [&](Rank& self) {
+    const int me = self.world_rank();
+    ChannelConfig cfg;
+    cfg.mapping = ChannelConfig::Mapping::RoundRobin;
+    const Channel ch =
+        Channel::create(self, self.world(), me < 2, me >= 2, cfg);
+    // Same producer, consecutive elements -> different consumers.
+    EXPECT_NE(ch.route(0, 0), ch.route(0, 1));
+    EXPECT_EQ(ch.route(0, 0), ch.route(0, 3));  // 3 consumers -> period 3
+    // Every consumer expects every producer.
+    EXPECT_EQ(ch.producers_of(1), (std::vector<int>{0, 1}));
+  });
+}
+
+TEST(Channel, ChannelRanksMapBackToWorldRanks) {
+  testing::run_program(testing::tiny_machine(4), [&](Rank& self) {
+    const int me = self.world_rank();
+    // Producers: ranks 1 and 3; consumers: 0 and 2 (tests reordering).
+    const Channel ch =
+        Channel::create(self, self.world(), me % 2 == 1, me % 2 == 0);
+    if (!ch.valid()) return;
+    EXPECT_EQ(ch.comm().world_rank(Channel::producer_rank(0)), 1);
+    EXPECT_EQ(ch.comm().world_rank(Channel::producer_rank(1)), 3);
+    EXPECT_EQ(ch.comm().world_rank(ch.consumer_rank(0)), 0);
+    EXPECT_EQ(ch.comm().world_rank(ch.consumer_rank(1)), 2);
+  });
+}
+
+TEST(Channel, RequiresBothGroupsNonEmpty) {
+  testing::run_program(testing::tiny_machine(3), [&](Rank& self) {
+    EXPECT_THROW(Channel::create(self, self.world(), true, false),
+                 std::invalid_argument);
+  });
+}
+
+TEST(Channel, DistinctChannelIdsGetDistinctContexts) {
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const int me = self.world_rank();
+    ChannelConfig c1;
+    c1.channel_id = 1;
+    ChannelConfig c2;
+    c2.channel_id = 2;
+    const Channel a = Channel::create(self, self.world(), me == 0, me == 1, c1);
+    const Channel b = Channel::create(self, self.world(), me == 0, me == 1, c2);
+    EXPECT_NE(a.comm().context(), b.comm().context());
+  });
+}
+
+}  // namespace
+}  // namespace ds::stream

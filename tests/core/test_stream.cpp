@@ -1,0 +1,246 @@
+#include "core/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include <vector>
+
+#include "common/machine_helpers.hpp"
+
+namespace ds::stream {
+namespace {
+
+using mpi::Rank;
+using mpi::SendBuf;
+
+TEST(Stream, ElementsReachConsumerWithOperatorApplied) {
+  std::vector<int> received;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    auto op = [&](const StreamElement& el) {
+      int v = 0;
+      std::memcpy(&v, el.data, sizeof v);
+      received.push_back(v);
+    };
+    Stream s = Stream::attach(ch, mpi::Datatype::int32(), producer ? Operator{} : op);
+    if (producer) {
+      for (int i = 0; i < 5; ++i) s.isend(self, SendBuf::of(&i, 1));
+      s.terminate(self);
+    } else {
+      const auto n = s.operate(self);
+      EXPECT_EQ(n, 5u);
+    }
+  });
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Stream, OperateReturnsAfterAllProducersTerminate) {
+  int consumed = 0;
+  testing::run_program(testing::tiny_machine(4), [&](Rank& self) {
+    const bool producer = self.world_rank() < 3;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    Stream s = Stream::attach(ch, mpi::Datatype::int32(),
+                              [&](const StreamElement&) { ++consumed; });
+    if (producer) {
+      const int v = self.world_rank();
+      s.isend(self, SendBuf::of(&v, 1));
+      s.isend(self, SendBuf::of(&v, 1));
+      s.terminate(self);
+    } else {
+      (void)s.operate(self);
+      EXPECT_TRUE(s.exhausted());
+    }
+  });
+  EXPECT_EQ(consumed, 6);
+}
+
+TEST(Stream, FcfsAbsorbsProducerImbalance) {
+  // One producer is heavily delayed; the consumer must process the fast
+  // producer's elements first instead of waiting on the slow one.
+  std::vector<int> arrival_order;
+  testing::run_program(testing::tiny_machine(3), [&](Rank& self) {
+    const bool producer = self.world_rank() < 2;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    Stream s = Stream::attach(ch, mpi::Datatype::int32(),
+                              [&](const StreamElement& el) {
+                                arrival_order.push_back(el.producer);
+                              });
+    if (producer) {
+      if (self.world_rank() == 0) self.process().advance(util::milliseconds(20));
+      const int v = 1;
+      for (int i = 0; i < 3; ++i) s.isend(self, SendBuf::of(&v, 1));
+      s.terminate(self);
+    } else {
+      (void)s.operate(self);
+    }
+  });
+  ASSERT_EQ(arrival_order.size(), 6u);
+  // The fast producer (index 1) delivers all three elements first.
+  EXPECT_EQ(arrival_order[0], 1);
+  EXPECT_EQ(arrival_order[1], 1);
+  EXPECT_EQ(arrival_order[2], 1);
+}
+
+TEST(Stream, SyntheticElementsReportNullData) {
+  int seen = 0;
+  bool data_was_null = false;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    Stream s = Stream::attach(ch, mpi::Datatype::bytes(1024),
+                              [&](const StreamElement& el) {
+                                ++seen;
+                                data_was_null = el.data == nullptr;
+                                EXPECT_EQ(el.bytes, 1024u);
+                              });
+    if (producer) {
+      s.isend_synthetic(self);
+      s.terminate(self);
+    } else {
+      (void)s.operate(self);
+    }
+  });
+  EXPECT_EQ(seen, 1);
+  EXPECT_TRUE(data_was_null);
+}
+
+TEST(Stream, OversizedElementRejected) {
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    Stream s = Stream::attach(ch, mpi::Datatype::bytes(8), {});
+    if (producer) {
+      EXPECT_THROW(s.isend(self, SendBuf::synthetic(9)), std::invalid_argument);
+      s.terminate(self);
+    } else {
+      (void)s.operate(self);
+    }
+  });
+}
+
+TEST(Stream, IsendAfterTerminateRejected) {
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    Stream s = Stream::attach(ch, mpi::Datatype::int32(), {});
+    if (producer) {
+      s.terminate(self);
+      const int v = 0;
+      EXPECT_THROW(s.isend(self, SendBuf::of(&v, 1)), std::logic_error);
+    } else {
+      (void)s.operate(self);
+    }
+  });
+}
+
+TEST(Stream, ConsumerApiOnProducerThrows) {
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    Stream s = Stream::attach(ch, mpi::Datatype::int32(), {});
+    if (producer) {
+      EXPECT_THROW((void)s.operate(self), std::logic_error);
+      s.terminate(self);
+    } else {
+      EXPECT_THROW(s.isend(self, SendBuf::synthetic(4)), std::logic_error);
+      (void)s.operate(self);
+    }
+  });
+}
+
+TEST(Stream, DirectedRoutingReachesAddressedConsumer) {
+  std::vector<int> seen_by(2, 0);
+  testing::run_program(testing::tiny_machine(4), [&](Rank& self) {
+    const int me = self.world_rank();
+    const bool producer = me < 2;
+    ChannelConfig cfg;
+    cfg.mapping = ChannelConfig::Mapping::Directed;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer, cfg);
+    Stream s = Stream::attach(ch, mpi::Datatype::int32(),
+                              [&](const StreamElement&) {
+                                ++seen_by[static_cast<std::size_t>(
+                                    ch.my_consumer_index(self))];
+                              });
+    if (producer) {
+      const int v = 1;
+      s.isend_to(self, 1, SendBuf::of(&v, 1));  // both producers target c1
+      s.terminate(self);
+    } else {
+      (void)s.operate(self);
+    }
+  });
+  EXPECT_EQ(seen_by[0], 0);
+  EXPECT_EQ(seen_by[1], 2);
+}
+
+TEST(Stream, PollOneDrainsWithoutBlocking) {
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    int seen = 0;
+    Stream s = Stream::attach(ch, mpi::Datatype::int32(),
+                              [&](const StreamElement&) { ++seen; });
+    if (producer) {
+      const int v = 7;
+      s.isend(self, SendBuf::of(&v, 1));
+      s.terminate(self);
+    } else {
+      EXPECT_FALSE(s.poll_one(self));  // nothing arrived yet at t=0
+      self.process().advance(util::milliseconds(1));
+      EXPECT_TRUE(s.poll_one(self));   // element
+      EXPECT_EQ(seen, 1);
+      (void)s.operate(self);           // just the termination remains
+      EXPECT_EQ(seen, 1);
+    }
+  });
+}
+
+TEST(Stream, MultipleStreamsOnOneChannelStaySeparate) {
+  int a_count = 0, b_count = 0;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    Stream a = Stream::attach(ch, mpi::Datatype::int32(),
+                              [&](const StreamElement&) { ++a_count; }, 1);
+    Stream b = Stream::attach(ch, mpi::Datatype::int32(),
+                              [&](const StreamElement&) { ++b_count; }, 2);
+    if (producer) {
+      const int v = 0;
+      a.isend(self, SendBuf::of(&v, 1));
+      a.isend(self, SendBuf::of(&v, 1));
+      b.isend(self, SendBuf::of(&v, 1));
+      a.terminate(self);
+      b.terminate(self);
+    } else {
+      (void)a.operate(self);
+      (void)b.operate(self);
+    }
+  });
+  EXPECT_EQ(a_count, 2);
+  EXPECT_EQ(b_count, 1);
+}
+
+TEST(Stream, InjectionChargesOverheadToProducer) {
+  util::SimTime producer_done = 0;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    ChannelConfig cfg;
+    cfg.inject_overhead = util::microseconds(10);
+    const Channel ch = Channel::create(self, self.world(), producer, !producer, cfg);
+    Stream s = Stream::attach(ch, mpi::Datatype::int32(), {});
+    if (producer) {
+      const int v = 0;
+      for (int i = 0; i < 100; ++i) s.isend(self, SendBuf::of(&v, 1));
+      s.terminate(self);
+      producer_done = self.now();
+    } else {
+      (void)s.operate(self);
+    }
+  });
+  EXPECT_GE(producer_done, util::microseconds(1000));  // 100 x 10us
+}
+
+}  // namespace
+}  // namespace ds::stream

@@ -1,0 +1,134 @@
+#include "fs/filesystem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace ds::fs {
+namespace {
+
+FsConfig small_config() {
+  FsConfig c;
+  c.num_servers = 4;
+  c.server_ns_per_byte = 1.0;
+  c.op_latency = 1000;
+  c.server_op_service = 0;  // timing tests below use pure byte service
+  c.metadata_latency = 500;
+  c.metadata_service = 100;
+  c.stripe_bytes = 1024;
+  return c;
+}
+
+TEST(SimFile, TracksSizeAndContent) {
+  SimFile f("x");
+  const char data[] = "hello";
+  f.store(10, data, 5);
+  EXPECT_EQ(f.size(), 15u);
+  const auto content = f.content();
+  EXPECT_EQ(std::memcmp(content.data() + 10, "hello", 5), 0);
+  EXPECT_EQ(static_cast<char>(content[0]), 0);  // gap zero-filled
+}
+
+TEST(SimFile, SharedReservationsAreDisjoint) {
+  SimFile f("x");
+  EXPECT_EQ(f.reserve_shared(100), 0u);
+  EXPECT_EQ(f.reserve_shared(50), 100u);
+  EXPECT_EQ(f.size(), 150u);
+}
+
+TEST(SimFile, CollectiveClaimSharedAcrossRanks) {
+  SimFile f("x");
+  const auto base0a = f.claim_collective(0, 1000);
+  const auto base0b = f.claim_collective(0, 1000);  // second rank, same epoch
+  const auto base1 = f.claim_collective(1, 500);
+  EXPECT_EQ(base0a, 0u);
+  EXPECT_EQ(base0b, 0u);
+  EXPECT_EQ(base1, 1000u);
+}
+
+TEST(FileSystem, OpenReturnsStableHandle) {
+  FileSystem fs(small_config());
+  SimFile* a = fs.open("f");
+  SimFile* b = fs.open("f");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(fs.open("g"), a);
+}
+
+TEST(FileSystem, WriteCompletionCoversServiceTime) {
+  FileSystem fs(small_config());
+  SimFile* f = fs.open("f");
+  // 2048 bytes = 2 stripes on 2 servers in parallel: 1000 latency + 1024ns.
+  const auto done = fs.write(*f, 0, 2048, nullptr, 0);
+  EXPECT_EQ(done, 1000 + 1024);
+}
+
+TEST(FileSystem, SameServerSerializes) {
+  FileSystem fs(small_config());
+  SimFile* f = fs.open("f");
+  // Both writes hit stripe 0 -> server 0.
+  const auto a = fs.write(*f, 0, 512, nullptr, 0);
+  const auto b = fs.write(*f, 0, 512, nullptr, 0);
+  EXPECT_EQ(a, 1512);
+  EXPECT_EQ(b, 2024);  // queued behind the first
+}
+
+TEST(FileSystem, StripesSpreadServers) {
+  FileSystem fs(small_config());
+  SimFile* f = fs.open("f");
+  // 4 stripes over 4 servers run in parallel after the op latency.
+  const auto done = fs.write(*f, 0, 4096, nullptr, 0);
+  EXPECT_EQ(done, 1000 + 1024);
+}
+
+TEST(FileSystem, MetadataRpcSerializesAtMds) {
+  FileSystem fs(small_config());
+  const auto a = fs.metadata_rpc(0);
+  const auto b = fs.metadata_rpc(0);
+  // a: 500 in + 100 service + 500 out = 1100; b queues behind service slot.
+  EXPECT_EQ(a, 1100);
+  EXPECT_EQ(b, 1200);
+}
+
+TEST(FileSystem, SharedAppendAssignsSequentialOffsets) {
+  FileSystem fs(small_config());
+  SimFile* f = fs.open("f");
+  const auto r1 = fs.shared_append(*f, 100, nullptr, 0);
+  const auto r2 = fs.shared_append(*f, 100, nullptr, 0);
+  EXPECT_EQ(r1.offset, 0u);
+  EXPECT_EQ(r2.offset, 100u);
+  EXPECT_GT(r2.complete_at, r1.complete_at - 100);  // later lock, later data
+}
+
+TEST(FileSystem, ZeroByteWriteStillPaysLatency) {
+  FileSystem fs(small_config());
+  SimFile* f = fs.open("f");
+  EXPECT_EQ(fs.write(*f, 0, 0, nullptr, 5), 5 + 1000);
+}
+
+TEST(FileSystem, PerRequestServiceMakesSmallWritesCostlier) {
+  FsConfig cfg = small_config();
+  cfg.server_op_service = 10'000;
+  FileSystem fs(cfg);
+  SimFile* f = fs.open("f");
+  // 8 writes of 128 B to the same stripe vs one 1024 B write: same bytes,
+  // 8x the per-request occupancy.
+  util::SimTime many = 0;
+  for (int i = 0; i < 8; ++i)
+    many = fs.write(*f, 0, 128, nullptr, 0);
+  FileSystem fs2(cfg);
+  SimFile* g = fs2.open("g");
+  const util::SimTime one = fs2.write(*g, 0, 1024, nullptr, 0);
+  EXPECT_GT(many, one + 6 * 10'000);
+}
+
+TEST(FileSystem, AccountsTotals) {
+  FileSystem fs(small_config());
+  SimFile* f = fs.open("f");
+  (void)fs.write(*f, 0, 100, nullptr, 0);
+  (void)fs.shared_append(*f, 50, nullptr, 0);
+  EXPECT_EQ(fs.total_bytes_written(), 150u);
+  EXPECT_GE(fs.total_requests(), 3u);  // 2 writes + 1 mds rpc
+}
+
+}  // namespace
+}  // namespace ds::fs

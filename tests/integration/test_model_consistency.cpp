@@ -1,0 +1,150 @@
+// Analytic-model consistency: the simulator and Eqs. 1-4 must agree on the
+// synthetic two-operation application within tolerance — the check that the
+// performance model in src/model actually describes the machine in src/sim.
+#include <gtest/gtest.h>
+
+#include "common/machine_helpers.hpp"
+#include "core/channel.hpp"
+#include "core/stream.hpp"
+#include "model/perf_model.hpp"
+
+namespace ds {
+namespace {
+
+using mpi::Rank;
+
+constexpr int kRanks = 8;
+constexpr int kRounds = 10;
+constexpr util::SimTime kOp0 = util::milliseconds(5);
+constexpr util::SimTime kOp1 = util::milliseconds(2);
+constexpr std::size_t kElementBytes = 32 * 1024;
+
+double simulated_conventional() {
+  mpi::Machine machine(testing::tiny_machine(kRanks));
+  return util::to_seconds(machine.run([&](Rank& self) {
+    for (int r = 0; r < kRounds; ++r) {
+      self.compute(kOp0);
+      self.reduce(self.world(), 0, mpi::SendBuf::synthetic(kElementBytes),
+                  nullptr, {});
+      self.compute(kOp1);
+      self.barrier(self.world());
+    }
+  }));
+}
+
+double simulated_decoupled() {
+  mpi::Machine machine(testing::tiny_machine(kRanks));
+  return util::to_seconds(machine.run([&](Rank& self) {
+    const bool helper = self.world_rank() == kRanks - 1;
+    const stream::Channel ch =
+        stream::Channel::create(self, self.world(), !helper, helper);
+    if (helper) {
+      stream::Stream s = stream::Stream::attach(
+          ch, mpi::Datatype::bytes(kElementBytes),
+          [&](const stream::StreamElement&) { self.compute(kOp1 / (kRanks - 1)); });
+      (void)s.operate(self);
+    } else {
+      stream::Stream s =
+          stream::Stream::attach(ch, mpi::Datatype::bytes(kElementBytes), {});
+      for (int r = 0; r < kRounds; ++r) {
+        self.compute(kOp0 * kRanks / (kRanks - 1));
+        s.isend_synthetic(self);
+      }
+      s.terminate(self);
+    }
+  }));
+}
+
+model::TwoOpWorkload matching_workload() {
+  model::TwoOpWorkload w;
+  w.t_w0 = util::to_seconds(kOp0) * kRounds;
+  w.t_w1 = util::to_seconds(kOp1) * kRounds;
+  w.t_sigma = 0.0;  // noiseless machine in this test
+  w.alpha = 1.0 / kRanks;
+  w.beta = 0.02;    // near-perfect pipeline: producers never wait
+  w.t_w1_decoupled = util::to_seconds(kOp1) * kRounds / kRanks;
+  w.total_data = static_cast<double>(kElementBytes) * kRounds * (kRanks - 1);
+  w.granularity = static_cast<double>(kElementBytes);
+  w.overhead_per_element = 1.1e-6;  // inject + o_s on this machine profile
+  return w;
+}
+
+TEST(ModelConsistency, ConventionalTimeWithinTolerance) {
+  const double simulated = simulated_conventional();
+  const double predicted = model::conventional_time(matching_workload());
+  // Eq. 1 omits the collective wire time; allow 15%.
+  EXPECT_NEAR(simulated, predicted, predicted * 0.15);
+}
+
+TEST(ModelConsistency, DecoupledTimeWithinToleranceWorkerBound) {
+  // In this workload the worker group is the tail (T_W0/(1-a) > T'_W1/a):
+  // Eq. 2's max() is the governing equation (the paper's Eq. 3/4 assume the
+  // decoupled operation finishes last).
+  const double simulated = simulated_decoupled();
+  const double predicted = model::decoupled_time_ideal(matching_workload());
+  EXPECT_NEAR(simulated, predicted, predicted * 0.15);
+}
+
+TEST(ModelConsistency, DecoupledTimeWithinToleranceHelperBound) {
+  // Helper-bound variant: per-element helper work large enough that the
+  // decoupled operation is the tail — now Eq. 4 governs.
+  const util::SimTime helper_per_element = util::microseconds(1200);
+  mpi::Machine machine(testing::tiny_machine(kRanks));
+  const double simulated = util::to_seconds(machine.run([&](Rank& self) {
+    const bool helper = self.world_rank() == kRanks - 1;
+    const stream::Channel ch =
+        stream::Channel::create(self, self.world(), !helper, helper);
+    if (helper) {
+      stream::Stream s = stream::Stream::attach(
+          ch, mpi::Datatype::bytes(kElementBytes),
+          [&](const stream::StreamElement&) { self.compute(helper_per_element); });
+      (void)s.operate(self);
+    } else {
+      stream::Stream s =
+          stream::Stream::attach(ch, mpi::Datatype::bytes(kElementBytes), {});
+      for (int r = 0; r < kRounds; ++r) {
+        self.compute(kOp0 * kRanks / (kRanks - 1));
+        s.isend_synthetic(self);
+      }
+      s.terminate(self);
+    }
+  }));
+  model::TwoOpWorkload w = matching_workload();
+  // T'_W1 per the model is the decoupled op's total time divided over the
+  // helper group: alpha * (elements * per-element time).
+  w.t_w1_decoupled = w.alpha * util::to_seconds(helper_per_element) *
+                     kRounds * (kRanks - 1);
+  const double predicted = model::decoupled_time_full(w);
+  EXPECT_NEAR(simulated, predicted, predicted * 0.15);
+}
+
+TEST(ModelConsistency, SpeedupDirectionAgrees) {
+  const double sim_speedup = simulated_conventional() / simulated_decoupled();
+  const double model_speedup =
+      model::conventional_time(matching_workload()) /
+      model::decoupled_time_ideal(matching_workload());
+  EXPECT_GT(sim_speedup, 1.0);
+  EXPECT_GT(model_speedup, 1.0);
+  EXPECT_NEAR(sim_speedup, model_speedup, model_speedup * 0.25);
+}
+
+TEST(ModelConsistency, AlphaScalingMatchesEq2WorkerTerm) {
+  // Doubling alpha's denominator (more workers) must reduce the worker-side
+  // inflation exactly as 1/(1-alpha) predicts; verified via virtual time of
+  // a pure-compute worker group.
+  auto worker_time = [](int ranks) {
+    mpi::Machine machine(testing::tiny_machine(ranks));
+    return util::to_seconds(machine.run([&](Rank& self) {
+      const bool helper = self.world_rank() == ranks - 1;
+      if (!helper) self.compute(kOp0 * ranks / (ranks - 1));
+    }));
+  };
+  const double t8 = worker_time(8);
+  const double t16 = worker_time(16);
+  // Integer-nanosecond clock: allow rounding at the last ns.
+  EXPECT_NEAR(t8 / util::to_seconds(kOp0), 8.0 / 7.0, 1e-6);
+  EXPECT_NEAR(t16 / util::to_seconds(kOp0), 16.0 / 15.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ds

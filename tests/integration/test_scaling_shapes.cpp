@@ -1,0 +1,120 @@
+// Weak-scaling *shape* assertions at test-sized sweeps: the monotonicity
+// and flatness properties the figure benches rely on, checked routinely so
+// a regression in the cost models is caught by ctest, not by eyeballing
+// bench output.
+#include <gtest/gtest.h>
+
+#include "apps/cg/cg_app.hpp"
+#include "apps/pic/pic_app.hpp"
+#include "apps/wordcount/wordcount.hpp"
+#include "common/machine_helpers.hpp"
+
+namespace ds {
+namespace {
+
+mpi::MachineConfig bench_like(int p, std::uint64_t seed = 42) {
+  mpi::MachineConfig machine = testing::tiny_machine(p);
+  machine.engine.noise = sim::NoiseConfig::production_node();
+  machine.engine.seed = seed;
+  return machine;
+}
+
+TEST(ScalingShapes, WordcountReferenceGrowsWithScale) {
+  apps::wordcount::WordcountConfig cfg;
+  cfg.stride = 16;
+  const auto small = apps::wordcount::run_reference(cfg, bench_like(32));
+  const auto large = apps::wordcount::run_reference(cfg, bench_like(256));
+  EXPECT_GT(large.seconds, small.seconds * 0.98);  // monotone (within noise)
+}
+
+TEST(ScalingShapes, WordcountDecoupledStaysFlat) {
+  apps::wordcount::WordcountConfig cfg;
+  cfg.stride = 16;
+  const auto small = apps::wordcount::run_decoupled(cfg, bench_like(32));
+  const auto large = apps::wordcount::run_decoupled(cfg, bench_like(256));
+  // Near-perfect weak scaling: within 30% across an 8x scale-up.
+  EXPECT_LT(large.seconds, small.seconds * 1.3);
+}
+
+TEST(ScalingShapes, WordcountDecoupledBeatsReferenceAtEveryScale) {
+  apps::wordcount::WordcountConfig cfg;
+  cfg.stride = 16;
+  for (const int p : {32, 64, 128}) {
+    const auto ref = apps::wordcount::run_reference(cfg, bench_like(p));
+    const auto dec = apps::wordcount::run_decoupled(cfg, bench_like(p));
+    EXPECT_LT(dec.seconds, ref.seconds) << "procs " << p;
+  }
+}
+
+TEST(ScalingShapes, CgBlockingDegradesRelativeToNonblocking) {
+  apps::cg::CgConfig cfg;
+  cfg.n = 48;
+  cfg.iterations = 6;
+  cfg.stride = 16;
+  // The blocking penalty is the unoverlapped dense-alltoall walk, which
+  // grows with P; compare the blocking/nonblocking gap at two scales.
+  const auto b_small =
+      apps::cg::run_cg(apps::cg::HaloVariant::Blocking, cfg, bench_like(32));
+  const auto n_small =
+      apps::cg::run_cg(apps::cg::HaloVariant::Nonblocking, cfg, bench_like(32));
+  const auto b_large =
+      apps::cg::run_cg(apps::cg::HaloVariant::Blocking, cfg, bench_like(512));
+  const auto n_large =
+      apps::cg::run_cg(apps::cg::HaloVariant::Nonblocking, cfg, bench_like(512));
+  const double gap_small = b_small.seconds - n_small.seconds;
+  const double gap_large = b_large.seconds - n_large.seconds;
+  EXPECT_GT(gap_large, gap_small);
+}
+
+TEST(ScalingShapes, CgDecoupledTracksNonblocking) {
+  apps::cg::CgConfig cfg;
+  cfg.n = 48;
+  cfg.iterations = 6;
+  cfg.stride = 16;
+  const auto nonblocking =
+      apps::cg::run_cg(apps::cg::HaloVariant::Nonblocking, cfg, bench_like(256));
+  const auto decoupled =
+      apps::cg::run_cg(apps::cg::HaloVariant::Decoupled, cfg, bench_like(256));
+  // Paper: "the decoupling model can achieve the same efficiency as the MPI
+  // non-blocking operations" — same ballpark, bounded by the 1/(1-alpha)
+  // worker inflation plus protocol overhead.
+  EXPECT_LT(decoupled.seconds, nonblocking.seconds * 1.15);
+}
+
+TEST(ScalingShapes, PicReferenceCommGrowsDecoupledFlat) {
+  apps::pic::PicConfig cfg;
+  cfg.particles_per_rank = 50'000;
+  cfg.steps = 4;
+  cfg.stride = 16;
+  const auto ref_small =
+      apps::pic::run_pic(apps::pic::ExchangeVariant::Reference, cfg, bench_like(64));
+  const auto ref_large =
+      apps::pic::run_pic(apps::pic::ExchangeVariant::Reference, cfg, bench_like(512));
+  const auto dec_small =
+      apps::pic::run_pic(apps::pic::ExchangeVariant::Decoupled, cfg, bench_like(64));
+  const auto dec_large =
+      apps::pic::run_pic(apps::pic::ExchangeVariant::Decoupled, cfg, bench_like(512));
+  EXPECT_GT(ref_large.comm_seconds, ref_small.comm_seconds);
+  // Decoupled exchange is near-constant across the same scale-up.
+  EXPECT_LT(dec_large.comm_seconds, dec_small.comm_seconds * 1.35);
+}
+
+TEST(ScalingShapes, TraceShowsOverlapForDecoupledPic) {
+  // Fig. 2's setup: 7 ranks, skewed particles, noisy node. The decoupled
+  // run overlaps the exchange with compute and finishes sooner.
+  apps::pic::PicConfig cfg;
+  cfg.particles_per_rank = 400'000;
+  cfg.steps = 5;
+  cfg.stride = 7;
+  cfg.exit_fraction = 0.15;
+  const auto ref = apps::pic::run_pic_traced(
+      apps::pic::ExchangeVariant::Reference, cfg, bench_like(7));
+  const auto dec = apps::pic::run_pic_traced(
+      apps::pic::ExchangeVariant::Decoupled, cfg, bench_like(7));
+  EXPECT_FALSE(ref.ascii_trace.empty());
+  EXPECT_FALSE(dec.ascii_trace.empty());
+  EXPECT_LT(dec.result.seconds, ref.result.seconds);
+}
+
+}  // namespace
+}  // namespace ds

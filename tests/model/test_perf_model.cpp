@@ -1,0 +1,100 @@
+#include "model/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ds::model {
+namespace {
+
+TwoOpWorkload base() {
+  TwoOpWorkload w;
+  w.t_w0 = 10.0;
+  w.t_w1 = 5.0;
+  w.t_sigma = 1.0;
+  w.alpha = 0.0625;
+  w.beta = 0.3;
+  w.t_w1_decoupled = 0.2;
+  w.total_data = 1e9;
+  w.granularity = 1e6;
+  w.overhead_per_element = 1e-6;
+  return w;
+}
+
+TEST(PerfModel, Eq1ConventionalIsPlainSum) {
+  EXPECT_DOUBLE_EQ(conventional_time(base()), 16.0);
+}
+
+TEST(PerfModel, Eq2TakesTheMaxOfBothGroups) {
+  TwoOpWorkload w = base();
+  // Workers: 10/(1-1/16) + 1 = 11.667; helpers: 0.2/0.0625 = 3.2.
+  EXPECT_NEAR(decoupled_time_ideal(w), 10.0 / (1 - 0.0625) + 1.0, 1e-12);
+  w.t_w1_decoupled = 1.0;  // helpers: 16 > workers
+  EXPECT_DOUBLE_EQ(decoupled_time_ideal(w), 16.0);
+}
+
+TEST(PerfModel, Eq3BetaExtremes) {
+  TwoOpWorkload w = base();
+  w.beta = 0.0;  // perfect pipeline -> only the decoupled op remains
+  EXPECT_DOUBLE_EQ(decoupled_time_beta(w), w.t_w1_decoupled / w.alpha);
+  w.beta = 1.0;  // no pipeline -> full worker time plus decoupled op
+  EXPECT_DOUBLE_EQ(decoupled_time_beta(w),
+                   w.t_w0 / (1 - w.alpha) + w.t_sigma + w.t_w1_decoupled / w.alpha);
+}
+
+TEST(PerfModel, Eq4AddsStreamOverheadScaledByBeta) {
+  TwoOpWorkload w = base();
+  const double without = decoupled_time_beta(w);
+  const double with = decoupled_time_full(w);
+  const double elements = w.total_data / w.granularity;
+  EXPECT_NEAR(with - without, w.beta * elements * w.overhead_per_element, 1e-9);
+}
+
+TEST(PerfModel, FinerGranularityCostsMoreOverhead) {
+  TwoOpWorkload coarse = base();
+  TwoOpWorkload fine = base();
+  fine.granularity = coarse.granularity / 10.0;
+  EXPECT_GT(decoupled_time_full(fine), decoupled_time_full(coarse));
+}
+
+TEST(PerfModel, BetaOfGranularityIsMonotoneAndClamped) {
+  EXPECT_DOUBLE_EQ(beta_of_granularity(0.2, 0.0, 100.0), 0.2);
+  EXPECT_DOUBLE_EQ(beta_of_granularity(0.2, 100.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(beta_of_granularity(0.2, 1e9, 100.0), 1.0);  // clamped
+  EXPECT_LT(beta_of_granularity(0.2, 10.0, 100.0),
+            beta_of_granularity(0.2, 50.0, 100.0));
+}
+
+TEST(PerfModel, SpeedupMatchesRatio) {
+  const TwoOpWorkload w = base();
+  EXPECT_NEAR(predicted_speedup(w),
+              conventional_time(w) / decoupled_time_full(w), 1e-12);
+}
+
+TEST(PerfModel, OptimalGranularityBalancesOverheadAndPipeline) {
+  TwoOpWorkload w = base();
+  const double best = optimal_granularity(w, 0.05, 1e3, 1e9);
+  // The optimum is interior: both extremes must be worse.
+  auto at = [&](double s) {
+    w.granularity = s;
+    w.beta = beta_of_granularity(0.05, s, w.total_data);
+    return decoupled_time_full(w);
+  };
+  EXPECT_LE(at(best), at(1e3) + 1e-12);
+  EXPECT_LE(at(best), at(1e9) + 1e-12);
+  EXPECT_GT(best, 1e3);
+  EXPECT_LT(best, 1e9);
+}
+
+TEST(PerfModel, DecouplingWinsWhenComplexityDrops) {
+  // Paper's criterion: T'_W1 << T_W1 makes decoupling profitable.
+  TwoOpWorkload w = base();
+  w.beta = 0.1;
+  EXPECT_GT(predicted_speedup(w), 1.0);
+  // And loses when the decoupled op cannot be optimized and beta is high.
+  w.t_w1_decoupled = w.t_w1;  // no complexity reduction
+  w.alpha = 0.0625;           // 16x fewer processes doing the same work
+  w.beta = 1.0;
+  EXPECT_LT(predicted_speedup(w), 1.0);
+}
+
+}  // namespace
+}  // namespace ds::model

@@ -1,0 +1,153 @@
+// Property-style sweeps: every collective must be correct for arbitrary
+// communicator sizes (including awkward non-powers-of-two) and payloads.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/machine_helpers.hpp"
+
+namespace ds::mpi {
+namespace {
+
+class CollectiveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSweep, ReduceSumMatchesClosedForm) {
+  const int p = GetParam();
+  long long result = -1;
+  testing::run_program(testing::tiny_machine(p), [&](Rank& self) {
+    const long long mine = 3 * self.world_rank() + 1;
+    long long out = 0;
+    self.reduce(self.world(), 0, SendBuf::of(&mine, 1), &out,
+                reduce_sum<long long>());
+    if (self.world_rank() == 0) result = out;
+  });
+  long long expected = 0;
+  for (int r = 0; r < p; ++r) expected += 3 * r + 1;
+  EXPECT_EQ(result, expected);
+}
+
+TEST_P(CollectiveSweep, ReduceWithEveryRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; root += (p > 4 ? p / 3 : 1)) {
+    int result = -1;
+    testing::run_program(testing::tiny_machine(p), [&](Rank& self) {
+      const int mine = 1;
+      int out = 0;
+      self.reduce(self.world(), root, SendBuf::of(&mine, 1), &out,
+                  reduce_sum<int>());
+      if (self.world_rank() == root) result = out;
+    });
+    EXPECT_EQ(result, p) << "root=" << root;
+  }
+}
+
+TEST_P(CollectiveSweep, BcastFromEveryThirdRoot) {
+  const int p = GetParam();
+  for (int root = 0; root < p; root += (p > 4 ? p / 3 : 1)) {
+    int failures = 0;
+    testing::run_program(testing::tiny_machine(p), [&](Rank& self) {
+      int v = self.world_rank() == root ? root + 1000 : -1;
+      self.bcast(self.world(), root, RecvBuf::of(&v, 1));
+      if (v != root + 1000) ++failures;
+    });
+    EXPECT_EQ(failures, 0) << "root=" << root;
+  }
+}
+
+TEST_P(CollectiveSweep, AllgathervRoundTripsAllBlocks) {
+  const int p = GetParam();
+  int failures = 0;
+  testing::run_program(testing::tiny_machine(p), [&](Rank& self) {
+    const int me = self.world_rank();
+    // Variable block sizes: rank r contributes (r % 3 + 1) ints.
+    std::vector<std::size_t> counts;
+    std::size_t total_ints = 0;
+    for (int r = 0; r < p; ++r) {
+      const std::size_t n = static_cast<std::size_t>(r % 3 + 1);
+      counts.push_back(n * sizeof(std::int32_t));
+      total_ints += n;
+    }
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(me % 3 + 1),
+                                   me * 7);
+    std::vector<std::int32_t> out(total_ints, -1);
+    self.allgatherv(self.world(), SendBuf::of(mine.data(), mine.size()),
+                    out.data(), counts);
+    std::size_t idx = 0;
+    for (int r = 0; r < p; ++r)
+      for (int j = 0; j < r % 3 + 1; ++j)
+        if (out[idx++] != r * 7) ++failures;
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(CollectiveSweep, BarrierNeverReordersAfterwards) {
+  const int p = GetParam();
+  std::vector<util::SimTime> at(static_cast<std::size_t>(p));
+  util::SimTime slowest_ready = 0;
+  testing::run_program(testing::tiny_machine(p), [&](Rank& self) {
+    const auto delay =
+        util::microseconds(100 * (self.world_rank() % 5));
+    self.process().advance(delay);
+    if (self.world_rank() % 5 == 4) slowest_ready = std::max(slowest_ready, self.now());
+    self.barrier(self.world());
+    at[static_cast<std::size_t>(self.world_rank())] = self.now();
+  });
+  for (const auto t : at) EXPECT_GE(t, slowest_ready);
+}
+
+TEST_P(CollectiveSweep, AlltoallvTransposesMatrix) {
+  const int p = GetParam();
+  int failures = 0;
+  testing::run_program(testing::tiny_machine(p), [&](Rank& self) {
+    const int me = self.world_rank();
+    std::vector<std::int32_t> send(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d)
+      send[static_cast<std::size_t>(d)] = me * 1000 + d;
+    const std::vector<std::size_t> counts(static_cast<std::size_t>(p),
+                                          sizeof(std::int32_t));
+    std::vector<std::int32_t> recv(static_cast<std::size_t>(p), -1);
+    self.alltoallv(self.world(), send.data(), counts, recv.data(), counts);
+    for (int s = 0; s < p; ++s)
+      if (recv[static_cast<std::size_t>(s)] != s * 1000 + me) ++failures;
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(CollectiveSweep, AllreduceAgreesOnAllRanks) {
+  const int p = GetParam();
+  std::vector<double> results(static_cast<std::size_t>(p), -1.0);
+  testing::run_program(testing::tiny_machine(p), [&](Rank& self) {
+    const double mine = 0.5 * self.world_rank();
+    double out = 0;
+    self.allreduce(self.world(), SendBuf::of(&mine, 1), &out,
+                   reduce_sum<double>());
+    results[static_cast<std::size_t>(self.world_rank())] = out;
+  });
+  const double expected = 0.5 * p * (p - 1) / 2.0;
+  for (const double v : results) EXPECT_DOUBLE_EQ(v, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 11, 16, 17, 32));
+
+class PayloadSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PayloadSweep, ReduceAcrossEagerAndRendezvousSizes) {
+  const std::size_t count = GetParam();
+  std::vector<std::int64_t> result;
+  testing::run_program(testing::tiny_machine(5), [&](Rank& self) {
+    std::vector<std::int64_t> mine(count, self.world_rank() + 1);
+    std::vector<std::int64_t> out(count, 0);
+    self.reduce(self.world(), 0, SendBuf::of(mine.data(), count), out.data(),
+                reduce_sum<std::int64_t>());
+    if (self.world_rank() == 0) result = out;
+  });
+  for (const auto v : result) EXPECT_EQ(v, 15);  // 1+2+3+4+5
+}
+
+INSTANTIATE_TEST_SUITE_P(Payloads, PayloadSweep,
+                         ::testing::Values(1, 16, 1000, 1024, 5000));
+
+}  // namespace
+}  // namespace ds::mpi

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/machine_helpers.hpp"
+
+namespace ds::mpi {
+namespace {
+
+TEST(Collectives, BarrierSynchronizesLaggard) {
+  std::vector<util::SimTime> exit_times(4, 0);
+  testing::run_program(testing::tiny_machine(4), [&](Rank& self) {
+    if (self.world_rank() == 2) self.process().advance(util::milliseconds(3));
+    self.barrier(self.world());
+    exit_times[static_cast<std::size_t>(self.world_rank())] = self.now();
+  });
+  for (const auto t : exit_times) EXPECT_GE(t, util::milliseconds(3));
+}
+
+TEST(Collectives, BcastDeliversFromNonZeroRoot) {
+  std::vector<int> got(5, -1);
+  testing::run_program(testing::tiny_machine(5), [&](Rank& self) {
+    int value = self.world_rank() == 3 ? 99 : -1;
+    self.bcast(self.world(), 3, RecvBuf::of(&value, 1));
+    got[static_cast<std::size_t>(self.world_rank())] = value;
+  });
+  for (const int v : got) EXPECT_EQ(v, 99);
+}
+
+TEST(Collectives, ReduceSumsToRoot) {
+  long long result = 0;
+  constexpr int kP = 6;
+  testing::run_program(testing::tiny_machine(kP), [&](Rank& self) {
+    const long long mine = self.world_rank() + 1;
+    long long out = 0;
+    self.reduce(self.world(), 0, SendBuf::of(&mine, 1), &out,
+                reduce_sum<long long>());
+    if (self.world_rank() == 0) result = out;
+  });
+  EXPECT_EQ(result, kP * (kP + 1) / 2);
+}
+
+TEST(Collectives, ReduceVectorElementwise) {
+  std::vector<double> result;
+  testing::run_program(testing::tiny_machine(3), [&](Rank& self) {
+    std::vector<double> mine(8);
+    std::iota(mine.begin(), mine.end(), static_cast<double>(self.world_rank()));
+    std::vector<double> out(8, 0.0);
+    self.reduce(self.world(), 0, SendBuf::of(mine.data(), mine.size()),
+                out.data(), reduce_sum<double>());
+    if (self.world_rank() == 0) result = out;
+  });
+  for (int i = 0; i < 8; ++i)
+    EXPECT_DOUBLE_EQ(result[static_cast<std::size_t>(i)], 3.0 * i + 3.0);
+}
+
+TEST(Collectives, ReduceMinMax) {
+  int min_out = 0, max_out = 0;
+  testing::run_program(testing::tiny_machine(5), [&](Rank& self) {
+    const int mine = (self.world_rank() * 7) % 5;  // 0,2,4,1,3
+    int lo = 0, hi = 0;
+    self.reduce(self.world(), 0, SendBuf::of(&mine, 1), &lo, reduce_min<int>());
+    self.reduce(self.world(), 0, SendBuf::of(&mine, 1), &hi, reduce_max<int>());
+    if (self.world_rank() == 0) {
+      min_out = lo;
+      max_out = hi;
+    }
+  });
+  EXPECT_EQ(min_out, 0);
+  EXPECT_EQ(max_out, 4);
+}
+
+TEST(Collectives, AllreduceGivesEveryoneTheSum) {
+  std::vector<double> results(4, 0);
+  testing::run_program(testing::tiny_machine(4), [&](Rank& self) {
+    const double mine = 1.5;
+    double out = 0;
+    self.allreduce(self.world(), SendBuf::of(&mine, 1), &out,
+                   reduce_sum<double>());
+    results[static_cast<std::size_t>(self.world_rank())] = out;
+  });
+  for (const double v : results) EXPECT_DOUBLE_EQ(v, 6.0);
+}
+
+TEST(Collectives, AllgathervVariableBlocks) {
+  constexpr int kP = 4;
+  std::vector<std::vector<std::int32_t>> results(kP);
+  testing::run_program(testing::tiny_machine(kP), [&](Rank& self) {
+    const int me = self.world_rank();
+    // Rank r contributes r+1 copies of value r.
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(me + 1), me);
+    std::vector<std::size_t> counts;
+    std::size_t total = 0;
+    for (int r = 0; r < kP; ++r) {
+      counts.push_back(static_cast<std::size_t>(r + 1) * sizeof(std::int32_t));
+      total += static_cast<std::size_t>(r + 1);
+    }
+    std::vector<std::int32_t> out(total, -1);
+    self.allgatherv(self.world(), SendBuf::of(mine.data(), mine.size()),
+                    out.data(), counts);
+    results[static_cast<std::size_t>(me)] = out;
+  });
+  const std::vector<std::int32_t> expected{0, 1, 1, 2, 2, 2, 3, 3, 3, 3};
+  for (const auto& r : results) EXPECT_EQ(r, expected);
+}
+
+TEST(Collectives, AllgathervPowerOfTwoUsesRecursiveDoublingCorrectly) {
+  constexpr int kP = 8;  // power of two -> recursive doubling path
+  std::vector<std::vector<std::int32_t>> results(kP);
+  testing::run_program(testing::tiny_machine(kP), [&](Rank& self) {
+    const int me = self.world_rank();
+    std::vector<std::int32_t> mine{me, me * 10};
+    const std::vector<std::size_t> counts(kP, 2 * sizeof(std::int32_t));
+    std::vector<std::int32_t> out(2 * kP, -1);
+    self.allgatherv(self.world(), SendBuf::of(mine.data(), 2), out.data(),
+                    counts);
+    results[static_cast<std::size_t>(me)] = out;
+  });
+  for (const auto& r : results) {
+    for (int p = 0; p < kP; ++p) {
+      EXPECT_EQ(r[static_cast<std::size_t>(2 * p)], p);
+      EXPECT_EQ(r[static_cast<std::size_t>(2 * p + 1)], p * 10);
+    }
+  }
+}
+
+TEST(Collectives, AlltoallvExchangesPersonalizedData) {
+  constexpr int kP = 4;
+  std::vector<std::vector<std::int32_t>> results(kP);
+  testing::run_program(testing::tiny_machine(kP), [&](Rank& self) {
+    const int me = self.world_rank();
+    // Send one int to every rank: value = me*10 + dest.
+    std::vector<std::int32_t> send(kP);
+    for (int d = 0; d < kP; ++d) send[static_cast<std::size_t>(d)] = me * 10 + d;
+    const std::vector<std::size_t> counts(kP, sizeof(std::int32_t));
+    std::vector<std::int32_t> recv(kP, -1);
+    self.alltoallv(self.world(), send.data(), counts, recv.data(), counts);
+    results[static_cast<std::size_t>(me)] = recv;
+  });
+  for (int me = 0; me < kP; ++me)
+    for (int src = 0; src < kP; ++src)
+      EXPECT_EQ(results[static_cast<std::size_t>(me)][static_cast<std::size_t>(src)],
+                src * 10 + me);
+}
+
+TEST(Collectives, AlltoallvSparsePatternSkipsEmptyPairs) {
+  constexpr int kP = 6;
+  std::vector<int> got(kP, -1);
+  testing::run_program(testing::tiny_machine(kP), [&](Rank& self) {
+    const int me = self.world_rank();
+    // Ring: each rank sends one int to (me+1)%P only. With a single nonzero
+    // count, the packed send/recv buffers hold exactly one element at
+    // displacement zero.
+    std::vector<std::size_t> scounts(kP, 0), rcounts(kP, 0);
+    scounts[static_cast<std::size_t>((me + 1) % kP)] = sizeof(int);
+    rcounts[static_cast<std::size_t>((me - 1 + kP) % kP)] = sizeof(int);
+    const int payload = me;
+    int received = -1;
+    self.alltoallv(self.world(), &payload, scounts, &received, rcounts);
+    got[static_cast<std::size_t>(me)] = received;
+  });
+  for (int me = 0; me < kP; ++me)
+    EXPECT_EQ(got[static_cast<std::size_t>(me)], (me - 1 + kP) % kP);
+}
+
+TEST(Collectives, GathervCollectsAtRoot) {
+  constexpr int kP = 5;
+  std::vector<std::int64_t> result;
+  testing::run_program(testing::tiny_machine(kP), [&](Rank& self) {
+    const std::int64_t mine = self.world_rank() * 100;
+    const std::vector<std::size_t> counts(kP, sizeof(std::int64_t));
+    std::vector<std::int64_t> out(kP, -1);
+    self.gatherv(self.world(), 2, SendBuf::of(&mine, 1),
+                 self.world_rank() == 2 ? out.data() : nullptr, counts);
+    if (self.world_rank() == 2) result = out;
+  });
+  for (int r = 0; r < kP; ++r)
+    EXPECT_EQ(result[static_cast<std::size_t>(r)], r * 100);
+}
+
+TEST(Collectives, NonblockingReduceOverlapsCompute) {
+  // The collective must progress while the fiber computes: total time should
+  // be ~ the compute time, not compute + collective.
+  const auto overlapped = testing::run_program(
+      testing::tiny_machine(8), [&](Rank& self) {
+        const Request req = self.ireduce(self.world(), 0,
+                                         SendBuf::synthetic(1 << 20), nullptr, {});
+        self.compute(util::milliseconds(50));
+        self.wait(req);
+      });
+  const auto serial = testing::run_program(
+      testing::tiny_machine(8), [&](Rank& self) {
+        self.reduce(self.world(), 0, SendBuf::synthetic(1 << 20), nullptr, {});
+        self.compute(util::milliseconds(50));
+      });
+  EXPECT_LT(overlapped, serial);
+}
+
+TEST(Collectives, SingletonCommunicatorCollectivesComplete) {
+  testing::run_program(testing::tiny_machine(3), [&](Rank& self) {
+    const Comm solo = self.split(self.world(), self.world_rank(), 0);
+    self.barrier(solo);
+    int v = self.world_rank();
+    self.bcast(solo, 0, RecvBuf::of(&v, 1));
+    int out = 0;
+    self.reduce(solo, 0, SendBuf::of(&v, 1), &out, reduce_sum<int>());
+    EXPECT_EQ(out, self.world_rank());
+  });
+}
+
+TEST(Collectives, SyntheticCollectivesAdvanceTime) {
+  const auto makespan = testing::run_program(
+      testing::tiny_machine(16), [&](Rank& self) {
+        self.reduce(self.world(), 0, SendBuf::synthetic(1 << 16), nullptr, {});
+      });
+  EXPECT_GT(makespan, 0);
+}
+
+}  // namespace
+}  // namespace ds::mpi

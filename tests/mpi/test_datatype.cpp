@@ -1,0 +1,96 @@
+#include "mpi/datatype.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace ds::mpi {
+namespace {
+
+TEST(Datatype, FundamentalSizes) {
+  EXPECT_EQ(Datatype::int32().size(), 4u);
+  EXPECT_EQ(Datatype::int64().size(), 8u);
+  EXPECT_EQ(Datatype::float64().size(), 8u);
+  EXPECT_EQ(Datatype::bytes(17).size(), 17u);
+  EXPECT_TRUE(Datatype::float64().is_contiguous());
+}
+
+TEST(Datatype, ContiguousMultiplies) {
+  const auto t = Datatype::contiguous(5, Datatype::float64());
+  EXPECT_EQ(t.size(), 40u);
+  EXPECT_EQ(t.extent(), 40u);
+}
+
+TEST(Datatype, VectorSizeAndExtent) {
+  // 3 blocks of 2 doubles, stride 4 doubles.
+  const auto t = Datatype::vector(3, 2, 4, Datatype::float64());
+  EXPECT_EQ(t.size(), 3u * 2u * 8u);
+  EXPECT_EQ(t.extent(), ((3u - 1) * 4u + 2u) * 8u);
+  EXPECT_FALSE(t.is_contiguous());
+}
+
+TEST(Datatype, VectorPackUnpackRoundTrip) {
+  const auto t = Datatype::vector(3, 2, 4, Datatype::float64());
+  std::vector<double> memory(t.extent() / sizeof(double));
+  std::iota(memory.begin(), memory.end(), 0.0);
+  std::vector<std::byte> wire(t.size());
+  t.pack(reinterpret_cast<const std::byte*>(memory.data()), wire.data());
+
+  // Wire order: blocks {0,1}, {4,5}, {8,9}.
+  const auto* w = reinterpret_cast<const double*>(wire.data());
+  const double expected[] = {0, 1, 4, 5, 8, 9};
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(w[i], expected[i]);
+
+  std::vector<double> restored(memory.size(), -1.0);
+  t.unpack(wire.data(), reinterpret_cast<std::byte*>(restored.data()));
+  for (const int idx : {0, 1, 4, 5, 8, 9})
+    EXPECT_EQ(restored[static_cast<std::size_t>(idx)],
+              memory[static_cast<std::size_t>(idx)]);
+  EXPECT_EQ(restored[2], -1.0);  // gaps untouched
+}
+
+TEST(Datatype, VectorStrideTooSmallThrows) {
+  EXPECT_THROW(Datatype::vector(2, 3, 2, Datatype::int32()),
+               std::invalid_argument);
+}
+
+TEST(Datatype, RecordWithGaps) {
+  // struct { int32 a; /* 4 pad */ double b; } -> extent 16, size 12.
+  const auto t = Datatype::record(
+      {{0, Datatype::int32()}, {8, Datatype::float64()}}, 16, "pair");
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_EQ(t.extent(), 16u);
+
+  struct Pair {
+    std::int32_t a;
+    std::int32_t pad;
+    double b;
+  } src{7, 0, 2.5}, dst{0, 0, 0.0};
+  std::vector<std::byte> wire(t.size());
+  t.pack(reinterpret_cast<const std::byte*>(&src), wire.data());
+  t.unpack(wire.data(), reinterpret_cast<std::byte*>(&dst));
+  EXPECT_EQ(dst.a, 7);
+  EXPECT_EQ(dst.b, 2.5);
+}
+
+TEST(Datatype, RecordFieldBeyondExtentThrows) {
+  EXPECT_THROW(
+      Datatype::record({{12, Datatype::float64()}}, 16, "bad"),
+      std::invalid_argument);
+}
+
+TEST(Datatype, AdjacentSegmentsMerge) {
+  // Contiguous vector should collapse to one memcpy segment; verify via a
+  // round trip of a large block (behavioural check).
+  const auto t = Datatype::contiguous(1024, Datatype::bytes(1));
+  std::vector<std::byte> src(1024), wire(1024), dst(1024);
+  for (std::size_t i = 0; i < src.size(); ++i) src[i] = static_cast<std::byte>(i);
+  t.pack(src.data(), wire.data());
+  t.unpack(wire.data(), dst.data());
+  EXPECT_EQ(std::memcmp(src.data(), dst.data(), src.size()), 0);
+}
+
+}  // namespace
+}  // namespace ds::mpi

@@ -1,0 +1,68 @@
+#include "mpi/group.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ds::mpi {
+namespace {
+
+TEST(Group, WorldIsIdentity) {
+  const Group g = Group::world(4);
+  EXPECT_EQ(g.size(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(g.world_rank(i), i);
+    EXPECT_EQ(g.rank_of(i), i);
+  }
+}
+
+TEST(Group, CustomOrderTranslates) {
+  const Group g({5, 2, 9});
+  EXPECT_EQ(g.world_rank(0), 5);
+  EXPECT_EQ(g.rank_of(9), 2);
+  EXPECT_EQ(g.rank_of(3), -1);
+  EXPECT_TRUE(g.contains(2));
+  EXPECT_FALSE(g.contains(4));
+}
+
+TEST(Group, DuplicateMembersRejected) {
+  EXPECT_THROW(Group({1, 2, 1}), std::invalid_argument);
+}
+
+TEST(Group, IncludeSelectsInGivenOrder) {
+  const Group g({10, 20, 30, 40});
+  const Group sub = g.include({3, 0});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.world_rank(0), 40);
+  EXPECT_EQ(sub.world_rank(1), 10);
+}
+
+TEST(Group, IncludeOutOfRangeThrows) {
+  const Group g({1, 2});
+  EXPECT_THROW(g.include({2}), std::out_of_range);
+}
+
+TEST(Group, ExcludeKeepsOrder) {
+  const Group g({10, 20, 30, 40});
+  const Group sub = g.exclude({1});
+  EXPECT_EQ(sub.members(), (std::vector<int>{10, 30, 40}));
+}
+
+TEST(Group, ExcludeInvalidThrows) {
+  const Group g({10});
+  EXPECT_THROW(g.exclude({-1}), std::out_of_range);
+  EXPECT_THROW(g.exclude({1}), std::out_of_range);
+}
+
+TEST(Group, FilterByPosition) {
+  const Group g = Group::world(10);
+  const Group evens = g.filter_by_position([](int r) { return r % 2 == 0; });
+  EXPECT_EQ(evens.size(), 5);
+  EXPECT_EQ(evens.world_rank(2), 4);
+}
+
+TEST(Group, Equality) {
+  EXPECT_EQ(Group({1, 2}), Group({1, 2}));
+  EXPECT_FALSE(Group({1, 2}) == Group({2, 1}));
+}
+
+}  // namespace
+}  // namespace ds::mpi

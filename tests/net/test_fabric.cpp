@@ -1,0 +1,81 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ds::net {
+namespace {
+
+NetworkConfig flat_config() {
+  NetworkConfig c;
+  c.ranks_per_node = 0;  // all remote, uniform costs
+  c.latency = 1000;
+  c.ns_per_byte = 1.0;
+  c.injection_gap = 100;
+  c.receiver_drain_factor = 1.0;
+  return c;
+}
+
+TEST(Fabric, SingleMessageTiming) {
+  Fabric f(flat_config(), 4);
+  const auto s = f.schedule_message(0, 1, 500, 0);
+  // tx: gap 100 + payload 500 = 600; + latency 1000 -> 1600; drain 500 -> 2100.
+  EXPECT_EQ(s.sender_free_at, 600);
+  EXPECT_EQ(s.deliver_at, 2100);
+}
+
+TEST(Fabric, SenderPortSerializesBackToBackSends) {
+  Fabric f(flat_config(), 4);
+  const auto first = f.schedule_message(0, 1, 1000, 0);
+  const auto second = f.schedule_message(0, 2, 1000, 0);
+  EXPECT_EQ(first.sender_free_at, 1100);
+  EXPECT_EQ(second.sender_free_at, 2200);  // waited for the port
+}
+
+TEST(Fabric, ReceiverDrainSerializesFanIn) {
+  Fabric f(flat_config(), 8);
+  // Two senders target rank 7 at the same instant; drains serialize.
+  const auto a = f.schedule_message(0, 7, 1000, 0);
+  const auto b = f.schedule_message(1, 7, 1000, 0);
+  EXPECT_EQ(a.deliver_at, 3100);           // 1100 tx + 1000 L + 1000 drain
+  EXPECT_EQ(b.deliver_at, a.deliver_at + 1000);  // queued behind a's drain
+}
+
+TEST(Fabric, HotspotBacklogGrowsLinearly) {
+  Fabric f(flat_config(), 64);
+  util::SimTime last = 0;
+  for (int src = 0; src < 63; ++src)
+    last = f.schedule_message(src, 63, 10'000, 0).deliver_at;
+  // 63 senders x 10KB drained at 1ns/B -> at least 630us of drain backlog.
+  EXPECT_GE(last, 630'000);
+}
+
+TEST(Fabric, DistinctReceiversDoNotContend) {
+  Fabric f(flat_config(), 4);
+  const auto a = f.schedule_message(0, 1, 1000, 0);
+  const auto b = f.schedule_message(2, 3, 1000, 0);
+  EXPECT_EQ(a.deliver_at, b.deliver_at);
+}
+
+TEST(Fabric, CountsTraffic) {
+  Fabric f(flat_config(), 4);
+  (void)f.schedule_message(0, 1, 100, 0);
+  (void)f.schedule_message(1, 2, 200, 0);
+  EXPECT_EQ(f.total_messages(), 2u);
+  EXPECT_EQ(f.total_bytes(), 300u);
+}
+
+TEST(Fabric, ZeroDrainFactorSkipsReceiverSerialization) {
+  NetworkConfig c = flat_config();
+  c.receiver_drain_factor = 0.0;
+  Fabric f(c, 4);
+  const auto a = f.schedule_message(0, 3, 1000, 0);
+  const auto b = f.schedule_message(1, 3, 1000, 0);
+  EXPECT_EQ(a.deliver_at, b.deliver_at);  // no drain queueing
+}
+
+TEST(Fabric, InvalidEndpointCountThrows) {
+  EXPECT_THROW(Fabric(flat_config(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ds::net

@@ -1,0 +1,50 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ds::net {
+namespace {
+
+TEST(NetworkConfig, NodeLocality) {
+  NetworkConfig c;
+  c.ranks_per_node = 4;
+  EXPECT_TRUE(c.same_node(0, 3));
+  EXPECT_FALSE(c.same_node(3, 4));
+  EXPECT_TRUE(c.same_node(5, 6));
+}
+
+TEST(NetworkConfig, NoNodesMeansAllRemote) {
+  NetworkConfig c;
+  c.ranks_per_node = 0;
+  EXPECT_FALSE(c.same_node(0, 0));  // degenerate but consistent
+}
+
+TEST(NetworkConfig, IntraNodeIsFaster) {
+  const NetworkConfig c = NetworkConfig::aries_like();
+  EXPECT_LT(c.wire_latency(0, 1), c.wire_latency(0, 40));
+  EXPECT_LT(c.byte_time(0, 1), c.byte_time(0, 40));
+}
+
+TEST(NetworkConfig, UncontendedCostIsLogGpSum) {
+  NetworkConfig c;
+  c.ranks_per_node = 0;
+  c.latency = 1000;
+  c.ns_per_byte = 1.0;
+  c.send_overhead = 100;
+  c.recv_overhead = 200;
+  c.injection_gap = 50;
+  EXPECT_EQ(c.uncontended_cost(0, 1, 500), 100 + 50 + 500 + 1000 + 200);
+}
+
+TEST(NetworkConfig, IdealIsFree) {
+  const NetworkConfig c = NetworkConfig::ideal();
+  EXPECT_EQ(c.uncontended_cost(0, 1, 1 << 20), 0);
+}
+
+TEST(NetworkConfig, CostGrowsWithSize) {
+  const NetworkConfig c = NetworkConfig::aries_like();
+  EXPECT_LT(c.uncontended_cost(0, 40, 64), c.uncontended_cost(0, 40, 1 << 20));
+}
+
+}  // namespace
+}  // namespace ds::net

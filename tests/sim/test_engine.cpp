@@ -1,0 +1,171 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ds::sim {
+namespace {
+
+TEST(Engine, SingleProcessAdvancesClock) {
+  Engine eng;
+  eng.spawn([](Process& p) {
+    p.advance(util::microseconds(5));
+    p.advance(util::microseconds(3));
+  });
+  eng.run();
+  EXPECT_EQ(eng.now(), util::microseconds(8));
+  EXPECT_EQ(eng.live_count(), 0u);
+}
+
+TEST(Engine, ProcessesRunConcurrentlyInVirtualTime) {
+  Engine eng;
+  for (int i = 0; i < 10; ++i)
+    eng.spawn([](Process& p) { p.advance(util::milliseconds(2)); });
+  eng.run();
+  // Concurrent, not additive: makespan equals one process's time.
+  EXPECT_EQ(eng.now(), util::milliseconds(2));
+}
+
+TEST(Engine, ScheduledActionsFireAtTheirTime) {
+  Engine eng;
+  std::vector<util::SimTime> fired;
+  eng.schedule(util::microseconds(10), [&] { fired.push_back(10); });
+  eng.schedule(util::microseconds(4), [&] { fired.push_back(4); });
+  eng.run();
+  EXPECT_EQ(fired, (std::vector<util::SimTime>{4, 10}));
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine eng;
+  eng.spawn([](Process& p) {
+    p.advance(100);
+    EXPECT_THROW(p.engine().schedule(10, [] {}), std::logic_error);
+  });
+  eng.run();
+}
+
+TEST(Engine, WakeBeforeSuspendIsNotLost) {
+  Engine eng;
+  bool resumed = false;
+  int pid = eng.spawn([&](Process& p) {
+    p.advance(util::microseconds(2));  // let the early wake land first
+    p.suspend();                       // token pending -> returns immediately
+    resumed = true;
+  });
+  eng.schedule(util::microseconds(1), [&eng, pid] { eng.wake(pid); });
+  eng.run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(Engine, SuspendBlocksUntilWake) {
+  Engine eng;
+  util::SimTime resumed_at = -1;
+  const int pid = eng.spawn([&](Process& p) {
+    p.suspend();
+    resumed_at = p.now();
+  });
+  eng.schedule(util::microseconds(7), [&eng, pid] { eng.wake(pid); });
+  eng.run();
+  EXPECT_EQ(resumed_at, util::microseconds(7));
+}
+
+TEST(Engine, DeadlockIsReported) {
+  Engine eng;
+  eng.spawn([](Process& p) {
+    p.set_state_note("waiting forever");
+    p.suspend();
+  });
+  try {
+    eng.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("waiting forever"), std::string::npos);
+  }
+}
+
+TEST(Engine, ProcessExceptionPropagates) {
+  Engine eng;
+  eng.spawn([](Process&) { throw std::runtime_error("app failure"); });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, ComputeAppliesNoiseDeterministically) {
+  EngineConfig cfg;
+  cfg.noise = NoiseConfig{0.2, 0.0, 0};
+  cfg.seed = 77;
+  util::SimTime t1 = 0, t2 = 0;
+  for (util::SimTime* out : {&t1, &t2}) {
+    Engine eng(cfg);
+    eng.spawn([&](Process& p) { p.compute(util::milliseconds(1)); });
+    eng.run();
+    *out = eng.now();
+  }
+  EXPECT_EQ(t1, t2);            // determinism
+  EXPECT_NE(t1, util::milliseconds(1));  // noise moved it
+}
+
+TEST(Engine, RanksHaveIndependentRngStreams) {
+  Engine eng;
+  std::vector<std::uint64_t> draws;
+  for (int i = 0; i < 3; ++i)
+    eng.spawn([&](Process& p) { draws.push_back(p.rng().next_u64()); });
+  eng.run();
+  EXPECT_NE(draws[0], draws[1]);
+  EXPECT_NE(draws[1], draws[2]);
+}
+
+TEST(Engine, TraceRecordsComputeIntervals) {
+  EngineConfig cfg;
+  cfg.record_trace = true;
+  Engine eng(cfg);
+  eng.spawn([](Process& p) { p.compute(util::microseconds(10), "work"); });
+  eng.run();
+  ASSERT_NE(eng.trace(), nullptr);
+  ASSERT_EQ(eng.trace()->intervals().size(), 1u);
+  const auto& iv = eng.trace()->intervals().front();
+  EXPECT_EQ(iv.label, "work");
+  EXPECT_EQ(iv.end - iv.begin, util::microseconds(10));
+}
+
+TEST(Engine, EventsExecutedCounts) {
+  Engine eng;
+  eng.schedule(1, [] {});
+  eng.schedule(2, [] {});
+  eng.run();
+  EXPECT_EQ(eng.events_executed(), 2u);
+}
+
+TEST(Engine, SpawnFromInsideProcess) {
+  Engine eng;
+  bool child_ran = false;
+  eng.spawn([&](Process& p) {
+    p.advance(5);
+    p.engine().spawn([&](Process& c) {
+      c.advance(5);
+      child_ran = true;
+    });
+  });
+  eng.run();
+  EXPECT_TRUE(child_ran);
+  EXPECT_EQ(eng.now(), 10);
+}
+
+TEST(Engine, DeterministicEventOrderAcrossRuns) {
+  auto run_once = [] {
+    Engine eng(EngineConfig{.stack_bytes = 32 * 1024, .seed = 5, .noise = {}, .record_trace = false});
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) {
+      eng.spawn([&order, i](Process& p) {
+        p.advance(100 * (i % 3));
+        order.push_back(i);
+      });
+    }
+    eng.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ds::sim

@@ -1,0 +1,76 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ds::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakBySchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) q.push(5, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().action();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeTracksMinimum) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), util::kTimeInfinity);
+  q.push(42, [] {});
+  q.push(7, [] {});
+  EXPECT_EQ(q.next_time(), 7);
+  (void)q.pop();
+  EXPECT_EQ(q.next_time(), 42);
+}
+
+TEST(EventQueue, SizeAndEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  (void)q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(10, [&] { order.push_back(1); });
+  q.push(5, [&] { order.push_back(0); });
+  Event e = q.pop();
+  e.action();
+  q.push(7, [&] { order.push_back(2); });  // earlier than remaining event
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(EventQueue, StressRandomOrderIsSorted) {
+  EventQueue q;
+  util::Rng rng(3);
+  for (int i = 0; i < 5000; ++i) q.push(rng.uniform_int(0, 1000), [] {});
+  util::SimTime last = -1;
+  while (!q.empty()) {
+    const Event e = q.pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+  }
+}
+
+}  // namespace
+}  // namespace ds::sim

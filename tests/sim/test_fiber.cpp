@@ -1,0 +1,103 @@
+#include "sim/fiber.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace ds::sim {
+namespace {
+
+TEST(Fiber, RunsToCompletion) {
+  int value = 0;
+  Fiber f([&] { value = 42; });
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(value, 42);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  std::vector<int> order;
+  Fiber f([&] {
+    order.push_back(1);
+    Fiber::yield();
+    order.push_back(3);
+  });
+  f.resume();
+  order.push_back(2);
+  f.resume();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, MultipleYields) {
+  int steps = 0;
+  Fiber f([&] {
+    for (int i = 0; i < 5; ++i) {
+      ++steps;
+      Fiber::yield();
+    }
+  });
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(f.finished());
+    f.resume();
+  }
+  EXPECT_EQ(steps, 5);
+  f.resume();  // run past the loop to the end
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, ExceptionPropagatesToResumer) {
+  Fiber f([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.resume(), std::runtime_error);
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, ResumeAfterFinishThrows) {
+  Fiber f([] {});
+  f.resume();
+  EXPECT_THROW(f.resume(), std::logic_error);
+}
+
+TEST(Fiber, YieldOutsideFiberThrows) { EXPECT_THROW(Fiber::yield(), std::logic_error); }
+
+TEST(Fiber, InFiberFlag) {
+  bool inside = false;
+  EXPECT_FALSE(Fiber::in_fiber());
+  Fiber f([&] { inside = Fiber::in_fiber(); });
+  f.resume();
+  EXPECT_TRUE(inside);
+  EXPECT_FALSE(Fiber::in_fiber());
+}
+
+TEST(Fiber, NestedFibers) {
+  std::vector<int> order;
+  Fiber inner([&] {
+    order.push_back(2);
+    Fiber::yield();
+    order.push_back(4);
+  });
+  Fiber outer([&] {
+    order.push_back(1);
+    inner.resume();
+    order.push_back(3);
+    inner.resume();
+    order.push_back(5);
+  });
+  outer.resume();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Fiber, ManyFibersSmallStacks) {
+  constexpr int kCount = 200;
+  std::vector<std::unique_ptr<Fiber>> fibers;
+  int sum = 0;
+  for (int i = 0; i < kCount; ++i)
+    fibers.push_back(std::make_unique<Fiber>([&sum, i] { sum += i; }, 32 * 1024));
+  for (auto& f : fibers) f->resume();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+}  // namespace
+}  // namespace ds::sim

@@ -1,0 +1,75 @@
+#include "sim/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace ds::sim {
+namespace {
+
+TEST(Noise, DisabledIsIdentity) {
+  NoiseModel m;
+  util::Rng rng(1);
+  EXPECT_EQ(m.perturb(12345, rng), 12345);
+}
+
+TEST(Noise, ZeroDurationStaysZero) {
+  NoiseModel m(NoiseConfig{0.5, 100.0, util::microseconds(10)});
+  util::Rng rng(2);
+  EXPECT_EQ(m.perturb(0, rng), 0);
+}
+
+TEST(Noise, JitterPreservesMeanApproximately) {
+  NoiseModel m(NoiseConfig{0.10, 0.0, 0});
+  util::Rng rng(3);
+  util::RunningStats s;
+  for (int i = 0; i < 50000; ++i)
+    s.add(static_cast<double>(m.perturb(util::milliseconds(1), rng)));
+  EXPECT_NEAR(s.mean() / static_cast<double>(util::milliseconds(1)), 1.0, 0.01);
+}
+
+TEST(Noise, JitterMatchesConfiguredCv) {
+  NoiseModel m(NoiseConfig{0.10, 0.0, 0});
+  util::Rng rng(4);
+  util::RunningStats s;
+  for (int i = 0; i < 50000; ++i)
+    s.add(static_cast<double>(m.perturb(util::milliseconds(1), rng)));
+  EXPECT_NEAR(util::coefficient_of_variation(s), 0.10, 0.01);
+}
+
+TEST(Noise, DetoursOnlyLengthen) {
+  NoiseModel m(NoiseConfig{0.0, 1000.0, util::microseconds(100)});
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const util::SimTime base = util::milliseconds(1);
+    EXPECT_GE(m.perturb(base, rng), base);
+  }
+}
+
+TEST(Noise, DetourRateScalesAddedTime) {
+  // Expected added time = rate * duration * detour_mean.
+  NoiseModel m(NoiseConfig{0.0, 100.0, util::microseconds(200)});
+  util::Rng rng(6);
+  util::RunningStats s;
+  const util::SimTime base = util::milliseconds(10);
+  for (int i = 0; i < 5000; ++i)
+    s.add(static_cast<double>(m.perturb(base, rng) - base));
+  // 100/s over 10ms = 1 expected detour of 200us.
+  EXPECT_NEAR(s.mean(), static_cast<double>(util::microseconds(200)), 2e4);
+}
+
+TEST(Noise, ProductionNodePresetIsEnabled) {
+  EXPECT_TRUE(NoiseConfig::production_node().enabled());
+  EXPECT_FALSE(NoiseConfig{}.enabled());
+}
+
+TEST(Noise, DeterministicGivenRngState) {
+  NoiseModel m(NoiseConfig{0.3, 50.0, util::microseconds(300)});
+  util::Rng r1(9), r2(9);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(m.perturb(util::milliseconds(2), r1),
+              m.perturb(util::milliseconds(2), r2));
+}
+
+}  // namespace
+}  // namespace ds::sim

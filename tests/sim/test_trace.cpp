@@ -1,0 +1,94 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ds::sim {
+namespace {
+
+TEST(Trace, RecordsInterval) {
+  TraceRecorder t;
+  t.begin(0, 100, "comp");
+  t.end(0, 250);
+  ASSERT_EQ(t.intervals().size(), 1u);
+  EXPECT_EQ(t.intervals()[0].begin, 100);
+  EXPECT_EQ(t.intervals()[0].end, 250);
+  EXPECT_EQ(t.intervals()[0].label, "comp");
+}
+
+TEST(Trace, NestedIntervalsCloseInnermostFirst) {
+  TraceRecorder t;
+  t.begin(1, 0, "outer");
+  t.begin(1, 10, "inner");
+  t.end(1, 20);
+  t.end(1, 30);
+  ASSERT_EQ(t.intervals().size(), 2u);
+  EXPECT_EQ(t.intervals()[0].label, "inner");
+  EXPECT_EQ(t.intervals()[1].label, "outer");
+}
+
+TEST(Trace, TotalSumsMatchingLabels) {
+  TraceRecorder t;
+  t.begin(0, 0, "comm");
+  t.end(0, 5);
+  t.begin(0, 10, "comm");
+  t.end(0, 25);
+  t.begin(0, 30, "comp");
+  t.end(0, 40);
+  EXPECT_EQ(t.total(0, "comm"), 20);
+  EXPECT_EQ(t.total(0, "comp"), 10);
+  EXPECT_EQ(t.total(1, "comm"), 0);
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  TraceRecorder t;
+  t.begin(2, 1, "x");
+  t.end(2, 3);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("rank,begin_ns,end_ns,label"), std::string::npos);
+  EXPECT_NE(csv.find("2,1,3,x"), std::string::npos);
+}
+
+TEST(Trace, AsciiHasOneRowPerRank) {
+  TraceRecorder t;
+  t.begin(0, 0, "comp");
+  t.end(0, 100);
+  t.begin(2, 50, "mess");
+  t.end(2, 100);
+  const std::string art = t.to_ascii(20);
+  // Ranks 0..2 -> three rows.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+  EXPECT_NE(art.find('c'), std::string::npos);
+  EXPECT_NE(art.find('m'), std::string::npos);
+}
+
+TEST(Trace, AsciiMarksProportionalSpans) {
+  TraceRecorder t;
+  t.begin(0, 0, "aa");
+  t.end(0, 50);
+  t.begin(0, 50, "bb");
+  t.end(0, 100);
+  const std::string art = t.to_ascii(10);
+  const auto a_count = std::count(art.begin(), art.end(), 'a');
+  const auto b_count = std::count(art.begin(), art.end(), 'b');
+  EXPECT_NEAR(static_cast<double>(a_count), static_cast<double>(b_count), 1.0);
+}
+
+TEST(Trace, UnmatchedEndIsIgnored) {
+  TraceRecorder t;
+  t.end(0, 10);  // no begin: no-op
+  EXPECT_TRUE(t.intervals().empty());
+}
+
+TEST(Trace, ClearResets) {
+  TraceRecorder t;
+  t.begin(0, 0, "x");
+  t.end(0, 1);
+  t.clear();
+  EXPECT_TRUE(t.intervals().empty());
+  EXPECT_TRUE(t.to_ascii().empty());
+}
+
+}  // namespace
+}  // namespace ds::sim

@@ -1,0 +1,57 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ds::util {
+namespace {
+
+TEST(Table, TextContainsHeadersAndCells) {
+  Table t({"procs", "time"});
+  t.add_row({"32", "1.50"});
+  t.add_row({"64", "2.25"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("procs"), std::string::npos);
+  EXPECT_NE(text.find("2.25"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.to_csv(), "a,b,c\n1,,\n");
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(1.0, 0), "1");
+}
+
+TEST(Table, FmtMeanStd) {
+  EXPECT_EQ(Table::fmt_mean_std(2.0, 0.5, 1), "2.0 ± 0.5");
+}
+
+TEST(Table, AlignmentPadsColumns) {
+  Table t({"x"});
+  t.add_row({"longvalue"});
+  const std::string text = t.to_text();
+  // All rendered lines have equal width (header padded to widest cell).
+  std::vector<std::size_t> line_lengths;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const auto end = text.find('\n', start);
+    line_lengths.push_back(end - start);
+    start = end + 1;
+  }
+  ASSERT_EQ(line_lengths.size(), 3u);
+  EXPECT_EQ(line_lengths[0], line_lengths[1]);
+  EXPECT_EQ(line_lengths[0], line_lengths[2]);
+}
+
+}  // namespace
+}  // namespace ds::util

@@ -1,0 +1,31 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ds::util {
+namespace {
+
+TEST(SimTimeHelpers, UnitConversions) {
+  EXPECT_EQ(nanoseconds(5), 5);
+  EXPECT_EQ(microseconds(3), 3000);
+  EXPECT_EQ(milliseconds(2), 2'000'000);
+  EXPECT_EQ(seconds_i(1), 1'000'000'000);
+}
+
+TEST(SimTimeHelpers, FromSecondsRounds) {
+  EXPECT_EQ(from_seconds(1.0), 1'000'000'000);
+  EXPECT_EQ(from_seconds(1.5e-9), 2);  // rounds to nearest
+  EXPECT_EQ(from_seconds(0.49e-9), 0);
+}
+
+TEST(SimTimeHelpers, ToSecondsInverse) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds_i(2)), 2.0);
+  EXPECT_DOUBLE_EQ(to_seconds(microseconds(1)), 1e-6);
+}
+
+TEST(SimTimeHelpers, InfinityIsLargest) {
+  EXPECT_GT(kTimeInfinity, seconds_i(1'000'000'000));
+}
+
+}  // namespace
+}  // namespace ds::util

@@ -1,0 +1,60 @@
+#include "util/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ds::util {
+namespace {
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  ZipfSampler z(100, 1.0);
+  double sum = 0;
+  for (std::size_t k = 0; k < z.vocabulary(); ++k) sum += z.probability(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, ProbabilitiesDecrease) {
+  ZipfSampler z(50, 1.2);
+  for (std::size_t k = 1; k < z.vocabulary(); ++k)
+    EXPECT_GT(z.probability(k - 1), z.probability(k));
+}
+
+TEST(Zipf, SamplesInRange) {
+  ZipfSampler z(32, 1.0);
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(z.sample(rng), 32u);
+}
+
+TEST(Zipf, EmpiricalFrequencyTracksTheory) {
+  ZipfSampler z(16, 1.0);
+  Rng rng(5);
+  std::vector<int> hist(16, 0);
+  constexpr int kN = 300000;
+  for (int i = 0; i < kN; ++i) ++hist[z.sample(rng)];
+  for (std::size_t k = 0; k < 4; ++k) {
+    const double observed = static_cast<double>(hist[k]) / kN;
+    EXPECT_NEAR(observed, z.probability(k), 0.01) << "k=" << k;
+  }
+}
+
+TEST(Zipf, HeadDominatesWithHighExponent) {
+  ZipfSampler z(1000, 2.0);
+  EXPECT_GT(z.probability(0), 0.5);
+}
+
+TEST(Zipf, OutOfRangeProbabilityIsZero) {
+  ZipfSampler z(10, 1.0);
+  EXPECT_EQ(z.probability(10), 0.0);
+  EXPECT_EQ(z.probability(1000), 0.0);
+}
+
+TEST(Zipf, SingletonVocabulary) {
+  ZipfSampler z(1, 1.0);
+  Rng rng(6);
+  EXPECT_EQ(z.sample(rng), 0u);
+  EXPECT_NEAR(z.probability(0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ds::util
