@@ -5,9 +5,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
-#include "core/channel.hpp"
-#include "core/group_plan.hpp"
-#include "core/stream.hpp"
+#include "core/decouple.hpp"
 #include "model/perf_model.hpp"
 #include "mpi/rank.hpp"
 
@@ -67,25 +65,25 @@ double nonblocking(std::string* trace) {
 double decoupled(std::string* trace) {
   mpi::Machine machine(machine_config(7));
   const auto makespan = machine.run([&](mpi::Rank& self) {
-    const bool helper = self.world_rank() == kRanks - 1;
-    const stream::Channel ch =
-        stream::Channel::create(self, self.world(), !helper, helper);
-    if (helper) {
-      stream::Stream s = stream::Stream::attach(
-          ch, mpi::Datatype::bytes(kOp1Bytes), [&](const stream::StreamElement&) {
+    auto pipeline = decouple::Pipeline::over(self, self.world())
+                        .with_helper_ranks({kRanks - 1});
+    auto op1 = pipeline.raw_stream(kOp1Bytes);
+    pipeline.run(
+        [&](decouple::Context& ctx) {
+          auto& s = ctx[op1];
+          for (int r = 0; r < kRounds; ++r) {
+            // Workers carry Op0 scaled by 1/(1-alpha).
+            self.compute(kOp0 * kRanks / (kRanks - 1), "red");
+            s.send_synthetic(kOp1Bytes);
+          }
+        },
+        [&](decouple::Context& ctx) {
+          auto& s = ctx[op1];
+          s.on_receive([&](const decouple::RawElement&) {
             self.compute(kOp1 / (kRanks - 1), "blue");
           });
-      (void)s.operate(self);
-    } else {
-      stream::Stream s =
-          stream::Stream::attach(ch, mpi::Datatype::bytes(kOp1Bytes), {});
-      for (int r = 0; r < kRounds; ++r) {
-        // Workers carry Op0 scaled by 1/(1-alpha).
-        self.compute(kOp0 * kRanks / (kRanks - 1), "red");
-        s.isend_synthetic(self);
-      }
-      s.terminate(self);
-    }
+          (void)s.operate();
+        });
   });
   if (auto* t = machine.engine().trace()) *trace = t->to_ascii(72);
   return util::to_seconds(makespan);

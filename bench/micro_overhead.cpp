@@ -5,8 +5,7 @@
 // sweep.
 #include <benchmark/benchmark.h>
 
-#include "core/channel.hpp"
-#include "core/stream.hpp"
+#include "core/decouple.hpp"
 #include "mpi/rank.hpp"
 #include "sim/engine.hpp"
 #include "sim/event_queue.hpp"
@@ -73,18 +72,19 @@ void BM_SimulatedStreamElement(benchmark::State& state) {
   for (auto _ : state) {
     mpi::Machine machine(mpi::MachineConfig::testbed(2));
     machine.run([elements](mpi::Rank& self) {
-      const bool producer = self.world_rank() == 0;
-      const stream::Channel ch =
-          stream::Channel::create(self, self.world(), producer, !producer);
-      stream::Stream s = stream::Stream::attach(
-          ch, mpi::Datatype::bytes(256),
-          producer ? stream::Operator{} : [](const stream::StreamElement&) {});
-      if (producer) {
-        for (std::int64_t i = 0; i < elements; ++i) s.isend_synthetic(self);
-        s.terminate(self);
-      } else {
-        (void)s.operate(self);
-      }
+      auto pipeline =
+          decouple::Pipeline::over(self, self.world()).with_helper_ranks({1});
+      auto flow = pipeline.raw_stream(256);
+      pipeline.run(
+          [&](decouple::Context& ctx) {
+            auto& s = ctx[flow];
+            for (std::int64_t i = 0; i < elements; ++i) s.send_synthetic(256);
+          },
+          [&](decouple::Context& ctx) {
+            auto& s = ctx[flow];
+            s.on_receive([](const decouple::RawElement&) {});
+            (void)s.operate();
+          });
     });
   }
   state.SetItemsProcessed(state.iterations() * elements);

@@ -2,15 +2,16 @@
 //
 // A producer's record rate changes mid-run: dense bursts, then a slow
 // trickle. A static element size is wrong for one of the two regimes; the
-// AdaptiveBatcher grows batches while injection overhead dominates and
+// adaptive stream grows batches while injection overhead dominates and
 // shrinks them when the flow turns coarse, keeping both Eq. 4 terms bounded.
+// Declared through the facade, the batching policy is one
+// Pipeline::adaptive_stream call; push() replaces the manual batcher and the
+// trailing partial batch flushes on RAII termination.
 //
 // Run: ./adaptive_granularity
 #include <cstdio>
 
-#include "core/adaptive.hpp"
-#include "core/channel.hpp"
-#include "core/stream.hpp"
+#include "core/decouple.hpp"
 #include "mpi/rank.hpp"
 
 using namespace ds;
@@ -23,42 +24,40 @@ int main() {
   std::uint32_t batch_after_burst = 0, batch_after_trickle = 0;
 
   machine.run([&](mpi::Rank& self) {
-    const bool producer = self.world_rank() == 0;
-    const stream::Channel ch =
-        stream::Channel::create(self, self.world(), producer, !producer);
     constexpr std::size_t kRecordBytes = 48;
-    stream::AdaptiveConfig adaptive;
+    decouple::AdaptiveConfig adaptive;
     adaptive.initial_records = 4;
     adaptive.max_records = 1024;
     adaptive.window = 8;
     adaptive.max_flush_interval = util::microseconds(200);
-    const mpi::Datatype element = mpi::Datatype::bytes(
-        stream::AdaptiveBatcher::element_bytes(kRecordBytes, adaptive.max_records));
 
-    auto count = [&](const stream::StreamElement& el) {
-      ++elements;
-      records += stream::adaptive_record_count(el);
-    };
-    stream::Stream s = stream::Stream::attach(
-        ch, element, producer ? stream::Operator{} : stream::Operator{count});
+    auto pipeline = decouple::Pipeline::over(self, self.world())
+                        .with_helper_ranks({1});
+    auto flow = pipeline.adaptive_stream(kRecordBytes, adaptive);
 
-    if (producer) {
-      stream::AdaptiveBatcher batcher(s, kRecordBytes, adaptive);
-      // Phase 1: dense burst — records arrive back to back; the per-element
-      // overhead would dominate, so the batch should grow.
-      for (int i = 0; i < 50'000; ++i) batcher.push(self);
-      batch_after_burst = batcher.current_batch();
-      // Phase 2: slow trickle — computing between records; large batches
-      // would starve the consumer, so the batch should shrink.
-      for (int i = 0; i < 40'000; ++i) {
-        self.compute(util::microseconds(40), "calc");
-        batcher.push(self);
-      }
-      batch_after_trickle = batcher.current_batch();
-      batcher.finish(self);
-    } else {
-      (void)s.operate(self);
-    }
+    pipeline.run(
+        [&](decouple::Context& ctx) {  // producer
+          auto& s = ctx[flow];
+          // Phase 1: dense burst — records arrive back to back; the
+          // per-element overhead would dominate, so the batch should grow.
+          for (int i = 0; i < 50'000; ++i) s.push();
+          batch_after_burst = s.current_batch();
+          // Phase 2: slow trickle — computing between records; large batches
+          // would starve the consumer, so the batch should shrink.
+          for (int i = 0; i < 40'000; ++i) {
+            self.compute(util::microseconds(40), "calc");
+            s.push();
+          }
+          batch_after_trickle = s.current_batch();
+        },
+        [&](decouple::Context& ctx) {  // consumer
+          auto& s = ctx[flow];
+          s.on_receive([&](const decouple::RawElement& el) {
+            ++elements;
+            records += decouple::adaptive_record_count(el);
+          });
+          (void)s.operate();
+        });
   });
 
   std::printf("records streamed : %llu in %llu elements (avg %.1f records/el)\n",

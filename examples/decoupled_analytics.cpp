@@ -4,16 +4,14 @@
 // group consumes them on the fly (histogram + running energy), exactly the
 // "call an independent data-analytics application without interfering with
 // the remaining processes" pattern of Sec. II-E. The example also shows the
-// RoundRobin mapping spreading analytics load over several consumers.
+// RoundRobin mapping spreading analytics load over several consumers, and
+// send_modeled: a real typed header riding on a modeled field body.
 //
 // Run: ./decoupled_analytics
 #include <cstdio>
-#include <cstring>
 #include <vector>
 
-#include "core/channel.hpp"
-#include "core/group_plan.hpp"
-#include "core/stream.hpp"
+#include "core/decouple.hpp"
 #include "mpi/rank.hpp"
 
 using namespace ds;
@@ -32,53 +30,49 @@ int main() {
   std::vector<double> step_energy(kSteps, 0.0);
 
   const auto makespan = machine.run([&](mpi::Rank& self) {
-    // One analytics process per 4 simulation processes.
-    const stream::GroupPlan plan =
-        stream::GroupPlan::interleaved(self.world(), 4);
-    const bool analyst = plan.is_helper(self.rank_in(self.world()));
-
-    stream::ChannelConfig channel_cfg;
-    channel_cfg.mapping = stream::ChannelConfig::Mapping::RoundRobin;
-    const stream::Channel channel =
-        stream::Channel::create(self, self.world(), !analyst, analyst, channel_cfg);
-
     struct SnapshotHeader {
       std::int32_t step;
       std::int32_t cells;
       double energy;
     };
-    const std::size_t element_bytes =
-        sizeof(SnapshotHeader) + kCellsPerRank * sizeof(double);
-    const mpi::Datatype element = mpi::Datatype::bytes(element_bytes);
 
-    if (!analyst) {
-      stream::Stream s = stream::Stream::attach(channel, element, {});
-      std::vector<double> field(kCellsPerRank, 1.0);
-      for (int step = 0; step < kSteps; ++step) {
-        // Simulate: advance the field (virtual compute + a little real math).
-        self.compute(util::milliseconds(3), "sim");
-        double energy = 0;
-        for (auto& v : field) {
-          v = 0.99 * v + 0.01 * self.process().rng().next_double();
-          energy += v * v;
-        }
-        // Stream the snapshot: real header, modeled field body.
-        const SnapshotHeader header{step, kCellsPerRank, energy};
-        s.isend(self, mpi::SendBuf::header_only(header, element_bytes));
-      }
-      s.terminate(self);
-    } else {
-      auto analyze = [&](const stream::StreamElement& el) {
-        SnapshotHeader header{};
-        std::memcpy(&header, el.data, sizeof header);
-        self.compute(util::microseconds(200), "ana");  // histogramming etc.
-        step_energy[static_cast<std::size_t>(header.step)] += header.energy;
-      };
-      stream::Stream s = stream::Stream::attach(channel, element, analyze);
-      const auto consumed = s.operate(self);
-      std::printf("analyst rank %d consumed %llu snapshots\n",
-                  self.world_rank(), static_cast<unsigned long long>(consumed));
-    }
+    // One analytics process per 4 simulation processes; RoundRobin spreads
+    // snapshots over all of them.
+    decouple::StreamOptions options;
+    options.mapping = decouple::Mapping::RoundRobin;
+    auto pipeline = decouple::Pipeline::over(self, self.world()).with_stride(4);
+    auto snapshots = pipeline.stream<SnapshotHeader>(
+        kCellsPerRank * sizeof(double), options);
+
+    pipeline.run(
+        [&](decouple::Context& ctx) {  // simulation group
+          auto& s = ctx[snapshots];
+          std::vector<double> field(kCellsPerRank, 1.0);
+          for (int step = 0; step < kSteps; ++step) {
+            // Simulate: advance the field (virtual compute + real math).
+            self.compute(util::milliseconds(3), "sim");
+            double energy = 0;
+            for (auto& v : field) {
+              v = 0.99 * v + 0.01 * self.process().rng().next_double();
+              energy += v * v;
+            }
+            // Stream the snapshot: real header, modeled field body.
+            s.send_modeled(SnapshotHeader{step, kCellsPerRank, energy},
+                           kCellsPerRank * sizeof(double));
+          }
+        },
+        [&](decouple::Context& ctx) {  // analytics group
+          auto& s = ctx[snapshots];
+          s.on_receive([&](const decouple::Element<SnapshotHeader>& el) {
+            self.compute(util::microseconds(200), "ana");  // histogramming etc.
+            step_energy[static_cast<std::size_t>(el.record.step)] +=
+                el.record.energy;
+          });
+          const auto consumed = s.operate();
+          std::printf("analyst rank %d consumed %llu snapshots\n",
+                      self.world_rank(),
+                      static_cast<unsigned long long>(consumed));
+        });
   });
 
   std::printf("\nper-step total field energy (gathered in situ):\n");

@@ -3,7 +3,9 @@
 // Runs the same small CG problem three ways — blocking, nonblocking and
 // decoupled halo exchange — verifies all three give the same answer, and
 // prints their virtual times. Demonstrates the real-data mode: actual
-// doubles cross the simulated network.
+// doubles cross the simulated network. The decoupled variant is written
+// against the ds::decouple Pipeline facade (see src/apps/cg/cg_app.cpp for
+// the worker/helper role functions and the two directed face streams).
 //
 // Run: ./decoupled_halo
 #include <cstdio>

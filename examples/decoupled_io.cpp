@@ -3,6 +3,8 @@
 // Dumps the same particle data through the three write paths of Fig. 8 on a
 // 64-rank simulated machine and prints the time each takes — a miniature of
 // the bench_fig8_particleio experiment, small enough to run in a second.
+// The decoupled path's batch stream and buffered I/O group live in
+// src/apps/pic/pic_io.cpp, written against the ds::decouple facade.
 //
 // Run: ./decoupled_io
 #include <cstdio>

@@ -1,4 +1,4 @@
-// Quickstart: the paper's Listing 1, in this library's API.
+// Quickstart: the paper's Listing 1, through the ds::decouple facade.
 //
 // An application alternates Calculation() with a workload-distribution
 // analysis (min/max/mean — the reductions that bottleneck at scale). The
@@ -6,12 +6,16 @@
 // computation group streams workload samples whenever they change and never
 // waits for a reduction again.
 //
+// One Pipeline declaration replaces the paper's five manual steps: the
+// channel is created by run(), the stream carries typed records, producers
+// terminate when their role function returns, and the channel is released
+// when the pipeline leaves scope.
+//
 // Run: ./quickstart
+#include <algorithm>
 #include <cstdio>
-#include <cstring>
 
-#include "core/channel.hpp"
-#include "core/stream.hpp"
+#include "core/decouple.hpp"
 #include "mpi/rank.hpp"
 
 using namespace ds;
@@ -35,59 +39,44 @@ int main() {
   mpi::Machine machine(config);
 
   const auto makespan = machine.run([&](mpi::Rank& self) {
-    // Step 1 (Listing 1, line 12): establish the communication channel.
-    // The last rank is the data consumer; everyone else produces.
-    const bool is_consumer = self.world_rank() == kProcs - 1;
-    const bool is_producer = !is_consumer;
-    const stream::Channel channel =
-        stream::Channel::create(self, self.world(), is_producer, is_consumer);
+    // Declare the pipeline: the last rank is the analysis group, everyone
+    // else computes and produces samples.
+    auto pipeline = decouple::Pipeline::over(self, self.world())
+                        .with_helper_ranks({kProcs - 1});
+    auto samples = pipeline.stream<WorkloadSample>();
 
-    // Step 2 (line 15): define the stream element as an MPI-style datatype.
-    const mpi::Datatype element = mpi::Datatype::record(
-        {{offsetof(WorkloadSample, rank), mpi::Datatype::int32()},
-         {offsetof(WorkloadSample, iteration), mpi::Datatype::int32()},
-         {offsetof(WorkloadSample, load), mpi::Datatype::float64()}},
-        sizeof(WorkloadSample), "WorkloadSample");
-
-    // Step 3 (line 18): the operator attached to the stream — the decoupled
-    // analyze_workload(), applied on-the-fly, first-come-first-served.
     double min_load = 1e300, max_load = 0, sum = 0;
-    std::int64_t samples = 0;
-    auto analyze_workload = [&](const stream::StreamElement& el) {
-      WorkloadSample sample{};
-      std::memcpy(&sample, el.data, sizeof sample);
-      min_load = std::min(min_load, sample.load);
-      max_load = std::max(max_load, sample.load);
-      sum += sample.load;
-      ++samples;
-    };
-    stream::Stream stream = stream::Stream::attach(
-        channel, element, is_consumer ? stream::Operator(analyze_workload)
-                                      : stream::Operator{});
+    std::int64_t count = 0;
 
-    // Step 4 (lines 24-35): both groups progress concurrently.
-    if (is_producer) {
-      double load = 1.0;
-      for (int i = 0; i < kIterations; ++i) {
-        self.compute(util::milliseconds(2), "calc");  // Calculation(&data)
-        load = 0.8 * load + 0.4 * self.process().rng().next_double();
-        const bool has_workload_changes = true;
-        if (has_workload_changes) {
-          const WorkloadSample sample{self.world_rank(), i, load};
-          stream.isend(self, mpi::SendBuf::of(&sample, 1));
-        }
-      }
-      stream.terminate(self);  // MPIStream_Terminate
-    } else {
-      (void)stream.operate(self);  // MPIStream_Operate
-      std::printf("analysis group: %lld samples, load min %.3f mean %.3f max %.3f\n",
-                  static_cast<long long>(samples), min_load,
-                  sum / static_cast<double>(samples), max_load);
-    }
-
-    // Step 5 (line 37): release the channel.
-    stream::Channel mutable_channel = channel;
-    mutable_channel.free(self);
+    pipeline.run(
+        [&](decouple::Context& ctx) {  // computation group
+          auto& stream = ctx[samples];
+          double load = 1.0;
+          for (int i = 0; i < kIterations; ++i) {
+            self.compute(util::milliseconds(2), "calc");  // Calculation(&data)
+            load = 0.8 * load + 0.4 * self.process().rng().next_double();
+            const bool has_workload_changes = true;
+            if (has_workload_changes)
+              stream.send(WorkloadSample{self.world_rank(), i, load});
+          }
+          // No MPIStream_Terminate, no FreeChannel: the pipeline handles both.
+        },
+        [&](decouple::Context& ctx) {  // analysis group
+          auto& stream = ctx[samples];
+          // The decoupled analyze_workload() operator, applied on-the-fly,
+          // first-come-first-served, on decoded records.
+          stream.on_receive([&](const decouple::Element<WorkloadSample>& el) {
+            min_load = std::min(min_load, el.record.load);
+            max_load = std::max(max_load, el.record.load);
+            sum += el.record.load;
+            ++count;
+          });
+          (void)stream.operate();
+          std::printf(
+              "analysis group: %lld samples, load min %.3f mean %.3f max %.3f\n",
+              static_cast<long long>(count), min_load,
+              sum / static_cast<double>(count), max_load);
+        });
   });
 
   std::printf("virtual makespan: %.3f ms on %d simulated ranks\n",

@@ -6,9 +6,8 @@
 #include <stdexcept>
 
 #include "apps/cg/cg_solver.hpp"
-#include "core/channel.hpp"
+#include "core/decouple.hpp"
 #include "core/group_plan.hpp"
-#include "core/stream.hpp"
 #include "mpi/cart.hpp"
 #include "mpi/rank.hpp"
 
@@ -269,26 +268,6 @@ CgResult run_cg(HaloVariant variant, const CgConfig& config,
     }
 
     // ---------------- decoupled variant ----------------
-    const bool is_worker = plan.is_worker(me);
-    const mpi::Comm compute_comm = self.split(self.world(), is_worker ? 0 : -1, me);
-
-    stream::ChannelConfig face_cfg;
-    face_cfg.channel_id = 10;
-    face_cfg.mapping = stream::ChannelConfig::Mapping::Directed;
-    stream::Channel ch_face =
-        stream::Channel::create(self, self.world(), is_worker, !is_worker, face_cfg);
-    stream::ChannelConfig back_cfg;
-    back_cfg.channel_id = 11;
-    back_cfg.mapping = stream::ChannelConfig::Mapping::Directed;
-    stream::Channel ch_back =
-        stream::Channel::create(self, self.world(), !is_worker, is_worker, back_cfg);
-
-    const int workers = plan.worker_count();
-    const int helpers = plan.helper_count();
-    auto helper_of = [&](int worker) {
-      return static_cast<int>(static_cast<long long>(worker) * helpers / workers);
-    };
-
     const std::size_t max_face_bytes =
         (config.real_data
              ? [&] {
@@ -299,183 +278,165 @@ CgResult run_cg(HaloVariant variant, const CgConfig& config,
                  return std::max({a, b, c}) * sizeof(double);
                }()
              : shape.face_bytes());
-    const std::size_t face_element = sizeof(FaceHeader) + max_face_bytes;
-    const std::size_t bundle_element = sizeof(FaceHeader) + 6 * max_face_bytes;
-    const mpi::Datatype face_type = mpi::Datatype::bytes(face_element);
-    const mpi::Datatype bundle_type = mpi::Datatype::bytes(bundle_element);
 
-    if (is_worker) {
-      const int w = [&] {
-        int idx = 0;
-        for (const int r : plan.workers()) {
-          if (r == me) return idx;
-          ++idx;
-        }
-        return -1;
-      }();
-      const auto neighbors = cart.face_neighbors(w);
-      RealState st;
-      if (real) init_real_state(st, cart, w, config.global_grid);
-      st.rr = allreduce_scalar(self, compute_comm, real, st.rr);
+    decouple::StreamOptions to_helpers;
+    to_helpers.mapping = decouple::Mapping::Directed;
+    decouple::StreamOptions to_workers = to_helpers;
+    to_workers.direction = decouple::Direction::ToWorkers;
 
-      stream::Stream s_face = stream::Stream::attach(ch_face, face_type, {}, 1);
-      bool got_bundle = false;
-      int current_iter = -1;
-      auto on_bundle = [&](const stream::StreamElement& el) {
-        if (!el.data) {
-          got_bundle = true;
-          return;
-        }
-        FaceHeader h;
-        std::memcpy(&h, el.data, sizeof h);
-        if (h.target != w || h.iter != current_iter)
-          throw std::logic_error("cg decoupled: bundle routed to wrong worker");
-        got_bundle = true;
-        if (!real) return;
-        const std::byte* cursor = el.data + sizeof h;
-        for (int f = 0; f < 6; ++f) {
-          if (neighbors[static_cast<std::size_t>(f)] < 0) continue;
-          const std::size_t n = st.p.face_cells(f);
-          std::vector<double> vals(n);
-          std::memcpy(vals.data(), cursor, n * sizeof(double));
-          cursor += n * sizeof(double);
-          st.p.fill_ghost(f, vals.data(), n);
-        }
-      };
-      stream::Stream s_back = stream::Stream::attach(ch_back, bundle_type, on_bundle, 2);
+    auto pipeline = decouple::Pipeline::over(self, self.world())
+                        .with_plan(plan)
+                        .with_worker_comm();
+    auto faces = pipeline.stream<FaceHeader>(max_face_bytes, to_helpers);
+    auto bundles = pipeline.stream<FaceHeader>(6 * max_face_bytes, to_workers);
 
-      std::vector<double> scratch;
-      std::vector<std::byte> msg;
-      for (int it = 0; it < config.iterations; ++it) {
-        current_iter = it;
-        // Stream each face toward the helper that owns the *receiving*
-        // neighbour; the helper aggregates all six and answers with one
-        // bundle (paper: "instead of communicating with six processes").
-        for (int f = 0; f < 6; ++f) {
-          const int nbr = neighbors[static_cast<std::size_t>(f)];
-          if (nbr < 0) continue;
-          FaceHeader h{nbr, static_cast<std::int32_t>(opposite(f)), it, 0};
+    pipeline.run(
+        [&](decouple::Context& ctx) {
+          const int w = ctx.worker_index();
+          const auto neighbors = cart.face_neighbors(w);
+          RealState st;
+          if (real) init_real_state(st, cart, w, config.global_grid);
+          st.rr = allreduce_scalar(self, ctx.worker_comm(), real, st.rr);
+
+          auto& s_face = ctx[faces];
+          auto& s_back = ctx[bundles];
+          bool got_bundle = false;
+          int current_iter = -1;
+          s_back.on_receive([&](const decouple::Element<FaceHeader>& el) {
+            if (el.synthetic) {
+              got_bundle = true;
+              return;
+            }
+            if (el.record.target != w || el.record.iter != current_iter)
+              throw std::logic_error(
+                  "cg decoupled: bundle routed to wrong worker");
+            got_bundle = true;
+            if (!real) return;
+            const std::byte* cursor = el.payload;
+            for (int f = 0; f < 6; ++f) {
+              if (neighbors[static_cast<std::size_t>(f)] < 0) continue;
+              const std::size_t n = st.p.face_cells(f);
+              std::vector<double> vals(n);
+              std::memcpy(vals.data(), cursor, n * sizeof(double));
+              cursor += n * sizeof(double);
+              st.p.fill_ghost(f, vals.data(), n);
+            }
+          });
+
+          std::vector<double> scratch;
+          for (int it = 0; it < config.iterations; ++it) {
+            current_iter = it;
+            // Stream each face toward the helper that owns the *receiving*
+            // neighbour; the helper aggregates all six and answers with one
+            // bundle (paper: "instead of communicating with six processes").
+            for (int f = 0; f < 6; ++f) {
+              const int nbr = neighbors[static_cast<std::size_t>(f)];
+              if (nbr < 0) continue;
+              FaceHeader h{nbr, static_cast<std::int32_t>(opposite(f)), it, 0};
+              if (real) {
+                st.p.extract_face(f, scratch);
+                h.count = static_cast<std::int32_t>(scratch.size());
+                s_face.send_to(ctx.helper_of(nbr), h, scratch.data(),
+                               scratch.size());
+              } else {
+                s_face.send_modeled_to(ctx.helper_of(nbr), h,
+                                       shape.face_bytes());
+              }
+            }
+            self.compute(
+                ns_time(config.ns_stencil_per_cell * shape.inner_cells()),
+                "comp");
+            if (real)
+              apply_poisson(st.p, st.ap, {1, 1, 1},
+                            {st.dims[0] - 1, st.dims[1] - 1, st.dims[2] - 1});
+            got_bundle = false;
+            s_back.operate_while([&] { return !got_bundle; });
+            self.compute(
+                ns_time(config.ns_stencil_per_cell * shape.shell_cells()),
+                "comp");
+            if (real) apply_poisson_shell(st.p, st.ap);
+            cg_tail(self, ctx.worker_comm(), config, shape, real,
+                    real ? &st : nullptr);
+          }
           if (real) {
-            st.p.extract_face(f, scratch);
-            h.count = static_cast<std::int32_t>(scratch.size());
-            msg.resize(sizeof h + scratch.size() * sizeof(double));
-            std::memcpy(msg.data(), &h, sizeof h);
-            std::memcpy(msg.data() + sizeof h, scratch.data(),
-                        scratch.size() * sizeof(double));
-            s_face.isend_to(self, helper_of(nbr),
-                            SendBuf{msg.data(), msg.size()});
-          } else {
-            s_face.isend_to(self, helper_of(nbr),
-                            SendBuf::header_only(h, sizeof h + shape.face_bytes()));
+            result.residual2 = st.rr;
+            result.pieces[static_cast<std::size_t>(w)] =
+                CgPiece{st.lo, std::move(st.x)};
           }
-        }
-        self.compute(ns_time(config.ns_stencil_per_cell * shape.inner_cells()),
-                     "comp");
-        if (real)
-          apply_poisson(st.p, st.ap, {1, 1, 1},
-                        {st.dims[0] - 1, st.dims[1] - 1, st.dims[2] - 1});
-        got_bundle = false;
-        s_back.operate_while(self, [&] { return !got_bundle; });
-        self.compute(ns_time(config.ns_stencil_per_cell * shape.shell_cells()),
-                     "comp");
-        if (real) apply_poisson_shell(st.p, st.ap);
-        cg_tail(self, compute_comm, config, shape, real, real ? &st : nullptr);
-      }
-      s_face.terminate(self);
-      if (real) {
-        result.residual2 = st.rr;
-        result.pieces[static_cast<std::size_t>(w)] = CgPiece{st.lo, std::move(st.x)};
-      }
-    } else {
-      // ---- helper: collect faces, answer bundles ----
-      const int h_idx = [&] {
-        int idx = 0;
-        for (const int r : plan.helpers()) {
-          if (r == me) return idx;
-          ++idx;
-        }
-        return -1;
-      }();
-      // Faces for one worker can interleave across iterations (a fast
-      // neighbour may run up to two iterations ahead of a slow one), so
-      // arrivals are slotted per (worker, iteration).
-      struct IterSlot {
-        int arrived = 0;
-        std::array<std::vector<double>, 6> faces;
-      };
-      struct PerWorker {
-        int expected = 0;
-        std::map<int, IterSlot> pending;
-      };
-      std::vector<PerWorker> state(static_cast<std::size_t>(workers));
-      for (int w = 0; w < workers; ++w) {
-        if (helper_of(w) != h_idx) continue;
-        const auto nb = cart.face_neighbors(w);
-        for (int f = 0; f < 6; ++f)
-          if (nb[static_cast<std::size_t>(f)] >= 0)
-            ++state[static_cast<std::size_t>(w)].expected;
-      }
-
-      stream::Stream s_back = stream::Stream::attach(ch_back, bundle_type, {}, 2);
-      std::vector<std::byte> bundle;
-      auto on_face = [&](const stream::StreamElement& el) {
-        if (!el.data) return;
-        FaceHeader h;
-        std::memcpy(&h, el.data, sizeof h);
-        auto& pw = state.at(static_cast<std::size_t>(h.target));
-        auto& slot_iter = pw.pending[h.iter];
-        if (real && h.count > 0) {
-          auto& slot = slot_iter.faces[static_cast<std::size_t>(h.face)];
-          slot.resize(static_cast<std::size_t>(h.count));
-          std::memcpy(slot.data(), el.data + sizeof h,
-                      slot.size() * sizeof(double));
-        }
-        if (++slot_iter.arrived < pw.expected) return;
-        IterSlot ready = std::move(slot_iter);
-        pw.pending.erase(h.iter);
-        auto& faces_ready = ready.faces;
-
-        // All six (or fewer at domain boundaries) faces arrived: aggregate
-        // and stream the bundle back to the worker.
-        const auto nb = cart.face_neighbors(h.target);
-        std::size_t data_bytes = 0;
-        if (real) {
-          for (int f = 0; f < 6; ++f)
-            if (nb[static_cast<std::size_t>(f)] >= 0)
-              data_bytes +=
-                  faces_ready[static_cast<std::size_t>(f)].size() * sizeof(double);
-        } else {
-          int present = 0;
-          for (int f = 0; f < 6; ++f)
-            if (nb[static_cast<std::size_t>(f)] >= 0) ++present;
-          data_bytes = static_cast<std::size_t>(present) * shape.face_bytes();
-        }
-        self.compute(ns_time(config.ns_aggregate_per_byte *
-                             static_cast<double>(data_bytes)),
-                     "agg");
-        FaceHeader out{h.target, -1, h.iter, 0};
-        if (real) {
-          bundle.resize(sizeof out + data_bytes);
-          std::memcpy(bundle.data(), &out, sizeof out);
-          std::byte* cursor = bundle.data() + sizeof out;
-          for (int f = 0; f < 6; ++f) {
-            if (nb[static_cast<std::size_t>(f)] < 0) continue;
-            const auto& slot = faces_ready[static_cast<std::size_t>(f)];
-            std::memcpy(cursor, slot.data(), slot.size() * sizeof(double));
-            cursor += slot.size() * sizeof(double);
+        },
+        [&](decouple::Context& ctx) {
+          // ---- helper: collect faces, answer bundles ----
+          const int h_idx = ctx.helper_index();
+          const int workers = ctx.worker_count();
+          // Faces for one worker can interleave across iterations (a fast
+          // neighbour may run up to two iterations ahead of a slow one), so
+          // arrivals are slotted per (worker, iteration).
+          struct IterSlot {
+            int arrived = 0;
+            std::array<std::vector<double>, 6> faces;
+          };
+          struct PerWorker {
+            int expected = 0;
+            std::map<int, IterSlot> pending;
+          };
+          std::vector<PerWorker> state(static_cast<std::size_t>(workers));
+          for (int w = 0; w < workers; ++w) {
+            if (ctx.helper_of(w) != h_idx) continue;
+            const auto nb = cart.face_neighbors(w);
+            for (int f = 0; f < 6; ++f)
+              if (nb[static_cast<std::size_t>(f)] >= 0)
+                ++state[static_cast<std::size_t>(w)].expected;
           }
-          s_back.isend_to(self, h.target, SendBuf{bundle.data(), bundle.size()});
-        } else {
-          s_back.isend_to(self, h.target,
-                          SendBuf::header_only(out, sizeof out + data_bytes));
-        }
-      };
-      stream::Stream s_face = stream::Stream::attach(ch_face, face_type, on_face, 1);
-      s_face.operate(self);
-      s_back.terminate(self);
-    }
-    ch_face.free(self);
-    ch_back.free(self);
+
+          auto& s_face = ctx[faces];
+          auto& s_back = ctx[bundles];
+          std::vector<double> bundle;
+          s_face.on_receive([&](const decouple::Element<FaceHeader>& el) {
+            if (el.synthetic) return;
+            const FaceHeader& h = el.record;
+            auto& pw = state.at(static_cast<std::size_t>(h.target));
+            auto& slot_iter = pw.pending[h.iter];
+            if (real && h.count > 0)
+              el.payload_to(slot_iter.faces[static_cast<std::size_t>(h.face)],
+                            static_cast<std::size_t>(h.count));
+            if (++slot_iter.arrived < pw.expected) return;
+            IterSlot ready = std::move(slot_iter);
+            pw.pending.erase(h.iter);
+            auto& faces_ready = ready.faces;
+
+            // All six (or fewer at domain boundaries) faces arrived:
+            // aggregate and stream the bundle back to the worker.
+            const auto nb = cart.face_neighbors(h.target);
+            std::size_t data_bytes = 0;
+            if (real) {
+              for (int f = 0; f < 6; ++f)
+                if (nb[static_cast<std::size_t>(f)] >= 0)
+                  data_bytes += faces_ready[static_cast<std::size_t>(f)].size() *
+                                sizeof(double);
+            } else {
+              int present = 0;
+              for (int f = 0; f < 6; ++f)
+                if (nb[static_cast<std::size_t>(f)] >= 0) ++present;
+              data_bytes = static_cast<std::size_t>(present) * shape.face_bytes();
+            }
+            self.compute(ns_time(config.ns_aggregate_per_byte *
+                                 static_cast<double>(data_bytes)),
+                         "agg");
+            const FaceHeader out{h.target, -1, h.iter, 0};
+            if (real) {
+              bundle.clear();
+              for (int f = 0; f < 6; ++f) {
+                if (nb[static_cast<std::size_t>(f)] < 0) continue;
+                const auto& slot = faces_ready[static_cast<std::size_t>(f)];
+                bundle.insert(bundle.end(), slot.begin(), slot.end());
+              }
+              s_back.send_to(h.target, out, bundle.data(), bundle.size());
+            } else {
+              s_back.send_modeled_to(h.target, out, data_bytes);
+            }
+          });
+          s_face.operate();
+        });
   };
 
   result.seconds = util::to_seconds(machine.run(program));

@@ -7,9 +7,8 @@
 #include <set>
 #include <stdexcept>
 
-#include "core/channel.hpp"
+#include "core/decouple.hpp"
 #include "core/group_plan.hpp"
-#include "core/stream.hpp"
 #include "mpi/rank.hpp"
 
 namespace ds::apps::pic {
@@ -205,25 +204,6 @@ void run_decoupled_program(Rank& self, const PicConfig& cfg, const Domain& domai
                            std::vector<std::vector<Particle>>& particles,
                            std::vector<std::uint64_t>& counts,
                            std::vector<double>& comm_time) {
-  const int me = self.rank_in(self.world());
-  const bool is_worker = plan.is_worker(me);
-  const int workers = plan.worker_count();
-  const int helpers = plan.helper_count();
-  auto helper_of = [&](int worker) {
-    return static_cast<int>(static_cast<long long>(worker) * helpers / workers);
-  };
-
-  stream::ChannelConfig out_cfg;
-  out_cfg.channel_id = 20;
-  out_cfg.mapping = stream::ChannelConfig::Mapping::Block;
-  stream::Channel ch_out =
-      stream::Channel::create(self, self.world(), is_worker, !is_worker, out_cfg);
-  stream::ChannelConfig back_cfg;
-  back_cfg.channel_id = 21;
-  back_cfg.mapping = stream::ChannelConfig::Mapping::Directed;
-  stream::Channel ch_back =
-      stream::Channel::create(self, self.world(), !is_worker, is_worker, back_cfg);
-
   // Element sizing: a batch carries up to one full exit wave; keep a
   // generous cap so real tests never overflow.
   const std::size_t max_batch =
@@ -233,24 +213,26 @@ void run_decoupled_program(Rank& self, const PicConfig& cfg, const Domain& domai
               4096, static_cast<std::size_t>(
                         2.0 * cfg.exit_fraction *
                         static_cast<double>(cfg.particles_per_rank)));
-  const mpi::Datatype element_type = mpi::Datatype::bytes(max_batch);
+  const std::size_t batch_payload = max_batch - sizeof(PartHeader);
 
-  if (is_worker) {
-    const int w = [&] {
-      int idx = 0;
-      for (const int r : plan.workers()) {
-        if (r == me) return idx;
-        ++idx;
-      }
-      return -1;
-    }();
+  decouple::StreamOptions out_options;  // Block mapping toward the helpers
+  decouple::StreamOptions back_options;
+  back_options.direction = decouple::Direction::ToWorkers;
+  back_options.mapping = decouple::Mapping::Directed;
+
+  auto pipeline = decouple::Pipeline::over(self, self.world()).with_plan(plan);
+  auto outflow = pipeline.stream<PartHeader>(batch_payload, out_options);
+  auto backflow = pipeline.stream<PartHeader>(batch_payload, back_options);
+
+  const auto worker_program = [&](decouple::Context& ctx) {
+    const int w = ctx.worker_index();
     const auto neighbors = domain.cart.face_neighbors(w);
     // Particles can cross corners in one step, so closure spans the Moore
     // neighbourhood: I expect one CLOSE per distinct helper of any
     // Moore-neighbour (they hold everything that can reach me in one hop).
     const auto moore = domain.cart.moore_neighbors(w);
     std::set<int> close_sources;
-    for (const int v : moore) close_sources.insert(helper_of(v));
+    for (const int v : moore) close_sources.insert(ctx.helper_of(v));
 
     util::Rng exit_rng = util::Rng::for_stream(cfg.seed ^ 0xE817, w);
     auto& mine = particles[static_cast<std::size_t>(w)];
@@ -258,7 +240,8 @@ void run_decoupled_program(Rank& self, const PicConfig& cfg, const Domain& domai
         cfg.real_data ? mine.size() : counts[static_cast<std::size_t>(w)];
 
     const bool relaxed = cfg.relaxed_arrival && !cfg.real_data;
-    stream::Stream s_out = stream::Stream::attach(ch_out, element_type, {}, 1);
+    auto& s_out = ctx[outflow];
+    auto& s_back = ctx[backflow];
     int closes_seen = 0;        // strict mode: closes for the current step
     int closes_total = 0;       // relaxed mode: closes across the whole run
     int current_step = -1;
@@ -282,27 +265,21 @@ void run_decoupled_program(Rank& self, const PicConfig& cfg, const Domain& domai
         my_count += static_cast<std::uint64_t>(h.count);
       }
     };
-    auto on_back = [&](const stream::StreamElement& el) {
-      if (!el.data) return;
-      PartHeader h;
-      std::memcpy(&h, el.data, sizeof h);
+    s_back.on_receive([&](const decouple::Element<PartHeader>& el) {
+      if (el.synthetic) return;
+      const PartHeader& h = el.record;
       if (h.dest != w || (!relaxed && h.step < current_step))
         throw std::logic_error("pic decoupled: misrouted close element");
       std::vector<Particle> incoming;
-      if (cfg.real_data && h.count > 0) {
-        incoming.resize(static_cast<std::size_t>(h.count));
-        std::memcpy(incoming.data(), el.data + sizeof h,
-                    incoming.size() * sizeof(Particle));
-      }
+      if (cfg.real_data && h.count > 0)
+        el.payload_to(incoming, static_cast<std::size_t>(h.count));
       if (relaxed || h.step == current_step) {
         apply_close(h, std::move(incoming));
       } else {
         stashed[h.step].push_back(StashedClose{h, std::move(incoming)});
       }
-    };
-    stream::Stream s_back = stream::Stream::attach(ch_back, element_type, on_back, 2);
+    });
 
-    std::vector<std::byte> msg;
     for (int step = 0; step < cfg.steps; ++step) {
       self.compute(
           ns_time(cfg.ns_mover_per_particle * static_cast<double>(my_count)),
@@ -322,12 +299,9 @@ void run_decoupled_program(Rank& self, const PicConfig& cfg, const Domain& domai
             throw std::logic_error(
                 "pic decoupled: particle crossed more than one subdomain per "
                 "step; reduce dt");
-          PartHeader h{0, step, dest, static_cast<std::int32_t>(list.size())};
-          msg.resize(sizeof h + list.size() * sizeof(Particle));
-          std::memcpy(msg.data(), &h, sizeof h);
-          std::memcpy(msg.data() + sizeof h, list.data(),
-                      list.size() * sizeof(Particle));
-          s_out.isend(self, SendBuf{msg.data(), msg.size()});
+          const PartHeader h{0, step, dest,
+                             static_cast<std::int32_t>(list.size())};
+          s_out.send(h, list.data(), list.size());
         }
       } else {
         const double jitter = 0.6 + 0.8 * exit_rng.next_double();
@@ -339,36 +313,32 @@ void run_decoupled_program(Rank& self, const PicConfig& cfg, const Domain& domai
         for (int f = 0; f < 6; ++f)
           if (neighbors[static_cast<std::size_t>(f)] >= 0)
             nbrs.push_back(neighbors[static_cast<std::size_t>(f)]);
-        const std::uint64_t chunk_limit =
-            (max_batch - sizeof(PartHeader)) / cfg.particle_bytes;
+        const std::uint64_t chunk_limit = batch_payload / cfg.particle_bytes;
         for (std::size_t i = 0; i < nbrs.size(); ++i) {
           std::uint64_t share =
               outgoing / nbrs.size() + (i < outgoing % nbrs.size() ? 1 : 0);
           // Ship in element-sized chunks (fine-grained stream elements).
           do {
             const std::uint64_t n = std::min(chunk_limit, share);
-            PartHeader h{0, step, nbrs[i], static_cast<std::int32_t>(n)};
-            s_out.isend(self, SendBuf::header_only(
-                                  h, sizeof h + static_cast<std::size_t>(n) *
-                                                    cfg.particle_bytes));
+            const PartHeader h{0, step, nbrs[i], static_cast<std::int32_t>(n)};
+            s_out.send_modeled(
+                h, static_cast<std::size_t>(n) * cfg.particle_bytes);
             share -= n;
           } while (share > 0);
         }
       }
       // End-of-step marker; then either wait for this step's closes (strict)
       // or just drain whatever has already arrived (relaxed).
-      PartHeader end{1, step, w, 0};
-      s_out.isend(self, SendBuf::header_only(end, sizeof end));
+      s_out.send(PartHeader{1, step, w, 0});
       if (relaxed) {
-        while (s_back.poll_one(self)) {
-        }
+        s_back.drain();
       } else {
         if (auto it = stashed.find(step); it != stashed.end()) {
           for (auto& sc : it->second)
             apply_close(sc.header, std::move(sc.incoming));
           stashed.erase(it);
         }
-        s_back.operate_while(self, [&] {
+        s_back.operate_while([&] {
           return closes_seen < static_cast<int>(close_sources.size());
         });
       }
@@ -381,28 +351,23 @@ void run_decoupled_program(Rank& self, const PicConfig& cfg, const Domain& domai
       // Final reconciliation: every step's closes must land so the particle
       // count is exact before reporting.
       const int expected = cfg.steps * static_cast<int>(close_sources.size());
-      s_back.operate_while(self, [&] { return closes_total < expected; });
+      s_back.operate_while([&] { return closes_total < expected; });
     }
-    s_out.terminate(self);
     if (cfg.real_data) {
       result.final_particles[static_cast<std::size_t>(w)] = mine;
       counts[static_cast<std::size_t>(w)] = mine.size();
     } else {
       counts[static_cast<std::size_t>(w)] = my_count;
     }
-  } else {
+  };
+
+  const auto helper_program = [&](decouple::Context& ctx) {
     // ---- helper: aggregate by destination, forward in one pass ----
-    const int h_idx = [&] {
-      int idx = 0;
-      for (const int r : plan.helpers()) {
-        if (r == me) return idx;
-        ++idx;
-      }
-      return -1;
-    }();
+    const int h_idx = ctx.helper_index();
+    const int workers = ctx.worker_count();
     std::vector<int> my_producers;  // worker indices streaming to me
     for (int w = 0; w < workers; ++w)
-      if (helper_of(w) == h_idx) my_producers.push_back(w);
+      if (ctx.helper_of(w) == h_idx) my_producers.push_back(w);
     // Destinations I close each step, and for each the producers whose END
     // gates the close: only the destination's Moore neighbours assigned to
     // me. Gating on *all* producers would turn every step into a semi-global
@@ -419,13 +384,12 @@ void run_decoupled_program(Rank& self, const PicConfig& cfg, const Domain& domai
     };
     std::map<std::pair<int, int>, DestSlot> slots;  // (step, dest) -> slot
 
-    stream::Stream s_back = stream::Stream::attach(ch_back, element_type, {}, 2);
-    std::vector<std::byte> msg;
+    auto& s_out = ctx[outflow];
+    auto& s_back = ctx[backflow];
     // One aggregate can exceed an element (many neighbours funnel into one
     // destination), so flush in chunks; only the last chunk carries the
     // CLOSE kind that advances the worker's step.
-    const std::uint64_t chunk_particles =
-        (max_batch - sizeof(PartHeader)) / cfg.particle_bytes;
+    const std::uint64_t chunk_particles = batch_payload / cfg.particle_bytes;
     auto flush_dest = [&](int step, int dest, DestSlot& slot) {
       const std::uint64_t total =
           cfg.real_data ? slot.real_particles.size() : slot.count;
@@ -436,27 +400,21 @@ void run_decoupled_program(Rank& self, const PicConfig& cfg, const Domain& domai
       do {
         const std::uint64_t n = std::min(chunk_particles, total - sent);
         const bool last = sent + n == total;
-        PartHeader h{last ? 2 : 0, step, dest, static_cast<std::int32_t>(n)};
+        const PartHeader h{last ? 2 : 0, step, dest,
+                           static_cast<std::int32_t>(n)};
         if (cfg.real_data) {
-          const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(Particle);
-          msg.resize(sizeof h + bytes);
-          std::memcpy(msg.data(), &h, sizeof h);
-          std::memcpy(msg.data() + sizeof h, slot.real_particles.data() + sent,
-                      bytes);
-          s_back.isend_to(self, dest, SendBuf{msg.data(), msg.size()});
+          s_back.send_to(dest, h, slot.real_particles.data() + sent,
+                         static_cast<std::size_t>(n));
         } else {
-          s_back.isend_to(self, dest,
-                          SendBuf::header_only(
-                              h, sizeof h + static_cast<std::size_t>(n) *
-                                                cfg.particle_bytes));
+          s_back.send_modeled_to(
+              dest, h, static_cast<std::size_t>(n) * cfg.particle_bytes);
         }
         sent += n;
       } while (sent < total);
     };
-    auto on_out = [&](const stream::StreamElement& el) {
-      if (!el.data) return;
-      PartHeader h;
-      std::memcpy(&h, el.data, sizeof h);
+    s_out.on_receive([&](const decouple::Element<PartHeader>& el) {
+      if (el.synthetic) return;
+      const PartHeader& h = el.record;
       if (h.kind == 1) {
         // END from producer h.dest (==w): advance every destination it gates.
         const int producer = h.dest;
@@ -476,17 +434,15 @@ void run_decoupled_program(Rank& self, const PicConfig& cfg, const Domain& domai
         auto& list = slot.real_particles;
         const std::size_t base = list.size();
         list.resize(base + n);
-        std::memcpy(list.data() + base, el.data + sizeof h, n * sizeof(Particle));
+        std::memcpy(list.data() + base, el.payload, n * sizeof(Particle));
       } else {
         slot.count += static_cast<std::uint64_t>(h.count);
       }
-    };
-    stream::Stream s_out = stream::Stream::attach(ch_out, element_type, on_out, 1);
-    s_out.operate(self);
-    s_back.terminate(self);
-  }
-  ch_out.free(self);
-  ch_back.free(self);
+    });
+    s_out.operate();
+  };
+
+  pipeline.run(worker_program, helper_program);
 }
 
 }  // namespace

@@ -5,9 +5,8 @@
 #include <vector>
 
 #include "apps/pic/pic_app.hpp"
-#include "core/channel.hpp"
+#include "core/decouple.hpp"
 #include "core/group_plan.hpp"
-#include "core/stream.hpp"
 #include "mpi/io.hpp"
 #include "mpi/rank.hpp"
 
@@ -94,78 +93,67 @@ PicIoResult run_pic_io(IoVariant variant, const PicIoConfig& config,
     }
 
     // ---------------- decoupled ----------------
-    const bool is_worker = plan.is_worker(me);
-    stream::ChannelConfig cfg_ch;
-    cfg_ch.channel_id = 30;
-    stream::Channel ch =
-        stream::Channel::create(self, self.world(), is_worker, !is_worker, cfg_ch);
-    const std::size_t element_bytes =
-        sizeof(std::uint64_t) + config.batch_particles * unit;
-    const mpi::Datatype element_type = mpi::Datatype::bytes(element_bytes);
+    auto pipeline = decouple::Pipeline::over(self, self.world()).with_plan(plan);
+    auto batches = pipeline.raw_stream(sizeof(std::uint64_t) +
+                                       config.batch_particles * unit);
 
-    if (is_worker) {
-      const int w = [&] {
-        int idx = 0;
-        for (const int r : plan.workers()) {
-          if (r == me) return idx;
-          ++idx;
-        }
-        return -1;
-      }();
-      stream::Stream s = stream::Stream::attach(ch, element_type, {}, 1);
-      const std::uint64_t my_count = counts[static_cast<std::size_t>(w)];
-      std::vector<std::uint64_t> ids;
-      for (int step = 0; step < config.steps; ++step) {
-        self.compute(
-            ns_time(config.ns_mover_per_particle * static_cast<double>(my_count)),
-            "comp");
-        const util::SimTime io_begin = self.now();
-        self.process().trace_begin("io");
-        // Stream the dump in batches; no waiting on storage.
-        for (std::uint64_t first = 0; first < my_count;
-             first += config.batch_particles) {
-          const std::size_t batch = static_cast<std::size_t>(
-              std::min<std::uint64_t>(config.batch_particles, my_count - first));
-          if (config.real_data) {
-            fill_ids(ids, w, step, first, batch);
-            s.isend(self, SendBuf::of(ids.data(), ids.size()));
-          } else {
-            s.isend(self, SendBuf::synthetic(batch * unit));
+    pipeline.run(
+        [&](decouple::Context& ctx) {
+          const int w = ctx.worker_index();
+          auto& s = ctx[batches];
+          const std::uint64_t my_count = counts[static_cast<std::size_t>(w)];
+          std::vector<std::uint64_t> ids;
+          for (int step = 0; step < config.steps; ++step) {
+            self.compute(ns_time(config.ns_mover_per_particle *
+                                 static_cast<double>(my_count)),
+                         "comp");
+            const util::SimTime io_begin = self.now();
+            self.process().trace_begin("io");
+            // Stream the dump in batches; no waiting on storage.
+            for (std::uint64_t first = 0; first < my_count;
+                 first += config.batch_particles) {
+              const std::size_t batch = static_cast<std::size_t>(
+                  std::min<std::uint64_t>(config.batch_particles,
+                                          my_count - first));
+              if (config.real_data) {
+                fill_ids(ids, w, step, first, batch);
+                s.send_items(ids.data(), ids.size());
+              } else {
+                s.send_synthetic(batch * unit);
+              }
+            }
+            self.process().trace_end();
+            io_time[static_cast<std::size_t>(w)] +=
+                util::to_seconds(self.now() - io_begin);
           }
-        }
-        self.process().trace_end();
-        io_time[static_cast<std::size_t>(w)] +=
-            util::to_seconds(self.now() - io_begin);
-      }
-      s.terminate(self);
-    } else {
-      // I/O group: buffer aggressively, write rarely and big.
-      mpi::File file(machine, ch.comm(), kFileName);
-      std::vector<std::byte> buffer;
-      buffer.reserve(config.real_data ? config.helper_buffer_bytes : 0);
-      std::size_t buffered = 0;
-      auto flush = [&] {
-        if (buffered == 0) return;
-        file.write_shared(self, config.real_data
-                                    ? SendBuf{buffer.data(), buffer.size()}
-                                    : SendBuf::synthetic(buffered));
-        buffer.clear();
-        buffered = 0;
-      };
-      auto on_batch = [&](const stream::StreamElement& el) {
-        if (config.real_data && el.data) {
-          const std::size_t base = buffer.size();
-          buffer.resize(base + el.bytes);
-          std::memcpy(buffer.data() + base, el.data, el.bytes);
-        }
-        buffered += el.bytes;
-        if (buffered >= config.helper_buffer_bytes) flush();
-      };
-      stream::Stream s = stream::Stream::attach(ch, element_type, on_batch, 1);
-      s.operate(self);
-      flush();
-    }
-    ch.free(self);
+        },
+        [&](decouple::Context& ctx) {
+          // I/O group: buffer aggressively, write rarely and big.
+          auto& s = ctx[batches];
+          mpi::File file(machine, s.channel().comm(), kFileName);
+          std::vector<std::byte> buffer;
+          buffer.reserve(config.real_data ? config.helper_buffer_bytes : 0);
+          std::size_t buffered = 0;
+          auto flush = [&] {
+            if (buffered == 0) return;
+            file.write_shared(self, config.real_data
+                                        ? SendBuf{buffer.data(), buffer.size()}
+                                        : SendBuf::synthetic(buffered));
+            buffer.clear();
+            buffered = 0;
+          };
+          s.on_receive([&](const decouple::RawElement& el) {
+            if (config.real_data && el.data) {
+              const std::size_t base = buffer.size();
+              buffer.resize(base + el.bytes);
+              std::memcpy(buffer.data() + base, el.data, el.bytes);
+            }
+            buffered += el.bytes;
+            if (buffered >= config.helper_buffer_bytes) flush();
+          });
+          s.operate();
+          flush();
+        });
   };
 
   result.seconds = util::to_seconds(machine.run(program));

@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
-#include "core/channel.hpp"
+#include "core/decouple.hpp"
 #include "core/group_plan.hpp"
-#include "core/stream.hpp"
 #include "mpi/rank.hpp"
 
 namespace ds::apps::wordcount {
@@ -154,28 +153,13 @@ WordcountResult run_decoupled(const WordcountConfig& config,
   const int master = plan.helpers().front();
   const int workers = plan.worker_count();
 
+  // Role predicates over parent ranks (pure rank functions, evaluated the
+  // same on every process).
+  const auto reducer_pred = [plan, master, master_only](int r) {
+    return master_only ? r == master : plan.is_helper(r) && r != master;
+  };
+
   const auto program = [&](Rank& self) {
-    const int me = self.rank_in(self.world());
-    const bool is_master = me == master;
-    const bool is_reducer = master_only ? is_master
-                                        : plan.is_helper(me) && !is_master;
-    const bool is_worker = plan.is_worker(me);
-
-    // Channel 1: map group -> local reducers. Channel 2: reducers -> master
-    // (absent when the reduce group is a single process).
-    stream::ChannelConfig ch1_cfg;
-    ch1_cfg.channel_id = 1;
-    stream::Channel ch1 =
-        stream::Channel::create(self, self.world(), is_worker, is_reducer, ch1_cfg);
-    stream::Channel ch2;
-    if (!master_only) {
-      stream::ChannelConfig ch2_cfg;
-      ch2_cfg.channel_id = 2;
-      stream::Channel created = stream::Channel::create(
-          self, self.world(), is_reducer, is_master && !is_reducer, ch2_cfg);
-      ch2 = created;
-    }
-
     const std::size_t vocab_bytes =
         config.corpus.sample_vocabulary * static_cast<std::size_t>(kCountBytes);
     // A block's partial histogram occupies ~8 bytes per distinct word.
@@ -185,89 +169,94 @@ WordcountResult run_decoupled(const WordcountConfig& config,
     const std::size_t element_capacity =
         config.real_data ? std::max(config.element_bytes, vocab_bytes)
                          : std::max(config.element_bytes, max_histogram_bytes);
-    const mpi::Datatype element_type = mpi::Datatype::bytes(element_capacity);
 
-    if (is_worker) {
-      stream::Stream s1 = stream::Stream::attach(ch1, element_type, {}, 1);
-      const int worker_index =
-          static_cast<int>(std::lower_bound(plan.workers().begin(),
-                                            plan.workers().end(), me) -
-                           plan.workers().begin());
-      std::vector<std::uint64_t> block_hist;
-      map_files(self, config, corpus, worker_index, workers,
-                [&](int file, int block, std::uint64_t chunk) {
-                  if (config.real_data) {
-                    block_hist.assign(config.corpus.sample_vocabulary, 0);
-                    corpus.sample_block(file, block, config.words_per_block_real,
-                                        block_hist);
-                    s1.isend(self, SendBuf::of(block_hist.data(), block_hist.size()));
-                  } else {
-                    s1.isend(self, SendBuf::synthetic(
-                                       corpus.distinct_words(chunk) *
-                                       static_cast<std::size_t>(kCountBytes)));
-                  }
-                });
-      s1.terminate(self);
-      result.elements_streamed += s1.elements_sent();
-      ch1.free(self);
-      ch2.free(self);
-      return;
+    // Stream 1: map group -> local reducers. Stream 2: reducers -> master
+    // (absent when the reduce group is a single process).
+    auto pipeline = decouple::Pipeline::over(self, self.world()).with_plan(plan);
+    decouple::StreamOptions map_to_reducers;
+    map_to_reducers.consumers = reducer_pred;
+    auto blocks = pipeline.raw_stream(element_capacity, map_to_reducers);
+    decouple::RawStreamHandle updates;
+    if (!master_only) {
+      decouple::StreamOptions reducers_to_master;
+      reducers_to_master.producers = reducer_pred;
+      reducers_to_master.consumers = [master](int r) { return r == master; };
+      updates = pipeline.raw_stream(element_capacity, reducers_to_master);
     }
 
-    std::vector<std::uint64_t> local_hist;   // reducer-side partial
-    std::vector<std::uint64_t> global_hist;  // master-side result
+    pipeline.run(
+        [&](decouple::Context& ctx) {
+          auto& s1 = ctx[blocks];
+          std::vector<std::uint64_t> block_hist;
+          map_files(self, config, corpus, ctx.worker_index(), workers,
+                    [&](int file, int block, std::uint64_t chunk) {
+                      if (config.real_data) {
+                        block_hist.assign(config.corpus.sample_vocabulary, 0);
+                        corpus.sample_block(file, block,
+                                            config.words_per_block_real,
+                                            block_hist);
+                        s1.send_items(block_hist.data(), block_hist.size());
+                      } else {
+                        s1.send_synthetic(corpus.distinct_words(chunk) *
+                                          static_cast<std::size_t>(kCountBytes));
+                      }
+                    });
+          result.elements_streamed += s1.elements_sent();
+        },
+        [&](decouple::Context& ctx) {
+          const int me = ctx.parent_rank();
+          const bool is_master = me == master;
+          const bool is_reducer = reducer_pred(me);
 
-    stream::Stream s2 =
-        master_only ? stream::Stream{}
-                    : stream::Stream::attach(ch2, element_type, {}, 2);
+          std::vector<std::uint64_t> local_hist;   // reducer-side partial
+          std::vector<std::uint64_t> global_hist;  // master-side result
 
-    if (is_reducer) {
-      auto on_element = [&](const stream::StreamElement& el) {
-        self.compute(ns_cost(config.histogram_merge_ns_per_byte, el.bytes),
-                     "reduce");
-        if (config.real_data && el.data) {
-          std::vector<std::uint64_t> part(el.bytes / sizeof(std::uint64_t));
-          std::memcpy(part.data(), el.data, part.size() * sizeof(std::uint64_t));
-          merge_into(master_only ? global_hist : local_hist, part);
-          if (!master_only && !config.aggregate_reduce_group)
-            s2.isend(self, SendBuf::of(part.data(), part.size()));
-        } else if (!master_only && !config.aggregate_reduce_group) {
-          s2.isend(self,
-                   SendBuf::synthetic(static_cast<std::size_t>(
-                       config.forward_fraction * static_cast<double>(el.bytes))));
-        }
-      };
-      stream::Stream s1 = stream::Stream::attach(ch1, element_type, on_element, 1);
-      s1.operate(self);
-      if (!master_only) {
-        if (config.aggregate_reduce_group) {
-          if (config.real_data) {
-            local_hist.resize(config.corpus.sample_vocabulary, 0);
-            s2.isend(self, SendBuf::of(local_hist.data(), local_hist.size()));
-          } else {
-            s2.isend(self, SendBuf::synthetic(vocab_bytes));
+          if (is_reducer) {
+            auto& s1 = ctx[blocks];
+            decouple::RawStream* s2 = master_only ? nullptr : &ctx[updates];
+            s1.on_receive([&](const decouple::RawElement& el) {
+              self.compute(ns_cost(config.histogram_merge_ns_per_byte, el.bytes),
+                           "reduce");
+              if (config.real_data && el.data) {
+                std::vector<std::uint64_t> part(el.bytes / sizeof(std::uint64_t));
+                std::memcpy(part.data(), el.data,
+                            part.size() * sizeof(std::uint64_t));
+                merge_into(master_only ? global_hist : local_hist, part);
+                if (!master_only && !config.aggregate_reduce_group)
+                  s2->send_items(part.data(), part.size());
+              } else if (!master_only && !config.aggregate_reduce_group) {
+                s2->send_synthetic(static_cast<std::size_t>(
+                    config.forward_fraction * static_cast<double>(el.bytes)));
+              }
+            });
+            s1.operate();
+            if (!master_only && config.aggregate_reduce_group) {
+              if (config.real_data) {
+                local_hist.resize(config.corpus.sample_vocabulary, 0);
+                s2->send_items(local_hist.data(), local_hist.size());
+              } else {
+                s2->send_synthetic(vocab_bytes);
+              }
+            }
+            // The updates stream terminates via RAII when this role returns.
           }
-        }
-        s2.terminate(self);
-      }
-    }
-    if (is_master && !master_only) {
-      auto on_update = [&](const stream::StreamElement& el) {
-        self.compute(ns_cost(config.histogram_merge_ns_per_byte, el.bytes),
-                     "reduce");
-        if (config.real_data && el.data) {
-          std::vector<std::uint64_t> part(el.bytes / sizeof(std::uint64_t));
-          std::memcpy(part.data(), el.data, part.size() * sizeof(std::uint64_t));
-          merge_into(global_hist, part);
-        }
-      };
-      stream::Stream s2_in = stream::Stream::attach(ch2, element_type, on_update, 2);
-      s2_in.operate(self);
-    }
-    if (is_master && config.real_data) result.histogram = std::move(global_hist);
-
-    ch1.free(self);
-    ch2.free(self);
+          if (is_master && !master_only) {
+            auto& s2 = ctx[updates];
+            s2.on_receive([&](const decouple::RawElement& el) {
+              self.compute(ns_cost(config.histogram_merge_ns_per_byte, el.bytes),
+                           "reduce");
+              if (config.real_data && el.data) {
+                std::vector<std::uint64_t> part(el.bytes / sizeof(std::uint64_t));
+                std::memcpy(part.data(), el.data,
+                            part.size() * sizeof(std::uint64_t));
+                merge_into(global_hist, part);
+              }
+            });
+            s2.operate();
+          }
+          if (is_master && config.real_data)
+            result.histogram = std::move(global_hist);
+        });
   };
 
   result.seconds = util::to_seconds(machine.run(program));

@@ -14,7 +14,8 @@
 //   * flow interval    — virtual time between consecutive flushes,
 // and multiplicatively grows/shrinks the batch within [min, max] records.
 // Consumers are unchanged: they see ordinary elements whose leading header
-// states the record count.
+// states the record count. Through the facade, the policy is declared with
+// decouple::Pipeline::adaptive_stream and driven with RawStream::push().
 #pragma once
 
 #include <cstdint>

@@ -11,6 +11,10 @@
 //                 peer, preserves per-producer element order at the consumer.
 //  * RoundRobin — producer p spreads elements over all consumers; spreads
 //                 load, order preserved only per (producer, consumer) pair.
+//
+// This is the implementation layer: application code normally goes through
+// the typed RAII facade in core/decouple.hpp (decouple::Pipeline), which
+// owns channel lifetime and role dispatch.
 #pragma once
 
 #include <cstdint>

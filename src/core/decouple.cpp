@@ -1,0 +1,365 @@
+#include "core/decouple.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "mpi/datatype.hpp"
+#include "mpi/rank.hpp"
+
+namespace ds::decouple {
+
+namespace {
+
+/// Default base for the channel ids the facade assigns (base + declaration
+/// index). Offset so hand-made channels on the same parent (ids 0..) never
+/// collide with a pipeline's. Two pipelines *concurrently live* over the
+/// same parent must be disambiguated with with_channel_base.
+constexpr std::uint64_t kChannelIdBase = 0xDC00;
+
+}  // namespace
+
+// ------------------------------------------------------------ ScopedChannel --
+
+ScopedChannel::ScopedChannel(ScopedChannel&& other) noexcept
+    : self_(std::exchange(other.self_, nullptr)),
+      channel_(std::exchange(other.channel_, stream::Channel{})) {}
+
+ScopedChannel& ScopedChannel::operator=(ScopedChannel&& other) noexcept {
+  if (this != &other) {
+    release();
+    self_ = std::exchange(other.self_, nullptr);
+    channel_ = std::exchange(other.channel_, stream::Channel{});
+  }
+  return *this;
+}
+
+ScopedChannel::~ScopedChannel() { release(); }
+
+ScopedChannel ScopedChannel::create(mpi::Rank& self, const mpi::Comm& parent,
+                                    bool is_producer, bool is_consumer,
+                                    stream::ChannelConfig config) {
+  return ScopedChannel(
+      self, stream::Channel::create(self, parent, is_producer, is_consumer,
+                                    std::move(config)));
+}
+
+void ScopedChannel::release() {
+  if (self_ != nullptr && channel_.valid()) channel_.free(*self_);
+  self_ = nullptr;
+  channel_ = stream::Channel{};
+}
+
+// --------------------------------------------------------------- StreamBase --
+
+void StreamBase::bind(mpi::Rank& self, ScopedChannel channel,
+                      std::size_t element_bytes, std::uint64_t stream_id) {
+  self_ = &self;
+  channel_ = std::move(channel);
+  stream_ = stream::Stream::attach(
+      channel_.get(), mpi::Datatype::bytes(element_bytes),
+      [this](const stream::StreamElement& el) { dispatch(el); }, stream_id);
+  on_bound();
+}
+
+mpi::Rank& StreamBase::self() const {
+  if (self_ == nullptr)
+    throw std::logic_error("decouple: stream used before Pipeline::run");
+  return *self_;
+}
+
+void StreamBase::terminate() {
+  if (self_ != nullptr && is_producer()) stream_.terminate(*self_);
+}
+
+std::uint64_t StreamBase::operate() { return stream_.operate(self()); }
+
+std::uint64_t StreamBase::operate_while(
+    const std::function<bool()>& keep_going) {
+  return stream_.operate_while(self(), keep_going);
+}
+
+bool StreamBase::poll_one() { return stream_.poll_one(self()); }
+
+std::uint64_t StreamBase::drain() {
+  std::uint64_t consumed = 0;
+  while (poll_one()) ++consumed;
+  return consumed;
+}
+
+bool StreamBase::is_producer() const { return producer_index() >= 0; }
+
+bool StreamBase::is_consumer() const { return consumer_index() >= 0; }
+
+int StreamBase::producer_index() const {
+  return self_ == nullptr ? -1 : channel_.get().my_producer_index(*self_);
+}
+
+int StreamBase::consumer_index() const {
+  return self_ == nullptr ? -1 : channel_.get().my_consumer_index(*self_);
+}
+
+void StreamBase::send_raw(mpi::SendBuf element) {
+  stream_.isend(self(), element);
+}
+
+void StreamBase::send_raw_to(int consumer, mpi::SendBuf element) {
+  stream_.isend_to(self(), consumer, element);
+}
+
+// ---------------------------------------------------------------- RawStream --
+
+void RawStream::send(const void* data, std::size_t bytes) {
+  send_raw(mpi::SendBuf{data, bytes, 0});
+}
+
+void RawStream::send_synthetic(std::size_t wire_bytes) {
+  send_raw(mpi::SendBuf::synthetic(wire_bytes));
+}
+
+void RawStream::terminate() {
+  if (batcher_ && is_producer()) batcher_->flush(self());
+  StreamBase::terminate();
+}
+
+void RawStream::on_bound() {
+  if (adaptive_ && is_producer())
+    batcher_.emplace(stream(), record_bytes_, *adaptive_);
+}
+
+stream::AdaptiveBatcher& RawStream::batcher() {
+  if (!batcher_)
+    throw std::logic_error(
+        "decouple: push/flush need an adaptive stream and the producer role");
+  return *batcher_;
+}
+
+const stream::AdaptiveBatcher& RawStream::batcher() const {
+  return const_cast<RawStream*>(this)->batcher();
+}
+
+void RawStream::push() { batcher().push(self()); }
+
+void RawStream::flush() { batcher().flush(self()); }
+
+std::uint32_t RawStream::current_batch() const {
+  return batcher().current_batch();
+}
+
+std::uint64_t RawStream::records_sent() const { return batcher().records_sent(); }
+
+std::uint32_t adaptive_record_count(const RawElement& element) {
+  if (element.data == nullptr ||
+      element.bytes < sizeof(stream::AdaptiveHeader))
+    return 0;
+  stream::AdaptiveHeader header;
+  std::memcpy(&header, element.data, sizeof header);
+  return header.records;
+}
+
+// ------------------------------------------------------------------ Context --
+
+mpi::Rank& Context::self() const noexcept { return *pipeline_->self_; }
+
+const mpi::Comm& Context::parent() const noexcept { return pipeline_->parent_; }
+
+int Context::parent_rank() const noexcept {
+  return self().rank_in(pipeline_->parent_);
+}
+
+bool Context::is_worker() const noexcept {
+  return !pipeline_->is_helper_rank(parent_rank());
+}
+
+int Context::worker_index() const noexcept {
+  const auto& workers = pipeline_->workers_;
+  const auto it = std::lower_bound(workers.begin(), workers.end(), parent_rank());
+  return it != workers.end() && *it == parent_rank()
+             ? static_cast<int>(it - workers.begin())
+             : -1;
+}
+
+int Context::helper_index() const noexcept {
+  const auto& helpers = pipeline_->helpers_;
+  const auto it = std::lower_bound(helpers.begin(), helpers.end(), parent_rank());
+  return it != helpers.end() && *it == parent_rank()
+             ? static_cast<int>(it - helpers.begin())
+             : -1;
+}
+
+int Context::worker_count() const noexcept {
+  return static_cast<int>(pipeline_->workers_.size());
+}
+
+int Context::helper_count() const noexcept {
+  return static_cast<int>(pipeline_->helpers_.size());
+}
+
+const std::vector<int>& Context::workers() const noexcept {
+  return pipeline_->workers_;
+}
+
+const std::vector<int>& Context::helpers() const noexcept {
+  return pipeline_->helpers_;
+}
+
+int Context::helper_of(int worker) const noexcept {
+  return static_cast<int>(static_cast<long long>(worker) * helper_count() /
+                          worker_count());
+}
+
+double Context::alpha() const noexcept {
+  const auto total = pipeline_->workers_.size() + pipeline_->helpers_.size();
+  return total == 0 ? 0.0
+                    : static_cast<double>(pipeline_->helpers_.size()) /
+                          static_cast<double>(total);
+}
+
+const mpi::Comm& Context::worker_comm() const {
+  if (!pipeline_->want_worker_comm_)
+    throw std::logic_error(
+        "decouple: worker_comm() requires Pipeline::with_worker_comm()");
+  return pipeline_->worker_comm_;
+}
+
+StreamBase& Context::slot(int index) const {
+  if (index < 0 || index >= static_cast<int>(pipeline_->slots_.size()))
+    throw std::logic_error("decouple: stream handle not from this pipeline");
+  return *pipeline_->slots_[static_cast<std::size_t>(index)].stream;
+}
+
+// ----------------------------------------------------------------- Pipeline --
+
+Pipeline::Pipeline(mpi::Rank& self, mpi::Comm parent)
+    : self_(&self), parent_(std::move(parent)), channel_base_(kChannelIdBase) {}
+
+Pipeline Pipeline::over(mpi::Rank& self, const mpi::Comm& parent) {
+  if (self.rank_in(parent) < 0)
+    throw std::logic_error("Pipeline::over: caller not in parent communicator");
+  return Pipeline(self, parent);
+}
+
+void Pipeline::set_split(std::vector<int> helpers) {
+  if (split_configured_)
+    throw std::logic_error("Pipeline: split already configured");
+  std::sort(helpers.begin(), helpers.end());
+  helpers.erase(std::unique(helpers.begin(), helpers.end()), helpers.end());
+  workers_.clear();
+  for (int r = 0; r < parent_.size(); ++r)
+    if (!std::binary_search(helpers.begin(), helpers.end(), r))
+      workers_.push_back(r);
+  if (workers_.empty() || helpers.empty())
+    throw std::invalid_argument(
+        "Pipeline: need at least one worker and one helper");
+  helpers_ = std::move(helpers);
+  split_configured_ = true;
+}
+
+Pipeline& Pipeline::with_stride(int stride) & {
+  return with_plan(stream::GroupPlan::interleaved(parent_, stride));
+}
+
+Pipeline& Pipeline::with_alpha(double alpha) & {
+  return with_plan(stream::GroupPlan::with_alpha(parent_, alpha));
+}
+
+Pipeline& Pipeline::with_plan(const stream::GroupPlan& plan) & {
+  set_split(plan.helpers());
+  return *this;
+}
+
+Pipeline& Pipeline::with_helper_ranks(std::vector<int> helpers) & {
+  for (const int h : helpers)
+    if (h < 0 || h >= parent_.size())
+      throw std::invalid_argument(
+          "Pipeline::with_helper_ranks: rank outside the parent communicator");
+  set_split(std::move(helpers));
+  return *this;
+}
+
+Pipeline& Pipeline::with_worker_comm() & {
+  want_worker_comm_ = true;
+  return *this;
+}
+
+Pipeline& Pipeline::with_channel_base(std::uint64_t base) & {
+  channel_base_ = base;
+  return *this;
+}
+
+bool Pipeline::is_helper_rank(int parent_rank) const noexcept {
+  return std::binary_search(helpers_.begin(), helpers_.end(), parent_rank);
+}
+
+int Pipeline::add_slot(std::unique_ptr<StreamBase> stream,
+                       std::size_t element_bytes, StreamOptions options) {
+  if (ran_)
+    throw std::logic_error("Pipeline: streams must be declared before run()");
+  slots_.push_back(Slot{std::move(stream), element_bytes, std::move(options)});
+  return static_cast<int>(slots_.size()) - 1;
+}
+
+RawStreamHandle Pipeline::raw_stream(std::size_t element_bytes,
+                                     StreamOptions options) {
+  return RawStreamHandle(
+      add_slot(std::make_unique<RawStream>(), element_bytes, std::move(options)));
+}
+
+RawStreamHandle Pipeline::adaptive_stream(std::size_t record_bytes,
+                                          AdaptiveConfig adaptive,
+                                          StreamOptions options) {
+  auto stream = std::make_unique<RawStream>();
+  stream->adaptive_ = adaptive;
+  stream->record_bytes_ = record_bytes;
+  return RawStreamHandle(add_slot(
+      std::move(stream),
+      stream::AdaptiveBatcher::element_bytes(record_bytes, adaptive.max_records),
+      std::move(options)));
+}
+
+void Pipeline::run(const RoleFn& worker_fn, const RoleFn& helper_fn) {
+  if (!split_configured_)
+    throw std::logic_error(
+        "Pipeline::run: declare a split first (with_stride / with_alpha / "
+        "with_plan / with_helper_ranks)");
+  if (ran_) throw std::logic_error("Pipeline::run: pipeline already ran");
+  ran_ = true;
+
+  mpi::Rank& self = *self_;
+  const int me = self.rank_in(parent_);
+  const bool worker = !is_helper_rank(me);
+
+  if (want_worker_comm_)
+    worker_comm_ = self.split(parent_, worker ? 0 : -1, me);
+
+  // Channel creation is collective over the parent: declaration order is the
+  // creation order on every rank.
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    stream::ChannelConfig config;
+    config.channel_id = channel_base_ + i;
+    config.mapping = slot.options.mapping;
+    config.inject_overhead = slot.options.inject_overhead;
+    const bool to_helpers = slot.options.direction == Direction::ToHelpers;
+    const bool produce = slot.options.producers
+                             ? slot.options.producers(me)
+                             : (to_helpers ? worker : !worker);
+    const bool consume = slot.options.consumers
+                             ? slot.options.consumers(me)
+                             : (to_helpers ? !worker : worker);
+    slot.stream->bind(self,
+                      ScopedChannel::create(self, parent_, produce, consume,
+                                            std::move(config)),
+                      slot.element_bytes, /*stream_id=*/i + 1);
+  }
+
+  Context context(*this);
+  const RoleFn& role_fn = worker ? worker_fn : helper_fn;
+  if (role_fn) role_fn(context);
+
+  // RAII half of the termination protocol: whatever this rank produced is
+  // now over; consumers' operate() unblocks as the terms land.
+  for (Slot& slot : slots_) slot.stream->terminate();
+}
+
+}  // namespace ds::decouple

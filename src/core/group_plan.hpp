@@ -3,7 +3,8 @@
 // The evaluation dedicates "one out of every 8 / 16 / 32 processes"
 // (alpha = 12.5% / 6.25% / 3.125%) to the decoupled operation. GroupPlan
 // captures that interleaved split of a communicator into workers (who keep
-// the main operations) and helpers (who run the decoupled one).
+// the main operations) and helpers (who run the decoupled one). A plan
+// plugs into decouple::Pipeline via with_plan / with_stride / with_alpha.
 #pragma once
 
 #include <vector>

@@ -10,6 +10,10 @@
 // Termination (MPIStream_Terminate): a producer that is done sends a
 // zero-byte control element to every consumer it routes to; operate()
 // returns once every routed producer has terminated.
+//
+// This is the implementation layer: application code normally uses the
+// typed streams of core/decouple.hpp (decouple::TypedStream / RawStream),
+// which decode elements and terminate by RAII.
 #pragma once
 
 #include <cstdint>
@@ -67,9 +71,10 @@ class Stream {
   /// (paper's MPIStream_Operate). Returns the number of elements processed.
   std::uint64_t operate(mpi::Rank& self);
 
-  /// Consumer: process arrivals until `stop()` is true or all producers
-  /// terminated; re-checks `stop` after each element. Returns elements
-  /// processed. Used by consumers that interleave other duties.
+  /// Consumer: process arrivals while `keep_going()` returns true and
+  /// unterminated producers remain; re-checks `keep_going` after each
+  /// element. Returns elements processed. Used by consumers that interleave
+  /// other duties.
   std::uint64_t operate_while(mpi::Rank& self, const std::function<bool()>& keep_going);
 
   /// Consumer: drain at most one pending element without blocking.

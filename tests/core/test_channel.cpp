@@ -100,6 +100,63 @@ TEST(Channel, RequiresBothGroupsNonEmpty) {
   });
 }
 
+TEST(Channel, BlockRouteIsStableAcrossTheWholeSequence) {
+  // Invariant: under Block mapping a producer's consumer never changes with
+  // the element sequence number — the property per-producer element order
+  // at the consumer relies on.
+  testing::run_program(testing::tiny_machine(12), [&](Rank& self) {
+    const int me = self.world_rank();
+    const Channel ch = Channel::create(self, self.world(), me < 9, me >= 9);
+    if (!ch.valid()) return;
+    for (int p = 0; p < ch.producer_count(); ++p) {
+      const int peer = ch.route(p, 0);
+      for (std::uint64_t seq = 1; seq < 257; ++seq)
+        ASSERT_EQ(ch.route(p, seq), peer) << "producer " << p << " seq " << seq;
+    }
+  });
+}
+
+TEST(Channel, BlockRouteCoversEveryConsumerExactlyOnceViaProducersOf) {
+  // Invariant: producers_of partitions the producer set — every producer
+  // routes to exactly one consumer's list, and the lists are disjoint.
+  testing::run_program(testing::tiny_machine(11), [&](Rank& self) {
+    const int me = self.world_rank();
+    const Channel ch = Channel::create(self, self.world(), me < 8, me >= 8);
+    if (!ch.valid()) return;
+    std::vector<int> owner(static_cast<std::size_t>(ch.producer_count()), -1);
+    for (int c = 0; c < ch.consumer_count(); ++c) {
+      for (const int p : ch.producers_of(c)) {
+        EXPECT_EQ(owner[static_cast<std::size_t>(p)], -1);
+        owner[static_cast<std::size_t>(p)] = c;
+        EXPECT_EQ(ch.route(p, 0), c);
+      }
+    }
+    for (const int c : owner) EXPECT_GE(c, 0);
+  });
+}
+
+TEST(Channel, RoundRobinRotationCoversAllConsumersUniformly) {
+  // Invariant: under RoundRobin every producer reaches every consumer, and
+  // any window of C consecutive elements covers all C consumers exactly once.
+  testing::run_program(testing::tiny_machine(7), [&](Rank& self) {
+    const int me = self.world_rank();
+    ChannelConfig cfg;
+    cfg.mapping = ChannelConfig::Mapping::RoundRobin;
+    const Channel ch = Channel::create(self, self.world(), me < 4, me >= 4, cfg);
+    if (!ch.valid()) return;
+    const int consumers = ch.consumer_count();
+    for (int p = 0; p < ch.producer_count(); ++p) {
+      for (std::uint64_t start = 0; start < 8; ++start) {
+        std::vector<int> hits(static_cast<std::size_t>(consumers), 0);
+        for (int k = 0; k < consumers; ++k)
+          hits[static_cast<std::size_t>(
+              ch.route(p, start + static_cast<std::uint64_t>(k)))]++;
+        for (const int h : hits) EXPECT_EQ(h, 1);
+      }
+    }
+  });
+}
+
 TEST(Channel, DistinctChannelIdsGetDistinctContexts) {
   testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
     const int me = self.world_rank();

@@ -1,0 +1,337 @@
+#include "core/decouple.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/machine_helpers.hpp"
+#include "mpi/rank.hpp"
+
+namespace ds::decouple {
+namespace {
+
+using mpi::Rank;
+
+struct Sample {
+  std::int32_t source = -1;
+  std::int32_t tick = -1;
+  double value = 0.0;
+};
+
+TEST(Pipeline, DispatchesRolesAndRoundTripsTypedRecords) {
+  std::vector<int> consumed(8, 0);
+  double sum = 0.0;
+  testing::run_program(testing::tiny_machine(8), [&](Rank& self) {
+    auto pipeline = Pipeline::over(self, self.world()).with_stride(4);
+    auto samples = pipeline.stream<Sample>();
+    pipeline.run(
+        [&](Context& ctx) {
+          EXPECT_TRUE(ctx.is_worker());
+          EXPECT_EQ(ctx.worker_count(), 6);
+          EXPECT_EQ(ctx.helper_count(), 2);
+          EXPECT_EQ(ctx.helper_index(), -1);
+          auto& s = ctx[samples];
+          EXPECT_TRUE(s.is_producer());
+          EXPECT_FALSE(s.is_consumer());
+          for (int t = 0; t < 3; ++t)
+            s.send(Sample{ctx.parent_rank(), t, 0.5 * t});
+          // No terminate(): the pipeline handles it when this returns.
+        },
+        [&](Context& ctx) {
+          EXPECT_TRUE(ctx.is_helper());
+          EXPECT_EQ(ctx.worker_index(), -1);
+          auto& s = ctx[samples];
+          s.on_receive([&](const Element<Sample>& el) {
+            EXPECT_FALSE(el.synthetic);
+            EXPECT_EQ(el.payload_bytes, 0u);
+            EXPECT_GE(el.producer, 0);
+            consumed[static_cast<std::size_t>(el.record.source)]++;
+            sum += el.record.value;
+          });
+          EXPECT_EQ(s.operate() % 3, 0u);  // every producer sent 3
+        });
+  });
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(consumed[static_cast<std::size_t>(r)], r % 4 == 3 ? 0 : 3);
+  EXPECT_DOUBLE_EQ(sum, 6 * (0.0 + 0.5 + 1.0));
+}
+
+TEST(Pipeline, TypedPayloadsCrossTheWire) {
+  struct Header {
+    std::int32_t count = 0;
+    std::int32_t tag = 0;
+  };
+  std::vector<double> received;
+  testing::run_program(testing::tiny_machine(3), [&](Rank& self) {
+    auto pipeline =
+        Pipeline::over(self, self.world()).with_helper_ranks({2});
+    auto data = pipeline.stream<Header>(/*max_payload_bytes=*/4 * sizeof(double));
+    pipeline.run(
+        [&](Context& ctx) {
+          auto& s = ctx[data];
+          const std::vector<double> body{1.0, 2.0, 3.0};
+          s.send(Header{3, ctx.parent_rank()}, body.data(), body.size());
+        },
+        [&](Context& ctx) {
+          auto& s = ctx[data];
+          s.on_receive([&](const Element<Header>& el) {
+            ASSERT_EQ(el.record.count, 3);
+            std::vector<double> body;
+            el.payload_to(body, static_cast<std::size_t>(el.record.count));
+            for (const double v : body) received.push_back(v);
+          });
+          s.operate();
+        });
+  });
+  ASSERT_EQ(received.size(), 6u);
+  EXPECT_DOUBLE_EQ(std::accumulate(received.begin(), received.end(), 0.0), 12.0);
+}
+
+TEST(Pipeline, DirectedStreamsAndModeledBodies) {
+  struct Note {
+    std::int32_t dest = -1;
+    std::int32_t payload_doubles = 0;
+  };
+  std::vector<std::uint64_t> per_helper(2, 0);
+  testing::run_program(testing::tiny_machine(6), [&](Rank& self) {
+    StreamOptions options;
+    options.mapping = Mapping::Directed;
+    auto pipeline = Pipeline::over(self, self.world()).with_stride(3);
+    auto notes = pipeline.stream<Note>(64 * sizeof(double), options);
+    pipeline.run(
+        [&](Context& ctx) {
+          auto& s = ctx[notes];
+          // Worker w talks to its block helper, body modeled (no real bytes).
+          const int target = ctx.helper_of(ctx.worker_index());
+          s.send_modeled_to(target, Note{target, 64}, 64 * sizeof(double));
+        },
+        [&](Context& ctx) {
+          auto& s = ctx[notes];
+          s.on_receive([&](const Element<Note>& el) {
+            // The record is real even when the body is modeled.
+            EXPECT_EQ(el.record.dest, ctx.helper_index());
+            EXPECT_EQ(el.payload_bytes, 64 * sizeof(double));
+            per_helper[static_cast<std::size_t>(ctx.helper_index())]++;
+          });
+          s.operate();
+        });
+  });
+  // 4 workers, helper_of: workers 0,1 -> helper 0; workers 2,3 -> helper 1.
+  EXPECT_EQ(per_helper[0], 2u);
+  EXPECT_EQ(per_helper[1], 2u);
+}
+
+TEST(Pipeline, RawStreamsCarryBytesAndSynthetics) {
+  std::uint64_t real_bytes = 0, synthetic_bytes = 0;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    auto pipeline = Pipeline::over(self, self.world()).with_helper_ranks({1});
+    auto bytes = pipeline.raw_stream(256);
+    pipeline.run(
+        [&](Context& ctx) {
+          auto& s = ctx[bytes];
+          const std::vector<std::uint32_t> words{1, 2, 3, 4};
+          s.send_items(words.data(), words.size());
+          s.send_synthetic(128);
+          EXPECT_EQ(s.elements_sent(), 2u);
+        },
+        [&](Context& ctx) {
+          auto& s = ctx[bytes];
+          s.on_receive([&](const RawElement& el) {
+            if (el.synthetic)
+              synthetic_bytes += el.bytes;
+            else
+              real_bytes += el.bytes;
+          });
+          s.operate();
+        });
+  });
+  EXPECT_EQ(real_bytes, 4 * sizeof(std::uint32_t));
+  EXPECT_EQ(synthetic_bytes, 128u);
+}
+
+TEST(Pipeline, AdaptiveStreamBatchesRecords) {
+  std::uint64_t elements = 0, records = 0;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    AdaptiveConfig adaptive;
+    adaptive.initial_records = 4;
+    adaptive.max_records = 64;
+    auto pipeline = Pipeline::over(self, self.world()).with_helper_ranks({1});
+    auto flow = pipeline.adaptive_stream(/*record_bytes=*/32, adaptive);
+    pipeline.run(
+        [&](Context& ctx) {
+          auto& s = ctx[flow];
+          EXPECT_TRUE(s.is_adaptive());
+          for (int i = 0; i < 103; ++i) s.push();
+          EXPECT_EQ(s.records_sent(), 103u);
+          // The trailing partial batch flushes via RAII termination.
+        },
+        [&](Context& ctx) {
+          auto& s = ctx[flow];
+          s.on_receive([&](const RawElement& el) {
+            ++elements;
+            records += adaptive_record_count(el);
+          });
+          s.operate();
+        });
+  });
+  EXPECT_EQ(records, 103u);
+  EXPECT_GT(elements, 0u);
+  EXPECT_LE(elements, 103u / 4 + 1);
+}
+
+TEST(Pipeline, CustomEndpointPredicatesOverrideTheSplit) {
+  // Three roles out of two groups: helpers split into one master (last
+  // helper) and reducers, as the wordcount reduce group does.
+  std::uint64_t master_received = 0;
+  testing::run_program(testing::tiny_machine(6), [&](Rank& self) {
+    const stream::GroupPlan plan = stream::GroupPlan::interleaved(self.world(), 3);
+    const int master = plan.helpers().back();
+    auto is_reducer = [plan, master](int r) {
+      return plan.is_helper(r) && r != master;
+    };
+    StreamOptions down;  // workers -> reducers
+    down.consumers = is_reducer;
+    StreamOptions up;  // reducers -> master
+    up.producers = is_reducer;
+    up.consumers = [master](int r) { return r == master; };
+
+    auto pipeline = Pipeline::over(self, self.world()).with_plan(plan);
+    auto first = pipeline.raw_stream(64, down);
+    auto second = pipeline.raw_stream(64, up);
+    pipeline.run(
+        [&](Context& ctx) { ctx[first].send_synthetic(64); },
+        [&](Context& ctx) {
+          const bool reducer = is_reducer(ctx.parent_rank());
+          if (reducer) {
+            auto& in = ctx[first];
+            auto& out = ctx[second];
+            in.on_receive(
+                [&](const RawElement& el) { out.send_synthetic(el.bytes); });
+            in.operate();
+          } else {
+            auto& in = ctx[second];
+            in.on_receive([&](const RawElement&) { ++master_received; });
+            in.operate();
+          }
+        });
+  });
+  EXPECT_EQ(master_received, 4u);  // one element per worker, forwarded
+}
+
+TEST(Pipeline, WorkerCommSpansExactlyTheWorkers) {
+  testing::run_program(testing::tiny_machine(8), [&](Rank& self) {
+    auto pipeline =
+        Pipeline::over(self, self.world()).with_stride(4).with_worker_comm();
+    auto unused = pipeline.raw_stream(8);
+    (void)unused;
+    pipeline.run(
+        [&](Context& ctx) {
+          ASSERT_TRUE(ctx.worker_comm().valid());
+          EXPECT_EQ(ctx.worker_comm().size(), ctx.worker_count());
+          EXPECT_EQ(ctx.self().rank_in(ctx.worker_comm()), ctx.worker_index());
+          std::uint64_t one = 1, total = 0;
+          ctx.self().allreduce(ctx.worker_comm(), mpi::SendBuf::of(&one, 1),
+                               &total, mpi::reduce_sum<std::uint64_t>());
+          EXPECT_EQ(total, static_cast<std::uint64_t>(ctx.worker_count()));
+        },
+        [&](Context& ctx) { EXPECT_FALSE(ctx.worker_comm().valid()); });
+  });
+}
+
+TEST(Pipeline, EarlyTerminateStaysIdempotentUnderRaii) {
+  std::uint64_t consumed = 0;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    auto pipeline = Pipeline::over(self, self.world()).with_helper_ranks({1});
+    auto flow = pipeline.raw_stream(32);
+    pipeline.run(
+        [&](Context& ctx) {
+          ctx[flow].send_synthetic(32);
+          ctx[flow].terminate();  // explicit, before the RAII pass
+        },
+        [&](Context& ctx) {
+          ctx[flow].on_receive([&](const RawElement&) { ++consumed; });
+          consumed += 0 * ctx[flow].operate();
+        });
+  });
+  EXPECT_EQ(consumed, 1u);
+}
+
+TEST(Pipeline, DuplicateHelperRanksCollapseToOneHelper) {
+  testing::run_program(testing::tiny_machine(4), [&](Rank& self) {
+    auto pipeline =
+        Pipeline::over(self, self.world()).with_helper_ranks({2, 2, 2});
+    auto flow = pipeline.raw_stream(16);
+    pipeline.run(
+        [&](Context& ctx) {
+          EXPECT_EQ(ctx.helper_count(), 1);
+          EXPECT_EQ(ctx.worker_count(), 3);
+          EXPECT_EQ(ctx.helper_of(ctx.worker_index()), 0);
+          ctx[flow].send_synthetic(16);
+        },
+        [&](Context& ctx) {
+          EXPECT_EQ(ctx.helper_index(), 0);
+          EXPECT_EQ(ctx[flow].operate(), 3u);
+        });
+  });
+}
+
+TEST(Element, PayloadToRejectsCountsBeyondTheWireSize) {
+  const std::array<double, 2> body{1.0, 2.0};
+  Element<std::int32_t> el;
+  el.payload = reinterpret_cast<const std::byte*>(body.data());
+  el.payload_bytes = sizeof(body);
+  std::vector<double> out;
+  el.payload_to(out, 2);  // exactly the wire size: fine
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  // A record header claiming more items than the element carries must not
+  // turn into an overread.
+  EXPECT_THROW(el.payload_to(out, 3), std::length_error);
+}
+
+TEST(Pipeline, MisuseIsRejected) {
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    {
+      auto pipeline = Pipeline::over(self, self.world());
+      EXPECT_THROW(pipeline.run({}, {}), std::logic_error);  // no split
+    }
+    {
+      auto pipeline = Pipeline::over(self, self.world());
+      EXPECT_THROW(pipeline.with_helper_ranks({5}), std::invalid_argument);
+      EXPECT_THROW(pipeline.with_helper_ranks({0, 1}), std::invalid_argument);
+    }
+    {
+      auto pipeline = Pipeline::over(self, self.world()).with_helper_ranks({1});
+      EXPECT_THROW((void)pipeline.with_stride(2), std::logic_error);
+      pipeline.run(
+          [&](Context& ctx) {
+            EXPECT_THROW((void)ctx.worker_comm(), std::logic_error);
+          },
+          {});
+      EXPECT_THROW((void)pipeline.raw_stream(8), std::logic_error);
+      EXPECT_THROW(pipeline.run({}, {}), std::logic_error);  // reran
+    }
+  });
+}
+
+TEST(ScopedChannel, FreesOnScopeExitAndMoves) {
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    ScopedChannel outer;
+    {
+      ScopedChannel ch =
+          ScopedChannel::create(self, self.world(), producer, !producer);
+      EXPECT_TRUE(ch.valid());
+      EXPECT_EQ(ch->producer_count(), 1);
+      outer = std::move(ch);
+      EXPECT_FALSE(ch.valid());  // NOLINT(bugprone-use-after-move)
+    }
+    EXPECT_TRUE(outer.valid());
+    outer.release();  // collective: both ranks reach this in the same order
+    EXPECT_FALSE(outer.valid());
+  });
+}
+
+}  // namespace
+}  // namespace ds::decouple

@@ -28,9 +28,23 @@ TEST(GroupPlan, PartitionIsDisjointAndComplete) {
 }
 
 TEST(GroupPlan, WithAlphaPicksNearestStride) {
+  // The paper's three evaluation points: 12.5%, 6.25%, 3.125% helpers.
   EXPECT_EQ(GroupPlan::with_alpha(comm_of(64), 0.125).stride(), 8);
   EXPECT_EQ(GroupPlan::with_alpha(comm_of(64), 0.0625).stride(), 16);
   EXPECT_EQ(GroupPlan::with_alpha(comm_of(64), 0.03125).stride(), 32);
+}
+
+TEST(GroupPlan, WithAlphaRoundsToTheClosestStride) {
+  // Off-grid alphas land on the stride closest to 1/alpha.
+  EXPECT_EQ(GroupPlan::with_alpha(comm_of(64), 0.1).stride(), 10);
+  EXPECT_EQ(GroupPlan::with_alpha(comm_of(64), 0.07).stride(), 14);   // 14.28…
+  EXPECT_EQ(GroupPlan::with_alpha(comm_of(64), 0.06).stride(), 17);   // 16.67…
+  EXPECT_EQ(GroupPlan::with_alpha(comm_of(64), 0.9).stride(), 2);     // clamped
+  // And the realized alpha is within half a stride step of the request.
+  for (const double alpha : {0.125, 0.0625, 0.03125, 0.1, 0.05}) {
+    const GroupPlan plan = GroupPlan::with_alpha(comm_of(320), alpha);
+    EXPECT_NEAR(1.0 / plan.stride(), alpha, alpha * 0.5) << "alpha " << alpha;
+  }
 }
 
 TEST(GroupPlan, HelpersAreSpreadNotClustered) {

@@ -4,8 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/machine_helpers.hpp"
-#include "core/channel.hpp"
-#include "core/stream.hpp"
+#include "core/decouple.hpp"
 #include "model/perf_model.hpp"
 
 namespace ds {
@@ -32,27 +31,34 @@ double simulated_conventional() {
   }));
 }
 
-double simulated_decoupled() {
+/// The synthetic decoupled two-op app, on the facade: the last rank runs the
+/// second operation, charging `helper_per_element` per received element.
+double simulated_decoupled_with(util::SimTime helper_per_element) {
   mpi::Machine machine(testing::tiny_machine(kRanks));
   return util::to_seconds(machine.run([&](Rank& self) {
-    const bool helper = self.world_rank() == kRanks - 1;
-    const stream::Channel ch =
-        stream::Channel::create(self, self.world(), !helper, helper);
-    if (helper) {
-      stream::Stream s = stream::Stream::attach(
-          ch, mpi::Datatype::bytes(kElementBytes),
-          [&](const stream::StreamElement&) { self.compute(kOp1 / (kRanks - 1)); });
-      (void)s.operate(self);
-    } else {
-      stream::Stream s =
-          stream::Stream::attach(ch, mpi::Datatype::bytes(kElementBytes), {});
-      for (int r = 0; r < kRounds; ++r) {
-        self.compute(kOp0 * kRanks / (kRanks - 1));
-        s.isend_synthetic(self);
-      }
-      s.terminate(self);
-    }
+    auto pipeline = decouple::Pipeline::over(self, self.world())
+                        .with_helper_ranks({kRanks - 1});
+    auto op1 = pipeline.raw_stream(kElementBytes);
+    pipeline.run(
+        [&](decouple::Context& ctx) {
+          auto& s = ctx[op1];
+          for (int r = 0; r < kRounds; ++r) {
+            self.compute(kOp0 * kRanks / (kRanks - 1));
+            s.send_synthetic(kElementBytes);
+          }
+        },
+        [&](decouple::Context& ctx) {
+          auto& s = ctx[op1];
+          s.on_receive([&](const decouple::RawElement&) {
+            self.compute(helper_per_element);
+          });
+          (void)s.operate();
+        });
   }));
+}
+
+double simulated_decoupled() {
+  return simulated_decoupled_with(kOp1 / (kRanks - 1));
 }
 
 model::TwoOpWorkload matching_workload() {
@@ -89,26 +95,7 @@ TEST(ModelConsistency, DecoupledTimeWithinToleranceHelperBound) {
   // Helper-bound variant: per-element helper work large enough that the
   // decoupled operation is the tail — now Eq. 4 governs.
   const util::SimTime helper_per_element = util::microseconds(1200);
-  mpi::Machine machine(testing::tiny_machine(kRanks));
-  const double simulated = util::to_seconds(machine.run([&](Rank& self) {
-    const bool helper = self.world_rank() == kRanks - 1;
-    const stream::Channel ch =
-        stream::Channel::create(self, self.world(), !helper, helper);
-    if (helper) {
-      stream::Stream s = stream::Stream::attach(
-          ch, mpi::Datatype::bytes(kElementBytes),
-          [&](const stream::StreamElement&) { self.compute(helper_per_element); });
-      (void)s.operate(self);
-    } else {
-      stream::Stream s =
-          stream::Stream::attach(ch, mpi::Datatype::bytes(kElementBytes), {});
-      for (int r = 0; r < kRounds; ++r) {
-        self.compute(kOp0 * kRanks / (kRanks - 1));
-        s.isend_synthetic(self);
-      }
-      s.terminate(self);
-    }
-  }));
+  const double simulated = simulated_decoupled_with(helper_per_element);
   model::TwoOpWorkload w = matching_workload();
   // T'_W1 per the model is the decoupled op's total time divided over the
   // helper group: alpha * (elements * per-element time).
