@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
 #include <vector>
 
 #include "apps/pic/pic_app.hpp"
@@ -45,7 +46,11 @@ PicIoResult run_pic_io(IoVariant variant, const PicIoConfig& config,
 
   stream::GroupPlan plan;
   if (decoupled) plan = stream::GroupPlan::interleaved(machine.world(), config.stride);
-  const int compute_ranks = decoupled ? plan.worker_count() : size;
+  // The chained decoupled pipeline carves its reduce stage out of the worker
+  // group (the last worker), so one fewer rank computes.
+  const bool chained = decoupled && plan.worker_count() >= 2;
+  const int compute_ranks =
+      decoupled ? plan.worker_count() - (chained ? 1 : 0) : size;
   const Domain domain = domain_of(compute_ranks);
   const auto counts = modeled_rank_counts(
       domain, config.particles_per_rank * static_cast<std::uint64_t>(size));
@@ -92,68 +97,152 @@ PicIoResult run_pic_io(IoVariant variant, const PicIoConfig& config,
       return;
     }
 
-    // ---------------- decoupled ----------------
-    auto pipeline = decouple::Pipeline::over(self, self.world()).with_plan(plan);
-    auto batches = pipeline.raw_stream(sizeof(std::uint64_t) +
-                                       config.batch_particles * unit);
+    // ---------------- decoupled: compute -> reduce -> writeback -----------
+    // A three-stage chain. The bulk dump flows straight from the compute
+    // stage to the (wide) writeback stage, which buffers aggressively and
+    // issues few large writes — the writeback stage keeps every helper, so
+    // the I/O group's drain bandwidth (and node locality) matches the plain
+    // two-group split. The reduce stage is carved out of the worker group
+    // instead: every compute rank streams one summary record per dump to
+    // it, it merges them into per-writer byte manifests, and streams those
+    // (Directed) to the writeback stage. Each writer verifies it consumed
+    // exactly the announced bytes before its final flush — an end-to-end
+    // completeness check on the decoupled dump path.
+    struct DumpSummary {
+      std::int32_t worker = -1;
+      std::int32_t step = -1;
+      std::uint64_t bytes = 0;
+    };
+    struct WriterManifest {
+      std::uint64_t expected_bytes = 0;
+    };
+    const auto& worker_ranks = plan.workers();
+    const std::size_t batch_bytes =
+        sizeof(std::uint64_t) + config.batch_particles * unit;
 
-    pipeline.run(
-        [&](decouple::Context& ctx) {
-          const int w = ctx.worker_index();
-          auto& s = ctx[batches];
-          const std::uint64_t my_count = counts[static_cast<std::size_t>(w)];
-          std::vector<std::uint64_t> ids;
-          for (int step = 0; step < config.steps; ++step) {
-            self.compute(ns_time(config.ns_mover_per_particle *
-                                 static_cast<double>(my_count)),
-                         "comp");
-            const util::SimTime io_begin = self.now();
-            self.process().trace_begin("io");
-            // Stream the dump in batches; no waiting on storage.
-            for (std::uint64_t first = 0; first < my_count;
-                 first += config.batch_particles) {
-              const std::size_t batch = static_cast<std::size_t>(
-                  std::min<std::uint64_t>(config.batch_particles,
-                                          my_count - first));
-              if (config.real_data) {
-                fill_ids(ids, w, step, first, batch);
-                s.send_items(ids.data(), ids.size());
-              } else {
-                s.send_synthetic(batch * unit);
-              }
-            }
-            self.process().trace_end();
-            io_time[static_cast<std::size_t>(w)] +=
-                util::to_seconds(self.now() - io_begin);
+    auto pipeline = decouple::Pipeline::over(self, self.world());
+    const auto compute_stage = pipeline.stage(
+        chained ? std::vector<int>(worker_ranks.begin(), worker_ranks.end() - 1)
+                : std::vector<int>(worker_ranks.begin(), worker_ranks.end()));
+    decouple::StageHandle reduce_stage;
+    if (chained)
+      reduce_stage = pipeline.stage(std::vector<int>{worker_ranks.back()});
+    const auto write_stage =
+        pipeline.stage({plan.helpers().begin(), plan.helpers().end()});
+    const auto batches =
+        pipeline.raw_stream_between(compute_stage, write_stage, batch_bytes);
+    decouple::StreamHandle<DumpSummary> summaries;
+    decouple::StreamHandle<WriterManifest> manifests;
+    if (chained) {
+      summaries = pipeline.stream_between<DumpSummary>(compute_stage, reduce_stage);
+      decouple::StreamOptions directed;
+      directed.mapping = decouple::Mapping::Directed;
+      manifests = pipeline.stream_between<WriterManifest>(reduce_stage, write_stage,
+                                                          0, directed);
+    }
+
+    const auto compute_fn = [&](decouple::Context& ctx) {
+      const int w = ctx.stage_member_index();
+      auto& s = ctx[batches];
+      const std::uint64_t my_count = counts[static_cast<std::size_t>(w)];
+      std::vector<std::uint64_t> ids;
+      for (int step = 0; step < config.steps; ++step) {
+        self.compute(ns_time(config.ns_mover_per_particle *
+                             static_cast<double>(my_count)),
+                     "comp");
+        const util::SimTime io_begin = self.now();
+        self.process().trace_begin("io");
+        // Stream the dump in batches; no waiting on storage.
+        std::uint64_t step_bytes = 0;
+        for (std::uint64_t first = 0; first < my_count;
+             first += config.batch_particles) {
+          const std::size_t batch = static_cast<std::size_t>(
+              std::min<std::uint64_t>(config.batch_particles, my_count - first));
+          if (config.real_data) {
+            fill_ids(ids, w, step, first, batch);
+            s.send_items(ids.data(), ids.size());
+          } else {
+            s.send_synthetic(batch * unit);
           }
-        },
-        [&](decouple::Context& ctx) {
-          // I/O group: buffer aggressively, write rarely and big.
-          auto& s = ctx[batches];
-          mpi::File file(machine, s.channel().comm(), kFileName);
-          std::vector<std::byte> buffer;
-          buffer.reserve(config.real_data ? config.helper_buffer_bytes : 0);
-          std::size_t buffered = 0;
-          auto flush = [&] {
-            if (buffered == 0) return;
-            file.write_shared(self, config.real_data
-                                        ? SendBuf{buffer.data(), buffer.size()}
-                                        : SendBuf::synthetic(buffered));
-            buffer.clear();
-            buffered = 0;
-          };
-          s.on_receive([&](const decouple::RawElement& el) {
-            if (config.real_data && el.data) {
-              const std::size_t base = buffer.size();
-              buffer.resize(base + el.bytes);
-              std::memcpy(buffer.data() + base, el.data, el.bytes);
-            }
-            buffered += el.bytes;
-            if (buffered >= config.helper_buffer_bytes) flush();
-          });
-          s.operate();
-          flush();
+          step_bytes += batch * unit;
+        }
+        if (chained) ctx[summaries].send(DumpSummary{w, step, step_bytes});
+        self.process().trace_end();
+        io_time[static_cast<std::size_t>(w)] +=
+            util::to_seconds(self.now() - io_begin);
+      }
+    };
+
+    const auto reduce_fn = [&](decouple::Context& ctx) {
+      // Merge the per-dump summaries into per-writer byte totals, then
+      // stream each writer its manifest (the chain's second hop).
+      auto& in = ctx[summaries];
+      auto& out = ctx[manifests];
+      const int writers = ctx.stage_size(write_stage);
+      const int producers = ctx.stage_size(compute_stage);
+      std::vector<std::uint64_t> writer_bytes(static_cast<std::size_t>(writers),
+                                              0);
+      in.on_receive([&](const decouple::Element<DumpSummary>& el) {
+        // Same block assignment the batches channel routes with (the reduce
+        // stage holds an inert handle on that channel, so it uses the
+        // closed form).
+        const auto writer = static_cast<std::size_t>(
+            stream::Channel::block_route(el.record.worker, producers, writers));
+        writer_bytes[writer] += el.record.bytes;
+      });
+      in.operate();
+      for (int wr = 0; wr < writers; ++wr)
+        out.send_to(wr, WriterManifest{writer_bytes[static_cast<std::size_t>(wr)]});
+    };
+
+    const auto write_fn = [&](decouple::Context& ctx) {
+      // Writeback: buffer aggressively, write rarely and big.
+      auto& s = ctx[batches];
+      mpi::File file(machine, s.channel().comm(), kFileName);
+      std::vector<std::byte> buffer;
+      buffer.reserve(config.real_data ? config.helper_buffer_bytes : 0);
+      std::size_t buffered = 0;
+      std::uint64_t consumed_bytes = 0;
+      auto flush = [&] {
+        if (buffered == 0) return;
+        file.write_shared(self, config.real_data
+                                    ? SendBuf{buffer.data(), buffer.size()}
+                                    : SendBuf::synthetic(buffered));
+        buffer.clear();
+        buffered = 0;
+      };
+      s.on_receive([&](const decouple::RawElement& el) {
+        if (config.real_data && el.data) {
+          const std::size_t base = buffer.size();
+          buffer.resize(base + el.bytes);
+          std::memcpy(buffer.data() + base, el.data, el.bytes);
+        }
+        buffered += el.bytes;
+        consumed_bytes += el.bytes;
+        if (buffered >= config.helper_buffer_bytes) flush();
+      });
+      s.operate();
+      if (chained) {
+        // Completeness barrier: the reduce stage announces how many bytes
+        // this writer must have seen before the data can be trusted on disk.
+        std::uint64_t expected = 0;
+        auto& m = ctx[manifests];
+        m.on_receive([&](const decouple::Element<WriterManifest>& el) {
+          expected += el.record.expected_bytes;
         });
+        m.operate();
+        if (expected != consumed_bytes)
+          throw std::runtime_error(
+              "pic_io decoupled: writer consumed byte count does not match "
+              "the reduce stage's manifest");
+      }
+      flush();
+    };
+
+    if (chained)
+      pipeline.run_stages({compute_fn, reduce_fn, write_fn});
+    else
+      pipeline.run_stages({compute_fn, write_fn});
   };
 
   result.seconds = util::to_seconds(machine.run(program));

@@ -6,10 +6,14 @@
 //    collective write.
 //  * Shared     — MPI_File_write_shared: every rank independently appends
 //    through the shared file pointer, serializing at the lock manager.
-//  * Decoupled  — compute ranks stream particle batches to an I/O group
-//    that buffers aggressively in memory and issues few large writes,
+//  * Decoupled  — a chained pipeline (compute -> reduce -> writeback):
+//    compute ranks stream particle batches to a writeback stage that
+//    buffers aggressively in memory and issues few large writes,
 //    overlapping compute with I/O (paper: "it can dedicate substantial
-//    memory for buffering").
+//    memory for buffering"). Alongside the bulk flow, per-dump summaries
+//    stream to a reduce stage that merges them into per-writer byte
+//    manifests; writers verify the manifest before their final flush — an
+//    end-to-end completeness check on the decoupled dump path.
 //
 // Real-data mode writes actual particle ids so tests can verify that all
 // three paths produce files with identical content (as a multiset).

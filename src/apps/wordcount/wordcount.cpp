@@ -147,17 +147,12 @@ WordcountResult run_decoupled(const WordcountConfig& config,
   if (plan.helper_count() < 1)
     throw std::invalid_argument("wordcount decoupled: need >= 1 helper");
   // The reduce group is itself decoupled into local reducers plus one master
-  // that aggregates global results (paper Sec. IV-B). A single-helper group
-  // degenerates to master-only: workers stream straight to it.
+  // that aggregates global results (paper Sec. IV-B) — a three-stage chain
+  // map -> reduce -> master. A single-helper group degenerates to the
+  // two-stage chain map -> master: workers stream straight to it.
   const bool master_only = plan.helper_count() == 1;
   const int master = plan.helpers().front();
   const int workers = plan.worker_count();
-
-  // Role predicates over parent ranks (pure rank functions, evaluated the
-  // same on every process).
-  const auto reducer_pred = [plan, master, master_only](int r) {
-    return master_only ? r == master : plan.is_helper(r) && r != master;
-  };
 
   const auto program = [&](Rank& self) {
     const std::size_t vocab_bytes =
@@ -170,93 +165,96 @@ WordcountResult run_decoupled(const WordcountConfig& config,
         config.real_data ? std::max(config.element_bytes, vocab_bytes)
                          : std::max(config.element_bytes, max_histogram_bytes);
 
-    // Stream 1: map group -> local reducers. Stream 2: reducers -> master
-    // (absent when the reduce group is a single process).
-    auto pipeline = decouple::Pipeline::over(self, self.world()).with_plan(plan);
-    decouple::StreamOptions map_to_reducers;
-    map_to_reducers.consumers = reducer_pred;
-    auto blocks = pipeline.raw_stream(element_capacity, map_to_reducers);
+    // The chain: map stage -> reduce stage -> master stage, linked by one
+    // stream per hop (the reduce hop is absent when the reduce group is a
+    // single process). Stage declarations replace the hand-rolled role
+    // predicates; auto-termination propagates map -> reduce -> master.
+    auto pipeline = decouple::Pipeline::over(self, self.world());
+    const auto map_stage =
+        pipeline.stage({plan.workers().begin(), plan.workers().end()});
+    decouple::StageHandle reduce_stage;
+    if (!master_only)
+      reduce_stage = pipeline.stage([plan, master](int r) {
+        return plan.is_helper(r) && r != master;
+      });
+    const auto master_stage = pipeline.stage(std::vector<int>{master});
+    const auto blocks = pipeline.raw_stream_between(
+        map_stage, master_only ? master_stage : reduce_stage, element_capacity);
     decouple::RawStreamHandle updates;
-    if (!master_only) {
-      decouple::StreamOptions reducers_to_master;
-      reducers_to_master.producers = reducer_pred;
-      reducers_to_master.consumers = [master](int r) { return r == master; };
-      updates = pipeline.raw_stream(element_capacity, reducers_to_master);
-    }
+    if (!master_only)
+      updates = pipeline.raw_stream_between(reduce_stage, master_stage,
+                                            element_capacity);
 
-    pipeline.run(
-        [&](decouple::Context& ctx) {
-          auto& s1 = ctx[blocks];
-          std::vector<std::uint64_t> block_hist;
-          map_files(self, config, corpus, ctx.worker_index(), workers,
-                    [&](int file, int block, std::uint64_t chunk) {
-                      if (config.real_data) {
-                        block_hist.assign(config.corpus.sample_vocabulary, 0);
-                        corpus.sample_block(file, block,
-                                            config.words_per_block_real,
-                                            block_hist);
-                        s1.send_items(block_hist.data(), block_hist.size());
-                      } else {
-                        s1.send_synthetic(corpus.distinct_words(chunk) *
-                                          static_cast<std::size_t>(kCountBytes));
-                      }
-                    });
-          result.elements_streamed += s1.elements_sent();
-        },
-        [&](decouple::Context& ctx) {
-          const int me = ctx.parent_rank();
-          const bool is_master = me == master;
-          const bool is_reducer = reducer_pred(me);
+    std::vector<std::uint64_t> global_hist;  // master-side result
 
-          std::vector<std::uint64_t> local_hist;   // reducer-side partial
-          std::vector<std::uint64_t> global_hist;  // master-side result
+    const auto map_fn = [&](decouple::Context& ctx) {
+      auto& s1 = ctx[blocks];
+      std::vector<std::uint64_t> block_hist;
+      map_files(self, config, corpus, ctx.stage_member_index(), workers,
+                [&](int file, int block, std::uint64_t chunk) {
+                  if (config.real_data) {
+                    block_hist.assign(config.corpus.sample_vocabulary, 0);
+                    corpus.sample_block(file, block,
+                                        config.words_per_block_real,
+                                        block_hist);
+                    s1.send_items(block_hist.data(), block_hist.size());
+                  } else {
+                    s1.send_synthetic(corpus.distinct_words(chunk) *
+                                      static_cast<std::size_t>(kCountBytes));
+                  }
+                });
+      result.elements_streamed += s1.elements_sent();
+    };
 
-          if (is_reducer) {
-            auto& s1 = ctx[blocks];
-            decouple::RawStream* s2 = master_only ? nullptr : &ctx[updates];
-            s1.on_receive([&](const decouple::RawElement& el) {
-              self.compute(ns_cost(config.histogram_merge_ns_per_byte, el.bytes),
-                           "reduce");
-              if (config.real_data && el.data) {
-                std::vector<std::uint64_t> part(el.bytes / sizeof(std::uint64_t));
-                std::memcpy(part.data(), el.data,
-                            part.size() * sizeof(std::uint64_t));
-                merge_into(master_only ? global_hist : local_hist, part);
-                if (!master_only && !config.aggregate_reduce_group)
-                  s2->send_items(part.data(), part.size());
-              } else if (!master_only && !config.aggregate_reduce_group) {
-                s2->send_synthetic(static_cast<std::size_t>(
-                    config.forward_fraction * static_cast<double>(el.bytes)));
-              }
-            });
-            s1.operate();
-            if (!master_only && config.aggregate_reduce_group) {
-              if (config.real_data) {
-                local_hist.resize(config.corpus.sample_vocabulary, 0);
-                s2->send_items(local_hist.data(), local_hist.size());
-              } else {
-                s2->send_synthetic(vocab_bytes);
-              }
-            }
-            // The updates stream terminates via RAII when this role returns.
-          }
-          if (is_master && !master_only) {
-            auto& s2 = ctx[updates];
-            s2.on_receive([&](const decouple::RawElement& el) {
-              self.compute(ns_cost(config.histogram_merge_ns_per_byte, el.bytes),
-                           "reduce");
-              if (config.real_data && el.data) {
-                std::vector<std::uint64_t> part(el.bytes / sizeof(std::uint64_t));
-                std::memcpy(part.data(), el.data,
-                            part.size() * sizeof(std::uint64_t));
-                merge_into(global_hist, part);
-              }
-            });
-            s2.operate();
-          }
-          if (is_master && config.real_data)
-            result.histogram = std::move(global_hist);
-        });
+    const auto reduce_fn = [&](decouple::Context& ctx) {
+      std::vector<std::uint64_t> local_hist;  // reducer-side partial
+      auto& s1 = ctx[blocks];
+      auto& s2 = ctx[updates];
+      s1.on_receive([&](const decouple::RawElement& el) {
+        self.compute(ns_cost(config.histogram_merge_ns_per_byte, el.bytes),
+                     "reduce");
+        if (config.real_data && el.data) {
+          std::vector<std::uint64_t> part(el.bytes / sizeof(std::uint64_t));
+          std::memcpy(part.data(), el.data, part.size() * sizeof(std::uint64_t));
+          merge_into(local_hist, part);
+          if (!config.aggregate_reduce_group)
+            s2.send_items(part.data(), part.size());
+        } else if (!config.aggregate_reduce_group) {
+          s2.send_synthetic(static_cast<std::size_t>(
+              config.forward_fraction * static_cast<double>(el.bytes)));
+        }
+      });
+      s1.operate();
+      if (config.aggregate_reduce_group) {
+        if (config.real_data) {
+          local_hist.resize(config.corpus.sample_vocabulary, 0);
+          s2.send_items(local_hist.data(), local_hist.size());
+        } else {
+          s2.send_synthetic(vocab_bytes);
+        }
+      }
+      // The updates stream terminates via RAII when this stage returns.
+    };
+
+    const auto master_fn = [&](decouple::Context& ctx) {
+      auto& in = master_only ? ctx[blocks] : ctx[updates];
+      in.on_receive([&](const decouple::RawElement& el) {
+        self.compute(ns_cost(config.histogram_merge_ns_per_byte, el.bytes),
+                     "reduce");
+        if (config.real_data && el.data) {
+          std::vector<std::uint64_t> part(el.bytes / sizeof(std::uint64_t));
+          std::memcpy(part.data(), el.data, part.size() * sizeof(std::uint64_t));
+          merge_into(global_hist, part);
+        }
+      });
+      in.operate();
+      if (config.real_data) result.histogram = std::move(global_hist);
+    };
+
+    if (master_only)
+      pipeline.run_stages({map_fn, master_fn});
+    else
+      pipeline.run_stages({map_fn, reduce_fn, master_fn});
   };
 
   result.seconds = util::to_seconds(machine.run(program));

@@ -10,20 +10,30 @@ namespace ds::stream {
 
 AdaptiveBatcher::AdaptiveBatcher(Stream& stream, std::size_t record_bytes,
                                  AdaptiveConfig config)
-    : stream_(&stream),
-      record_bytes_(record_bytes),
-      config_(config),
-      target_(std::clamp(config.initial_records, config.min_records,
-                         config.max_records)) {
+    : stream_(&stream), record_bytes_(record_bytes), config_(config) {
+  // Validate before clamping: std::clamp with min > max is UB, so the
+  // bounds must be known-sane before target_ is derived from them.
   if (config_.min_records == 0 || config_.min_records > config_.max_records)
     throw std::invalid_argument("AdaptiveBatcher: bad record bounds");
+  if (config_.growth <= 1.0)
+    throw std::invalid_argument("AdaptiveBatcher: growth must exceed 1");
   if (element_bytes(record_bytes, config_.max_records) >
       stream.element_size())
     throw std::invalid_argument(
         "AdaptiveBatcher: stream element too small for max_records");
+  target_ = std::clamp(config_.initial_records, config_.min_records,
+                       config_.max_records);
 }
 
 void AdaptiveBatcher::push(mpi::Rank& self) {
+  // The controller's first window starts at the first record, not at
+  // sim-time zero: a batcher created late must not see the pre-history as
+  // elapsed production time (it would dilute overhead_fraction and skew the
+  // first adapt() decision).
+  if (!window_started_) {
+    window_start_ = self.now();
+    window_started_ = true;
+  }
   ++pending_;
   ++records_;
   if (pending_ >= target_) flush(self);
@@ -51,8 +61,8 @@ void AdaptiveBatcher::finish(mpi::Rank& self) {
   stream_->terminate(self);
 }
 
-void AdaptiveBatcher::adapt(mpi::Rank& self) {
-  const util::SimTime elapsed = self.now() - window_start_;
+void AdaptiveBatcher::adapt(mpi::Rank& /*self*/) {
+  const util::SimTime elapsed = last_flush_at_ - window_start_;
   const double overhead_fraction =
       elapsed > 0 ? static_cast<double>(overhead_in_window_) /
                         static_cast<double>(elapsed)
@@ -70,15 +80,22 @@ void AdaptiveBatcher::adapt(mpi::Rank& self) {
         config_.max_records,
         static_cast<std::uint32_t>(static_cast<double>(target_) * config_.growth));
   } else if (mean_gap > config_.max_flush_interval) {
-    target_ = std::max<std::uint32_t>(
-        config_.min_records,
-        static_cast<std::uint32_t>(static_cast<double>(target_) / config_.growth));
+    // Guarantee progress toward min_records: the truncated quotient alone
+    // can repeat the current target (e.g. small targets under a growth just
+    // above 1), leaving the batch stuck above the floor.
+    const auto shrunk =
+        static_cast<std::uint32_t>(static_cast<double>(target_) / config_.growth);
+    target_ = std::max(config_.min_records,
+                       std::min(shrunk, target_ > 0 ? target_ - 1 : 0));
   }
 
   flushes_in_window_ = 0;
   flush_gap_sum_ = 0;
   overhead_in_window_ = 0;
-  window_start_ = self.now();
+  // The next window opens at its first push, not now: an idle gap between
+  // bursts must not count as elapsed production time (same skew the first
+  // window had before it was stamped lazily).
+  window_started_ = false;
 }
 
 std::uint32_t adaptive_record_count(const StreamElement& element) {

@@ -37,7 +37,7 @@ struct AdaptiveConfig {
   /// the batch shrinks so the consumer keeps receiving a fine-grained flow.
   util::SimTime max_flush_interval = util::milliseconds(5);
 
-  /// Multiplicative step for both directions.
+  /// Multiplicative step for both directions; must exceed 1.
   double growth = 2.0;
   /// Controller reacts once per `window` flushed elements.
   std::uint32_t window = 8;
@@ -82,15 +82,15 @@ class AdaptiveBatcher {
   Stream* stream_;
   std::size_t record_bytes_;
   AdaptiveConfig config_;
-  std::uint32_t target_;
+  std::uint32_t target_ = 0;
   std::uint32_t pending_ = 0;
   std::uint64_t records_ = 0;
   std::uint64_t elements_ = 0;
 
   // controller state, sampled per window
   std::uint32_t flushes_in_window_ = 0;
+  bool window_started_ = false;  ///< each window opens at its first push
   util::SimTime window_start_ = 0;
-  util::SimTime busy_before_window_ = 0;
   util::SimTime overhead_in_window_ = 0;
   util::SimTime last_flush_at_ = 0;
   util::SimTime flush_gap_sum_ = 0;

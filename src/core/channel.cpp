@@ -74,8 +74,28 @@ int Channel::route(int producer, std::uint64_t seq) const noexcept {
   }
   // Block (and the default peer for Directed): contiguous producer slices
   // share one consumer.
-  const auto p = static_cast<long long>(producer);
-  return static_cast<int>(p * consumer_count_ / producer_count_);
+  return block_route(producer, producer_count_, consumer_count_);
+}
+
+std::vector<int> Channel::term_children(int consumer) const {
+  std::vector<int> children;
+  for (int k = 1; k <= 2; ++k) {
+    const int child = 2 * consumer + k;
+    if (child < consumer_count_) children.push_back(child);
+  }
+  return children;
+}
+
+int Channel::term_tree_depth() const noexcept {
+  int depth = 0;
+  for (int c = consumer_count_ - 1; c > 0; c = term_parent(c)) ++depth;
+  return depth;
+}
+
+int Channel::expected_term_count(int consumer) const {
+  if (!tree_termination())
+    return static_cast<int>(producers_of(consumer).size());
+  return consumer == term_aggregator() ? producer_count_ : 1;
 }
 
 std::vector<int> Channel::producers_of(int consumer) const {

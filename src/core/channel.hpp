@@ -38,9 +38,19 @@ struct ChannelConfig {
   /// Block      — producer p streams to one fixed consumer.
   /// RoundRobin — producer p rotates over all consumers.
   /// Directed   — producers address consumers per element via isend_to;
-  ///              termination is broadcast to every consumer.
+  ///              termination is aggregated (see term_* metadata below).
   enum class Mapping { Block, RoundRobin, Directed };
   Mapping mapping = Mapping::Block;
+
+  /// Producer-side flow-control window: the maximum number of elements a
+  /// producer may have in flight (sent but not yet consumed) before its next
+  /// injection blocks on a credit returned over the stream's ack context.
+  /// 0 disables backpressure (paper default: unbounded injection).
+  /// Contract: credits come from consumption, so consumers of a
+  /// flow-controlled stream must consume every element (operate to
+  /// exhaustion); a consumer that stops with more than a window of elements
+  /// outstanding leaves the producer blocked.
+  std::uint32_t max_inflight = 0;
 };
 
 class Channel {
@@ -74,9 +84,57 @@ class Channel {
   /// Consumer index element #`seq` from producer `p` is routed to.
   [[nodiscard]] int route(int producer, std::uint64_t seq) const noexcept;
 
+  /// The Block assignment in closed form: the consumer a producer streams
+  /// to when `producer_count` producers block-map onto `consumer_count`
+  /// consumers. Exposed so code holding an inert handle (e.g. a chain stage
+  /// that is neither endpoint) can reproduce the routing without a channel.
+  [[nodiscard]] static int block_route(int producer, int producer_count,
+                                       int consumer_count) noexcept {
+    return static_cast<int>(static_cast<long long>(producer) * consumer_count /
+                            producer_count);
+  }
+
   /// Producers that may route elements to consumer `c` (for termination
   /// accounting).
   [[nodiscard]] std::vector<int> producers_of(int consumer) const;
+
+  // ---- termination routing metadata --------------------------------------
+  // Under Block mapping every producer has exactly one peer consumer, so a
+  // terminating producer notifies just that peer. RoundRobin and Directed
+  // producers can reach every consumer; broadcasting a term from each of P
+  // producers to each of C consumers costs O(P*C) messages. Those mappings
+  // instead aggregate: every producer sends one term (carrying its
+  // per-consumer element counts) to a designated aggregator consumer, which
+  // fans the collective term down a binary tree over the consumers —
+  // O(P + C) messages total, O(log C) hops on the aggregation path.
+
+  /// True when termination uses the aggregated tree protocol (non-Block).
+  [[nodiscard]] bool tree_termination() const noexcept {
+    return config_.mapping != ChannelConfig::Mapping::Block;
+  }
+  /// Consumer index that aggregates producer terms (tree root).
+  [[nodiscard]] static int term_aggregator() noexcept { return 0; }
+  /// Tree parent of consumer `c` (-1 for the aggregator).
+  [[nodiscard]] static int term_parent(int consumer) noexcept {
+    return consumer <= 0 ? -1 : (consumer - 1) / 2;
+  }
+  /// Tree children of consumer `c` (0, 1, or 2 entries).
+  [[nodiscard]] std::vector<int> term_children(int consumer) const;
+  /// True when `consumer` lies in the tree subtree rooted at `root`
+  /// (inclusive). Used to slice the per-consumer counts a collective term
+  /// carries down to just the receiver's subtree.
+  [[nodiscard]] static bool term_in_subtree(int consumer, int root) noexcept {
+    while (consumer > root) consumer = term_parent(consumer);
+    return consumer == root;
+  }
+  /// Tree hops from the aggregator to the deepest consumer: the length of
+  /// the collective-term critical path, O(log C).
+  [[nodiscard]] int term_tree_depth() const noexcept;
+  /// Terms consumer `c` must observe before the stream can be exhausted:
+  /// its routed producers under Block; under tree termination P for the
+  /// aggregator (one per producer) and 1 for everyone else (the collective
+  /// term from the tree parent).
+  [[nodiscard]] int expected_term_count(int consumer) const;
 
   /// Channel rank (in comm()) of producer p / consumer c.
   [[nodiscard]] static int producer_rank(int p) noexcept { return p; }

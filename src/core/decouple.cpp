@@ -222,6 +222,36 @@ const mpi::Comm& Context::worker_comm() const {
   return pipeline_->worker_comm_;
 }
 
+int Context::stage_count() const noexcept {
+  return static_cast<int>(pipeline_->stages_.size());
+}
+
+int Context::stage_index() const noexcept {
+  return pipeline_->stage_of(parent_rank());
+}
+
+int Context::stage_member_index() const noexcept {
+  const int stage = stage_index();
+  if (stage < 0) return -1;
+  const auto& ranks = pipeline_->stages_[static_cast<std::size_t>(stage)];
+  const auto it = std::lower_bound(ranks.begin(), ranks.end(), parent_rank());
+  return static_cast<int>(it - ranks.begin());
+}
+
+int Context::stage_size(int stage) const {
+  return static_cast<int>(stage_ranks(stage).size());
+}
+
+int Context::stage_size(StageHandle stage) const {
+  return stage_size(stage.index_);
+}
+
+const std::vector<int>& Context::stage_ranks(int stage) const {
+  if (stage < 0 || stage >= stage_count())
+    throw std::logic_error("decouple: stage index out of range");
+  return pipeline_->stages_[static_cast<std::size_t>(stage)];
+}
+
 StreamBase& Context::slot(int index) const {
   if (index < 0 || index >= static_cast<int>(pipeline_->slots_.size()))
     throw std::logic_error("decouple: stream handle not from this pipeline");
@@ -305,6 +335,70 @@ RawStreamHandle Pipeline::raw_stream(std::size_t element_bytes,
       add_slot(std::make_unique<RawStream>(), element_bytes, std::move(options)));
 }
 
+StageHandle Pipeline::stage(std::vector<int> parent_ranks) {
+  if (ran_)
+    throw std::logic_error("Pipeline: stages must be declared before run()");
+  std::sort(parent_ranks.begin(), parent_ranks.end());
+  parent_ranks.erase(std::unique(parent_ranks.begin(), parent_ranks.end()),
+                     parent_ranks.end());
+  if (parent_ranks.empty())
+    throw std::invalid_argument("Pipeline::stage: stage must not be empty");
+  for (const int r : parent_ranks) {
+    if (r < 0 || r >= parent_.size())
+      throw std::invalid_argument(
+          "Pipeline::stage: rank outside the parent communicator");
+    if (stage_of(r) >= 0)
+      throw std::invalid_argument(
+          "Pipeline::stage: stages must be pairwise disjoint");
+  }
+  stages_.push_back(std::move(parent_ranks));
+  return StageHandle(static_cast<int>(stages_.size()) - 1);
+}
+
+StageHandle Pipeline::stage(const RolePredicate& member) {
+  if (!member) throw std::invalid_argument("Pipeline::stage: empty predicate");
+  std::vector<int> ranks;
+  for (int r = 0; r < parent_.size(); ++r)
+    if (member(r)) ranks.push_back(r);
+  return stage(std::move(ranks));
+}
+
+int Pipeline::stage_of(int parent_rank) const noexcept {
+  for (std::size_t i = 0; i < stages_.size(); ++i)
+    if (std::binary_search(stages_[i].begin(), stages_[i].end(), parent_rank))
+      return static_cast<int>(i);
+  return -1;
+}
+
+void Pipeline::link_stages(StageHandle from, StageHandle to,
+                           StreamOptions& options) const {
+  const auto stage_count = static_cast<int>(stages_.size());
+  if (from.index_ < 0 || from.index_ >= stage_count || to.index_ < 0 ||
+      to.index_ >= stage_count)
+    throw std::logic_error(
+        "decouple: stream_between needs handles from this pipeline's stages");
+  if (from.index_ == to.index_)
+    throw std::invalid_argument(
+        "decouple: a stage cannot stream to itself (groups must be disjoint)");
+  // Capture by value: the predicates outlive this call and must stay pure
+  // functions of the rank number (they derive the collective channel roles).
+  options.producers = [ranks = stages_[static_cast<std::size_t>(from.index_)]](
+                          int r) {
+    return std::binary_search(ranks.begin(), ranks.end(), r);
+  };
+  options.consumers = [ranks = stages_[static_cast<std::size_t>(to.index_)]](
+                          int r) {
+    return std::binary_search(ranks.begin(), ranks.end(), r);
+  };
+}
+
+RawStreamHandle Pipeline::raw_stream_between(StageHandle from, StageHandle to,
+                                             std::size_t element_bytes,
+                                             StreamOptions options) {
+  link_stages(from, to, options);
+  return raw_stream(element_bytes, std::move(options));
+}
+
 RawStreamHandle Pipeline::adaptive_stream(std::size_t record_bytes,
                                           AdaptiveConfig adaptive,
                                           StreamOptions options) {
@@ -323,6 +417,34 @@ void Pipeline::run(const RoleFn& worker_fn, const RoleFn& helper_fn) {
         "Pipeline::run: declare a split first (with_stride / with_alpha / "
         "with_plan / with_helper_ranks)");
   if (ran_) throw std::logic_error("Pipeline::run: pipeline already ran");
+  const bool worker = !is_helper_rank(self_->rank_in(parent_));
+  launch(worker ? worker_fn : helper_fn);
+}
+
+void Pipeline::run_stages(const std::vector<RoleFn>& stage_fns) {
+  if (stages_.size() < 2)
+    throw std::logic_error(
+        "Pipeline::run_stages: declare at least two stages first");
+  if (stage_fns.size() != stages_.size())
+    throw std::invalid_argument(
+        "Pipeline::run_stages: need exactly one function per declared stage");
+  if (ran_) throw std::logic_error("Pipeline::run_stages: pipeline already ran");
+  // The chain induces the worker/helper split: the first stage is the worker
+  // group, every other rank (later stages and unassigned) is a helper. A
+  // split declared explicitly (with_plan etc.) is kept as-is.
+  if (!split_configured_) {
+    std::vector<int> helpers;
+    for (int r = 0; r < parent_.size(); ++r)
+      if (!std::binary_search(stages_.front().begin(), stages_.front().end(), r))
+        helpers.push_back(r);
+    set_split(std::move(helpers));
+  }
+  const int my_stage = stage_of(self_->rank_in(parent_));
+  launch(my_stage >= 0 ? stage_fns[static_cast<std::size_t>(my_stage)]
+                       : RoleFn{});
+}
+
+void Pipeline::launch(const RoleFn& role_fn) {
   ran_ = true;
 
   mpi::Rank& self = *self_;
@@ -340,6 +462,7 @@ void Pipeline::run(const RoleFn& worker_fn, const RoleFn& helper_fn) {
     config.channel_id = channel_base_ + i;
     config.mapping = slot.options.mapping;
     config.inject_overhead = slot.options.inject_overhead;
+    config.max_inflight = slot.options.max_inflight;
     const bool to_helpers = slot.options.direction == Direction::ToHelpers;
     const bool produce = slot.options.producers
                              ? slot.options.producers(me)
@@ -354,11 +477,11 @@ void Pipeline::run(const RoleFn& worker_fn, const RoleFn& helper_fn) {
   }
 
   Context context(*this);
-  const RoleFn& role_fn = worker ? worker_fn : helper_fn;
   if (role_fn) role_fn(context);
 
   // RAII half of the termination protocol: whatever this rank produced is
-  // now over; consumers' operate() unblocks as the terms land.
+  // now over; consumers' operate() unblocks as the terms land. In a chain
+  // this is what propagates termination stage to stage.
   for (Slot& slot : slots_) slot.stream->terminate();
 }
 

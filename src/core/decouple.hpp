@@ -27,10 +27,18 @@
 //  * One split, many streams — the worker/helper split (GroupPlan stride or
 //    alpha, or an explicit helper set) is declared once; each stream picks a
 //    direction relative to it, or overrides the endpoint groups entirely.
+//  * Chained stages — Pipeline::stage() partitions the parent communicator
+//    into an ordered chain of role groups (worker -> helper -> helper ...);
+//    stream_between() links consecutive stages, so an intermediate stage is
+//    consumer of one typed stream and producer of the next. run_stages()
+//    dispatches each rank to its stage function, and the RAII termination
+//    pass propagates end-of-stream stage to stage: when a stage returns, its
+//    outgoing streams terminate and the next stage's operate() unblocks.
 //
 // Collective discipline: every member of the parent communicator must
-// declare the same split and the same streams in the same order, then call
-// run(). Stream declaration order doubles as the channel-creation order.
+// declare the same split (or stages) and the same streams in the same order,
+// then call run() / run_stages(). Stream declaration order doubles as the
+// channel-creation order.
 #pragma once
 
 #include <cstddef>
@@ -75,6 +83,13 @@ struct StreamOptions {
   Mapping mapping = Mapping::Block;
   /// Per-element injection overhead `o` (paper Eq. 4).
   util::SimTime inject_overhead = stream::ChannelConfig{}.inject_overhead;
+  /// Facade-level backpressure: the maximum number of elements a producer
+  /// may have in flight (sent but not yet consumed). Every send beyond the
+  /// window blocks until the consumer returns a credit on the stream's ack
+  /// context. 0 (default) disables flow control. Consumers of a throttled
+  /// stream must consume every element (operate to exhaustion), or the
+  /// producer stays blocked once the window fills.
+  std::uint32_t max_inflight = 0;
   /// Endpoint overrides for streams that do not follow the worker/helper
   /// split (e.g. a reduce group's internal master stream); when set, they
   /// replace the direction-derived groups.
@@ -172,9 +187,12 @@ class StreamBase {
   /// Process arrivals while `keep_going()` stays true (re-checked after
   /// each element) and unterminated producers remain.
   std::uint64_t operate_while(const std::function<bool()>& keep_going);
-  /// Consume at most one pending element or termination without blocking.
+  /// Consume pending arrivals without blocking until one data element has
+  /// been handled; terminations on the way are absorbed silently. Returns
+  /// true iff a data element was consumed.
   bool poll_one();
-  /// Consume everything already pending without blocking; returns the count.
+  /// Consume every data element already pending without blocking; returns
+  /// the count (terminations absorbed on the way are not counted).
   std::uint64_t drain();
 
   // ---- introspection ----
@@ -184,6 +202,10 @@ class StreamBase {
   [[nodiscard]] int consumer_index() const;
   [[nodiscard]] std::uint64_t elements_sent() const noexcept {
     return stream_.elements_sent();
+  }
+  /// Termination-protocol messages this rank has sent on this stream.
+  [[nodiscard]] std::uint64_t term_messages_sent() const noexcept {
+    return stream_.term_messages_sent();
   }
   /// True once all routed producers have terminated (consumer side).
   [[nodiscard]] bool exhausted() const noexcept { return stream_.exhausted(); }
@@ -283,6 +305,11 @@ class TypedStream final : public StreamBase {
     typed.producer = el.producer;
     typed.synthetic = el.data == nullptr;
     if (el.data != nullptr) {
+      // A truncated or mismatched element must not turn into an overread of
+      // the wire payload: the record header has to be fully present.
+      if (el.bytes < sizeof(Record))
+        throw std::length_error(
+            "decouple: element smaller than its record type");
       std::memcpy(&typed.record, el.data, sizeof(Record));
       typed.payload = el.data + sizeof(Record);
     }
@@ -367,6 +394,20 @@ class RawStreamHandle {
   int index_ = -1;
 };
 
+/// Token for a declared chain stage; redeemed with Pipeline::stream_between
+/// and Context::stage_size / stage_ranks.
+class StageHandle {
+ public:
+  StageHandle() = default;
+  [[nodiscard]] bool valid() const noexcept { return index_ >= 0; }
+
+ private:
+  friend class Context;
+  friend class Pipeline;
+  explicit StageHandle(int index) : index_(index) {}
+  int index_ = -1;
+};
+
 /// What a role function sees: identity within the split, the split itself,
 /// and the pipeline's bound streams.
 class Context {
@@ -393,6 +434,19 @@ class Context {
   /// The workers-only communicator (requires with_worker_comm; invalid on
   /// helpers, MPI_UNDEFINED-style).
   [[nodiscard]] const mpi::Comm& worker_comm() const;
+
+  // ---- chained stages (run_stages pipelines only) ----
+  /// Number of declared stages (0 for a classic worker/helper run).
+  [[nodiscard]] int stage_count() const noexcept;
+  /// Index of the stage this rank belongs to, or -1 when unassigned.
+  [[nodiscard]] int stage_index() const noexcept;
+  /// This rank's position within its stage, or -1 when unassigned.
+  [[nodiscard]] int stage_member_index() const noexcept;
+  /// Member count of stage `stage`.
+  [[nodiscard]] int stage_size(int stage) const;
+  [[nodiscard]] int stage_size(StageHandle stage) const;
+  /// Parent-comm ranks of stage `stage`, ascending.
+  [[nodiscard]] const std::vector<int>& stage_ranks(int stage) const;
 
   template <typename Record>
   [[nodiscard]] TypedStream<Record>& operator[](StreamHandle<Record> h) const {
@@ -470,12 +524,46 @@ class Pipeline {
                                                 AdaptiveConfig adaptive,
                                                 StreamOptions options = {});
 
+  // ---- chained-stage declaration ----
+  /// Append a stage to the chain: the given parent-comm ranks form the next
+  /// role group. Stages must be pairwise disjoint; every rank declares the
+  /// same stages in the same order (the set derives collective channel
+  /// roles). The first stage is the chain's worker group; all later stages
+  /// are helper groups of the split.
+  StageHandle stage(std::vector<int> parent_ranks);
+  /// Same, with membership given as a pure predicate over parent ranks.
+  StageHandle stage(const RolePredicate& member);
+
+  /// A typed stream whose producers are exactly stage `from` and whose
+  /// consumers are exactly stage `to` — the link that makes an intermediate
+  /// stage consumer of one stream and producer of the next.
+  template <typename Record>
+  [[nodiscard]] StreamHandle<Record> stream_between(StageHandle from,
+                                                    StageHandle to,
+                                                    std::size_t max_payload_bytes = 0,
+                                                    StreamOptions options = {}) {
+    link_stages(from, to, options);
+    return stream<Record>(max_payload_bytes, std::move(options));
+  }
+  /// Payload-only variant of stream_between.
+  [[nodiscard]] RawStreamHandle raw_stream_between(StageHandle from,
+                                                   StageHandle to,
+                                                   std::size_t element_bytes,
+                                                   StreamOptions options = {});
+
   using RoleFn = std::function<void(Context&)>;
   /// Create every declared channel (collective, declaration order), attach
   /// the streams, and dispatch to `worker_fn` or `helper_fn` by role. When
   /// the role function returns, producer streams terminate automatically;
   /// channels are released when the Pipeline leaves scope.
   void run(const RoleFn& worker_fn, const RoleFn& helper_fn);
+
+  /// Chained dispatch: `stage_fns[i]` runs on the members of stage i (one
+  /// function per declared stage; ranks in no stage only participate in the
+  /// collective channel creation). Auto-termination propagates stage to
+  /// stage: when a stage function returns, that stage's outgoing streams
+  /// terminate, unblocking the next stage's operate().
+  void run_stages(const std::vector<RoleFn>& stage_fns);
 
  private:
   friend class Context;
@@ -491,11 +579,17 @@ class Pipeline {
                StreamOptions options);
   void set_split(std::vector<int> helpers);
   [[nodiscard]] bool is_helper_rank(int parent_rank) const noexcept;
+  /// Fill `options`' endpoint predicates from two declared stages.
+  void link_stages(StageHandle from, StageHandle to, StreamOptions& options) const;
+  [[nodiscard]] int stage_of(int parent_rank) const noexcept;
+  /// Channel creation + role dispatch + RAII termination for this rank.
+  void launch(const RoleFn& role_fn);
 
   mpi::Rank* self_;
   mpi::Comm parent_;
   std::vector<int> workers_;
   std::vector<int> helpers_;
+  std::vector<std::vector<int>> stages_;  ///< sorted parent ranks per stage
   bool split_configured_ = false;
   bool want_worker_comm_ = false;
   bool ran_ = false;

@@ -1,5 +1,7 @@
 #include "core/stream.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "mpi/machine.hpp"
@@ -15,6 +17,7 @@ Stream Stream::attach(const Channel& channel, const mpi::Datatype& element_type,
   if (channel.valid()) {
     s.context_ = mpi::Machine::derive_context(channel.comm().context(),
                                               0x57BEA4ull, stream_id);
+    s.ack_context_ = mpi::Machine::derive_context(s.context_, 0xACCull, 1);
   }
   return s;
 }
@@ -28,11 +31,25 @@ void Stream::isend(mpi::Rank& self, mpi::SendBuf element) {
 void Stream::isend_to(mpi::Rank& self, int consumer, mpi::SendBuf element) {
   const int p = channel_->my_producer_index(self);
   if (p < 0) throw std::logic_error("Stream::isend_to: caller is not a producer");
+  if (consumer < 0 || consumer >= channel_->consumer_count())
+    throw std::out_of_range("Stream::isend_to: consumer index out of range");
   if (element.on_wire() > element_size_)
     throw std::invalid_argument("Stream::isend: element larger than its datatype");
   if (terminated_)
     throw std::logic_error("Stream::isend: stream already terminated");
+
+  // Credit-based backpressure: block until the in-flight window has room.
+  const std::uint32_t window = channel_->config().max_inflight;
+  if (window > 0)
+    while (sent_ - acks_seen_ >= window) await_credit(self);
+
   ++sent_;
+  if (channel_->tree_termination()) {
+    if (sent_per_consumer_.empty())
+      sent_per_consumer_.assign(
+          static_cast<std::size_t>(channel_->consumer_count()), 0);
+    ++sent_per_consumer_[static_cast<std::size_t>(consumer)];
+  }
 
   // Per-element library overhead `o` (Eq. 4) plus the transport's own o_s.
   auto& machine = self.machine();
@@ -49,23 +66,28 @@ void Stream::terminate(mpi::Rank& self) {
   if (terminated_) return;
   terminated_ = true;
 
-  // Tell every consumer this producer can route to.
   auto& machine = self.machine();
-  std::vector<bool> notified(static_cast<std::size_t>(channel_->consumer_count()),
-                             false);
-  auto notify = [&](int consumer) {
-    if (notified[static_cast<std::size_t>(consumer)]) return;
-    notified[static_cast<std::size_t>(consumer)] = true;
+  auto post_term = [&](int consumer, mpi::SendBuf payload) {
     self.process().advance(machine.config().network.send_overhead);
     machine.post_send(context_, p, self.world_rank(),
                       channel_->comm().world_rank(channel_->consumer_rank(consumer)),
-                      kTagTerm, mpi::SendBuf::synthetic(0));
+                      kTagTerm, payload);
+    ++term_msgs_sent_;
   };
-  if (channel_->config().mapping == ChannelConfig::Mapping::Block) {
-    notify(channel_->route(p, 0));
-  } else {
-    for (int c = 0; c < channel_->consumer_count(); ++c) notify(c);
+  if (!channel_->tree_termination()) {
+    // Block mapping: this producer routes to exactly one consumer.
+    post_term(channel_->route(p, 0), mpi::SendBuf::synthetic(0));
+    return;
   }
+  // Aggregated termination: one term to the aggregator consumer, carrying
+  // this producer's per-consumer element counts (nonzero entries only) so
+  // consumers can account for data still in flight.
+  std::vector<TermEntry> entries;
+  for (std::size_t c = 0; c < sent_per_consumer_.size(); ++c)
+    if (sent_per_consumer_[c] > 0)
+      entries.push_back(TermEntry{c, sent_per_consumer_[c]});
+  post_term(Channel::term_aggregator(),
+            mpi::SendBuf::of(entries.data(), entries.size()));
 }
 
 void Stream::ensure_consumer_state(mpi::Rank& self) {
@@ -73,16 +95,94 @@ void Stream::ensure_consumer_state(mpi::Rank& self) {
   my_consumer_ = channel_->my_consumer_index(self);
   if (my_consumer_ < 0)
     throw std::logic_error("Stream::operate: caller is not a consumer");
-  expected_terms_ =
-      static_cast<int>(channel_->producers_of(my_consumer_).size());
-  element_buffer_.resize(element_size_);
+  expected_terms_ = channel_->expected_term_count(my_consumer_);
+  // Tree-mode terms carry up to one count entry per consumer; size the
+  // receive buffer for whichever is larger, the element or that worst case.
+  std::size_t capacity = element_size_;
+  if (channel_->tree_termination())
+    capacity = std::max(capacity, static_cast<std::size_t>(
+                                      channel_->consumer_count()) *
+                                      sizeof(TermEntry));
+  element_buffer_.resize(capacity);
 }
 
-void Stream::handle(mpi::Rank& /*self*/, const mpi::Status& status) {
-  if (status.tag == kTagTerm) {
-    ++terms_seen_;
+void Stream::fan_out_term(mpi::Rank& self,
+                          const std::vector<TermEntry>& entries) {
+  // Every child gets a collective term; its payload is sliced down to the
+  // counts of the child's own subtree.
+  auto& machine = self.machine();
+  for (const int child : channel_->term_children(my_consumer_)) {
+    std::vector<TermEntry> slice;
+    for (const TermEntry& e : entries)
+      if (Channel::term_in_subtree(static_cast<int>(e.consumer), child))
+        slice.push_back(e);
+    self.process().advance(machine.config().network.send_overhead);
+    machine.post_send(context_, channel_->consumer_rank(my_consumer_),
+                      self.world_rank(),
+                      channel_->comm().world_rank(channel_->consumer_rank(child)),
+                      kTagTerm, mpi::SendBuf::of(slice.data(), slice.size()));
+    ++term_msgs_sent_;
+  }
+}
+
+void Stream::handle_tree_term(mpi::Rank& self, const mpi::Status& status) {
+  const auto consumers = static_cast<std::size_t>(channel_->consumer_count());
+  const std::size_t n = std::min(status.bytes / sizeof(TermEntry), consumers);
+  std::vector<TermEntry> entries(n);
+  if (n > 0)
+    std::memcpy(entries.data(), element_buffer_.data(), n * sizeof(TermEntry));
+  ++terms_seen_;
+  if (my_consumer_ == Channel::term_aggregator()) {
+    // Producer term: accumulate; once every producer reported, the summed
+    // totals are final — announce them down the tree.
+    if (count_accum_.empty()) count_accum_.assign(consumers, 0);
+    for (const TermEntry& e : entries)
+      if (e.consumer < consumers) count_accum_[e.consumer] += e.count;
+    if (terms_seen_ >= expected_terms_) {
+      expected_data_ = count_accum_[static_cast<std::size_t>(my_consumer_)];
+      counts_known_ = true;
+      std::vector<TermEntry> totals;
+      for (std::size_t c = 0; c < consumers; ++c)
+        if (count_accum_[c] > 0) totals.push_back(TermEntry{c, count_accum_[c]});
+      fan_out_term(self, totals);
+    }
     return;
   }
+  // Collective term from the tree parent (a consumer sees exactly one):
+  // adopt my announced count and keep the fan-out going.
+  expected_data_ = 0;
+  for (const TermEntry& e : entries)
+    if (e.consumer == static_cast<std::uint64_t>(my_consumer_))
+      expected_data_ = e.count;
+  counts_known_ = true;
+  fan_out_term(self, entries);
+}
+
+void Stream::send_ack(mpi::Rank& self, int producer) {
+  auto& machine = self.machine();
+  self.process().advance(machine.config().network.send_overhead);
+  machine.post_send(ack_context_, my_consumer_, self.world_rank(),
+                    channel_->comm().world_rank(Channel::producer_rank(producer)),
+                    kTagAck, mpi::SendBuf::synthetic(0));
+}
+
+void Stream::await_credit(mpi::Rank& self) {
+  auto req = self.machine().post_recv(ack_context_, self.world_rank(),
+                                      mpi::kAnySource, kTagAck,
+                                      mpi::RecvBuf::discard(0));
+  self.wait(req);
+  ++acks_seen_;
+}
+
+void Stream::handle(mpi::Rank& self, const mpi::Status& status) {
+  if (status.tag == kTagTerm) {
+    if (channel_->tree_termination())
+      handle_tree_term(self, status);
+    else
+      ++terms_seen_;
+    return;
+  }
+  ++processed_data_;
   if (operator_) {
     StreamElement el{status.synthetic || element_buffer_.empty()
                          ? nullptr
@@ -90,6 +190,8 @@ void Stream::handle(mpi::Rank& /*self*/, const mpi::Status& status) {
                      status.bytes, status.source};
     operator_(el);
   }
+  // Return the element's credit to its producer when flow control is on.
+  if (channel_->config().max_inflight > 0) send_ack(self, status.source);
 }
 
 std::uint64_t Stream::operate(mpi::Rank& self) {
@@ -119,20 +221,25 @@ std::uint64_t Stream::operate_while(mpi::Rank& self,
 
 bool Stream::poll_one(mpi::Rank& self) {
   ensure_consumer_state(self);
-  if (exhausted()) return false;
   auto& machine = self.machine();
-  mpi::Status status;
-  if (!machine.match_probe(context_, self.world_rank(), mpi::kAnySource,
-                           mpi::kAnyTag, &status))
-    return false;
-  auto req = machine.post_recv(
-      context_, self.world_rank(), status.source, status.tag,
-      element_buffer_.empty()
-          ? mpi::RecvBuf::discard(element_size_)
-          : mpi::RecvBuf{element_buffer_.data(), element_buffer_.size()});
-  self.wait(req);
-  handle(self, req->status);
-  return true;
+  // Terminations are control flow, not elements: consume them silently and
+  // keep looking, so the return value counts data elements only (matching
+  // operate_while accounting).
+  while (!exhausted()) {
+    mpi::Status status;
+    if (!machine.match_probe(context_, self.world_rank(), mpi::kAnySource,
+                             mpi::kAnyTag, &status))
+      return false;
+    auto req = machine.post_recv(
+        context_, self.world_rank(), status.source, status.tag,
+        element_buffer_.empty()
+            ? mpi::RecvBuf::discard(element_size_)
+            : mpi::RecvBuf{element_buffer_.data(), element_buffer_.size()});
+    self.wait(req);
+    handle(self, req->status);
+    if (req->status.tag == kTagData) return true;
+  }
+  return false;
 }
 
 }  // namespace ds::stream

@@ -7,9 +7,24 @@
 // in first-come-first-served arrival order across all of their producers;
 // that FCFS consumption is the mechanism that absorbs producer imbalance.
 //
-// Termination (MPIStream_Terminate): a producer that is done sends a
-// zero-byte control element to every consumer it routes to; operate()
-// returns once every routed producer has terminated.
+// Termination (MPIStream_Terminate): under Block mapping a terminating
+// producer notifies its single peer consumer, and operate() returns once
+// every routed producer has terminated. RoundRobin and Directed channels
+// aggregate instead of broadcasting: each producer sends one term — carrying
+// its per-consumer element counts — to the channel's aggregator consumer,
+// which fans the collective term (with the summed counts) down a binary tree
+// over the consumers. A consumer is exhausted once it has seen its term(s)
+// AND processed exactly the announced number of elements, so a collective
+// term can never overtake in-flight data.
+//
+// Liveness contract of the aggregated protocol: the collective term travels
+// through consumers, so a consumer that stops servicing the stream (returns
+// from operate_while early and never polls again) also stops forwarding the
+// term to its tree descendants. Waiting on exhausted()/operate() completion
+// therefore requires every consumer of the channel to keep servicing the
+// stream; protocols where consumers leave early by design (e.g. the PIC
+// close-notification stream) must not wait on exhaustion — exactly as under
+// the seed's broadcast, where unread terms were simply abandoned.
 //
 // This is the implementation layer: application code normally uses the
 // typed streams of core/decouple.hpp (decouple::TypedStream / RawStream),
@@ -56,7 +71,8 @@ class Stream {
 
   /// Producer: inject one element addressed to a specific consumer index
   /// (Directed routing; used when elements carry their own destination,
-  /// e.g. halo faces addressed to a neighbour's helper).
+  /// e.g. halo faces addressed to a neighbour's helper). Throws
+  /// std::out_of_range when `consumer` is not a valid consumer index.
   void isend_to(mpi::Rank& self, int consumer, mpi::SendBuf element);
 
   /// Producer: inject a synthetic element of the full element size.
@@ -77,39 +93,76 @@ class Stream {
   /// other duties.
   std::uint64_t operate_while(mpi::Rank& self, const std::function<bool()>& keep_going);
 
-  /// Consumer: drain at most one pending element without blocking.
-  /// Returns true if an element or termination was consumed.
+  /// Consumer: drain pending arrivals without blocking until one *data*
+  /// element has been consumed. Terminations encountered on the way are
+  /// consumed silently (they are control flow, not elements — matching
+  /// operate_while accounting). Returns true iff a data element was consumed.
   bool poll_one(mpi::Rank& self);
 
   [[nodiscard]] std::size_t element_size() const noexcept { return element_size_; }
   [[nodiscard]] const Channel& channel() const noexcept { return *channel_; }
   [[nodiscard]] std::uint64_t elements_sent() const noexcept { return sent_; }
-  /// True once all routed producers have terminated (consumer side).
+  /// Termination-protocol messages this rank has sent on this stream:
+  /// producer terms plus collective-term fan-out (consumer side).
+  [[nodiscard]] std::uint64_t term_messages_sent() const noexcept {
+    return term_msgs_sent_;
+  }
+  /// True once the stream's termination protocol has completed for this
+  /// consumer: all terms observed and, under tree termination, every
+  /// announced element processed.
   [[nodiscard]] bool exhausted() const noexcept {
-    return expected_terms_ >= 0 && terms_seen_ >= expected_terms_;
+    if (expected_terms_ < 0 || terms_seen_ < expected_terms_) return false;
+    return !counts_known_ || processed_data_ >= expected_data_;
   }
 
  private:
+  /// Wire entry of a termination message: how many data elements are bound
+  /// for one consumer. Terms carry only the entries relevant to the
+  /// receiver — a producer's touched consumers (up to C each, so O(P*C)
+  /// bytes on the aggregation hop in the worst case) and a tree node's
+  /// subtree (O(C log C) bytes across the whole fan-out).
+  struct TermEntry {
+    std::uint64_t consumer = 0;
+    std::uint64_t count = 0;
+  };
+
   void ensure_consumer_state(mpi::Rank& self);
   void handle(mpi::Rank& self, const mpi::Status& status);
+  void handle_tree_term(mpi::Rank& self, const mpi::Status& status);
+  /// Send the collective term on to this consumer's tree children, sliced
+  /// to each child's subtree.
+  void fan_out_term(mpi::Rank& self, const std::vector<TermEntry>& entries);
+  void send_ack(mpi::Rank& self, int producer);
+  void await_credit(mpi::Rank& self);
 
   const Channel* channel_ = nullptr;
-  std::uint64_t context_ = 0;  ///< matching context derived per stream
+  std::uint64_t context_ = 0;      ///< matching context derived per stream
+  std::uint64_t ack_context_ = 0;  ///< credit/ack context derived from it
   std::size_t element_size_ = 0;
   Operator operator_;
 
   // producer state
   std::uint64_t sent_ = 0;
+  std::uint64_t acks_seen_ = 0;
   bool terminated_ = false;
+  std::vector<std::uint64_t> sent_per_consumer_;  ///< tree termination only
 
   // consumer state
   int my_consumer_ = -1;
   int expected_terms_ = -1;
   int terms_seen_ = 0;
+  std::uint64_t processed_data_ = 0;
+  std::uint64_t expected_data_ = 0;
+  bool counts_known_ = false;  ///< tree mode: announced counts received
+  std::vector<std::uint64_t> count_accum_;  ///< aggregator: per-consumer sums
   std::vector<std::byte> element_buffer_;
+
+  // shared instrumentation
+  std::uint64_t term_msgs_sent_ = 0;
 
   static constexpr int kTagData = 0;
   static constexpr int kTagTerm = 1;
+  static constexpr int kTagAck = 2;
 };
 
 }  // namespace ds::stream

@@ -145,6 +145,83 @@ TEST(Adaptive, RejectsBadBounds) {
   });
 }
 
+TEST(Adaptive, ValidatesBoundsBeforeClampingTarget) {
+  // Regression: the ctor used to clamp initial_records in the member-init
+  // list *before* validating min <= max — UB on bad bounds. Validation must
+  // win whatever initial_records is.
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    Stream s = Stream::attach(ch, mpi::Datatype::bytes(1 << 16), {});
+    if (producer) {
+      for (const std::uint32_t initial : {0u, 8u, 16u, 1000u}) {
+        AdaptiveConfig cfg;
+        cfg.min_records = 16;
+        cfg.max_records = 8;  // inverted bounds
+        cfg.initial_records = initial;
+        EXPECT_THROW(AdaptiveBatcher(s, 8, cfg), std::invalid_argument);
+      }
+      s.terminate(self);
+    } else {
+      (void)s.operate(self);
+    }
+  });
+}
+
+TEST(Adaptive, RejectsNonMultiplicativeGrowth) {
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    Stream s = Stream::attach(ch, mpi::Datatype::bytes(1 << 16), {});
+    if (producer) {
+      AdaptiveConfig cfg;
+      cfg.growth = 1.0;  // would leave the controller unable to move
+      EXPECT_THROW(AdaptiveBatcher(s, 8, cfg), std::invalid_argument);
+      s.terminate(self);
+    } else {
+      (void)s.operate(self);
+    }
+  });
+}
+
+TEST(Adaptive, ShrinkMakesProgressDownToMinRecords) {
+  // Regression for the truncated-quotient shrink: with a growth factor just
+  // above 1 the batch must still walk all the way down to min_records under
+  // sustained coarse flow, never sticking above the floor.
+  AdaptiveConfig cfg;
+  cfg.min_records = 1;
+  cfg.initial_records = 12;
+  cfg.growth = 1.05;  // smallest steps: truncation effects dominate
+  cfg.window = 2;
+  cfg.max_flush_interval = util::microseconds(10);
+  std::uint32_t final_batch = 0;
+  run_adaptive(cfg, 16, [&](Rank& self, AdaptiveBatcher& b) {
+    for (int i = 0; i < 1200; ++i) {
+      self.compute(util::microseconds(30));  // every flush gap too coarse
+      b.push(self);
+    }
+    final_batch = b.current_batch();
+  });
+  EXPECT_EQ(final_batch, cfg.min_records);
+}
+
+TEST(Adaptive, FirstWindowStartsAtFirstPushNotSimTimeZero) {
+  // Regression: window_start_ defaulted to sim-time 0, so a batcher created
+  // late saw the pre-history as elapsed production time, diluting
+  // overhead_fraction and skipping the grow decision in its first window.
+  AdaptiveConfig cfg;
+  cfg.initial_records = 1;
+  cfg.window = 8;
+  std::uint32_t batch_after_first_window = 0;
+  run_adaptive(cfg, 16, [&](Rank& self, AdaptiveBatcher& b) {
+    self.compute(util::milliseconds(50));  // long pre-batcher history
+    // Exactly one controller window of overhead-dominated pushes.
+    for (std::uint32_t i = 0; i < cfg.window; ++i) b.push(self);
+    batch_after_first_window = b.current_batch();
+  });
+  EXPECT_GT(batch_after_first_window, 1u);
+}
+
 TEST(Adaptive, HeaderDecodeHandlesSyntheticElements) {
   const StreamElement synthetic{nullptr, 128, 0};
   EXPECT_EQ(adaptive_record_count(synthetic), 0u);

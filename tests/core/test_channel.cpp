@@ -157,6 +157,50 @@ TEST(Channel, RoundRobinRotationCoversAllConsumersUniformly) {
   });
 }
 
+TEST(Channel, TermTreeMetadataFormsConsistentBinaryTree) {
+  // Invariant: the termination tree spans every consumer exactly once, each
+  // node's parent/children agree, and the depth stays logarithmic.
+  testing::run_program(testing::tiny_machine(12), [&](Rank& self) {
+    const int me = self.world_rank();
+    ChannelConfig cfg;
+    cfg.mapping = ChannelConfig::Mapping::Directed;
+    const Channel ch = Channel::create(self, self.world(), me < 3, me >= 3, cfg);
+    if (!ch.valid()) return;
+    EXPECT_TRUE(ch.tree_termination());
+    const int consumers = ch.consumer_count();
+    ASSERT_EQ(consumers, 9);
+    EXPECT_EQ(Channel::term_aggregator(), 0);
+    EXPECT_EQ(Channel::term_parent(Channel::term_aggregator()), -1);
+    std::vector<int> reached(static_cast<std::size_t>(consumers), 0);
+    reached[0] = 1;
+    for (int c = 0; c < consumers; ++c) {
+      const auto children = ch.term_children(c);
+      EXPECT_LE(children.size(), 2u);
+      for (const int child : children) {
+        EXPECT_EQ(Channel::term_parent(child), c);
+        ++reached[static_cast<std::size_t>(child)];
+      }
+    }
+    for (const int r : reached) EXPECT_EQ(r, 1);  // spanning, no duplicates
+    EXPECT_LE(ch.term_tree_depth(), 4);  // ceil(log2(9 + 1))
+    // Terms expected: P at the aggregator, 1 elsewhere.
+    EXPECT_EQ(ch.expected_term_count(0), 3);
+    for (int c = 1; c < consumers; ++c) EXPECT_EQ(ch.expected_term_count(c), 1);
+  });
+}
+
+TEST(Channel, BlockMappingKeepsPerPeerTermAccounting) {
+  testing::run_program(testing::tiny_machine(10), [&](Rank& self) {
+    const int me = self.world_rank();
+    const Channel ch = Channel::create(self, self.world(), me < 8, me >= 8);
+    if (!ch.valid()) return;
+    EXPECT_FALSE(ch.tree_termination());
+    // Under Block, a consumer expects one term per routed producer.
+    EXPECT_EQ(ch.expected_term_count(0), 4);
+    EXPECT_EQ(ch.expected_term_count(1), 4);
+  });
+}
+
 TEST(Channel, DistinctChannelIdsGetDistinctContexts) {
   testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
     const int me = self.world_rank();

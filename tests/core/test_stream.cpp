@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include <vector>
@@ -220,6 +221,141 @@ TEST(Stream, MultipleStreamsOnOneChannelStaySeparate) {
   });
   EXPECT_EQ(a_count, 2);
   EXPECT_EQ(b_count, 1);
+}
+
+TEST(Stream, DirectedTerminationAggregatesThroughTree) {
+  // Regression for the O(P*C) term broadcast: every producer must send
+  // exactly one term (to the aggregator), every consumer at most two (its
+  // tree children), P + C - 1 term messages in total.
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 8;
+  std::uint64_t producer_terms = 0, consumer_terms = 0;
+  std::uint64_t max_producer_terms = 0, max_consumer_terms = 0;
+  testing::run_program(
+      testing::tiny_machine(kProducers + kConsumers), [&](Rank& self) {
+        const bool producer = self.world_rank() < kProducers;
+        ChannelConfig cfg;
+        cfg.mapping = ChannelConfig::Mapping::Directed;
+        const Channel ch =
+            Channel::create(self, self.world(), producer, !producer, cfg);
+        Stream s = Stream::attach(ch, mpi::Datatype::int32(),
+                                  [](const StreamElement&) {});
+        if (producer) {
+          const int v = self.world_rank();
+          for (int c = 0; c < kConsumers; ++c)
+            s.isend_to(self, c, SendBuf::of(&v, 1));
+          s.terminate(self);
+          producer_terms += s.term_messages_sent();
+          max_producer_terms =
+              std::max(max_producer_terms, s.term_messages_sent());
+        } else {
+          EXPECT_EQ(s.operate(self), 3u);  // one element from each producer
+          consumer_terms += s.term_messages_sent();
+          max_consumer_terms =
+              std::max(max_consumer_terms, s.term_messages_sent());
+        }
+      });
+  EXPECT_EQ(max_producer_terms, 1u);  // the seed sent kConsumers per producer
+  EXPECT_LE(max_consumer_terms, 2u);  // binary-tree fan-out
+  EXPECT_EQ(producer_terms + consumer_terms,
+            static_cast<std::uint64_t>(kProducers + kConsumers - 1));
+}
+
+TEST(Stream, TreeTerminationDoesNotOvertakeInFlightData) {
+  // A collective term travels aggregator -> tree, a data element travels
+  // producer -> consumer directly; a large element can still be on the wire
+  // when the (tiny) term lands. The per-consumer counts the term carries
+  // must keep the consumer draining until the element arrives.
+  int deep_consumer_elements = 0;
+  testing::run_program(testing::tiny_machine(5), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    ChannelConfig cfg;
+    cfg.mapping = ChannelConfig::Mapping::Directed;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer, cfg);
+    Stream s = Stream::attach(ch, mpi::Datatype::bytes(1 << 20),
+                              [&](const StreamElement&) {
+                                if (ch.my_consumer_index(self) == 3)
+                                  ++deep_consumer_elements;
+                              });
+    if (producer) {
+      // Consumer 3 is the deepest tree node (0 -> 1 -> 3); the 1 MB element
+      // takes far longer on the wire than the aggregation path.
+      s.isend_to(self, 3, SendBuf::synthetic(1 << 20));
+      s.terminate(self);
+    } else {
+      (void)s.operate(self);
+      EXPECT_TRUE(s.exhausted());
+    }
+  });
+  EXPECT_EQ(deep_consumer_elements, 1);
+}
+
+TEST(Stream, PollOneSkipsTermOnlyMessages) {
+  // Regression: poll_one must not report a termination as a processed
+  // element (callers would overcount relative to operate_while semantics).
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    int seen = 0;
+    Stream s = Stream::attach(ch, mpi::Datatype::int32(),
+                              [&](const StreamElement&) { ++seen; });
+    if (producer) {
+      s.terminate(self);  // term-only stream: no data at all
+    } else {
+      self.process().advance(util::milliseconds(1));
+      EXPECT_FALSE(s.poll_one(self));  // term consumed, but no element
+      EXPECT_TRUE(s.exhausted());
+      EXPECT_EQ(seen, 0);
+    }
+  });
+}
+
+TEST(Stream, IsendToRejectsOutOfRangeConsumer) {
+  testing::run_program(testing::tiny_machine(3), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    ChannelConfig cfg;
+    cfg.mapping = ChannelConfig::Mapping::Directed;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer, cfg);
+    Stream s = Stream::attach(ch, mpi::Datatype::int32(), {});
+    if (producer) {
+      const int v = 0;
+      EXPECT_THROW(s.isend_to(self, 2, SendBuf::of(&v, 1)), std::out_of_range);
+      EXPECT_THROW(s.isend_to(self, -1, SendBuf::of(&v, 1)), std::out_of_range);
+      s.terminate(self);
+    } else {
+      (void)s.operate(self);
+    }
+  });
+}
+
+TEST(Stream, MaxInflightThrottlesProducerToConsumerPace) {
+  // Credit-based backpressure: with a window of 2 and a consumer that needs
+  // 100 us per element, a 20-element producer must stay within ~2 elements
+  // of the consumer instead of finishing instantly.
+  util::SimTime producer_done = 0;
+  std::uint64_t consumed = 0;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    ChannelConfig cfg;
+    cfg.max_inflight = 2;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer, cfg);
+    Stream s = Stream::attach(ch, mpi::Datatype::int32(),
+                              [&](const StreamElement&) {
+                                self.compute(util::microseconds(100));
+                              });
+    if (producer) {
+      const int v = 1;
+      for (int i = 0; i < 20; ++i) s.isend(self, SendBuf::of(&v, 1));
+      producer_done = self.now();
+      s.terminate(self);
+    } else {
+      consumed = s.operate(self);
+    }
+  });
+  EXPECT_EQ(consumed, 20u);
+  // 18 of the 20 sends had to wait for a credit, each behind ~100 us of
+  // consumer compute.
+  EXPECT_GE(producer_done, util::microseconds(1500));
 }
 
 TEST(Stream, InjectionChargesOverheadToProducer) {

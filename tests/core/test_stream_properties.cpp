@@ -77,8 +77,13 @@ INSTANTIATE_TEST_SUITE_P(
                       Shape{15, 1, 6, ChannelConfig::Mapping::Block},
                       Shape{3, 3, 9, ChannelConfig::Mapping::RoundRobin},
                       Shape{8, 2, 12, ChannelConfig::Mapping::RoundRobin},
+                      Shape{2, 9, 6, ChannelConfig::Mapping::RoundRobin},
                       Shape{5, 4, 7, ChannelConfig::Mapping::Directed},
-                      Shape{2, 2, 25, ChannelConfig::Mapping::Directed}));
+                      Shape{2, 2, 25, ChannelConfig::Mapping::Directed},
+                      // Wide consumer fan-outs stress the termination tree:
+                      // multi-level fan-out, counts racing in-flight data.
+                      Shape{1, 16, 32, ChannelConfig::Mapping::Directed},
+                      Shape{4, 13, 9, ChannelConfig::Mapping::Directed}));
 
 class StreamSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
