@@ -1,0 +1,306 @@
+// Simulator-core hot-path microbench: wall-clock elements/sec and heap
+// allocations per streamed element.
+//
+// The paper's decoupling strategy stands on per-element overhead `o`
+// (Eq. 4); this repo's ability to explore exascale-sized scenarios stands
+// on how many simulated stream elements per host-second the core pushes.
+// This bench drives the simulate-one-element path end to end — stream
+// inject, fabric scheduling, event dispatch, mailbox matching, credit
+// return — and reports:
+//
+//  * steady_stream   — the 64-rank streaming scenario (32 producers x 32
+//    consumers, Block mapping, credit window): throughput plus heap
+//    allocations per eager element in steady state, measured with a
+//    counting global-allocator hook and a two-length delta (the longer run
+//    re-executes the same steady state, so setup/warmup allocations cancel
+//    and any residual is a true per-element cost).
+//  * multistream     — 8 concurrent streams between the same 64 ranks,
+//    consumed one stream at a time, so each rank's mailbox fills with
+//    traffic for the *other* streams: the matching-path stress that a flat
+//    per-rank mailbox scans in O(backlog) and context-hashed mailboxes
+//    match in O(1).
+//  * credit_batching — flow-control message counts at ack_interval 1 vs.
+//    the batched default vs. 16, via the fabric's total message counter.
+//
+// Writes BENCH_simcore.json (override with DS_BENCH_JSON) for the CI
+// artifact. Exits nonzero when steady-state eager elements allocate, or
+// when any scenario loses elements.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/channel.hpp"
+#include "core/stream.hpp"
+#include "mpi/rank.hpp"
+
+// ---- counting allocator hook ----------------------------------------------
+// Every global operator new in the process bumps one counter. The bench is
+// single-threaded; plain loads/stores would do, but keeping the counter
+// trivially racy-free costs nothing.
+namespace {
+unsigned long long g_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_alloc_count;
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
+  return ::operator new(size, t);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_alloc_count;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1)))
+    return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace ds;
+
+constexpr int kWorld = 64;        ///< the 64-rank streaming scenario
+constexpr int kProducers = 32;
+constexpr int kElementBytes = 64;
+
+struct RunResult {
+  double wall_s = 0;
+  std::uint64_t elements = 0;       ///< data elements consumed
+  unsigned long long allocs = 0;    ///< operator-new calls during the run
+  std::uint64_t fabric_messages = 0;
+};
+
+[[nodiscard]] mpi::MachineConfig bench_machine() {
+  mpi::MachineConfig config;
+  config.world_size = kWorld;
+  config.engine.stack_bytes = 64 * 1024;
+  return config;
+}
+
+/// steady_stream: 32 producers block-map onto 32 consumers, each sending
+/// `elements_per_producer` real 64-byte eager elements under a credit
+/// window — the windowed steady state whose per-element allocation count
+/// the delta method isolates.
+RunResult run_steady(int elements_per_producer, std::uint32_t ack_interval,
+                     std::uint32_t window) {
+  RunResult result;
+  mpi::Machine machine(bench_machine());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto allocs0 = g_alloc_count;
+  machine.run([&](mpi::Rank& self) {
+    const bool producer = self.world_rank() < kProducers;
+    stream::ChannelConfig cfg;
+    cfg.mapping = stream::ChannelConfig::Mapping::Block;
+    cfg.max_inflight = window;
+    cfg.ack_interval = ack_interval;
+    const stream::Channel ch =
+        stream::Channel::create(self, self.world(), producer, !producer, cfg);
+    std::uint64_t consumed = 0;
+    stream::Stream s =
+        stream::Stream::attach(ch, mpi::Datatype::bytes(kElementBytes),
+                               [&](const stream::StreamElement&) { ++consumed; });
+    if (producer) {
+      std::byte payload[kElementBytes] = {};
+      for (int i = 0; i < elements_per_producer; ++i)
+        s.isend(self, mpi::SendBuf{payload, sizeof payload});
+      s.terminate(self);
+    } else {
+      result.elements += s.operate(self);
+    }
+  });
+  result.allocs = g_alloc_count - allocs0;
+  result.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  result.fabric_messages = machine.fabric().total_messages();
+  return result;
+}
+
+/// multistream: 8 concurrent streams over the same 64 ranks. Producers
+/// interleave across all streams; consumers drain one stream to exhaustion
+/// before the next, so later streams' traffic piles up in the mailbox while
+/// the earlier ones are serviced — worst case for flat-mailbox scanning.
+RunResult run_multistream(int elements_per_producer_per_stream) {
+  constexpr int kStreams = 8;
+  RunResult result;
+  mpi::Machine machine(bench_machine());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto allocs0 = g_alloc_count;
+  machine.run([&](mpi::Rank& self) {
+    const bool producer = self.world_rank() < kProducers;
+    std::vector<stream::Channel> channels;
+    std::vector<stream::Stream> streams;
+    for (int c = 0; c < kStreams; ++c) {
+      stream::ChannelConfig cfg;
+      cfg.channel_id = static_cast<std::uint64_t>(c);
+      channels.push_back(stream::Channel::create(self, self.world(), producer,
+                                                 !producer, cfg));
+    }
+    for (int c = 0; c < kStreams; ++c)
+      streams.push_back(
+          stream::Stream::attach(channels[static_cast<std::size_t>(c)],
+                                 mpi::Datatype::bytes(kElementBytes), {}));
+    if (producer) {
+      for (int i = 0; i < elements_per_producer_per_stream; ++i)
+        for (auto& s : streams) s.isend_synthetic(self);
+      for (auto& s : streams) s.terminate(self);
+    } else {
+      for (auto& s : streams) result.elements += s.operate(self);
+    }
+  });
+  result.allocs = g_alloc_count - allocs0;
+  result.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  result.fabric_messages = machine.fabric().total_messages();
+  return result;
+}
+
+[[nodiscard]] std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const auto opt = util::BenchOptions::from_env();
+  bench::print_header(
+      "micro_simcore — simulator hot-path throughput",
+      "per-element overhead o (Eq. 4) at the simulator level: elements/sec "
+      "and heap allocations per eager element in steady state");
+
+  const int e_short = opt.fast ? 1000 : 4000;
+  const int e_long = 4 * e_short;
+  const int e_multi = opt.fast ? 60 : 150;
+
+  bool ok = true;
+  util::Table table({"scenario", "elements", "wall_s", "elements_per_sec",
+                     "allocs_per_element", "fabric_msgs"});
+  std::string json = "{\"bench\":\"micro_simcore\",\"world\":64,\"scenarios\":[";
+
+  // -- steady_stream: throughput + allocation delta --------------------------
+  const RunResult warm = run_steady(e_short, /*ack_interval=*/0, /*window=*/64);
+  const RunResult steady = run_steady(e_long, /*ack_interval=*/0, /*window=*/64);
+  ok &= warm.elements ==
+        static_cast<std::uint64_t>(kProducers) * static_cast<std::uint64_t>(e_short);
+  ok &= steady.elements ==
+        static_cast<std::uint64_t>(kProducers) * static_cast<std::uint64_t>(e_long);
+  const double extra_elements = static_cast<double>(steady.elements - warm.elements);
+  // The longer run repeats the same windowed steady state, so every setup,
+  // warmup, and container-growth allocation cancels in the difference.
+  const double allocs_per_element =
+      (static_cast<double>(steady.allocs) - static_cast<double>(warm.allocs)) /
+      extra_elements;
+  const double steady_eps = static_cast<double>(steady.elements) / steady.wall_s;
+  table.add_row({"steady_stream", std::to_string(steady.elements),
+                 fmt(steady.wall_s), fmt(steady_eps), fmt(allocs_per_element),
+                 std::to_string(steady.fabric_messages)});
+  char entry[512];
+  std::snprintf(entry, sizeof entry,
+                "{\"name\":\"steady_stream\",\"elements\":%llu,\"wall_s\":%.6f,"
+                "\"elements_per_sec\":%.1f,\"allocs_per_element\":%.6f,"
+                "\"fabric_messages\":%llu}",
+                static_cast<unsigned long long>(steady.elements), steady.wall_s,
+                steady_eps, allocs_per_element,
+                static_cast<unsigned long long>(steady.fabric_messages));
+  json += entry;
+
+  // -- multistream: matching under cross-stream backlog ----------------------
+  const RunResult multi = run_multistream(e_multi);
+  ok &= multi.elements == static_cast<std::uint64_t>(kProducers) * 8u *
+                              static_cast<std::uint64_t>(e_multi);
+  const double multi_eps = static_cast<double>(multi.elements) / multi.wall_s;
+  table.add_row({"multistream", std::to_string(multi.elements),
+                 fmt(multi.wall_s), fmt(multi_eps), "-",
+                 std::to_string(multi.fabric_messages)});
+  std::snprintf(entry, sizeof entry,
+                ",{\"name\":\"multistream\",\"elements\":%llu,\"wall_s\":%.6f,"
+                "\"elements_per_sec\":%.1f,\"fabric_messages\":%llu}",
+                static_cast<unsigned long long>(multi.elements), multi.wall_s,
+                multi_eps, static_cast<unsigned long long>(multi.fabric_messages));
+  json += entry;
+  json += "],\"credit_batching\":[";
+
+  // -- credit batching: flow-control message count vs. ack_interval ----------
+  bool first = true;
+  for (const std::uint32_t interval : {1u, 0u, 16u}) {  // 0 = library default
+    const RunResult r = run_steady(opt.fast ? 300 : 1000, interval, 16);
+    ok &= r.elements == static_cast<std::uint64_t>(kProducers) *
+                            static_cast<std::uint64_t>(opt.fast ? 300 : 1000);
+    const double msgs_per_element =
+        static_cast<double>(r.fabric_messages) / static_cast<double>(r.elements);
+    table.add_row({std::string("ack_interval=") +
+                       (interval == 0 ? "default" : std::to_string(interval)),
+                   std::to_string(r.elements), fmt(r.wall_s),
+                   fmt(static_cast<double>(r.elements) / r.wall_s),
+                   fmt(msgs_per_element) + " msg/elem",
+                   std::to_string(r.fabric_messages)});
+    std::snprintf(entry, sizeof entry,
+                  "%s{\"ack_interval\":%u,\"elements\":%llu,"
+                  "\"fabric_messages\":%llu,\"messages_per_element\":%.4f}",
+                  first ? "" : ",", interval,
+                  static_cast<unsigned long long>(r.elements),
+                  static_cast<unsigned long long>(r.fabric_messages),
+                  msgs_per_element);
+    json += entry;
+    first = false;
+  }
+  json += "]}\n";
+
+  bench::print_table(table);
+
+  // The acceptance gate: the windowed eager steady state must not touch the
+  // heap. Anything nonzero here is a regression in the pooled hot path.
+  if (allocs_per_element > 0.0005) {
+    std::printf("\nFAIL: steady-state eager elements allocate "
+                "(%.6f allocs/element)\n",
+                allocs_per_element);
+    ok = false;
+  } else {
+    std::printf("\nsteady-state allocations per eager element: %.6f (PASS)\n",
+                allocs_per_element);
+  }
+
+  const std::string json_path =
+      util::env_string("DS_BENCH_JSON", "BENCH_simcore.json");
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("JSON written to %s\n", json_path.c_str());
+  } else {
+    std::printf("WARNING: could not write %s\n", json_path.c_str());
+    ok = false;
+  }
+
+  std::printf("micro_simcore check: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

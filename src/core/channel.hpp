@@ -51,6 +51,23 @@ struct ChannelConfig {
   /// exhaustion); a consumer that stops with more than a window of elements
   /// outstanding leaves the producer blocked.
   std::uint32_t max_inflight = 0;
+
+  /// Credit batching: a flow-controlled consumer returns credits every
+  /// `ack_interval`-th element per producer (one ack message carrying the
+  /// batched count) instead of per element, cutting flow-control message
+  /// count ~ack_interval-fold. Remaining credits are flushed whenever a
+  /// termination message is observed and when the stream is exhausted, so
+  /// the producer window never stalls on the tail. For liveness the
+  /// effective batch is clamped to ceil(max_inflight / spread), where
+  /// spread is the number of consumers a producer can route to (1 under
+  /// Block, the consumer count under RoundRobin/Directed): a blocked
+  /// producer then always has some consumer holding a full batch. 0 picks
+  /// the library default (kDefaultAckInterval). Only meaningful with
+  /// max_inflight > 0.
+  std::uint32_t ack_interval = 0;
+
+  /// Default credit batch when ack_interval is 0: every 4th element acks.
+  static constexpr std::uint32_t kDefaultAckInterval = 4;
 };
 
 class Channel {

@@ -463,6 +463,7 @@ void Pipeline::launch(const RoleFn& role_fn) {
     config.mapping = slot.options.mapping;
     config.inject_overhead = slot.options.inject_overhead;
     config.max_inflight = slot.options.max_inflight;
+    config.ack_interval = slot.options.ack_interval;
     const bool to_helpers = slot.options.direction == Direction::ToHelpers;
     const bool produce = slot.options.producers
                              ? slot.options.producers(me)

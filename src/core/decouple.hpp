@@ -90,6 +90,17 @@ struct StreamOptions {
   /// stream must consume every element (operate to exhaustion), or the
   /// producer stays blocked once the window fills.
   std::uint32_t max_inflight = 0;
+  /// Credit batching for flow-controlled streams: the consumer returns
+  /// credits every `ack_interval`-th element per producer (one ack message
+  /// carrying the batch) instead of per element, and flushes the remainder
+  /// on termination/exhaustion so the window never stalls on the tail.
+  /// For liveness the effective batch is clamped to
+  /// ceil(max_inflight / spread), where spread is the number of consumers
+  /// a producer can route to (1 under Block, the consumer count under
+  /// RoundRobin/Directed). 0 (default) picks the library default
+  /// (stream::ChannelConfig::kDefaultAckInterval). Ignored without
+  /// max_inflight.
+  std::uint32_t ack_interval = 0;
   /// Endpoint overrides for streams that do not follow the worker/helper
   /// split (e.g. a reduce group's internal master stream); when set, they
   /// replace the direction-derived groups.

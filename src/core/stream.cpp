@@ -51,10 +51,12 @@ void Stream::isend_to(mpi::Rank& self, int consumer, mpi::SendBuf element) {
     ++sent_per_consumer_[static_cast<std::size_t>(consumer)];
   }
 
-  // Per-element library overhead `o` (Eq. 4) plus the transport's own o_s.
+  // Per-element library overhead `o` (Eq. 4) plus the transport's own o_s,
+  // charged as one advance: both occupy this fiber back to back, and every
+  // advance costs a scheduled wake plus two context switches on the host.
   auto& machine = self.machine();
-  self.process().advance(channel_->config().inject_overhead);
-  self.process().advance(machine.config().network.send_overhead);
+  self.process().advance(channel_->config().inject_overhead +
+                         machine.config().network.send_overhead);
   machine.post_send(context_, p, self.world_rank(),
                     channel_->comm().world_rank(channel_->consumer_rank(consumer)),
                     kTagData, element);
@@ -82,12 +84,13 @@ void Stream::terminate(mpi::Rank& self) {
   // Aggregated termination: one term to the aggregator consumer, carrying
   // this producer's per-consumer element counts (nonzero entries only) so
   // consumers can account for data still in flight.
-  std::vector<TermEntry> entries;
+  term_tx_.clear();
+  term_tx_.reserve(sent_per_consumer_.size());
   for (std::size_t c = 0; c < sent_per_consumer_.size(); ++c)
     if (sent_per_consumer_[c] > 0)
-      entries.push_back(TermEntry{c, sent_per_consumer_[c]});
+      term_tx_.push_back(TermEntry{c, sent_per_consumer_[c]});
   post_term(Channel::term_aggregator(),
-            mpi::SendBuf::of(entries.data(), entries.size()));
+            mpi::SendBuf::of(term_tx_.data(), term_tx_.size()));
 }
 
 void Stream::ensure_consumer_state(mpi::Rank& self) {
@@ -99,28 +102,55 @@ void Stream::ensure_consumer_state(mpi::Rank& self) {
   // Tree-mode terms carry up to one count entry per consumer; size the
   // receive buffer for whichever is larger, the element or that worst case.
   std::size_t capacity = element_size_;
-  if (channel_->tree_termination())
-    capacity = std::max(capacity, static_cast<std::size_t>(
-                                      channel_->consumer_count()) *
-                                      sizeof(TermEntry));
+  if (channel_->tree_termination()) {
+    const auto consumers = static_cast<std::size_t>(channel_->consumer_count());
+    capacity = std::max(capacity, consumers * sizeof(TermEntry));
+    term_rx_.reserve(consumers);
+    term_tx_.reserve(consumers);
+    term_slice_.reserve(consumers);
+  }
   element_buffer_.resize(capacity);
+  const ChannelConfig& cfg = channel_->config();
+  if (cfg.max_inflight > 0) {
+    // Effective credit batch, clamped for liveness: a blocked producer has
+    // max_inflight un-acked elements spread over the consumers it routes to
+    // (1 under Block, up to C under RoundRobin/Directed), so by pigeonhole
+    // some consumer holds >= ceil(window/spread) of them. Keeping the batch
+    // at or below that bound guarantees consumers can never jointly hold a
+    // whole window in sub-threshold batches (spread*(k-1) < window), i.e. a
+    // blocked producer always gets a flush; the stream tail is covered by
+    // the term/exhaustion flushes in handle().
+    ack_every_ = cfg.ack_interval == 0 ? ChannelConfig::kDefaultAckInterval
+                                       : cfg.ack_interval;
+    const auto spread = channel_->tree_termination()
+                            ? static_cast<std::uint32_t>(
+                                  channel_->consumer_count())
+                            : 1u;
+    const std::uint32_t limit =
+        std::max(1u, (cfg.max_inflight + spread - 1) / spread);
+    ack_every_ = std::max(1u, std::min(ack_every_, limit));
+    credit_pending_.assign(static_cast<std::size_t>(channel_->producer_count()),
+                           0);
+  }
 }
 
 void Stream::fan_out_term(mpi::Rank& self,
                           const std::vector<TermEntry>& entries) {
   // Every child gets a collective term; its payload is sliced down to the
-  // counts of the child's own subtree.
+  // counts of the child's own subtree. The slice scratch is a reserved
+  // member, reused across children instead of reallocating per slice.
   auto& machine = self.machine();
   for (const int child : channel_->term_children(my_consumer_)) {
-    std::vector<TermEntry> slice;
+    term_slice_.clear();
     for (const TermEntry& e : entries)
       if (Channel::term_in_subtree(static_cast<int>(e.consumer), child))
-        slice.push_back(e);
+        term_slice_.push_back(e);
     self.process().advance(machine.config().network.send_overhead);
     machine.post_send(context_, channel_->consumer_rank(my_consumer_),
                       self.world_rank(),
                       channel_->comm().world_rank(channel_->consumer_rank(child)),
-                      kTagTerm, mpi::SendBuf::of(slice.data(), slice.size()));
+                      kTagTerm,
+                      mpi::SendBuf::of(term_slice_.data(), term_slice_.size()));
     ++term_msgs_sent_;
   }
 }
@@ -128,50 +158,67 @@ void Stream::fan_out_term(mpi::Rank& self,
 void Stream::handle_tree_term(mpi::Rank& self, const mpi::Status& status) {
   const auto consumers = static_cast<std::size_t>(channel_->consumer_count());
   const std::size_t n = std::min(status.bytes / sizeof(TermEntry), consumers);
-  std::vector<TermEntry> entries(n);
+  term_rx_.resize(n);
   if (n > 0)
-    std::memcpy(entries.data(), element_buffer_.data(), n * sizeof(TermEntry));
+    std::memcpy(term_rx_.data(), element_buffer_.data(), n * sizeof(TermEntry));
   ++terms_seen_;
   if (my_consumer_ == Channel::term_aggregator()) {
     // Producer term: accumulate; once every producer reported, the summed
     // totals are final — announce them down the tree.
     if (count_accum_.empty()) count_accum_.assign(consumers, 0);
-    for (const TermEntry& e : entries)
+    for (const TermEntry& e : term_rx_)
       if (e.consumer < consumers) count_accum_[e.consumer] += e.count;
     if (terms_seen_ >= expected_terms_) {
       expected_data_ = count_accum_[static_cast<std::size_t>(my_consumer_)];
       counts_known_ = true;
-      std::vector<TermEntry> totals;
+      term_tx_.clear();
       for (std::size_t c = 0; c < consumers; ++c)
-        if (count_accum_[c] > 0) totals.push_back(TermEntry{c, count_accum_[c]});
-      fan_out_term(self, totals);
+        if (count_accum_[c] > 0) term_tx_.push_back(TermEntry{c, count_accum_[c]});
+      fan_out_term(self, term_tx_);
     }
     return;
   }
   // Collective term from the tree parent (a consumer sees exactly one):
   // adopt my announced count and keep the fan-out going.
   expected_data_ = 0;
-  for (const TermEntry& e : entries)
+  for (const TermEntry& e : term_rx_)
     if (e.consumer == static_cast<std::uint64_t>(my_consumer_))
       expected_data_ = e.count;
   counts_known_ = true;
-  fan_out_term(self, entries);
+  fan_out_term(self, term_rx_);
 }
 
-void Stream::send_ack(mpi::Rank& self, int producer) {
+void Stream::flush_credits(mpi::Rank& self, int producer) {
+  std::uint64_t count = credit_pending_[static_cast<std::size_t>(producer)];
+  if (count == 0) return;
+  credit_pending_[static_cast<std::size_t>(producer)] = 0;
   auto& machine = self.machine();
   self.process().advance(machine.config().network.send_overhead);
+  // One ack message carries the whole batch; the producer adds its count to
+  // the window. post_send copies the payload out, so the stack local is safe.
   machine.post_send(ack_context_, my_consumer_, self.world_rank(),
                     channel_->comm().world_rank(Channel::producer_rank(producer)),
-                    kTagAck, mpi::SendBuf::synthetic(0));
+                    kTagAck, mpi::SendBuf::of(&count, 1));
+  ++ack_msgs_sent_;
+}
+
+void Stream::flush_all_credits(mpi::Rank& self) {
+  for (std::size_t p = 0; p < credit_pending_.size(); ++p)
+    flush_credits(self, static_cast<int>(p));
 }
 
 void Stream::await_credit(mpi::Rank& self) {
+  std::uint64_t granted = 0;
   auto req = self.machine().post_recv(ack_context_, self.world_rank(),
                                       mpi::kAnySource, kTagAck,
-                                      mpi::RecvBuf::discard(0));
+                                      mpi::RecvBuf::of(&granted, 1));
   self.wait(req);
-  ++acks_seen_;
+  // Each ack carries the batch size it returns; malformed/synthetic acks
+  // conservatively count one credit.
+  acks_seen_ += (!req->status.synthetic && req->status.bytes >= sizeof granted &&
+                 granted > 0)
+                    ? granted
+                    : 1;
 }
 
 void Stream::handle(mpi::Rank& self, const mpi::Status& status) {
@@ -180,6 +227,10 @@ void Stream::handle(mpi::Rank& self, const mpi::Status& status) {
       handle_tree_term(self, status);
     else
       ++terms_seen_;
+    // A term means a producer (or the whole tree) has gone quiet: return
+    // every credit still held back so no producer tail blocks on a partial
+    // batch.
+    if (!credit_pending_.empty()) flush_all_credits(self);
     return;
   }
   ++processed_data_;
@@ -190,8 +241,13 @@ void Stream::handle(mpi::Rank& self, const mpi::Status& status) {
                      status.bytes, status.source};
     operator_(el);
   }
-  // Return the element's credit to its producer when flow control is on.
-  if (channel_->config().max_inflight > 0) send_ack(self, status.source);
+  // Batched credit return: ack every ack_every_-th consumed element per
+  // producer; stragglers flush on terms (above) and at exhaustion (below).
+  if (!credit_pending_.empty()) {
+    auto& pending = credit_pending_[static_cast<std::size_t>(status.source)];
+    if (++pending >= ack_every_) flush_credits(self, status.source);
+    if (exhausted()) flush_all_credits(self);
+  }
 }
 
 std::uint64_t Stream::operate(mpi::Rank& self) {

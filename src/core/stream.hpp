@@ -107,6 +107,16 @@ class Stream {
   [[nodiscard]] std::uint64_t term_messages_sent() const noexcept {
     return term_msgs_sent_;
   }
+  /// Flow-control ack messages this consumer has sent (each carries a whole
+  /// credit batch, so with ack_interval k this is ~elements/k).
+  [[nodiscard]] std::uint64_t ack_messages_sent() const noexcept {
+    return ack_msgs_sent_;
+  }
+  /// Credits this producer has received back (equals elements consumed and
+  /// acked, regardless of how they were batched).
+  [[nodiscard]] std::uint64_t credits_received() const noexcept {
+    return acks_seen_;
+  }
   /// True once the stream's termination protocol has completed for this
   /// consumer: all terms observed and, under tree termination, every
   /// announced element processed.
@@ -132,7 +142,9 @@ class Stream {
   /// Send the collective term on to this consumer's tree children, sliced
   /// to each child's subtree.
   void fan_out_term(mpi::Rank& self, const std::vector<TermEntry>& entries);
-  void send_ack(mpi::Rank& self, int producer);
+  /// Return `producer`'s accumulated credits as one batched ack message.
+  void flush_credits(mpi::Rank& self, int producer);
+  void flush_all_credits(mpi::Rank& self);
   void await_credit(mpi::Rank& self);
 
   const Channel* channel_ = nullptr;
@@ -156,9 +168,21 @@ class Stream {
   bool counts_known_ = false;  ///< tree mode: announced counts received
   std::vector<std::uint64_t> count_accum_;  ///< aggregator: per-consumer sums
   std::vector<std::byte> element_buffer_;
+  /// Credit batching (flow-controlled streams): per-producer count of
+  /// consumed-but-unacked elements, flushed every ack_every_-th element and
+  /// whenever a term arrives or the stream exhausts.
+  std::vector<std::uint32_t> credit_pending_;
+  std::uint32_t ack_every_ = 1;  ///< effective min(ack_interval, window)
+
+  // termination scratch, reserved once and reused across terms/children so
+  // the fan-out does not reallocate per child slice
+  std::vector<TermEntry> term_rx_;     ///< decoded incoming term entries
+  std::vector<TermEntry> term_tx_;     ///< producer entries / aggregator totals
+  std::vector<TermEntry> term_slice_;  ///< per-child subtree slice
 
   // shared instrumentation
   std::uint64_t term_msgs_sent_ = 0;
+  std::uint64_t ack_msgs_sent_ = 0;
 
   static constexpr int kTagData = 0;
   static constexpr int kTagTerm = 1;

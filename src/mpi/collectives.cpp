@@ -56,11 +56,11 @@ struct CollBase : detail::OpState {
     tag = coll_tag;
   }
 
-  void csend(int dst, SendBuf data, std::function<void()> k) {
+  void csend(int dst, SendBuf data, sim::Callback k) {
     m->post_send(comm.context(), me, comm.world_rank(me), comm.world_rank(dst),
                  tag, data, std::move(k));
   }
-  void crecv(int src, RecvBuf out, std::function<void()> k) {
+  void crecv(int src, RecvBuf out, sim::Callback k) {
     m->post_recv(comm.context(), comm.world_rank(me), src, tag, out,
                  std::move(k));
   }
@@ -74,14 +74,14 @@ struct IbarrierOp final : CollBase {
   int pending = 0;
 
   static Request launch(Machine& m, const Comm& c, int me, int tag) {
-    auto op = std::make_shared<IbarrierOp>();
+    auto op = detail::make_heap_op<IbarrierOp>();
     op->init(m, c, me, tag);
     op->rounds = ceil_log2(c.size());
     op->step(op);
     return op;
   }
 
-  void step(const std::shared_ptr<IbarrierOp>& self) {
+  void step(const detail::OpRef<IbarrierOp>& self) {
     if (round >= rounds) {
       finish();
       return;
@@ -111,7 +111,7 @@ struct IbcastOp final : CollBase {
 
   static Request launch(Machine& m, const Comm& c, int me, int root,
                         RecvBuf buf, int tag) {
-    auto op = std::make_shared<IbcastOp>();
+    auto op = detail::make_heap_op<IbcastOp>();
     op->init(m, c, me, tag);
     op->root = root;
     op->data = buf.ptr;
@@ -130,7 +130,7 @@ struct IbcastOp final : CollBase {
     return op;
   }
 
-  void send_to_children(const std::shared_ptr<IbcastOp>& self) {
+  void send_to_children(const detail::OpRef<IbcastOp>& self) {
     const int relrank = rel(me);
     // Children: relrank | mask for masks strictly below my lowest set bit
     // (every mask up to the tree reach for the root).
@@ -172,7 +172,7 @@ struct IreduceOp final : CollBase {
 
   static Request launch(Machine& m, const Comm& c, int me, int root, SendBuf in,
                         void* out, ReduceFn fn, int tag) {
-    auto op = std::make_shared<IreduceOp>();
+    auto op = detail::make_heap_op<IreduceOp>();
     op->init(m, c, me, tag);
     op->root = root;
     op->in = in.ptr;
@@ -189,7 +189,7 @@ struct IreduceOp final : CollBase {
     return op;
   }
 
-  void step(const std::shared_ptr<IreduceOp>& self) {
+  void step(const detail::OpRef<IreduceOp>& self) {
     const int relrank = rel(me);
     while (mask < size) {
       if (relrank & mask) {
@@ -244,7 +244,7 @@ struct IallgathervOp final : CollBase {
       throw std::invalid_argument("iallgatherv: counts.size() != comm size");
     if (mine.ptr && mine.bytes != counts[static_cast<std::size_t>(me)])
       throw std::invalid_argument("iallgatherv: my block size != counts[me]");
-    auto op = std::make_shared<IallgathervOp>();
+    auto op = detail::make_heap_op<IallgathervOp>();
     op->init(m, c, me, tag);
     op->out = static_cast<std::byte*>(out);
     op->counts = counts;
@@ -259,7 +259,7 @@ struct IallgathervOp final : CollBase {
     return op;
   }
 
-  void step(const std::shared_ptr<IallgathervOp>& self) {
+  void step(const detail::OpRef<IallgathervOp>& self) {
     if (power_of_two ? (1 << round) >= size : round >= size - 1) {
       finish();
       return;
@@ -320,7 +320,7 @@ struct IalltoallvOp final : CollBase {
     if (static_cast<int>(send_counts.size()) != c.size() ||
         static_cast<int>(recv_counts.size()) != c.size())
       throw std::invalid_argument("ialltoallv: counts size != comm size");
-    auto op = std::make_shared<IalltoallvOp>();
+    auto op = detail::make_heap_op<IalltoallvOp>();
     op->init(m, c, me, tag);
     op->send_buf = static_cast<const std::byte*>(send_buf);
     op->recv_buf = static_cast<std::byte*>(recv_buf);
@@ -342,7 +342,7 @@ struct IalltoallvOp final : CollBase {
     return op;
   }
 
-  void step(const std::shared_ptr<IalltoallvOp>& self) {
+  void step(const detail::OpRef<IalltoallvOp>& self) {
     int skipped = 0;
     while (round < size) {
       const int k = round++;
@@ -401,7 +401,7 @@ struct IgathervOp final : CollBase {
   static Request launch(Machine& m, const Comm& c, int me, int root,
                         SendBuf mine, void* out,
                         const std::vector<std::size_t>& counts, int tag) {
-    auto op = std::make_shared<IgathervOp>();
+    auto op = detail::make_heap_op<IgathervOp>();
     op->init(m, c, me, tag);
     if (me != root) {
       op->csend(root, mine, [op] { op->finish(); });
@@ -438,7 +438,7 @@ struct CompositeOp final : detail::OpState {
   /// start after the first completes, so we hold launch thunks.
   static Request launch(Machine& m, std::function<Request()> first,
                         std::function<Request()> second) {
-    auto op = std::make_shared<CompositeOp>();
+    auto op = detail::make_heap_op<CompositeOp>();
     Request a = first();
     auto chain = [&m, op, second] {
       Request b = second();

@@ -1,5 +1,6 @@
 #include "mpi/machine.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "mpi/rank.hpp"
@@ -47,10 +48,12 @@ void Machine::complete_op(detail::OpState& op) {
   if (op.waiter_pid >= 0) engine_.wake(op.waiter_pid);
 }
 
-std::shared_ptr<detail::SendOp> Machine::post_send(
-    std::uint64_t context, int src_comm_rank, int src_world, int dst_world,
-    int tag, SendBuf data, std::function<void()> on_complete) {
-  auto op = std::make_shared<detail::SendOp>();
+detail::OpRef<detail::SendOp> Machine::post_send(std::uint64_t context,
+                                                 int src_comm_rank,
+                                                 int src_world, int dst_world,
+                                                 int tag, SendBuf data,
+                                                 sim::Callback on_complete) {
+  auto op = send_pool_.acquire();
   op->context = context;
   op->src_comm_rank = src_comm_rank;
   op->src_world = src_world;
@@ -59,10 +62,10 @@ std::shared_ptr<detail::SendOp> Machine::post_send(
   op->bytes = data.on_wire();
   op->on_complete = std::move(on_complete);
   if (data.ptr && data.bytes > 0) {
-    // Buffered-send semantics: the payload is copied out immediately, so the
-    // caller may reuse its buffer as soon as post_send returns.
-    op->payload.resize(data.bytes);
-    std::memcpy(op->payload.data(), data.ptr, data.bytes);
+    // Buffered-send semantics: the payload is copied out immediately (into
+    // the op's inline buffer for eager-class sizes), so the caller may reuse
+    // its buffer as soon as post_send returns.
+    op->store_payload(data.ptr, data.bytes);
   }
   op->mode = op->bytes > fabric_.config().eager_threshold
                  ? detail::SendMode::Rendezvous
@@ -85,10 +88,11 @@ std::shared_ptr<detail::SendOp> Machine::post_send(
   return op;
 }
 
-std::shared_ptr<detail::RecvOp> Machine::post_recv(
-    std::uint64_t context, int dst_world, int src_filter, int tag_filter,
-    RecvBuf out, std::function<void()> on_complete) {
-  auto op = std::make_shared<detail::RecvOp>();
+detail::OpRef<detail::RecvOp> Machine::post_recv(std::uint64_t context,
+                                                 int dst_world, int src_filter,
+                                                 int tag_filter, RecvBuf out,
+                                                 sim::Callback on_complete) {
+  auto op = recv_pool_.acquire();
   op->context = context;
   op->dst_world = dst_world;
   op->src_filter = src_filter;
@@ -98,38 +102,39 @@ std::shared_ptr<detail::RecvOp> Machine::post_recv(
   op->on_complete = std::move(on_complete);
 
   auto& box = mailboxes_.at(static_cast<std::size_t>(dst_world));
-  for (auto it = box.unexpected.begin(); it != box.unexpected.end(); ++it) {
-    if (detail::matches(*op, **it)) {
-      auto send = *it;
-      box.unexpected.erase(it);
+  auto& q = box.touch(context);
+  for (std::size_t i = 0; i < q.unexpected.size(); ++i) {
+    if (detail::matches(*op, *q.unexpected[i])) {
+      const auto send = q.unexpected.take(i);
       start_transfer(op, send);
       return op;
     }
   }
-  box.posted.push_back(op);
+  q.posted.push_back(op);
   return op;
 }
 
-void Machine::deposit(const std::shared_ptr<detail::SendOp>& msg) {
+void Machine::deposit(const detail::OpRef<detail::SendOp>& msg) {
   auto& box = mailboxes_.at(static_cast<std::size_t>(msg->dst_world));
-  for (auto it = box.posted.begin(); it != box.posted.end(); ++it) {
-    if (detail::matches(**it, *msg)) {
-      auto recv = *it;
-      box.posted.erase(it);
+  auto& q = box.touch(msg->context);
+  for (std::size_t i = 0; i < q.posted.size(); ++i) {
+    if (detail::matches(*q.posted[i], *msg)) {
+      const auto recv = q.posted.take(i);
       start_transfer(recv, msg);
       return;
     }
   }
-  box.unexpected.push_back(msg);
+  q.unexpected.push_back(msg);
   if (!box.probe_waiters.empty()) {
-    auto waiters = std::move(box.probe_waiters);
+    // wake() only enqueues resume events, so iterating in place is safe;
+    // clear() (not a move) keeps the vector's capacity for the next waiter.
+    for (int pid : box.probe_waiters) engine_.wake(pid);
     box.probe_waiters.clear();
-    for (int pid : waiters) engine_.wake(pid);
   }
 }
 
-void Machine::start_transfer(const std::shared_ptr<detail::RecvOp>& recv,
-                             const std::shared_ptr<detail::SendOp>& send) {
+void Machine::start_transfer(const detail::OpRef<detail::RecvOp>& recv,
+                             const detail::OpRef<detail::SendOp>& send) {
   if (send->mode == detail::SendMode::Eager) {
     finish_delivery(recv, send);  // payload already arrived with the envelope
     return;
@@ -146,14 +151,14 @@ void Machine::start_transfer(const std::shared_ptr<detail::RecvOp>& recv,
                    [this, recv, send] { finish_delivery(recv, send); });
 }
 
-void Machine::finish_delivery(const std::shared_ptr<detail::RecvOp>& recv,
-                              const std::shared_ptr<detail::SendOp>& send) {
-  if (recv->out && !send->payload.empty()) {
-    std::memcpy(recv->out, send->payload.data(),
-                std::min(recv->capacity, send->payload.size()));
+void Machine::finish_delivery(const detail::OpRef<detail::RecvOp>& recv,
+                              const detail::OpRef<detail::SendOp>& send) {
+  if (recv->out && send->has_payload()) {
+    std::memcpy(recv->out, send->payload(),
+                std::min(recv->capacity, send->payload_bytes));
   }
   recv->status = Status{send->src_comm_rank, send->tag, send->bytes,
-                        send->bytes > 0 && send->payload.empty()};
+                        send->bytes > 0 && !send->has_payload()};
   if (send->mode == detail::SendMode::Rendezvous) {
     // The sender-side completion event fires independently; nothing to do.
   }
@@ -162,13 +167,13 @@ void Machine::finish_delivery(const std::shared_ptr<detail::RecvOp>& recv,
 
 bool Machine::match_probe(std::uint64_t context, int dst_world, int src_filter,
                           int tag_filter, Status* out) {
-  detail::RecvOp pattern;
-  pattern.context = context;
-  pattern.src_filter = src_filter;
-  pattern.tag_filter = tag_filter;
   const auto& box = mailboxes_.at(static_cast<std::size_t>(dst_world));
-  for (const auto& msg : box.unexpected) {
-    if (detail::matches(pattern, *msg)) {
+  const auto it = box.contexts.find(context);
+  if (it == box.contexts.end()) return false;
+  const auto& unexpected = it->second.unexpected;
+  for (std::size_t i = 0; i < unexpected.size(); ++i) {
+    const auto& msg = unexpected[i];
+    if (detail::matches_filters(src_filter, tag_filter, *msg)) {
       if (out) *out = Status{msg->src_comm_rank, msg->tag, msg->bytes};
       return true;
     }

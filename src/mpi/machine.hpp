@@ -53,17 +53,18 @@ class Machine {
 
   /// Transport a message. Charges no CPU time (callers charge o_s/o_r);
   /// reserves fabric ports, schedules arrival and sender-completion events.
-  /// Callable from fiber or event context.
-  std::shared_ptr<detail::SendOp> post_send(std::uint64_t context, int src_comm_rank,
-                                            int src_world, int dst_world, int tag,
-                                            SendBuf data,
-                                            std::function<void()> on_complete = {});
+  /// Callable from fiber or event context. The returned op comes from the
+  /// machine's freelist pool and recycles when the last reference drops.
+  detail::OpRef<detail::SendOp> post_send(std::uint64_t context,
+                                          int src_comm_rank, int src_world,
+                                          int dst_world, int tag, SendBuf data,
+                                          sim::Callback on_complete = {});
 
   /// Post a receive; matches immediately against unexpected arrivals.
-  std::shared_ptr<detail::RecvOp> post_recv(std::uint64_t context, int dst_world,
-                                            int src_filter, int tag_filter,
-                                            RecvBuf out,
-                                            std::function<void()> on_complete = {});
+  detail::OpRef<detail::RecvOp> post_recv(std::uint64_t context, int dst_world,
+                                          int src_filter, int tag_filter,
+                                          RecvBuf out,
+                                          sim::Callback on_complete = {});
 
   /// Non-consuming look into dst's unexpected queue. Returns true and fills
   /// `out` when a matching message has arrived.
@@ -82,17 +83,37 @@ class Machine {
   /// Mark an op complete: fire continuation, wake waiter.
   void complete_op(detail::OpState& op);
 
+  /// Freelist pool statistics (slots created vs. acquisitions served from
+  /// the freelist) for benches and the pooled-reuse tests.
+  struct PoolStats {
+    detail::OpPoolStats send;
+    detail::OpPoolStats recv;
+  };
+  [[nodiscard]] PoolStats pool_stats() const noexcept {
+    return PoolStats{send_pool_.stats(), recv_pool_.stats()};
+  }
+
+  /// Live matching-context buckets in `world_rank`'s mailbox (introspection
+  /// for the lazy bucket sweep: dead contexts must not accumulate).
+  [[nodiscard]] std::size_t mailbox_context_count(int world_rank) const {
+    return mailboxes_.at(static_cast<std::size_t>(world_rank)).contexts.size();
+  }
+
   /// Control-message wire size used by rendezvous handshakes.
   static constexpr std::size_t kControlBytes = 64;
 
  private:
-  void deposit(const std::shared_ptr<detail::SendOp>& msg);
-  void start_transfer(const std::shared_ptr<detail::RecvOp>& recv,
-                      const std::shared_ptr<detail::SendOp>& send);
-  void finish_delivery(const std::shared_ptr<detail::RecvOp>& recv,
-                       const std::shared_ptr<detail::SendOp>& send);
+  void deposit(const detail::OpRef<detail::SendOp>& msg);
+  void start_transfer(const detail::OpRef<detail::RecvOp>& recv,
+                      const detail::OpRef<detail::SendOp>& send);
+  void finish_delivery(const detail::OpRef<detail::RecvOp>& recv,
+                       const detail::OpRef<detail::SendOp>& send);
 
   MachineConfig config_;
+  // The pools are declared first: engine events and mailbox queues hold
+  // references into them, so the pools must be destroyed last.
+  detail::OpPool<detail::SendOp> send_pool_;
+  detail::OpPool<detail::RecvOp> recv_pool_;
   sim::Engine engine_;
   net::Fabric fabric_;
   fs::FileSystem filesystem_;

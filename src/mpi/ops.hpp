@@ -1,47 +1,221 @@
 // Internal operation states for the message-passing runtime.
 //
 // Every asynchronous operation (send, receive, nonblocking collective) is a
-// heap-allocated state object shared between the issuing fiber, the matching
-// engine, and scheduled events. Completion both wakes a waiting fiber (for
-// Rank::wait) and fires an event-context continuation (for collective state
-// machines) — the two mechanisms never conflict.
+// state object shared between the issuing fiber, the matching engine, and
+// scheduled events. Completion both wakes a waiting fiber (for Rank::wait)
+// and fires an event-context continuation (for collective state machines) —
+// the two mechanisms never conflict.
+//
+// Hot-path design (the simulate-one-element path must not allocate):
+//  * SendOp/RecvOp are intrusively reference-counted and come from per-type
+//    freelist pools owned by the Machine. Handles (OpRef / Request), queue
+//    slots, and scheduled events each hold a reference; when the last drops,
+//    the op returns to its pool's freelist with its generation counter
+//    bumped — a completed op is reused across the run, never reallocated,
+//    and a still-held handle pins its op so it cannot be resurrected into a
+//    live request underneath the holder.
+//  * Eager-class payloads are stored in a small buffer inside the pooled op
+//    (kInlineBytes); larger payloads use an overflow vector whose capacity
+//    survives recycling, so even rendezvous-class reuse is allocation-free
+//    in steady state.
+//  * Matching state is bucketed per context id (communicator / stream), so
+//    concurrent streams on one rank never scan each other's traffic.
+//  * Collective state machines remain individually heap-allocated (pool ==
+//    nullptr => delete on last release): they are per-collective, not
+//    per-element.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <functional>
+#include <cstring>
 #include <memory>
+#include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 #include "mpi/types.hpp"
+#include "sim/callback.hpp"
 
 namespace ds::mpi {
 
 namespace detail {
 
+class OpPoolBase;
+
+enum class OpKind : std::uint8_t { Send, Recv, Coll };
+
 struct OpState {
+  OpKind kind = OpKind::Coll;
   bool complete = false;
-  int waiter_pid = -1;                ///< fiber to wake on completion
-  std::function<void()> on_complete;  ///< event-context continuation
-  Status status{};                    ///< filled in for receive-like ops
+  std::uint32_t refs = 0;       ///< handles + queue slots + scheduled events
+  std::uint32_t gen = 0;        ///< bumped each time a pooled op is recycled
+  int waiter_pid = -1;          ///< fiber to wake on completion
+  sim::Callback on_complete;    ///< event-context continuation
+  Status status{};              ///< filled in for receive-like ops
+  OpPoolBase* pool = nullptr;   ///< home pool; null = heap-owned (delete)
+  OpState* next_free = nullptr; ///< intrusive freelist link while recycled
+
+  OpState() = default;
+  explicit OpState(OpKind k) noexcept : kind(k) {}
   virtual ~OpState() = default;
+
+  /// Recycle counter of the underlying slot: a live handle observes a
+  /// stable generation for as long as it is held.
+  [[nodiscard]] std::uint32_t generation() const noexcept { return gen; }
+
+ protected:
+  void reset_base() noexcept {
+    complete = false;
+    waiter_pid = -1;
+    on_complete = nullptr;
+    status = Status{};
+  }
 };
+
+class OpPoolBase {
+ public:
+  virtual void release(OpState* op) noexcept = 0;
+
+ protected:
+  ~OpPoolBase() = default;
+};
+
+inline void unref_op(OpState* op) noexcept {
+  if (op != nullptr && --op->refs == 0) {
+    if (op->pool != nullptr)
+      op->pool->release(op);
+    else
+      delete op;
+  }
+}
+
+/// Intrusive reference to an op state. Copies pin the op (it cannot return
+/// to its pool while any reference is live); the last release recycles
+/// pooled ops and deletes heap-owned ones.
+template <typename T>
+class OpRef {
+ public:
+  OpRef() noexcept = default;
+  OpRef(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+  explicit OpRef(T* op) noexcept : op_(op) {
+    if (op_ != nullptr) ++op_->refs;
+  }
+  OpRef(const OpRef& other) noexcept : op_(other.op_) {
+    if (op_ != nullptr) ++op_->refs;
+  }
+  OpRef(OpRef&& other) noexcept : op_(other.op_) { other.op_ = nullptr; }
+  template <typename U,
+            std::enable_if_t<std::is_convertible_v<U*, T*>, int> = 0>
+  OpRef(const OpRef<U>& other) noexcept  // NOLINT(google-explicit-constructor)
+      : op_(other.get()) {
+    if (op_ != nullptr) ++op_->refs;
+  }
+  template <typename U,
+            std::enable_if_t<std::is_convertible_v<U*, T*>, int> = 0>
+  OpRef(OpRef<U>&& other) noexcept  // NOLINT(google-explicit-constructor)
+      : op_(other.detach()) {}
+
+  OpRef& operator=(const OpRef& other) noexcept {
+    OpRef(other).swap(*this);
+    return *this;
+  }
+  OpRef& operator=(OpRef&& other) noexcept {
+    OpRef(std::move(other)).swap(*this);
+    return *this;
+  }
+  OpRef& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+  ~OpRef() { unref_op(op_); }
+
+  void reset() noexcept {
+    unref_op(op_);
+    op_ = nullptr;
+  }
+  void swap(OpRef& other) noexcept { std::swap(op_, other.op_); }
+
+  [[nodiscard]] T* get() const noexcept { return op_; }
+  [[nodiscard]] T* operator->() const noexcept { return op_; }
+  [[nodiscard]] T& operator*() const noexcept { return *op_; }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return op_ != nullptr;
+  }
+
+  /// Hand the raw pointer (and its reference) to the caller.
+  [[nodiscard]] T* detach() noexcept {
+    T* op = op_;
+    op_ = nullptr;
+    return op;
+  }
+
+ private:
+  template <typename U>
+  friend class OpRef;
+
+  T* op_ = nullptr;
+};
+
+/// Heap-owned op (collective state machines): reference-counted, deleted on
+/// the last release.
+template <typename T, typename... Args>
+[[nodiscard]] OpRef<T> make_heap_op(Args&&... args) {
+  return OpRef<T>(new T(std::forward<Args>(args)...));
+}
 
 enum class SendMode { Eager, Rendezvous };
 
 struct SendOp final : OpState {
+  /// Inline payload budget: eager-class elements (records, headers, small
+  /// blocks) are copied into the pooled op itself; anything larger spills
+  /// into `overflow_`, whose capacity survives recycling, so the heap is
+  /// touched at most once per pool slot even for rendezvous-class payloads.
+  static constexpr std::size_t kInlineBytes = 1024;
+
+  SendOp() noexcept : OpState(OpKind::Send) {}
+
   std::uint64_t context = 0;
   int src_comm_rank = 0;  ///< sender's rank in the communicator
   int src_world = 0;
   int dst_world = 0;
   int tag = 0;
-  std::vector<std::byte> payload;  ///< empty for synthetic messages
-  std::size_t bytes = 0;           ///< wire size
+  std::size_t bytes = 0;  ///< wire size
   SendMode mode = SendMode::Eager;
+  std::size_t payload_bytes = 0;  ///< 0 for synthetic messages
+
+  void store_payload(const void* data, std::size_t n) {
+    payload_bytes = n;
+    if (n == 0) return;
+    if (n <= kInlineBytes) {
+      std::memcpy(inline_payload_.data(), data, n);
+    } else {
+      overflow_.resize(n);
+      std::memcpy(overflow_.data(), data, n);
+    }
+  }
+
+  [[nodiscard]] bool has_payload() const noexcept { return payload_bytes > 0; }
+  [[nodiscard]] const std::byte* payload() const noexcept {
+    if (payload_bytes == 0) return nullptr;
+    return payload_bytes <= kInlineBytes ? inline_payload_.data()
+                                         : overflow_.data();
+  }
+
+  void reset_for_reuse() noexcept {
+    reset_base();
+    payload_bytes = 0;
+    overflow_.clear();  // keeps capacity
+  }
+
+ private:
+  std::array<std::byte, kInlineBytes> inline_payload_;
+  std::vector<std::byte> overflow_;
 };
 
 struct RecvOp final : OpState {
+  RecvOp() noexcept : OpState(OpKind::Recv) {}
+
   std::uint64_t context = 0;
   int dst_world = 0;
   int src_filter = kAnySource;  ///< comm rank or kAnySource
@@ -49,25 +223,185 @@ struct RecvOp final : OpState {
   void* out = nullptr;
   std::size_t capacity = 0;
   bool overhead_charged = false;  ///< o_r charged at observation, once
+
+  void reset_for_reuse() noexcept {
+    reset_base();
+    src_filter = kAnySource;
+    tag_filter = kAnyTag;
+    out = nullptr;
+    capacity = 0;
+    overhead_charged = false;
+  }
 };
 
-/// Per-world-rank matching state: unexpected arrivals and posted receives,
-/// both in order, per MPI matching semantics.
-struct Mailbox {
-  std::deque<std::shared_ptr<SendOp>> unexpected;
-  std::deque<std::shared_ptr<RecvOp>> posted;
-  std::vector<int> probe_waiters;  ///< pids to wake on any new arrival
+struct OpPoolStats {
+  std::uint64_t created = 0;   ///< op states ever allocated
+  std::uint64_t acquired = 0;  ///< acquisitions (created + recycled)
+  [[nodiscard]] std::uint64_t reused() const noexcept {
+    return acquired - created;
+  }
 };
+
+/// Freelist pool of op states. Slots are allocated once, handed out as
+/// OpRefs, and return to the freelist (generation bumped) when the last
+/// reference drops; steady-state traffic runs entirely on recycled slots.
+template <typename T>
+class OpPool final : public OpPoolBase {
+ public:
+  [[nodiscard]] OpRef<T> acquire() {
+    ++stats_.acquired;
+    if (free_head_ != nullptr) {
+      T* op = static_cast<T*>(free_head_);
+      free_head_ = op->next_free;
+      op->next_free = nullptr;
+      return OpRef<T>(op);
+    }
+    ++stats_.created;
+    slots_.push_back(std::make_unique<T>());
+    T* op = slots_.back().get();
+    op->pool = this;
+    return OpRef<T>(op);
+  }
+
+  void release(OpState* op) noexcept override {
+    ++op->gen;
+    // Resetting may drop continuations that hold references to other ops,
+    // recursively releasing them; each inner release completes before the
+    // outer freelist push, so the list stays consistent.
+    static_cast<T*>(op)->reset_for_reuse();
+    op->next_free = free_head_;
+    free_head_ = op;
+  }
+
+  [[nodiscard]] const OpPoolStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return slots_.size();
+  }
+
+ private:
+  std::vector<std::unique_ptr<T>> slots_;
+  OpState* free_head_ = nullptr;
+  OpPoolStats stats_;
+};
+
+/// FIFO over vector storage with a sliding head: push at the tail, match
+/// scans and removals start at the oldest element. Preferred over
+/// std::deque here because a deque recycles its block nodes as the queue
+/// oscillates, which shows up as steady-state allocation churn in the
+/// per-element hot path; vector capacity is retained across drain cycles.
+template <typename T>
+class FifoQueue {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return head_ == items_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return items_.size() - head_;
+  }
+  /// i-th live element, 0 = oldest.
+  [[nodiscard]] T& operator[](std::size_t i) noexcept {
+    return items_[head_ + i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return items_[head_ + i];
+  }
+
+  void push_back(T value) { items_.push_back(std::move(value)); }
+
+  /// Remove and return the i-th live element. Head removal slides the
+  /// window (amortized O(1)); interior removal shifts the tail (rare: a
+  /// filtered match sitting behind older traffic of the same context).
+  [[nodiscard]] T take(std::size_t i) {
+    T out = std::move(items_[head_ + i]);
+    if (i == 0) {
+      ++head_;
+      if (head_ == items_.size()) {
+        items_.clear();  // keeps capacity
+        head_ = 0;
+      } else if (head_ >= kCompactAt && head_ * 2 >= items_.size()) {
+        items_.erase(items_.begin(),
+                     items_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+      }
+    } else {
+      items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(head_ + i));
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kCompactAt = 64;
+  std::vector<T> items_;
+  std::size_t head_ = 0;
+};
+
+/// Matching filters against an arrived message (context equality is the
+/// bucket key and is asserted by the full `matches` overload).
+[[nodiscard]] inline bool matches_filters(int src_filter, int tag_filter,
+                                          const SendOp& s) noexcept {
+  return (src_filter == kAnySource || src_filter == s.src_comm_rank) &&
+         (tag_filter == kAnyTag || tag_filter == s.tag);
+}
 
 [[nodiscard]] inline bool matches(const RecvOp& r, const SendOp& s) noexcept {
-  return r.context == s.context &&
-         (r.src_filter == kAnySource || r.src_filter == s.src_comm_rank) &&
-         (r.tag_filter == kAnyTag || r.tag_filter == s.tag);
+  return r.context == s.context && matches_filters(r.src_filter, r.tag_filter, s);
 }
+
+/// Unexpected arrivals and posted receives of one matching context, both in
+/// arrival/post order, per MPI matching semantics. A single FIFO per context
+/// preserves per-(context, source) arrival order, and wildcard receives see
+/// the earliest arrival of the context first.
+struct ContextQueues {
+  FifoQueue<OpRef<SendOp>> unexpected;
+  FifoQueue<OpRef<RecvOp>> posted;
+  bool touched = true;  ///< traffic since the last sweep
+
+  [[nodiscard]] bool drained() const noexcept {
+    return unexpected.empty() && posted.empty();
+  }
+};
+
+/// Per-world-rank matching state, bucketed by context id: many concurrent
+/// streams (each with its own derived context) on one rank match in O(1)
+/// amortized instead of scanning a shared flat queue.
+///
+/// Buckets are created on first use and reclaimed lazily: every
+/// kSweepInterval accesses, buckets that sat drained AND untouched for the
+/// whole interval are erased. Hot buckets (which pass through empty between
+/// messages constantly) carry the touched mark and are never churned, so
+/// the steady state stays allocation-free while dead contexts (short-lived
+/// communicators/streams) cannot accumulate without bound.
+struct Mailbox {
+  static constexpr std::uint32_t kSweepInterval = 1024;
+
+  std::unordered_map<std::uint64_t, ContextQueues> contexts;
+  std::vector<int> probe_waiters;  ///< pids to wake on any new arrival
+  std::uint32_t ops_since_sweep = 0;
+
+  /// Bucket for `context`, marked live for this sweep interval.
+  [[nodiscard]] ContextQueues& touch(std::uint64_t context) {
+    ContextQueues& q = contexts[context];
+    q.touched = true;
+    if (++ops_since_sweep >= kSweepInterval) sweep();
+    return q;  // erase() of other nodes never invalidates this reference
+  }
+
+  void sweep() {
+    ops_since_sweep = 0;
+    for (auto it = contexts.begin(); it != contexts.end();) {
+      if (!it->second.touched && it->second.drained()) {
+        it = contexts.erase(it);
+      } else {
+        it->second.touched = false;
+        ++it;
+      }
+    }
+  }
+};
 
 }  // namespace detail
 
-/// Public handle to any asynchronous operation.
-using Request = std::shared_ptr<detail::OpState>;
+/// Public handle to any asynchronous operation. Holding a Request pins the
+/// op: pooled op states recycle only after every handle, queue slot, and
+/// scheduled event has released its reference.
+using Request = detail::OpRef<detail::OpState>;
 
 }  // namespace ds::mpi

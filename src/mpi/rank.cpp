@@ -114,8 +114,9 @@ int Rank::next_coll_tag(const Comm& comm) {
 }
 
 void Rank::charge_recv_overhead(const Request& req) {
-  if (auto* recv = dynamic_cast<detail::RecvOp*>(req.get());
-      recv && !recv->overhead_charged) {
+  if (req->kind != detail::OpKind::Recv) return;
+  auto* recv = static_cast<detail::RecvOp*>(req.get());
+  if (!recv->overhead_charged) {
     recv->overhead_charged = true;
     process_->advance(machine_->config().network.recv_overhead);
   }

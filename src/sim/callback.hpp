@@ -1,0 +1,138 @@
+// Small-buffer-optimized, move-only callable for simulator events and
+// completion continuations.
+//
+// The engine schedules millions of events per simulated second, almost all
+// of them lambdas capturing two or three pointers (an engine/machine pointer
+// plus an op handle). std::function heap-allocates those on every schedule
+// (libstdc++ stores only pointer-like trivially-copyable callables inline),
+// which dominated the simulate-one-element hot path. Callback keeps any
+// nothrow-movable callable up to kInlineBytes in place and falls back to the
+// heap only for oversized captures.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ds::sim {
+
+class Callback {
+ public:
+  /// Inline capture budget: eight pointers' worth, enough for every lambda
+  /// the runtime schedules (the largest captures a machine pointer and two
+  /// op handles) and for a moved-in std::function shell.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  Callback() noexcept {}
+  Callback(std::nullptr_t) noexcept {}
+
+  template <typename F,
+            std::enable_if_t<!std::is_same_v<std::decay_t<F>, Callback> &&
+                                 std::is_invocable_r_v<void, std::decay_t<F>&>,
+                             int> = 0>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor): callable adapter
+    emplace(std::forward<F>(f));
+  }
+
+  Callback(Callback&& other) noexcept { move_from(other); }
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Callback& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+  ~Callback() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtable_ != nullptr;
+  }
+
+  /// Invoke the callable. Empty callbacks throw (matching std::function)
+  /// rather than dereferencing a null vtable.
+  void operator()() {
+    if (vtable_ == nullptr) throw std::bad_function_call{};
+    vtable_->invoke(target());
+  }
+
+  void reset() noexcept {
+    if (vtable_ == nullptr) return;
+    vtable_->destroy(target());
+    vtable_ = nullptr;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* f);
+    /// Move-construct the callable into `to` and destroy the source.
+    /// Null for heap-stored callables (the pointer moves instead).
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* f) noexcept;
+    bool heap;
+  };
+
+  template <typename F>
+  static constexpr bool kFitsInline =
+      sizeof(F) <= kInlineBytes && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  struct InlineVT {
+    static void invoke(void* f) { (*static_cast<F*>(f))(); }
+    static void relocate(void* from, void* to) noexcept {
+      ::new (to) F(std::move(*static_cast<F*>(from)));
+      static_cast<F*>(from)->~F();
+    }
+    static void destroy(void* f) noexcept { static_cast<F*>(f)->~F(); }
+    static constexpr VTable kVT{&invoke, &relocate, &destroy, /*heap=*/false};
+  };
+
+  template <typename F>
+  struct HeapVT {
+    static void invoke(void* f) { (*static_cast<F*>(f))(); }
+    static void destroy(void* f) noexcept { delete static_cast<F*>(f); }
+    static constexpr VTable kVT{&invoke, nullptr, &destroy, /*heap=*/true};
+  };
+
+  template <typename Fwd>
+  void emplace(Fwd&& f) {
+    using F = std::decay_t<Fwd>;
+    if constexpr (kFitsInline<F>) {
+      ::new (static_cast<void*>(inline_)) F(std::forward<Fwd>(f));
+      vtable_ = &InlineVT<F>::kVT;
+    } else {
+      heap_ = new F(std::forward<Fwd>(f));
+      vtable_ = &HeapVT<F>::kVT;
+    }
+  }
+
+  void move_from(Callback& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ == nullptr) return;
+    if (vtable_->heap)
+      heap_ = other.heap_;
+    else
+      vtable_->relocate(other.inline_, inline_);
+    other.vtable_ = nullptr;
+  }
+
+  [[nodiscard]] void* target() noexcept {
+    return vtable_->heap ? heap_ : static_cast<void*>(inline_);
+  }
+
+  const VTable* vtable_ = nullptr;
+  union {
+    alignas(std::max_align_t) std::byte inline_[kInlineBytes];
+    void* heap_;
+  };
+};
+
+}  // namespace ds::sim

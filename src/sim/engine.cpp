@@ -66,12 +66,12 @@ int Engine::spawn(std::function<void(Process&)> body) {
   return pid;
 }
 
-void Engine::schedule(util::SimTime t, std::function<void()> action) {
+void Engine::schedule(util::SimTime t, Callback action) {
   if (t < clock_) throw std::logic_error("Engine::schedule: time in the past");
   queue_.push(t, std::move(action));
 }
 
-void Engine::schedule_after(util::SimTime delay, std::function<void()> action) {
+void Engine::schedule_after(util::SimTime delay, Callback action) {
   schedule(clock_ + delay, std::move(action));
 }
 
@@ -119,9 +119,10 @@ void Engine::report_deadlock() const {
   int listed = 0;
   for (const auto& p : processes_) {
     if (p->state_ == Process::State::Finished) continue;
-    msg << "\n  P" << p->id_
-        << (p->state_note_.empty() ? std::string{" (no state note)"}
-                                   : " " + p->state_note_);
+    msg << "\n  P" << p->id_ << ' '
+        << (p->state_note_ != nullptr && *p->state_note_ != '\0'
+                ? p->state_note_
+                : "(no state note)");
     if (++listed >= 20) {
       msg << "\n  ... (" << live_ - 20 << " more)";
       break;

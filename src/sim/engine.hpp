@@ -69,8 +69,11 @@ class Process {
   void trace_begin(const char* label);
   void trace_end();
 
-  /// Free-form state string shown in deadlock reports ("waiting recv src=3").
-  void set_state_note(std::string note) { state_note_ = std::move(note); }
+  /// State tag shown in deadlock reports ("blocked in wait()"). Takes a
+  /// string literal (or other static-storage string): the hot blocking
+  /// primitives set it on every wait, and building a std::string there was
+  /// a per-element heap allocation.
+  void set_state_note(const char* note) { state_note_ = note; }
 
  private:
   friend class Engine;
@@ -84,7 +87,7 @@ class Process {
   util::Rng rng_;
   State state_ = State::Created;
   bool wake_pending_ = false;
-  std::string state_note_;
+  const char* state_note_ = nullptr;
   std::unique_ptr<Fiber> fiber_;
 };
 
@@ -101,8 +104,10 @@ class Engine {
   int spawn(std::function<void(Process&)> body);
 
   /// Schedule an action at absolute virtual time `t` (must be >= now()).
-  void schedule(util::SimTime t, std::function<void()> action);
-  void schedule_after(util::SimTime delay, std::function<void()> action);
+  /// Actions are small-buffer Callbacks: the typical pointer-capture lambda
+  /// is stored inline, no heap allocation per event.
+  void schedule(util::SimTime t, Callback action);
+  void schedule_after(util::SimTime delay, Callback action);
 
   /// Wake a suspended process. Safe to call before the process suspends.
   void wake(int pid);

@@ -4,46 +4,54 @@
 
 namespace ds::sim {
 
-std::uint64_t EventQueue::push(util::SimTime t, std::function<void()> action) {
+std::uint64_t EventQueue::push(util::SimTime t, Callback action) {
   const std::uint64_t seq = next_seq_++;
   heap_.push_back(Event{t, seq, std::move(action)});
-  sift_up(heap_.size() - 1);
+  // Hole-based sift-up: lift the new event out once, slide later parents
+  // down into the hole, and place the event at its final slot.
+  std::size_t i = heap_.size() - 1;
+  if (i > 0) {
+    Event entry = std::move(heap_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(entry, heap_[parent])) break;
+      heap_[i] = std::move(heap_[parent]);
+      i = parent;
+    }
+    heap_[i] = std::move(entry);
+  }
   return seq;
 }
 
 Event EventQueue::pop() {
   Event top = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
+  if (heap_.size() == 1) {
+    // Single event: back() aliases front(); filling the hole would self-move.
+    heap_.pop_back();
+    return top;
+  }
+  Event tail = std::move(heap_.back());
   heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
+  // Hole-based sift-down from the root: pull the smaller child up into the
+  // hole until the displaced tail event fits, then place it once.
+  std::size_t i = 0;
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    const std::size_t right = left + 1;
+    const std::size_t child =
+        (right < n && before(heap_[right], heap_[left])) ? right : left;
+    if (!before(heap_[child], tail)) break;
+    heap_[i] = std::move(heap_[child]);
+    i = child;
+  }
+  heap_[i] = std::move(tail);
   return top;
 }
 
 util::SimTime EventQueue::next_time() const noexcept {
   return heap_.empty() ? util::kTimeInfinity : heap_.front().time;
-}
-
-void EventQueue::sift_up(std::size_t i) noexcept {
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!before(heap_[i], heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
-    i = parent;
-  }
-}
-
-void EventQueue::sift_down(std::size_t i) noexcept {
-  const std::size_t n = heap_.size();
-  while (true) {
-    const std::size_t left = 2 * i + 1;
-    const std::size_t right = 2 * i + 2;
-    std::size_t smallest = i;
-    if (left < n && before(heap_[left], heap_[smallest])) smallest = left;
-    if (right < n && before(heap_[right], heap_[smallest])) smallest = right;
-    if (smallest == i) return;
-    std::swap(heap_[i], heap_[smallest]);
-    i = smallest;
-  }
 }
 
 }  // namespace ds::sim

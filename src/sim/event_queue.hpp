@@ -3,13 +3,18 @@
 // The sequence number makes the ordering a total order — two events at the
 // same virtual instant fire in the order they were scheduled, on every
 // platform, every run. std::priority_queue is avoided because its top() is
-// const and would force copying the std::function payloads out.
+// const and would force copying the callback payloads out.
+//
+// Hot-path notes: actions are sim::Callback (small-buffer, no heap per
+// event) and both sifts are hole-based — the displaced event is held in a
+// local while parents/children shift into the hole, one move per level
+// instead of the three a std::swap chain costs.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "util/time.hpp"
 
 namespace ds::sim {
@@ -17,13 +22,13 @@ namespace ds::sim {
 struct Event {
   util::SimTime time = 0;
   std::uint64_t seq = 0;
-  std::function<void()> action;
+  Callback action;
 };
 
 class EventQueue {
  public:
   /// Schedule `action` at absolute time `t`. Returns the event sequence id.
-  std::uint64_t push(util::SimTime t, std::function<void()> action);
+  std::uint64_t push(util::SimTime t, Callback action);
 
   /// Remove and return the earliest event. Requires !empty().
   [[nodiscard]] Event pop();
@@ -36,8 +41,6 @@ class EventQueue {
   [[nodiscard]] static bool before(const Event& a, const Event& b) noexcept {
     return a.time < b.time || (a.time == b.time && a.seq < b.seq);
   }
-  void sift_up(std::size_t i) noexcept;
-  void sift_down(std::size_t i) noexcept;
 
   std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;

@@ -22,6 +22,144 @@ thread_local Fiber* t_current_fiber = nullptr;
 }
 }  // namespace
 
+#if DS_FIBER_RAW_X86_64
+
+// ---- raw x86-64 switch ------------------------------------------------------
+// System V ABI: a cooperative switch only needs the callee-saved registers
+// (rbp, rbx, r12-r15), the SSE and x87 control words, and the stack pointer.
+// Everything is pushed onto the outgoing stack, the stack pointers swap, and
+// `ret` continues the incoming context — no kernel entry, unlike glibc's
+// swapcontext (which issues rt_sigprocmask on every switch).
+//
+// ds_fiber_switch(void** save_sp, void* restore_sp)
+asm(R"(
+.text
+.globl ds_fiber_switch
+.hidden ds_fiber_switch
+.type ds_fiber_switch, @function
+.align 16
+ds_fiber_switch:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  subq $8, %rsp
+  stmxcsr (%rsp)
+  fnstcw 4(%rsp)
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  ldmxcsr (%rsp)
+  fldcw 4(%rsp)
+  addq $8, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  retq
+.size ds_fiber_switch, .-ds_fiber_switch
+)");
+
+// First activation lands here via the `retq` above, with the Fiber* parked
+// in r12 by the initial stack image. The shim restores 16-byte call
+// alignment and enters C++; the body must never return through the shim.
+asm(R"(
+.text
+.globl ds_fiber_entry_shim
+.hidden ds_fiber_entry_shim
+.type ds_fiber_entry_shim, @function
+.align 16
+ds_fiber_entry_shim:
+  movq %r12, %rdi
+  subq $8, %rsp
+  call ds_fiber_entry@PLT
+  ud2
+.size ds_fiber_entry_shim, .-ds_fiber_entry_shim
+)");
+
+extern "C" {
+void ds_fiber_switch(void** save_sp, void* restore_sp) noexcept;
+void ds_fiber_entry_shim() noexcept;
+void ds_fiber_entry(void* fiber) noexcept;
+}
+
+void fiber_entry_thunk(Fiber* fiber) {
+  fiber->run_body();
+  // Return control to the resumer for good; resuming a finished fiber is an
+  // error caught in resume(), so this switch never comes back.
+  for (;;) Fiber::yield();
+}
+
+extern "C" void ds_fiber_entry(void* fiber) noexcept {
+  fiber_entry_thunk(static_cast<Fiber*>(fiber));
+}
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)) {
+  const std::size_t stack = round_up_pages(stack_bytes);
+  map_bytes_ = stack + page_size();  // one guard page below the stack
+  stack_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                  MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (stack_ == MAP_FAILED) {
+    stack_ = nullptr;
+    throw std::runtime_error("Fiber: mmap of stack failed");
+  }
+  if (::mprotect(stack_, page_size(), PROT_NONE) != 0) {
+    ::munmap(stack_, map_bytes_);
+    stack_ = nullptr;
+    throw std::runtime_error("Fiber: mprotect of guard page failed");
+  }
+
+  // Build the initial stack image ds_fiber_switch will restore from: the
+  // control-word slot, six callee-saved registers (r12 carries `this` into
+  // the entry shim), the shim as the `ret` target, and a null terminator
+  // frame above it.
+  std::uint32_t mxcsr = 0;
+  std::uint16_t fcw = 0;
+  asm volatile("stmxcsr %0" : "=m"(mxcsr));
+  asm volatile("fnstcw %0" : "=m"(fcw));
+
+  auto top = reinterpret_cast<std::uintptr_t>(stack_) + page_size() + stack;
+  top &= ~static_cast<std::uintptr_t>(15);  // 16-byte aligned stack top
+  auto* sp = reinterpret_cast<std::uint64_t*>(top);
+  *--sp = 0;  // fake return address: stops unwinders, keeps shim alignment
+  *--sp = reinterpret_cast<std::uint64_t>(&ds_fiber_entry_shim);  // ret target
+  *--sp = 0;                                    // rbp
+  *--sp = 0;                                    // rbx
+  *--sp = reinterpret_cast<std::uint64_t>(this);  // r12 -> entry shim arg
+  *--sp = 0;                                    // r13
+  *--sp = 0;                                    // r14
+  *--sp = 0;                                    // r15
+  *--sp = static_cast<std::uint64_t>(mxcsr) |
+          (static_cast<std::uint64_t>(fcw) << 32);  // control words
+  fiber_sp_ = sp;
+}
+
+void Fiber::resume() {
+  if (finished_) throw std::logic_error("Fiber::resume on finished fiber");
+  Fiber* previous = t_current_fiber;
+  t_current_fiber = this;
+  started_ = true;
+  ds_fiber_switch(&host_sp_, fiber_sp_);
+  t_current_fiber = previous;
+  if (finished_ && pending_exception_) {
+    auto ex = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(ex);
+  }
+}
+
+void Fiber::yield() {
+  Fiber* self = t_current_fiber;
+  if (!self) throw std::logic_error("Fiber::yield called outside any fiber");
+  ds_fiber_switch(&self->fiber_sp_, self->host_sp_);
+}
+
+#else  // !DS_FIBER_RAW_X86_64: portable ucontext implementation
+
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
     : body_(std::move(body)) {
   const std::size_t stack = round_up_pages(stack_bytes);
@@ -51,24 +189,10 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
                 static_cast<unsigned>(self & 0xFFFFFFFFu));
 }
 
-Fiber::~Fiber() {
-  if (stack_) ::munmap(stack_, map_bytes_);
-}
-
 void Fiber::trampoline(unsigned hi, unsigned lo) {
   const auto self_bits =
       (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
   reinterpret_cast<Fiber*>(self_bits)->run_body();
-}
-
-void Fiber::run_body() {
-  try {
-    body_();
-  } catch (...) {
-    pending_exception_ = std::current_exception();
-  }
-  finished_ = true;
-  // uc_link takes control back to return_context_ when this function returns.
 }
 
 void Fiber::resume() {
@@ -91,6 +215,23 @@ void Fiber::yield() {
   if (!self) throw std::logic_error("Fiber::yield called outside any fiber");
   if (::swapcontext(&self->context_, &self->return_context_) != 0)
     throw std::runtime_error("Fiber: swapcontext out of fiber failed");
+}
+
+#endif  // DS_FIBER_RAW_X86_64
+
+Fiber::~Fiber() {
+  if (stack_) ::munmap(stack_, map_bytes_);
+}
+
+void Fiber::run_body() {
+  try {
+    body_();
+  } catch (...) {
+    pending_exception_ = std::current_exception();
+  }
+  finished_ = true;
+  // ucontext: uc_link takes control back to return_context_ on return.
+  // Raw x86-64: fiber_entry_thunk yields back to the resumer.
 }
 
 bool Fiber::in_fiber() noexcept { return t_current_fiber != nullptr; }

@@ -5,13 +5,23 @@
 // thousands of ranks on one OS thread. Stacks are mmap-ed with a PROT_NONE
 // guard page below, so a rank that overflows its stack faults immediately
 // instead of corrupting a neighbour.
+//
+// On x86-64 the context switch is a hand-rolled callee-saved-register swap
+// (boost::context style): glibc's swapcontext saves and restores the signal
+// mask with an rt_sigprocmask syscall per switch, which costs more than the
+// entire simulate-one-element hot path. Other architectures keep the
+// portable ucontext implementation.
 #pragma once
 
 #include <cstddef>
 #include <exception>
 #include <functional>
 
+#if defined(__x86_64__) && (defined(__linux__) || defined(__unix__))
+#define DS_FIBER_RAW_X86_64 1
+#else
 #include <ucontext.h>
+#endif
 
 namespace ds::sim {
 
@@ -41,14 +51,20 @@ class Fiber {
   [[nodiscard]] static bool in_fiber() noexcept;
 
  private:
-  static void trampoline(unsigned hi, unsigned lo);
   void run_body();
 
   std::function<void()> body_;
   void* stack_ = nullptr;          // mmap base (guard page + stack)
   std::size_t map_bytes_ = 0;
+#if DS_FIBER_RAW_X86_64
+  friend void fiber_entry_thunk(Fiber* fiber);
+  void* fiber_sp_ = nullptr;  ///< fiber's saved stack pointer while yielded
+  void* host_sp_ = nullptr;   ///< resumer's saved stack pointer while running
+#else
+  static void trampoline(unsigned hi, unsigned lo);
   ucontext_t context_{};
   ucontext_t return_context_{};
+#endif
   bool started_ = false;
   bool finished_ = false;
   std::exception_ptr pending_exception_;

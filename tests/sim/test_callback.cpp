@@ -1,0 +1,82 @@
+// sim::Callback — the small-buffer event callable.
+#include "sim/callback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+
+namespace ds::sim {
+namespace {
+
+TEST(Callback, EmptyByDefaultAndAfterReset) {
+  Callback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  cb = [] {};
+  EXPECT_TRUE(static_cast<bool>(cb));
+  cb.reset();
+  EXPECT_FALSE(static_cast<bool>(cb));
+  cb = nullptr;
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(Callback, InvokesSmallCapture) {
+  int hits = 0;
+  Callback cb = [&hits] { ++hits; };
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Callback, MoveTransfersTheCallable) {
+  int hits = 0;
+  Callback a = [&hits] { ++hits; };
+  Callback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+  Callback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Callback, OversizedCaptureFallsBackToHeapAndStillWorks) {
+  std::array<std::uint64_t, 32> big{};  // 256 bytes: past the inline budget
+  big[0] = 1;
+  big[31] = 41;
+  std::uint64_t sum = 0;
+  Callback cb = [big, &sum] { sum = big[0] + big[31]; };
+  Callback moved = std::move(cb);
+  moved();
+  EXPECT_EQ(sum, 42u);
+}
+
+TEST(Callback, DestroysCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(5);
+  std::weak_ptr<int> watch = token;
+  {
+    Callback cb = [token] { (void)*token; };
+    token.reset();
+    EXPECT_FALSE(watch.expired());  // the callback keeps it alive
+    Callback moved = std::move(cb);
+    moved();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());  // released with the callback, exactly once
+}
+
+TEST(Callback, AdoptsAStdFunction) {
+  int hits = 0;
+  std::function<void()> fn = [&hits] { ++hits; };
+  Callback cb = fn;  // copies the shell in
+  cb();
+  EXPECT_EQ(hits, 1);
+  fn();  // the original is untouched
+  EXPECT_EQ(hits, 2);
+}
+
+}  // namespace
+}  // namespace ds::sim

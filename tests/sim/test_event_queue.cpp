@@ -60,6 +60,26 @@ TEST(EventQueue, InterleavedPushPop) {
   EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
 }
 
+TEST(EventQueue, SingleEventPopKeepsActionIntact) {
+  // Regression: pop() on a one-event heap used to move the back element
+  // onto itself (front() aliases back()), leaving the popped action at the
+  // mercy of self-move behavior. The action must survive and fire.
+  EventQueue q;
+  int fired = 0;
+  q.push(11, [&] { ++fired; });
+  Event only = q.pop();
+  EXPECT_TRUE(q.empty());
+  ASSERT_TRUE(static_cast<bool>(only.action));
+  only.action();
+  EXPECT_EQ(fired, 1);
+  // And the queue remains fully usable through repeated 1-element cycles.
+  for (int i = 0; i < 5; ++i) {
+    q.push(i, [&] { ++fired; });
+    q.pop().action();
+  }
+  EXPECT_EQ(fired, 6);
+}
+
 TEST(EventQueue, StressRandomOrderIsSorted) {
   EventQueue q;
   util::Rng rng(3);
