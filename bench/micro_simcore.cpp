@@ -18,9 +18,13 @@
 //    consumed one stream at a time, so each rank's mailbox fills with
 //    traffic for the *other* streams: the matching-path stress that a flat
 //    per-rank mailbox scans in O(backlog) and context-hashed mailboxes
-//    match in O(1).
+//    match in O(1). Reported with the same two-length allocation delta as
+//    steady_stream.
 //  * credit_batching — flow-control message counts at ack_interval 1 vs.
 //    the batched default vs. 16, via the fabric's total message counter.
+//  * coalesce_budget — fabric messages/element and throughput across frame
+//    budgets (0 = per-element transport .. 8 KiB), pinned (no self-tuning),
+//    plus the self-tuned default the steady_stream scenario runs with.
 //
 // Writes BENCH_simcore.json (override with DS_BENCH_JSON) for the CI
 // artifact. Exits nonzero when steady-state eager elements allocate, or
@@ -104,12 +108,18 @@ struct RunResult {
   return config;
 }
 
+/// Sentinel for run_steady: keep the library-default coalesce budget and
+/// self-tuning (what applications get out of the box).
+constexpr std::uint32_t kLibraryDefault = 0xFFFFFFFFu;
+
 /// steady_stream: 32 producers block-map onto 32 consumers, each sending
 /// `elements_per_producer` real 64-byte eager elements under a credit
 /// window — the windowed steady state whose per-element allocation count
-/// the delta method isolates.
+/// the delta method isolates. `coalesce_budget` pins the frame budget with
+/// self-tuning off; kLibraryDefault runs the out-of-the-box transport.
 RunResult run_steady(int elements_per_producer, std::uint32_t ack_interval,
-                     std::uint32_t window) {
+                     std::uint32_t window,
+                     std::uint32_t coalesce_budget = kLibraryDefault) {
   RunResult result;
   mpi::Machine machine(bench_machine());
   const auto t0 = std::chrono::steady_clock::now();
@@ -120,6 +130,10 @@ RunResult run_steady(int elements_per_producer, std::uint32_t ack_interval,
     cfg.mapping = stream::ChannelConfig::Mapping::Block;
     cfg.max_inflight = window;
     cfg.ack_interval = ack_interval;
+    if (coalesce_budget != kLibraryDefault) {
+      cfg.coalesce_budget = coalesce_budget;
+      cfg.flow_autotune = false;
+    }
     const stream::Channel ch =
         stream::Channel::create(self, self.world(), producer, !producer, cfg);
     std::uint64_t consumed = 0;
@@ -235,18 +249,32 @@ int main() {
   json += entry;
 
   // -- multistream: matching under cross-stream backlog ----------------------
-  const RunResult multi = run_multistream(e_multi);
+  // Same two-length delta as steady_stream, with one caveat: this scenario's
+  // mailbox backlog grows with run length by design (consumers drain stream
+  // 0 to exhaustion while streams 1..7 pile up), so the delta includes the
+  // occasional capacity doubling of those backlog queues — an O(log n) cost,
+  // reported for trend-tracking but not gated like steady_stream.
+  const RunResult multi_warm = run_multistream(e_multi);
+  const RunResult multi = run_multistream(4 * e_multi);
+  ok &= multi_warm.elements == static_cast<std::uint64_t>(kProducers) * 8u *
+                                   static_cast<std::uint64_t>(e_multi);
   ok &= multi.elements == static_cast<std::uint64_t>(kProducers) * 8u *
-                              static_cast<std::uint64_t>(e_multi);
+                              static_cast<std::uint64_t>(4 * e_multi);
+  const double multi_allocs_per_element =
+      (static_cast<double>(multi.allocs) - static_cast<double>(multi_warm.allocs)) /
+      static_cast<double>(multi.elements - multi_warm.elements);
   const double multi_eps = static_cast<double>(multi.elements) / multi.wall_s;
   table.add_row({"multistream", std::to_string(multi.elements),
-                 fmt(multi.wall_s), fmt(multi_eps), "-",
+                 fmt(multi.wall_s), fmt(multi_eps),
+                 fmt(multi_allocs_per_element),
                  std::to_string(multi.fabric_messages)});
   std::snprintf(entry, sizeof entry,
                 ",{\"name\":\"multistream\",\"elements\":%llu,\"wall_s\":%.6f,"
-                "\"elements_per_sec\":%.1f,\"fabric_messages\":%llu}",
+                "\"elements_per_sec\":%.1f,\"allocs_per_element\":%.6f,"
+                "\"fabric_messages\":%llu}",
                 static_cast<unsigned long long>(multi.elements), multi.wall_s,
-                multi_eps, static_cast<unsigned long long>(multi.fabric_messages));
+                multi_eps, multi_allocs_per_element,
+                static_cast<unsigned long long>(multi.fabric_messages));
   json += entry;
   json += "],\"credit_batching\":[";
 
@@ -274,12 +302,56 @@ int main() {
     json += entry;
     first = false;
   }
+  json += "],\"coalesce_budget\":[";
+
+  // -- coalescing: messages/element and throughput vs. frame budget ----------
+  // Pinned budgets (self-tuning off) isolate the budget's effect; the last
+  // row is the out-of-the-box self-tuned default — the configuration
+  // steady_stream above ran with.
+  first = true;
+  const int e_sweep = opt.fast ? 300 : 1000;
+  for (const std::uint32_t budget :
+       {0u, 256u, 1024u, stream::ChannelConfig::kDefaultCoalesceBudget, 8192u,
+        kLibraryDefault}) {
+    const RunResult r = run_steady(e_sweep, /*ack_interval=*/0, /*window=*/64,
+                                   budget);
+    ok &= r.elements == static_cast<std::uint64_t>(kProducers) *
+                            static_cast<std::uint64_t>(e_sweep);
+    const double msgs_per_element =
+        static_cast<double>(r.fabric_messages) / static_cast<double>(r.elements);
+    const std::string label =
+        budget == kLibraryDefault
+            ? "coalesce=default+tune"
+            : "coalesce_budget=" + std::to_string(budget);
+    table.add_row({label, std::to_string(r.elements), fmt(r.wall_s),
+                   fmt(static_cast<double>(r.elements) / r.wall_s),
+                   fmt(msgs_per_element) + " msg/elem",
+                   std::to_string(r.fabric_messages)});
+    std::snprintf(entry, sizeof entry,
+                  "%s{\"coalesce_budget\":%lld,\"self_tuned\":%s,"
+                  "\"elements\":%llu,\"elements_per_sec\":%.1f,"
+                  "\"fabric_messages\":%llu,\"messages_per_element\":%.4f}",
+                  first ? "" : ",",
+                  budget == kLibraryDefault
+                      ? static_cast<long long>(
+                            stream::ChannelConfig::kDefaultCoalesceBudget)
+                      : static_cast<long long>(budget),
+                  budget == kLibraryDefault ? "true" : "false",
+                  static_cast<unsigned long long>(r.elements),
+                  static_cast<double>(r.elements) / r.wall_s,
+                  static_cast<unsigned long long>(r.fabric_messages),
+                  msgs_per_element);
+    json += entry;
+    first = false;
+  }
   json += "]}\n";
 
   bench::print_table(table);
 
-  // The acceptance gate: the windowed eager steady state must not touch the
-  // heap. Anything nonzero here is a regression in the pooled hot path.
+  // The acceptance gates: the windowed eager steady state must not touch
+  // the heap (a regression in the pooled hot path), and the coalesced
+  // transport must keep the fabric message count well below one message per
+  // element (a regression in frame packing or the self-tuning loop).
   if (allocs_per_element > 0.0005) {
     std::printf("\nFAIL: steady-state eager elements allocate "
                 "(%.6f allocs/element)\n",
@@ -288,6 +360,18 @@ int main() {
   } else {
     std::printf("\nsteady-state allocations per eager element: %.6f (PASS)\n",
                 allocs_per_element);
+  }
+  const double steady_msgs_per_element =
+      static_cast<double>(steady.fabric_messages) /
+      static_cast<double>(steady.elements);
+  if (steady_msgs_per_element > 0.15) {
+    std::printf("FAIL: coalescing regressed — %.4f fabric messages/element "
+                "on steady_stream (gate: 0.15)\n",
+                steady_msgs_per_element);
+    ok = false;
+  } else {
+    std::printf("steady-state fabric messages per element: %.4f (PASS)\n",
+                steady_msgs_per_element);
   }
 
   const std::string json_path =

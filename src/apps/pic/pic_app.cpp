@@ -216,9 +216,17 @@ void run_decoupled_program(Rank& self, const PicConfig& cfg, const Domain& domai
   const std::size_t batch_payload = max_batch - sizeof(PartHeader);
 
   decouple::StreamOptions out_options;  // Block mapping toward the helpers
+  // Both streams ride the default coalesced transport. Outbound particle
+  // batches are element-sized chunks (typically far above the frame budget,
+  // so they bypass coalescing), but end-of-step markers and small tail
+  // chunks pack into frames with whatever was injected at the same instant.
+  // The closure protocol's latency is untouched: the same-instant backstop
+  // flushes the moment the worker blocks waiting on its closes.
   decouple::StreamOptions back_options;
   back_options.direction = decouple::Direction::ToWorkers;
   back_options.mapping = decouple::Mapping::Directed;
+  // CLOSE notifications are small directed records fanning from each helper
+  // to its workers: frames pack a helper's same-instant closes per worker.
 
   auto pipeline = decouple::Pipeline::over(self, self.world()).with_plan(plan);
   auto outflow = pipeline.stream<PartHeader>(batch_payload, out_options);

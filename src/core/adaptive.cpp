@@ -98,6 +98,59 @@ void AdaptiveBatcher::adapt(mpi::Rank& /*self*/) {
   window_started_ = false;
 }
 
+std::uint32_t FlowController::observe_flush(FlushTrigger trigger,
+                                            std::uint32_t elements,
+                                            std::uint64_t wire_bytes,
+                                            std::uint32_t budget) {
+  ++flushes_in_window_;
+  bytes_in_window_ += wire_bytes;
+  if (trigger == FlushTrigger::Budget) ++budget_flushes_;
+  if (trigger == FlushTrigger::Idle && elements > 0) ++idle_flushes_;
+  if (flushes_in_window_ < config_.window) return budget;
+
+  const double budget_fraction =
+      static_cast<double>(budget_flushes_) / flushes_in_window_;
+  const double occupancy =
+      static_cast<double>(bytes_in_window_) /
+      (static_cast<double>(flushes_in_window_) * static_cast<double>(budget));
+  std::uint32_t next = budget;
+  if (budget_fraction >= config_.grow_fraction) {
+    // Bursts keep filling frames: double the budget so each burst leaves in
+    // fewer, larger messages (more per-message software cost amortized).
+    next = std::min(config_.max_budget > 0 ? config_.max_budget : budget * 2,
+                    budget * 2);
+  } else if (budget_flushes_ == 0 && occupancy < config_.shrink_occupancy &&
+             idle_flushes_ > 0) {
+    // Sparse producer: frames leave near-empty from the backstop, so a large
+    // budget buys nothing — halve it (never below one small element's worth).
+    next = std::max(config_.min_budget, budget / 2);
+  }
+  flushes_in_window_ = 0;
+  budget_flushes_ = 0;
+  idle_flushes_ = 0;
+  bytes_in_window_ = 0;
+  return next;
+}
+
+std::uint32_t FlowController::retune_ack_interval(
+    std::uint32_t current, std::uint32_t frame_elements,
+    std::uint32_t default_interval, std::uint32_t limit) noexcept {
+  // Track the frame occupancy, but never drop below half the liveness clamp
+  // (~half the credit window per consumer): acking in window-halves keeps a
+  // credit-blocked producer refilling in large bursts (double-buffering).
+  // Without that floor the loop locks into dribbles — each ack batch of k
+  // credits unblocks a k-element burst, which flushes as a k-element frame,
+  // which retunes the ack batch back to k.
+  const std::uint32_t target = std::min(
+      limit,
+      std::max({default_interval, frame_elements, limit / 2}));
+  // Move halfway toward the target each frame: smooth against one-off
+  // partial frames while converging in a few frames of steady occupancy.
+  if (target > current) return current + (target - current + 1) / 2;
+  if (target < current) return current - (current - target + 1) / 2;
+  return current;
+}
+
 std::uint32_t adaptive_record_count(const StreamElement& element) {
   if (!element.data || element.bytes < sizeof(AdaptiveHeader)) return 0;
   AdaptiveHeader header;

@@ -99,4 +99,67 @@ class AdaptiveBatcher {
 /// Consumer-side helper: decode the record count of an adaptive element.
 [[nodiscard]] std::uint32_t adaptive_record_count(const StreamElement& element);
 
+// ---------------------------------------------------------------------------
+// Self-tuning transport flow control (the coalescing extension of the same
+// future-work direction): where the AdaptiveBatcher adapts the *element*
+// granularity S from producer-side overhead/flow-interval signals, the
+// FlowController adapts the *transport* granularity — the coalesce budget a
+// Stream packs frames under, and the credit batch a consumer acks with —
+// from the equivalent signals one level down: frame occupancy (how full
+// frames are when they flush) and the flush trigger mix (budget-full bursts
+// vs. idle backstop flushes, the inter-arrival signal: a backstop flush
+// means the producer yielded the CPU before filling a frame).
+// ---------------------------------------------------------------------------
+
+/// Why a coalesced frame left the producer.
+enum class FlushTrigger : std::uint8_t {
+  Budget,   ///< byte budget or element cap filled (bursty arrivals)
+  Idle,     ///< same-instant backstop: the fiber yielded mid-frame
+  Term,     ///< stream termination flushed a partial frame
+  Credit,   ///< producer blocked on the credit window
+  Explicit  ///< Stream::flush() called by the application
+};
+
+/// Producer-side controller: one per coalescing stream. Observes every
+/// frame flush and retunes the effective budget once per window —
+/// multiplicative growth while bursts keep filling frames (cut per-message
+/// software cost further), multiplicative shrink while a sparse producer
+/// keeps flushing near-empty frames from the backstop (no coalescing to be
+/// had; a small budget keeps the packing memcpy and buffer footprint low).
+class FlowController {
+ public:
+  struct Config {
+    std::uint32_t min_budget = 256;
+    std::uint32_t max_budget = 0;  ///< hard cap (kCoalesceGrowthCap * initial)
+    std::uint32_t window = 16;     ///< flushes per adaptation step
+    /// Grow when at least this fraction of the window flushed on budget.
+    double grow_fraction = 0.5;
+    /// Shrink when mean occupancy stayed below this fraction of the budget
+    /// and no flush in the window was budget-triggered.
+    double shrink_occupancy = 0.25;
+  };
+
+  FlowController() = default;
+  explicit FlowController(Config config) : config_(config) {}
+
+  /// Record one flush; returns the (possibly retuned) budget to use next.
+  std::uint32_t observe_flush(FlushTrigger trigger, std::uint32_t elements,
+                              std::uint64_t wire_bytes, std::uint32_t budget);
+
+  /// Consumer-side ack retune: with self-tuning on, the effective credit
+  /// batch tracks the observed frame occupancy (one ack per drained frame)
+  /// but never drops below the library default nor exceeds the liveness
+  /// clamp `limit` (ceil(window/spread); see ChannelConfig::ack_interval).
+  [[nodiscard]] static std::uint32_t retune_ack_interval(
+      std::uint32_t current, std::uint32_t frame_elements,
+      std::uint32_t default_interval, std::uint32_t limit) noexcept;
+
+ private:
+  Config config_{};
+  std::uint32_t flushes_in_window_ = 0;
+  std::uint32_t budget_flushes_ = 0;
+  std::uint32_t idle_flushes_ = 0;
+  std::uint64_t bytes_in_window_ = 0;
+};
+
 }  // namespace ds::stream

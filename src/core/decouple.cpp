@@ -464,6 +464,9 @@ void Pipeline::launch(const RoleFn& role_fn) {
     config.inject_overhead = slot.options.inject_overhead;
     config.max_inflight = slot.options.max_inflight;
     config.ack_interval = slot.options.ack_interval;
+    config.coalesce_budget = slot.options.coalesce_budget;
+    config.coalesce_max_elements = slot.options.coalesce_max_elements;
+    config.flow_autotune = slot.options.flow_autotune;
     const bool to_helpers = slot.options.direction == Direction::ToHelpers;
     const bool produce = slot.options.producers
                              ? slot.options.producers(me)

@@ -101,6 +101,19 @@ struct StreamOptions {
   /// (stream::ChannelConfig::kDefaultAckInterval). Ignored without
   /// max_inflight.
   std::uint32_t ack_interval = 0;
+  /// Transport-level element coalescing (see ChannelConfig::coalesce_budget):
+  /// same-instant, same-destination elements pack into one framed fabric
+  /// message of up to this many wire bytes; a same-instant backstop flush
+  /// keeps virtual-time semantics element-exact. 0 disables coalescing
+  /// (per-element messages). Defaults to the library default budget.
+  std::uint32_t coalesce_budget = stream::ChannelConfig{}.coalesce_budget;
+  /// Per-frame element cap (0 picks the library default).
+  std::uint32_t coalesce_max_elements = 0;
+  /// Self-tuning flow control: drive the coalesce budget (and, when
+  /// ack_interval is 0, the consumer's credit batch) online from the frame
+  /// occupancy / inter-arrival signals. Pin the knobs and set this false
+  /// for fully static behavior.
+  bool flow_autotune = true;
   /// Endpoint overrides for streams that do not follow the worker/helper
   /// split (e.g. a reduce group's internal master stream); when set, they
   /// replace the direction-derived groups.
@@ -217,6 +230,15 @@ class StreamBase {
   /// Termination-protocol messages this rank has sent on this stream.
   [[nodiscard]] std::uint64_t term_messages_sent() const noexcept {
     return stream_.term_messages_sent();
+  }
+  /// Coalesced frame messages this producer has posted.
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept {
+    return stream_.frames_sent();
+  }
+  /// The producer's current effective coalesce budget (self-tuned), in wire
+  /// bytes; 0 when coalescing is off or nothing has been sent.
+  [[nodiscard]] std::uint32_t coalesce_budget_now() const noexcept {
+    return stream_.coalesce_budget_now();
   }
   /// True once all routed producers have terminated (consumer side).
   [[nodiscard]] bool exhausted() const noexcept { return stream_.exhausted(); }

@@ -4,9 +4,97 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/adaptive.hpp"
 #include "mpi/machine.hpp"
+#include "mpi/rank.hpp"
 
 namespace ds::stream {
+
+namespace {
+
+/// Leads every coalesced frame on the wire.
+struct FrameHeader {
+  std::uint32_t elements = 0;
+  std::uint32_t data_bytes = 0;  ///< real payload bytes following the header
+};
+
+/// Length prefix of one sub-record: `wire` is the element's simulated wire
+/// size, `data` the real bytes actually carried (0 for synthetic elements,
+/// less than `wire` for header-only elements).
+struct SubHeader {
+  std::uint32_t wire = 0;
+  std::uint32_t data = 0;
+};
+
+constexpr std::size_t kFrameOverhead = sizeof(FrameHeader);
+constexpr std::size_t kSubOverhead = sizeof(SubHeader);
+
+}  // namespace
+
+/// Everything the producer-side coalescer needs, heap-boxed once per stream:
+/// the backstop events hold a shared_ptr, so a flush scheduled at the
+/// current instant still finds live state after the Stream moves (or even
+/// dies). post_send is event-context safe, so backstop flushes need no
+/// fiber; their CPU charge is carried as debt and settled on the fiber's
+/// next flush/terminate.
+struct CoalesceState {
+  mpi::Machine* machine = nullptr;
+  std::uint64_t context = 0;
+  int producer_index = -1;
+  int src_world = -1;
+  int frame_tag = 0;  ///< Stream::kTagFrame (private there; stashed at init)
+
+  std::uint32_t budget = 0;        ///< current effective frame budget (wire)
+  std::uint32_t budget_cap = 0;    ///< growth ceiling (kCoalesceGrowthCap x)
+  std::uint32_t budget_floor = 0;  ///< shrink floor
+  std::uint32_t max_elements = 0;  ///< per-frame element cap
+  bool autotune = false;
+  FlowController controller;
+
+  util::SimTime inject_overhead = 0;
+  util::SimTime send_overhead = 0;
+  util::SimTime debt = 0;  ///< CPU owed from event-context flushes
+
+  struct Pending {
+    std::vector<std::byte> buf;  ///< FrameHeader + sub-records (capacity kept)
+    std::uint32_t elements = 0;
+    std::uint64_t wire = 0;   ///< frame wire bytes incl. all framing
+    std::uint64_t epoch = 0;  ///< bumped per flush; stale backstops no-op
+    int dst_world = -1;
+  };
+  std::vector<Pending> pending;  ///< by consumer index, lazily sized
+
+  std::uint64_t frames_sent = 0;
+  std::uint64_t coalesced_elements = 0;
+
+  /// Post one consumer's pending frame (fiber or event context) and reset
+  /// the slot. Returns the frame's wire size for the controller.
+  std::uint64_t post_frame(int consumer) {
+    Pending& p = pending[static_cast<std::size_t>(consumer)];
+    FrameHeader header{p.elements,
+                       static_cast<std::uint32_t>(p.buf.size() - kFrameOverhead)};
+    std::memcpy(p.buf.data(), &header, sizeof header);
+    machine->post_send(context, producer_index, src_world, p.dst_world,
+                       frame_tag,
+                       mpi::SendBuf{p.buf.data(), p.buf.size(), p.wire});
+    ++frames_sent;
+    coalesced_elements += p.elements;
+    const std::uint64_t wire = p.wire;
+    ++p.epoch;
+    p.buf.clear();  // keeps capacity
+    p.elements = 0;
+    p.wire = 0;
+    return wire;
+  }
+
+  /// Retune the budget after a flush of `elements`/`wire` under `trigger`.
+  void retune(FlushTrigger trigger, std::uint32_t elements, std::uint64_t wire) {
+    if (!autotune) return;
+    const std::uint32_t next =
+        controller.observe_flush(trigger, elements, wire, budget);
+    budget = std::clamp(next, budget_floor, budget_cap);
+  }
+};
 
 Stream Stream::attach(const Channel& channel, const mpi::Datatype& element_type,
                       Operator op, std::uint64_t stream_id) {
@@ -20,6 +108,123 @@ Stream Stream::attach(const Channel& channel, const mpi::Datatype& element_type,
     s.ack_context_ = mpi::Machine::derive_context(s.context_, 0xACCull, 1);
   }
   return s;
+}
+
+std::uint64_t Stream::frames_sent() const noexcept {
+  return coalesce_ ? coalesce_->frames_sent : 0;
+}
+
+std::uint64_t Stream::coalesced_elements_sent() const noexcept {
+  return coalesce_ ? coalesce_->coalesced_elements : 0;
+}
+
+std::uint32_t Stream::coalesce_budget_now() const noexcept {
+  return coalesce_ ? coalesce_->budget : 0;
+}
+
+void Stream::ensure_producer_state(mpi::Rank& self) {
+  if (coalesce_ || channel_->config().coalesce_budget == 0) return;
+  const ChannelConfig& cfg = channel_->config();
+  auto st = std::make_shared<CoalesceState>();
+  st->machine = &self.machine();
+  st->context = context_;
+  st->producer_index = channel_->my_producer_index(self);
+  st->src_world = self.world_rank();
+  st->frame_tag = kTagFrame;
+  st->budget = cfg.coalesce_budget;
+  st->budget_cap = cfg.coalesce_budget * ChannelConfig::kCoalesceGrowthCap;
+  st->budget_floor =
+      std::min(cfg.coalesce_budget, FlowController::Config{}.min_budget);
+  st->max_elements = cfg.coalesce_max_elements == 0
+                         ? ChannelConfig::kDefaultCoalesceMaxElements
+                         : cfg.coalesce_max_elements;
+  st->autotune = cfg.flow_autotune;
+  FlowController::Config fc;
+  fc.min_budget = st->budget_floor;
+  fc.max_budget = st->budget_cap;
+  st->controller = FlowController(fc);
+  st->inject_overhead = cfg.inject_overhead;
+  st->send_overhead = self.machine().config().network.send_overhead;
+  st->pending.resize(static_cast<std::size_t>(channel_->consumer_count()));
+  coalesce_ = std::move(st);
+}
+
+bool Stream::coalesce_element(mpi::Rank& self, int consumer,
+                              mpi::SendBuf element) {
+  if (!coalesce_) return false;
+  CoalesceState& st = *coalesce_;
+  const std::size_t el_wire = element.on_wire();
+  // Oversized for even an empty frame: bypass (after ordering-preserving
+  // flush of anything already pending toward this consumer, done by caller).
+  if (kFrameOverhead + kSubOverhead + el_wire > st.budget) return false;
+
+  auto& p = st.pending[static_cast<std::size_t>(consumer)];
+  if (p.elements > 0 &&
+      (p.wire + kSubOverhead + el_wire > st.budget ||
+       p.elements >= st.max_elements)) {
+    flush_frame(self, consumer,
+                static_cast<std::uint8_t>(FlushTrigger::Budget));
+  }
+  if (p.elements == 0) {
+    p.buf.resize(kFrameOverhead);  // header written at flush
+    p.wire = kFrameOverhead;
+    p.dst_world = channel_->comm().world_rank(channel_->consumer_rank(consumer));
+    // Same-instant backstop: the moment this fiber yields the CPU (advance,
+    // wait, return), the engine runs this event at the *current* virtual
+    // time and flushes whatever the burst left behind — coalescing merges
+    // only same-instant sends and never delays an element in virtual time.
+    self.machine().engine().schedule(
+        self.machine().engine().now(),
+        [st = coalesce_, consumer, epoch = p.epoch] {
+          auto& slot = st->pending[static_cast<std::size_t>(consumer)];
+          if (slot.epoch != epoch || slot.elements == 0) return;
+          // Event context: no fiber to charge — carry the CPU cost as debt,
+          // settled on the producer's next fiber-side flush.
+          st->debt += st->inject_overhead * slot.elements + st->send_overhead;
+          const std::uint32_t n = slot.elements;
+          const std::uint64_t wire = st->post_frame(consumer);
+          st->retune(FlushTrigger::Idle, n, wire);
+        });
+  }
+  const SubHeader sub{static_cast<std::uint32_t>(el_wire),
+                      static_cast<std::uint32_t>(element.bytes)};
+  const std::size_t at = p.buf.size();
+  p.buf.resize(at + kSubOverhead + element.bytes);
+  std::memcpy(p.buf.data() + at, &sub, sizeof sub);
+  if (element.bytes > 0)
+    std::memcpy(p.buf.data() + at + kSubOverhead, element.ptr, element.bytes);
+  p.wire += kSubOverhead + el_wire;
+  ++p.elements;
+  return true;
+}
+
+void Stream::flush_frame(mpi::Rank& self, int consumer, std::uint8_t trigger) {
+  CoalesceState& st = *coalesce_;
+  auto& p = st.pending[static_cast<std::size_t>(consumer)];
+  if (p.elements == 0) return;
+  // One aggregate advance per frame replaces the per-element wake/advance
+  // pair: n injections' worth of `o` plus one per-message o_s, plus any
+  // debt left by event-context (backstop) flushes.
+  const util::SimTime charge =
+      st.debt + st.inject_overhead * p.elements + st.send_overhead;
+  st.debt = 0;
+  const std::uint32_t n = p.elements;
+  const std::uint64_t wire = st.post_frame(consumer);
+  st.retune(static_cast<FlushTrigger>(trigger), n, wire);
+  self.process().advance(charge);
+}
+
+void Stream::flush_all_frames(mpi::Rank& self, std::uint8_t trigger) {
+  if (!coalesce_) return;
+  for (std::size_t c = 0; c < coalesce_->pending.size(); ++c)
+    flush_frame(self, static_cast<int>(c), trigger);
+}
+
+void Stream::flush(mpi::Rank& self) {
+  if (channel_->my_producer_index(self) < 0)
+    throw std::logic_error("Stream::flush: caller is not a producer");
+  flush_all_frames(self,
+                   static_cast<std::uint8_t>(FlushTrigger::Explicit));
 }
 
 void Stream::isend(mpi::Rank& self, mpi::SendBuf element) {
@@ -37,11 +242,16 @@ void Stream::isend_to(mpi::Rank& self, int consumer, mpi::SendBuf element) {
     throw std::invalid_argument("Stream::isend: element larger than its datatype");
   if (terminated_)
     throw std::logic_error("Stream::isend: stream already terminated");
+  ensure_producer_state(self);
 
-  // Credit-based backpressure: block until the in-flight window has room.
+  // Credit-based backpressure: block until the in-flight window has room —
+  // flushing first, since buffered elements count against the window and
+  // only delivered elements can come back as credits.
   const std::uint32_t window = channel_->config().max_inflight;
-  if (window > 0)
+  if (window > 0 && sent_ - acks_seen_ >= window) {
+    flush_all_frames(self, static_cast<std::uint8_t>(FlushTrigger::Credit));
     while (sent_ - acks_seen_ >= window) await_credit(self);
+  }
 
   ++sent_;
   if (channel_->tree_termination()) {
@@ -51,9 +261,15 @@ void Stream::isend_to(mpi::Rank& self, int consumer, mpi::SendBuf element) {
     ++sent_per_consumer_[static_cast<std::size_t>(consumer)];
   }
 
-  // Per-element library overhead `o` (Eq. 4) plus the transport's own o_s,
-  // charged as one advance: both occupy this fiber back to back, and every
-  // advance costs a scheduled wake plus two context switches on the host.
+  if (coalesce_element(self, consumer, element)) return;
+
+  // Per-element path (coalescing off, or the element exceeds any frame):
+  // the per-element library overhead `o` (Eq. 4) plus the transport's own
+  // o_s, charged as one advance. An oversized element must not overtake a
+  // frame already pending toward the same consumer.
+  if (coalesce_)
+    flush_frame(self, consumer,
+                static_cast<std::uint8_t>(FlushTrigger::Budget));
   auto& machine = self.machine();
   self.process().advance(channel_->config().inject_overhead +
                          machine.config().network.send_overhead);
@@ -67,6 +283,13 @@ void Stream::terminate(mpi::Rank& self) {
   if (p < 0) throw std::logic_error("Stream::terminate: caller is not a producer");
   if (terminated_) return;
   terminated_ = true;
+  // Partial frames leave before the term so counts and order stay intact;
+  // settle any backstop debt even when nothing is pending.
+  flush_all_frames(self, static_cast<std::uint8_t>(FlushTrigger::Term));
+  if (coalesce_ && coalesce_->debt > 0) {
+    self.process().advance(coalesce_->debt);
+    coalesce_->debt = 0;
+  }
 
   auto& machine = self.machine();
   auto post_term = [&](int consumer, mpi::SendBuf payload) {
@@ -99,9 +322,19 @@ void Stream::ensure_consumer_state(mpi::Rank& self) {
   if (my_consumer_ < 0)
     throw std::logic_error("Stream::operate: caller is not a consumer");
   expected_terms_ = channel_->expected_term_count(my_consumer_);
-  // Tree-mode terms carry up to one count entry per consumer; size the
-  // receive buffer for whichever is larger, the element or that worst case.
+  const ChannelConfig& cfg = channel_->config();
+  // Tree-mode terms carry up to one count entry per consumer; coalesced
+  // frames carry up to the (possibly self-tuned) budget. Size the receive
+  // buffer for the largest of those, the bare element, or a single-element
+  // frame — the growth factor applies only when self-tuning can actually
+  // grow the producer's budget.
   std::size_t capacity = element_size_;
+  if (cfg.coalesce_budget > 0) {
+    const std::size_t growth =
+        cfg.flow_autotune ? ChannelConfig::kCoalesceGrowthCap : 1;
+    capacity = std::max(capacity + kFrameOverhead + kSubOverhead,
+                        static_cast<std::size_t>(cfg.coalesce_budget) * growth);
+  }
   if (channel_->tree_termination()) {
     const auto consumers = static_cast<std::size_t>(channel_->consumer_count());
     capacity = std::max(capacity, consumers * sizeof(TermEntry));
@@ -110,7 +343,6 @@ void Stream::ensure_consumer_state(mpi::Rank& self) {
     term_slice_.reserve(consumers);
   }
   element_buffer_.resize(capacity);
-  const ChannelConfig& cfg = channel_->config();
   if (cfg.max_inflight > 0) {
     // Effective credit batch, clamped for liveness: a blocked producer has
     // max_inflight un-acked elements spread over the consumers it routes to
@@ -126,9 +358,13 @@ void Stream::ensure_consumer_state(mpi::Rank& self) {
                             ? static_cast<std::uint32_t>(
                                   channel_->consumer_count())
                             : 1u;
-    const std::uint32_t limit =
-        std::max(1u, (cfg.max_inflight + spread - 1) / spread);
-    ack_every_ = std::max(1u, std::min(ack_every_, limit));
+    ack_limit_ = std::max(1u, (cfg.max_inflight + spread - 1) / spread);
+    ack_every_ = std::max(1u, std::min(ack_every_, ack_limit_));
+    // Self-tuning acks: track the observed frame occupancy (one ack per
+    // drained frame) within the liveness clamp. Only when the interval was
+    // left at the library default — an explicit ack_interval stays pinned.
+    ack_auto_ =
+        cfg.flow_autotune && cfg.ack_interval == 0 && cfg.coalesce_budget > 0;
     credit_pending_.assign(static_cast<std::size_t>(channel_->producer_count()),
                            0);
   }
@@ -211,7 +447,8 @@ void Stream::await_credit(mpi::Rank& self) {
   std::uint64_t granted = 0;
   auto req = self.machine().post_recv(ack_context_, self.world_rank(),
                                       mpi::kAnySource, kTagAck,
-                                      mpi::RecvBuf::of(&granted, 1));
+                                      mpi::RecvBuf::of(&granted, 1), {},
+                                      /*fused_wake=*/true);
   self.wait(req);
   // Each ack carries the batch size it returns; malformed/synthetic acks
   // conservatively count one credit.
@@ -219,6 +456,50 @@ void Stream::await_credit(mpi::Rank& self) {
                  granted > 0)
                     ? granted
                     : 1;
+}
+
+void Stream::account_data_element(mpi::Rank& self, int producer) {
+  // Batched credit return: ack every ack_every_-th consumed element per
+  // producer; stragglers flush on terms and at exhaustion.
+  if (credit_pending_.empty()) return;
+  auto& pending = credit_pending_[static_cast<std::size_t>(producer)];
+  if (++pending >= ack_every_) flush_credits(self, producer);
+  if (exhausted()) flush_all_credits(self);
+}
+
+void Stream::begin_frame(const mpi::Status& status) {
+  FrameHeader header;
+  std::memcpy(&header, element_buffer_.data(), sizeof header);
+  frame_left_ = header.elements;
+  frame_elements_ = header.elements;
+  frame_cursor_ = kFrameOverhead;
+  frame_source_ = status.source;
+}
+
+void Stream::consume_frame_element(mpi::Rank& self) {
+  SubHeader sub;
+  std::memcpy(&sub, element_buffer_.data() + frame_cursor_, sizeof sub);
+  const std::size_t data_at = frame_cursor_ + kSubOverhead;
+  // The element is consumed once unpacked — cursor and counts move before
+  // the operator runs, so a throwing operator leaves the frame walkable
+  // (matching the per-message path, where the message left the mailbox
+  // before the operator saw it).
+  frame_cursor_ += kSubOverhead + sub.data;
+  --frame_left_;
+  ++processed_data_;
+  if (operator_) {
+    StreamElement el{sub.data > 0 ? element_buffer_.data() + data_at : nullptr,
+                     sub.wire, frame_source_};
+    operator_(el);
+  }
+  account_data_element(self, frame_source_);
+  if (frame_left_ == 0 && ack_auto_) {
+    // Close the loop with the producer's coalescer: one credit batch per
+    // drained frame, bounded by the liveness clamp.
+    ack_every_ = FlowController::retune_ack_interval(
+        ack_every_, frame_elements_, ChannelConfig::kDefaultAckInterval,
+        ack_limit_);
+  }
 }
 
 void Stream::handle(mpi::Rank& self, const mpi::Status& status) {
@@ -241,13 +522,7 @@ void Stream::handle(mpi::Rank& self, const mpi::Status& status) {
                      status.bytes, status.source};
     operator_(el);
   }
-  // Batched credit return: ack every ack_every_-th consumed element per
-  // producer; stragglers flush on terms (above) and at exhaustion (below).
-  if (!credit_pending_.empty()) {
-    auto& pending = credit_pending_[static_cast<std::size_t>(status.source)];
-    if (++pending >= ack_every_) flush_credits(self, status.source);
-    if (exhausted()) flush_all_credits(self);
-  }
+  account_data_element(self, status.source);
 }
 
 std::uint64_t Stream::operate(mpi::Rank& self) {
@@ -259,16 +534,30 @@ std::uint64_t Stream::operate_while(mpi::Rank& self,
   ensure_consumer_state(self);
   std::uint64_t processed = 0;
   // First-come-first-served across every producer: whichever element arrives
-  // next gets processed, regardless of which peer sent it. Streams use their
-  // own derived matching context, so receives post through the machine.
+  // next gets processed, regardless of which peer sent it. A partially
+  // drained frame is consumed to completion before the mailbox is touched
+  // again (frames preserve per-(context,src) order; arrival interleaving
+  // across sources happens at frame granularity).
   auto& machine = self.machine();
   while (!exhausted() && keep_going()) {
+    if (frame_left_ > 0) {
+      consume_frame_element(self);
+      ++processed;
+      continue;
+    }
     auto req = machine.post_recv(
         context_, self.world_rank(), mpi::kAnySource, mpi::kAnyTag,
         element_buffer_.empty()
             ? mpi::RecvBuf::discard(element_size_)
-            : mpi::RecvBuf{element_buffer_.data(), element_buffer_.size()});
+            : mpi::RecvBuf{element_buffer_.data(), element_buffer_.size()},
+        {}, /*fused_wake=*/true);
     self.wait(req);
+    if (req->status.tag == kTagFrame) {
+      // One aggregate recv-overhead advance was fused into this wake-up;
+      // the frame's elements now drain with no further machine traffic.
+      begin_frame(req->status);
+      continue;
+    }
     handle(self, req->status);
     if (req->status.tag == kTagData) ++processed;
   }
@@ -282,16 +571,27 @@ bool Stream::poll_one(mpi::Rank& self) {
   // keep looking, so the return value counts data elements only (matching
   // operate_while accounting).
   while (!exhausted()) {
+    if (frame_left_ > 0) {
+      consume_frame_element(self);
+      return true;
+    }
     mpi::Status status;
     if (!machine.match_probe(context_, self.world_rank(), mpi::kAnySource,
                              mpi::kAnyTag, &status))
       return false;
+    // No fused wake here: after a successful probe the receive completes
+    // synchronously inside post_recv, so wait() never blocks and charges
+    // o_r on the spot.
     auto req = machine.post_recv(
         context_, self.world_rank(), status.source, status.tag,
         element_buffer_.empty()
             ? mpi::RecvBuf::discard(element_size_)
             : mpi::RecvBuf{element_buffer_.data(), element_buffer_.size()});
     self.wait(req);
+    if (req->status.tag == kTagFrame) {
+      begin_frame(req->status);
+      continue;
+    }
     handle(self, req->status);
     if (req->status.tag == kTagData) return true;
   }

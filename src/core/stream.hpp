@@ -26,6 +26,17 @@
 // close-notification stream) must not wait on exhaustion — exactly as under
 // the seed's broadcast, where unread terms were simply abandoned.
 //
+// Transport coalescing (ChannelConfig::coalesce_budget): elements a producer
+// injects at the same virtual instant toward the same consumer are packed
+// into one framed fabric message (length-prefixed sub-records) and unpacked
+// in place at the consumer — element semantics (per-(context,src) FIFO,
+// wildcard matching, count-based termination exhaustion, credit accounting)
+// are preserved with counted rather than per-message bookkeeping, while the
+// per-message software cost o_s/o_r and the wake/advance context-switch pair
+// are paid once per frame. A same-instant backstop event flushes the moment
+// the producing fiber yields, so coalescing never delays an element in
+// virtual time. See ChannelConfig::flow_autotune for the self-tuning loop.
+//
 // This is the implementation layer: application code normally uses the
 // typed streams of core/decouple.hpp (decouple::TypedStream / RawStream),
 // which decode elements and terminate by RAII.
@@ -33,12 +44,18 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/channel.hpp"
 #include "mpi/datatype.hpp"
 
 namespace ds::stream {
+
+/// Producer-side coalescing state (defined in stream.cpp; heap-boxed and
+/// shared with the same-instant backstop events so a moved/destroyed Stream
+/// never leaves a scheduled flush dangling).
+struct CoalesceState;
 
 /// A received stream element, valid only during the operator invocation.
 /// `data` is null for synthetic elements (modeled payloads).
@@ -80,6 +97,14 @@ class Stream {
     isend(self, mpi::SendBuf::synthetic(element_size_));
   }
 
+  /// Producer: flush any coalesced frames still buffered (one per addressed
+  /// consumer). Rarely needed by applications — frames flush on their own
+  /// when the byte budget or element cap fills, when the producer terminates
+  /// or blocks on a credit, and (via a same-instant backstop event) the
+  /// moment the producing fiber yields the CPU — but available for protocols
+  /// that want an explicit push.
+  void flush(mpi::Rank& self);
+
   /// Producer: signal end-of-stream (paper's MPIStream_Terminate).
   void terminate(mpi::Rank& self);
 
@@ -117,6 +142,22 @@ class Stream {
   [[nodiscard]] std::uint64_t credits_received() const noexcept {
     return acks_seen_;
   }
+  /// Coalesced frame messages this producer has posted (each carrying one
+  /// or more elements; oversized elements bypass coalescing and are not
+  /// counted here).
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept;
+  /// Elements that left this producer inside coalesced frames.
+  [[nodiscard]] std::uint64_t coalesced_elements_sent() const noexcept;
+  /// The producer's current effective coalesce budget in wire bytes (may
+  /// differ from ChannelConfig::coalesce_budget under self-tuning); 0 when
+  /// coalescing is off or no element has been sent yet.
+  [[nodiscard]] std::uint32_t coalesce_budget_now() const noexcept;
+  /// The consumer's current effective credit batch (self-tuned toward the
+  /// observed frame occupancy when ChannelConfig::flow_autotune is on and
+  /// ack_interval is 0).
+  [[nodiscard]] std::uint32_t ack_interval_now() const noexcept {
+    return ack_every_;
+  }
   /// True once the stream's termination protocol has completed for this
   /// consumer: all terms observed and, under tree termination, every
   /// announced element processed.
@@ -137,6 +178,20 @@ class Stream {
   };
 
   void ensure_consumer_state(mpi::Rank& self);
+  void ensure_producer_state(mpi::Rank& self);
+  /// Append one element to the consumer's pending frame, flushing by budget
+  /// or element cap first. False when the element is too large to coalesce
+  /// (bypasses as a per-element message).
+  bool coalesce_element(mpi::Rank& self, int consumer, mpi::SendBuf element);
+  /// Fiber-context flush of one consumer's pending frame (post, retune,
+  /// charge the deferred per-element + per-message overhead as one advance).
+  void flush_frame(mpi::Rank& self, int consumer, std::uint8_t trigger);
+  void flush_all_frames(mpi::Rank& self, std::uint8_t trigger);
+  /// Unpack state for an arrived frame; consume_frame_element() then hands
+  /// elements to the operator one at a time, in place.
+  void begin_frame(const mpi::Status& status);
+  void consume_frame_element(mpi::Rank& self);
+  void account_data_element(mpi::Rank& self, int producer);
   void handle(mpi::Rank& self, const mpi::Status& status);
   void handle_tree_term(mpi::Rank& self, const mpi::Status& status);
   /// Send the collective term on to this consumer's tree children, sliced
@@ -158,6 +213,10 @@ class Stream {
   std::uint64_t acks_seen_ = 0;
   bool terminated_ = false;
   std::vector<std::uint64_t> sent_per_consumer_;  ///< tree termination only
+  /// Coalescing state box (null until the first isend, or when coalescing
+  /// is disabled). Shared with the backstop events scheduled at each frame
+  /// open, so flushes survive Stream moves.
+  std::shared_ptr<CoalesceState> coalesce_;
 
   // consumer state
   int my_consumer_ = -1;
@@ -173,6 +232,17 @@ class Stream {
   /// whenever a term arrives or the stream exhausts.
   std::vector<std::uint32_t> credit_pending_;
   std::uint32_t ack_every_ = 1;  ///< effective min(ack_interval, window)
+  std::uint32_t ack_limit_ = 1;  ///< liveness clamp ceil(window/spread)
+  bool ack_auto_ = false;        ///< self-tune ack_every_ to frame occupancy
+
+  /// Partially drained incoming frame: elements left, read cursor into
+  /// element_buffer_, and the frame's producer index. poll_one/operate pull
+  /// from here before touching the mailbox, so a frame interleaves with
+  /// other sources at frame granularity while per-(context,src) order holds.
+  std::uint32_t frame_left_ = 0;
+  std::uint32_t frame_elements_ = 0;  ///< total elements of the current frame
+  std::size_t frame_cursor_ = 0;
+  int frame_source_ = -1;
 
   // termination scratch, reserved once and reused across terms/children so
   // the fan-out does not reallocate per child slice
@@ -187,6 +257,9 @@ class Stream {
   static constexpr int kTagData = 0;
   static constexpr int kTagTerm = 1;
   static constexpr int kTagAck = 2;
+  /// A coalesced frame: length-prefixed sub-records of one or more
+  /// same-destination elements, unpacked in place at the consumer.
+  static constexpr int kTagFrame = 3;
 };
 
 }  // namespace ds::stream

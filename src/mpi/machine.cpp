@@ -45,7 +45,21 @@ void Machine::complete_op(detail::OpState& op) {
     op.on_complete = nullptr;
     continuation();
   }
-  if (op.waiter_pid >= 0) engine_.wake(op.waiter_pid);
+  if (op.waiter_pid < 0) return;
+  if (op.kind == detail::OpKind::Recv) {
+    auto& recv = static_cast<detail::RecvOp&>(op);
+    if (recv.fused_wake && !recv.overhead_charged) {
+      // Fused wake/advance: resume the blocked waiter at now + o_r with the
+      // receive overhead pre-charged, instead of waking it now and letting
+      // Rank::wait run a separate o_r advance (one more event plus a
+      // context-switch pair per message).
+      recv.overhead_charged = true;
+      engine_.wake_at(op.waiter_pid,
+                      engine_.now() + config_.network.recv_overhead);
+      return;
+    }
+  }
+  engine_.wake(op.waiter_pid);
 }
 
 detail::OpRef<detail::SendOp> Machine::post_send(std::uint64_t context,
@@ -91,7 +105,8 @@ detail::OpRef<detail::SendOp> Machine::post_send(std::uint64_t context,
 detail::OpRef<detail::RecvOp> Machine::post_recv(std::uint64_t context,
                                                  int dst_world, int src_filter,
                                                  int tag_filter, RecvBuf out,
-                                                 sim::Callback on_complete) {
+                                                 sim::Callback on_complete,
+                                                 bool fused_wake) {
   auto op = recv_pool_.acquire();
   op->context = context;
   op->dst_world = dst_world;
@@ -100,6 +115,7 @@ detail::OpRef<detail::RecvOp> Machine::post_recv(std::uint64_t context,
   op->out = out.ptr;
   op->capacity = out.bytes;
   op->on_complete = std::move(on_complete);
+  op->fused_wake = fused_wake;
 
   auto& box = mailboxes_.at(static_cast<std::size_t>(dst_world));
   auto& q = box.touch(context);

@@ -61,10 +61,16 @@ class Machine {
                                           sim::Callback on_complete = {});
 
   /// Post a receive; matches immediately against unexpected arrivals.
+  /// `fused_wake` fuses the waiter's wake with the o_r charge: completion
+  /// resumes a blocked waiter at completion-time + o_r with the overhead
+  /// pre-charged, replacing the wake + separate-advance pair (streams'
+  /// per-message context-switch floor). No effect on receives that complete
+  /// synchronously or are tested/continued instead of waited on.
   detail::OpRef<detail::RecvOp> post_recv(std::uint64_t context, int dst_world,
                                           int src_filter, int tag_filter,
                                           RecvBuf out,
-                                          sim::Callback on_complete = {});
+                                          sim::Callback on_complete = {},
+                                          bool fused_wake = false);
 
   /// Non-consuming look into dst's unexpected queue. Returns true and fills
   /// `out` when a matching message has arrived.

@@ -223,6 +223,11 @@ struct RecvOp final : OpState {
   void* out = nullptr;
   std::size_t capacity = 0;
   bool overhead_charged = false;  ///< o_r charged at observation, once
+  /// Fused wake/advance (streams): when completion finds a blocked waiter,
+  /// wake it at completion + o_r with the overhead pre-charged — one
+  /// scheduled resume instead of a wake plus a separate o_r advance (which
+  /// costs its own event and context-switch pair per message).
+  bool fused_wake = false;
 
   void reset_for_reuse() noexcept {
     reset_base();
@@ -231,6 +236,7 @@ struct RecvOp final : OpState {
     out = nullptr;
     capacity = 0;
     overhead_charged = false;
+    fused_wake = false;
   }
 };
 
@@ -304,7 +310,15 @@ class FifoQueue {
     return items_[head_ + i];
   }
 
-  void push_back(T value) { items_.push_back(std::move(value)); }
+  void push_back(T value) {
+    // First touch reserves the whole steady-state regime: the sliding head
+    // compacts at kCompactAt, so a queue that never fully drains needs up to
+    // ~2*kCompactAt slots. Growing there lazily would land mid-run — a
+    // bounded-but-late allocation the zero-alloc steady-state gate (and its
+    // two-length delta method) would misread as a per-element cost.
+    if (items_.capacity() == 0) items_.reserve(2 * kCompactAt);
+    items_.push_back(std::move(value));
+  }
 
   /// Remove and return the i-th live element. Head removal slides the
   /// window (amortized O(1)); interior removal shifts the tail (rare: a

@@ -87,6 +87,21 @@ void Engine::wake(int pid) {
   }
 }
 
+void Engine::wake_at(int pid, util::SimTime t) {
+  if (t < clock_) throw std::logic_error("Engine::wake_at: time in the past");
+  Process* p = processes_.at(static_cast<std::size_t>(pid)).get();
+  queue_.push(t, [this, p] {
+    if (p->state_ == Process::State::Finished) return;
+    if (p->state_ == Process::State::Suspended) {
+      p->state_ = Process::State::Runnable;
+      resume_process(*p);
+    } else {
+      // Not suspended at fire time: leave the usual token (see wake()).
+      p->wake_pending_ = true;
+    }
+  });
+}
+
 void Engine::resume_process(Process& p) {
   if (p.state_ == Process::State::Finished) return;
   // A process can be woken twice (token + event). The second resume of an

@@ -112,6 +112,14 @@ class Engine {
   /// Wake a suspended process. Safe to call before the process suspends.
   void wake(int pid);
 
+  /// Wake `pid` at absolute virtual time `t` (must be >= now()), fused into
+  /// one event: the scheduled action resumes the process directly instead of
+  /// enqueueing a second wake event at `t`. The building block for charging
+  /// a receive overhead *at* the wake-up rather than as a separate advance
+  /// (which costs its own event and context-switch pair). Same token
+  /// semantics as wake() when the process is not suspended at `t`.
+  void wake_at(int pid, util::SimTime t);
+
   /// Run until every process finished. Throws DeadlockError if the event
   /// queue drains first; propagates exceptions thrown by process bodies.
   void run();

@@ -1,0 +1,393 @@
+// Transport-level element coalescing (ChannelConfig::coalesce_budget).
+//
+// These tests pin the semantic contract of the coalesced transport: packed
+// frames must be invisible to stream consumers — per-(context,src) FIFO
+// order under wildcard receives, count-based termination exhaustion with
+// partial final frames, credit liveness, synthetic elements, oversized
+// bypass — plus the liveness backstop (elements are never delayed past the
+// instant the producing fiber yields) and the self-tuning loop
+// (FlowController: budget growth under bursty load, ack batches tracking
+// frame occupancy, AdaptiveBatcher composition).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/machine_helpers.hpp"
+#include "core/adaptive.hpp"
+#include "core/channel.hpp"
+#include "core/stream.hpp"
+
+namespace ds::stream {
+namespace {
+
+using mpi::Rank;
+using mpi::SendBuf;
+
+TEST(StreamCoalesce, PartialFrameFlushesOnTerminate) {
+  // Three small elements fit one frame with room to spare; terminate must
+  // flush the partial frame before the term so nothing is stranded.
+  std::uint64_t consumed = 0, frames = 0, coalesced = 0;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    Stream s = Stream::attach(ch, mpi::Datatype::int32(),
+                              [&](const StreamElement&) {});
+    if (producer) {
+      for (int i = 0; i < 3; ++i) s.isend(self, SendBuf::of(&i, 1));
+      s.terminate(self);
+      frames = s.frames_sent();
+      coalesced = s.coalesced_elements_sent();
+    } else {
+      consumed = s.operate(self);
+    }
+  });
+  EXPECT_EQ(consumed, 3u);
+  EXPECT_EQ(frames, 1u);  // one frame carried all three elements
+  EXPECT_EQ(coalesced, 3u);
+}
+
+TEST(StreamCoalesce, WildcardRecvSeesFramesInPerSourceFifoOrder) {
+  // Two producers, one consumer, 64-byte elements: several frames per
+  // producer. The wildcard operate() must observe every producer's elements
+  // in send order (frames preserve per-(context,src) FIFO; interleaving
+  // across sources happens at frame granularity, which FCFS permits).
+  constexpr int kEach = 100;
+  std::vector<int> last_seq(2, -1);
+  std::uint64_t consumed = 0, min_frames = ~0ull;
+  bool order_ok = true;
+  testing::run_program(testing::tiny_machine(3), [&](Rank& self) {
+    const bool producer = self.world_rank() < 2;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    struct Payload {
+      int seq = 0;
+      std::byte fill[60] = {};
+    };
+    Stream s = Stream::attach(ch, mpi::Datatype::bytes(sizeof(Payload)),
+                              [&](const StreamElement& el) {
+                                Payload p;
+                                std::memcpy(&p, el.data, sizeof p);
+                                auto& last =
+                                    last_seq[static_cast<std::size_t>(el.producer)];
+                                if (p.seq != last + 1) order_ok = false;
+                                last = p.seq;
+                              });
+    if (producer) {
+      for (int i = 0; i < kEach; ++i) {
+        Payload p;
+        p.seq = i;
+        s.isend(self, SendBuf::of(&p, 1));
+      }
+      s.terminate(self);
+      min_frames = std::min(min_frames, s.frames_sent());
+    } else {
+      consumed = s.operate(self);
+    }
+  });
+  EXPECT_EQ(consumed, 2u * kEach);
+  EXPECT_TRUE(order_ok);
+  EXPECT_EQ(last_seq[0], kEach - 1);
+  EXPECT_EQ(last_seq[1], kEach - 1);
+  EXPECT_GE(min_frames, 2u);  // the order survived actual multi-frame packing
+}
+
+TEST(StreamCoalesce, BackstopFlushesTheInstantTheProducerYields) {
+  // Request/response over two streams, one element per round, far below any
+  // budget: the only thing that can flush the frame is the same-instant
+  // backstop when the producer blocks waiting for the reply. Completion of
+  // every round proves elements are never delayed by coalescing.
+  constexpr int kRounds = 5;
+  int replies_seen = 0, requests_seen = 0;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool requester = self.world_rank() == 0;
+    const Channel fwd =
+        Channel::create(self, self.world(), requester, !requester);
+    ChannelConfig back_cfg;
+    back_cfg.channel_id = 1;
+    const Channel back =
+        Channel::create(self, self.world(), !requester, requester, back_cfg);
+    int got = 0;
+    int replies_sent = 0;
+    Stream req = Stream::attach(fwd, mpi::Datatype::int32(),
+                                [&](const StreamElement&) { ++requests_seen; });
+    Stream rsp = Stream::attach(back, mpi::Datatype::int32(),
+                                [&](const StreamElement&) {
+                                  ++got;
+                                  ++replies_seen;
+                                });
+    if (requester) {
+      for (int r = 0; r < kRounds; ++r) {
+        req.isend(self, SendBuf::of(&r, 1));
+        rsp.operate_while(self, [&] { return got <= r; });
+      }
+      req.terminate(self);
+      (void)rsp.operate(self);  // drain the responder's termination
+    } else {
+      req.operate_while(self, [&] {
+        if (requests_seen > replies_sent) {
+          const int v = replies_sent++;
+          rsp.isend(self, SendBuf::of(&v, 1));
+        }
+        return true;
+      });
+      // operate_while returns once the requester terminated; answer any
+      // tail request and close the reply stream.
+      while (requests_seen > replies_sent) {
+        const int v = replies_sent++;
+        rsp.isend(self, SendBuf::of(&v, 1));
+      }
+      rsp.terminate(self);
+    }
+  });
+  EXPECT_EQ(requests_seen, kRounds);
+  EXPECT_EQ(replies_seen, kRounds);
+}
+
+TEST(StreamCoalesce, CreditWindowSmallerThanFrameStaysLive) {
+  // Window far below one frame's worth: the producer must flush its partial
+  // frame before blocking on a credit, or the consumer never sees the
+  // elements and the run deadlocks. Completion is the assertion.
+  std::uint64_t consumed = 0;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    ChannelConfig cfg;
+    cfg.max_inflight = 4;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer, cfg);
+    Stream s = Stream::attach(ch, mpi::Datatype::int32(),
+                              [](const StreamElement&) {});
+    if (producer) {
+      const int v = 1;
+      for (int i = 0; i < 37; ++i) s.isend(self, SendBuf::of(&v, 1));
+      s.terminate(self);
+      // Exact window accounting survives coalescing: credits neither forged
+      // nor lost.
+      EXPECT_LE(s.credits_received(), 37u);
+      EXPECT_GE(s.credits_received() + cfg.max_inflight, 37u);
+    } else {
+      consumed = s.operate(self);
+    }
+  });
+  EXPECT_EQ(consumed, 37u);
+}
+
+TEST(StreamCoalesce, CountBasedExhaustionWithPartialFinalFrames) {
+  // Directed mapping + tree termination: odd element counts leave partial
+  // final frames toward both consumers; the announced per-consumer counts
+  // must drain them completely before exhaustion.
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr int kEach = 21;
+  std::uint64_t consumed = 0;
+  int exhausted_consumers = 0;
+  testing::run_program(testing::tiny_machine(kProducers + kConsumers),
+                       [&](Rank& self) {
+    const bool producer = self.world_rank() < kProducers;
+    ChannelConfig cfg;
+    cfg.mapping = ChannelConfig::Mapping::Directed;
+    cfg.max_inflight = 8;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer, cfg);
+    Stream s = Stream::attach(ch, mpi::Datatype::int32(),
+                              [](const StreamElement&) {});
+    if (producer) {
+      const int v = 2;
+      for (int i = 0; i < kEach; ++i)
+        s.isend_to(self, (self.world_rank() + i) % kConsumers, SendBuf::of(&v, 1));
+      s.terminate(self);
+    } else {
+      consumed += s.operate(self);
+      if (s.exhausted()) ++exhausted_consumers;
+    }
+  });
+  EXPECT_EQ(consumed, static_cast<std::uint64_t>(kProducers * kEach));
+  EXPECT_EQ(exhausted_consumers, kConsumers);
+}
+
+TEST(StreamCoalesce, SyntheticElementsSurvivePacking) {
+  // Synthetic elements (modeled payloads) coalesce as zero-data sub-records
+  // and must still report null data with the full wire size.
+  constexpr int kElements = 7;
+  int seen = 0;
+  bool all_synthetic = true, sizes_ok = true;
+  std::uint64_t frames = 0;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    Stream s = Stream::attach(ch, mpi::Datatype::bytes(256),
+                              [&](const StreamElement& el) {
+                                ++seen;
+                                all_synthetic &= el.data == nullptr;
+                                sizes_ok &= el.bytes == 256;
+                              });
+    if (producer) {
+      for (int i = 0; i < kElements; ++i) s.isend_synthetic(self);
+      s.terminate(self);
+      frames = s.frames_sent();
+    } else {
+      (void)s.operate(self);
+    }
+  });
+  EXPECT_EQ(seen, kElements);
+  EXPECT_TRUE(all_synthetic);
+  EXPECT_TRUE(sizes_ok);
+  EXPECT_GE(frames, 1u);
+}
+
+TEST(StreamCoalesce, OversizedElementsBypassAndKeepOrder) {
+  // Elements larger than the frame budget travel per-element; a pending
+  // frame toward the same consumer must flush first so arrival order stays
+  // the send order.
+  struct Big {
+    int seq = 0;
+    std::byte fill[3000] = {};  // exceeds the default 2 KiB budget
+  };
+  std::vector<int> order;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    Stream s = Stream::attach(ch, mpi::Datatype::bytes(sizeof(Big)),
+                              [&](const StreamElement& el) {
+                                int seq = 0;
+                                std::memcpy(&seq, el.data, sizeof seq);
+                                order.push_back(seq);
+                              });
+    if (producer) {
+      for (int i = 0; i < 6; ++i) {
+        if (i % 3 == 2) {
+          Big big;
+          big.seq = i;
+          s.isend(self, SendBuf::of(&big, 1));
+        } else {
+          int small[2] = {i, 0};  // small element, coalesces
+          s.isend(self, SendBuf::of(small, 2));
+        }
+      }
+      s.terminate(self);
+    } else {
+      (void)s.operate(self);
+    }
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(StreamCoalesce, SelfTuningGrowsBudgetUnderBurstyLoad) {
+  // An unthrottled burst keeps filling frames: the FlowController must grow
+  // the budget toward its cap, and most elements must leave coalesced.
+  std::uint32_t budget_end = 0;
+  std::uint64_t frames = 0, coalesced = 0;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    Stream s = Stream::attach(ch, mpi::Datatype::bytes(64),
+                              [](const StreamElement&) {});
+    if (producer) {
+      for (int i = 0; i < 3000; ++i) s.isend_synthetic(self);
+      s.terminate(self);
+      budget_end = s.coalesce_budget_now();
+      frames = s.frames_sent();
+      coalesced = s.coalesced_elements_sent();
+    } else {
+      (void)s.operate(self);
+    }
+  });
+  EXPECT_GT(budget_end, ChannelConfig::kDefaultCoalesceBudget);
+  EXPECT_LE(budget_end, ChannelConfig::kDefaultCoalesceBudget *
+                            ChannelConfig::kCoalesceGrowthCap);
+  EXPECT_EQ(coalesced, 3000u);
+  // Growth shows up as amortization: far fewer frames than a fixed default
+  // budget (~28 elements/frame) would need.
+  EXPECT_LT(frames, 3000u / 28u);
+}
+
+TEST(StreamCoalesce, SelfTuningAcksTrackFrameOccupancy) {
+  // With flow control on and ack_interval left at the default, the consumer
+  // retunes its credit batch to the frame occupancy: ack messages land near
+  // one per frame, far below the per-4-elements default.
+  constexpr int kElements = 2000;
+  std::uint64_t acks = 0;
+  std::uint32_t ack_now = 0;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    ChannelConfig cfg;
+    cfg.max_inflight = 64;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer, cfg);
+    Stream s = Stream::attach(ch, mpi::Datatype::bytes(64),
+                              [](const StreamElement&) {});
+    if (producer) {
+      std::byte payload[64] = {};
+      for (int i = 0; i < kElements; ++i)
+        s.isend(self, SendBuf{payload, sizeof payload});
+      s.terminate(self);
+    } else {
+      EXPECT_EQ(s.operate(self), static_cast<std::uint64_t>(kElements));
+      acks = s.ack_messages_sent();
+      ack_now = s.ack_interval_now();
+    }
+  });
+  EXPECT_LT(acks, kElements / 8u);   // default per-4 acking would be 500
+  EXPECT_GT(ack_now, ChannelConfig::kDefaultAckInterval);
+}
+
+TEST(StreamCoalesce, AdaptiveBatcherShrinkPathFlushesThroughCoalescing) {
+  // The AdaptiveBatcher's shrink path produces a falling sequence of
+  // variable-size elements; the coalescer packs them as variable-length
+  // sub-records, and every record must still arrive exactly once.
+  constexpr int kRecords = 1200;
+  std::uint64_t records_consumed = 0, elements_consumed = 0;
+  std::uint32_t final_batch = 0;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    AdaptiveConfig cfg;
+    cfg.min_records = 1;
+    cfg.initial_records = 32;
+    cfg.window = 2;
+    cfg.max_flush_interval = util::microseconds(10);
+    const mpi::Datatype element =
+        mpi::Datatype::bytes(AdaptiveBatcher::element_bytes(16, cfg.max_records));
+    Stream s = Stream::attach(ch, element, [&](const StreamElement& el) {
+      ++elements_consumed;
+      records_consumed += adaptive_record_count(el);
+    });
+    if (producer) {
+      AdaptiveBatcher batcher(s, 16, cfg);
+      for (int i = 0; i < kRecords; ++i) {
+        self.compute(util::microseconds(30));  // coarse flow -> shrink
+        batcher.push(self);
+      }
+      batcher.finish(self);
+      final_batch = batcher.current_batch();
+    } else {
+      (void)s.operate(self);
+    }
+  });
+  EXPECT_EQ(records_consumed, static_cast<std::uint64_t>(kRecords));
+  EXPECT_GT(elements_consumed, 0u);
+  EXPECT_LT(final_batch, 32u);  // the shrink path actually ran
+}
+
+TEST(StreamCoalesce, ExplicitFlushShipsAPartialFrame) {
+  // Stream::flush pushes a partial frame without terminating; the consumer
+  // can poll it before any termination exists.
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer);
+    int seen = 0;
+    Stream s = Stream::attach(ch, mpi::Datatype::int32(),
+                              [&](const StreamElement&) { ++seen; });
+    if (producer) {
+      const int v = 9;
+      s.isend(self, SendBuf::of(&v, 1));
+      s.flush(self);
+      self.process().advance(util::milliseconds(2));
+      s.terminate(self);
+    } else {
+      self.process().advance(util::milliseconds(1));
+      EXPECT_TRUE(s.poll_one(self));  // arrived well before the term
+      EXPECT_EQ(seen, 1);
+      (void)s.operate(self);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace ds::stream

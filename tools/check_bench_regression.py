@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""CI perf-regression guard for the simulator hot-path microbench.
+
+Compares a freshly produced BENCH_simcore.json against the committed
+baseline (bench/baselines/BENCH_simcore.json) and fails when the
+steady_stream scenario regresses:
+
+  * elements_per_sec drops by more than the tolerance (default 20%,
+    override with DS_BENCH_EPS_TOLERANCE, e.g. 0.30 for noisy runners);
+  * allocs_per_element is nonzero (the zero-allocation hot-path gate).
+
+The messages-per-element coalescing gate lives in the bench binary itself
+(micro_simcore exits nonzero on it); it is not duplicated here.
+
+Usage: check_bench_regression.py <baseline.json> <fresh.json>
+"""
+import json
+import os
+import sys
+
+
+def scenario(doc, name):
+    for s in doc.get("scenarios", []):
+        if s.get("name") == name:
+            return s
+    raise SystemExit(f"FAIL: scenario '{name}' missing from bench JSON")
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    with open(sys.argv[1]) as f:
+        baseline = scenario(json.load(f), "steady_stream")
+    with open(sys.argv[2]) as f:
+        fresh = scenario(json.load(f), "steady_stream")
+
+    tolerance = float(os.environ.get("DS_BENCH_EPS_TOLERANCE", "0.20"))
+    base_eps = float(baseline["elements_per_sec"])
+    fresh_eps = float(fresh["elements_per_sec"])
+    floor = base_eps * (1.0 - tolerance)
+    ok = True
+
+    print(f"steady_stream elements_per_sec: baseline {base_eps:.3g}, "
+          f"fresh {fresh_eps:.3g} (floor {floor:.3g})")
+    if fresh_eps < floor:
+        print(f"FAIL: throughput dropped more than {tolerance:.0%} "
+              f"below the committed baseline")
+        ok = False
+
+    allocs = float(fresh.get("allocs_per_element", 0.0))
+    print(f"steady_stream allocs_per_element: {allocs:.6f}")
+    if allocs > 0.0005:
+        print("FAIL: steady-state eager elements allocate")
+        ok = False
+
+    print("bench regression check:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
