@@ -1,0 +1,269 @@
+// Fault-recovery bench: time-to-recover and goodput under an injected
+// consumer crash (the ds::resilience subsystem end to end).
+//
+// Three runs of the same 16-producer / 8-consumer credit-windowed stream:
+//
+//  * baseline        — resilience off: the PR 4 transport as-is, the cost
+//    reference for the resilience machinery.
+//  * fault_free      — stream epochs on (checkpoint_interval, automatic
+//    durability): measures the fault-free overhead (virtual makespan delta
+//    vs. baseline) and the producers' peak replay retention, which must
+//    stay bounded by the open epoch plus credit-window slack.
+//  * consumer_crash  — one consumer is fail-stopped a third of the way
+//    through the fault-free makespan: measures recovery (makespan delta vs.
+//    fault_free), replayed elements, and verifies the exactly-once contract
+//    — every element reaches some consumer, no element reaches any single
+//    consumer twice, and per-producer replay stays within
+//    checkpoint_interval + credit-window slack.
+//
+// Emits BENCH_fault_recovery.json (override with DS_FAULT_BENCH_JSON) for
+// the CI artifact; exits nonzero when any contract above fails.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/channel.hpp"
+#include "core/stream.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/rank.hpp"
+#include "resilience/fault.hpp"
+
+namespace {
+
+using namespace ds;
+
+constexpr int kProducers = 16;
+constexpr int kConsumers = 8;
+constexpr std::uint32_t kInterval = 256;
+constexpr std::uint32_t kWindow = 64;
+constexpr int kVictim = 5;  ///< consumer index to crash (a tree-safe leaf)
+
+struct RunResult {
+  double wall_s = 0;
+  double virtual_s = 0;
+  std::uint64_t delivered = 0;       ///< operator invocations, all consumers
+  std::uint64_t replayed = 0;        ///< re-posted elements, all producers
+  std::uint64_t max_replayed_one = 0;///< worst single producer
+  std::uint64_t retained_max = 0;    ///< peak replay retention, any producer
+  std::uint64_t durable_acks = 0;
+  std::uint64_t duplicates_filtered = 0;
+  std::uint32_t failovers = 0;
+  bool exactly_once = true;   ///< no element twice at any single consumer
+  bool complete = true;       ///< every element seen somewhere
+};
+
+[[nodiscard]] mpi::MachineConfig bench_machine() {
+  mpi::MachineConfig config;
+  config.world_size = kProducers + kConsumers;
+  config.engine.stack_bytes = 64 * 1024;
+  return config;
+}
+
+[[nodiscard]] std::uint64_t element_id(int producer, int i) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(producer))
+          << 32) |
+         static_cast<std::uint32_t>(i);
+}
+
+RunResult run_stream(int elements_per_producer, bool resilient,
+                     util::SimTime crash_at) {
+  RunResult result;
+  auto config = bench_machine();
+  if (crash_at > 0)
+    config.faults.crash(kProducers + kVictim, crash_at);
+  mpi::Machine machine(config);
+  // Per-consumer delivery records for the exactly-once / coverage checks.
+  std::vector<std::vector<std::uint64_t>> delivered(
+      static_cast<std::size_t>(kConsumers));
+  const auto t0 = std::chrono::steady_clock::now();
+  const util::SimTime makespan = machine.run([&](mpi::Rank& self) {
+    const bool producer = self.world_rank() < kProducers;
+    stream::ChannelConfig cfg;
+    cfg.mapping = stream::ChannelConfig::Mapping::Block;
+    cfg.max_inflight = kWindow;
+    if (resilient) cfg.checkpoint_interval = kInterval;
+    const stream::Channel ch =
+        stream::Channel::create(self, self.world(), producer, !producer, cfg);
+    const int me = ch.my_consumer_index(self);
+    stream::Stream s = stream::Stream::attach(
+        ch, mpi::Datatype::int64(), [&](const stream::StreamElement& el) {
+          std::uint64_t id = 0;
+          std::memcpy(&id, el.data, sizeof id);
+          delivered[static_cast<std::size_t>(me)].push_back(id);
+        });
+    if (producer) {
+      for (int i = 0; i < elements_per_producer; ++i) {
+        const std::uint64_t id = element_id(self.world_rank(), i);
+        s.isend(self, mpi::SendBuf::of(&id, 1));
+        if (resilient)
+          result.retained_max =
+              std::max(result.retained_max, s.retained_elements());
+      }
+      s.terminate(self);
+      result.replayed += s.replayed_elements();
+      result.max_replayed_one =
+          std::max(result.max_replayed_one, s.replayed_elements());
+      result.failovers += s.failovers();
+    } else {
+      (void)s.operate(self);
+      result.durable_acks += s.durable_acks_sent();
+      result.duplicates_filtered += s.duplicates_dropped();
+    }
+  });
+  result.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  result.virtual_s = util::to_seconds(makespan);
+
+  // Contract checks: exactly-once per consumer, full coverage overall.
+  std::set<std::uint64_t> seen;
+  for (const auto& d : delivered) {
+    std::vector<std::uint64_t> sorted = d;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+      result.exactly_once = false;
+    seen.insert(sorted.begin(), sorted.end());
+    result.delivered += d.size();
+  }
+  for (int p = 0; p < kProducers; ++p)
+    for (int i = 0; i < elements_per_producer; ++i)
+      if (!seen.count(element_id(p, i))) result.complete = false;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const auto opt = util::BenchOptions::from_env();
+  bench::print_header(
+      "fault_recovery — consumer-crash recovery time and goodput",
+      "ds::resilience: stream epochs, bounded replay, consumer failover "
+      "(exascale-readiness: surviving rank loss mid-run)");
+
+  const int elements = opt.fast ? 2000 : 8000;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kProducers) *
+      static_cast<std::uint64_t>(elements);
+  bool ok = true;
+
+  util::Table table({"scenario", "delivered", "virtual_ms", "wall_s",
+                     "replayed", "retained_max", "notes"});
+  auto ms = [](double s) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", s * 1e3);
+    return std::string(buf);
+  };
+
+  // -- baseline: resilience off ---------------------------------------------
+  const RunResult baseline = run_stream(elements, /*resilient=*/false, 0);
+  ok &= baseline.delivered == total && baseline.exactly_once;
+  table.add_row({"baseline_no_resilience", std::to_string(baseline.delivered),
+                 ms(baseline.virtual_s), ms(baseline.wall_s / 1e3), "0", "0",
+                 "reference"});
+
+  // -- resilient, fault-free: overhead + bounded retention ------------------
+  const RunResult fault_free = run_stream(elements, /*resilient=*/true, 0);
+  ok &= fault_free.delivered == total && fault_free.exactly_once &&
+        fault_free.complete;
+  // Peak retention: the open epoch plus credit-window and frame slack.
+  const std::uint64_t retention_bound = kInterval + 2 * kWindow + 128;
+  if (fault_free.retained_max > retention_bound) {
+    std::printf("FAIL: fault-free replay retention %llu exceeds bound %llu\n",
+                static_cast<unsigned long long>(fault_free.retained_max),
+                static_cast<unsigned long long>(retention_bound));
+    ok = false;
+  }
+  const double overhead_pct =
+      baseline.virtual_s > 0
+          ? 100.0 * (fault_free.virtual_s - baseline.virtual_s) /
+                baseline.virtual_s
+          : 0.0;
+  char note[64];
+  std::snprintf(note, sizeof note, "overhead %.1f%%, %llu acks", overhead_pct,
+                static_cast<unsigned long long>(fault_free.durable_acks));
+  table.add_row({"resilient_fault_free", std::to_string(fault_free.delivered),
+                 ms(fault_free.virtual_s), ms(fault_free.wall_s / 1e3), "0",
+                 std::to_string(fault_free.retained_max), note});
+
+  // -- consumer crash a third of the way through ----------------------------
+  const util::SimTime crash_at =
+      util::from_seconds(fault_free.virtual_s / 3.0);
+  const RunResult crash = run_stream(elements, /*resilient=*/true, crash_at);
+  // Coverage counts durable deliveries at the dead consumer too, so the
+  // union check holds; exactly-once is per surviving consumer view.
+  ok &= crash.exactly_once && crash.complete;
+  if (crash.failovers == 0 || crash.replayed == 0) {
+    std::printf("FAIL: the crash did not exercise failover "
+                "(failovers=%u replayed=%llu)\n",
+                crash.failovers,
+                static_cast<unsigned long long>(crash.replayed));
+    ok = false;
+  }
+  // Acceptance bound: per-producer replay <= checkpoint_interval + credit
+  // window (+ one frame of slack for the element cap).
+  const std::uint64_t replay_bound = kInterval + kWindow + 128;
+  if (crash.max_replayed_one > replay_bound) {
+    std::printf("FAIL: replayed %llu elements from one producer, bound %llu\n",
+                static_cast<unsigned long long>(crash.max_replayed_one),
+                static_cast<unsigned long long>(replay_bound));
+    ok = false;
+  }
+  const double recovery_s = crash.virtual_s - fault_free.virtual_s;
+  std::snprintf(note, sizeof note, "recovery %.3f ms, %u failovers",
+                recovery_s * 1e3, crash.failovers);
+  table.add_row({"consumer_crash", std::to_string(crash.delivered),
+                 ms(crash.virtual_s), ms(crash.wall_s / 1e3),
+                 std::to_string(crash.replayed),
+                 std::to_string(crash.max_replayed_one), note});
+
+  bench::print_table(table);
+
+  // -- JSON artifact --------------------------------------------------------
+  const char* path = std::getenv("DS_FAULT_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_fault_recovery.json";
+  if (FILE* f = std::fopen(path, "w")) {
+    std::fprintf(
+        f,
+        "{\"bench\":\"fault_recovery\",\"world\":%d,\"producers\":%d,"
+        "\"consumers\":%d,\"elements_per_producer\":%d,"
+        "\"checkpoint_interval\":%u,\"max_inflight\":%u,\"scenarios\":["
+        "{\"name\":\"baseline_no_resilience\",\"virtual_s\":%.9f,"
+        "\"wall_s\":%.6f,\"delivered\":%llu},"
+        "{\"name\":\"resilient_fault_free\",\"virtual_s\":%.9f,"
+        "\"wall_s\":%.6f,\"delivered\":%llu,\"retained_max\":%llu,"
+        "\"durable_acks\":%llu,\"overhead_pct\":%.3f},"
+        "{\"name\":\"consumer_crash\",\"virtual_s\":%.9f,\"wall_s\":%.6f,"
+        "\"delivered\":%llu,\"replayed_elements\":%llu,"
+        "\"max_replayed_one_producer\":%llu,\"replay_bound\":%llu,"
+        "\"recovery_virtual_s\":%.9f,\"failovers\":%u,"
+        "\"duplicates_filtered\":%llu,\"goodput_eps_virtual\":%.1f}]}\n",
+        kProducers + kConsumers, kProducers, kConsumers, elements, kInterval,
+        kWindow, baseline.virtual_s, baseline.wall_s,
+        static_cast<unsigned long long>(baseline.delivered),
+        fault_free.virtual_s, fault_free.wall_s,
+        static_cast<unsigned long long>(fault_free.delivered),
+        static_cast<unsigned long long>(fault_free.retained_max),
+        static_cast<unsigned long long>(fault_free.durable_acks), overhead_pct,
+        crash.virtual_s, crash.wall_s,
+        static_cast<unsigned long long>(crash.delivered),
+        static_cast<unsigned long long>(crash.replayed),
+        static_cast<unsigned long long>(crash.max_replayed_one),
+        static_cast<unsigned long long>(replay_bound), recovery_s,
+        crash.failovers,
+        static_cast<unsigned long long>(crash.duplicates_filtered),
+        crash.virtual_s > 0
+            ? static_cast<double>(crash.delivered) / crash.virtual_s
+            : 0.0);
+    std::fclose(f);
+    std::printf("JSON written to %s\n", path);
+  }
+
+  std::printf("fault_recovery check: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

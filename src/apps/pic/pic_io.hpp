@@ -38,6 +38,15 @@ struct PicIoConfig {
   std::size_t batch_particles = 4096;           ///< stream element batch
   std::size_t helper_buffer_bytes = 64u << 20;  ///< flush threshold
 
+  /// Resilience for the decoupled chain (ds::resilience): elements per
+  /// epoch on each flow, 0 = off. With it on, the writeback stage runs
+  /// manual durability — a writer acknowledges its consumed batches only
+  /// after flushing them to the file — so an injected writer crash (via
+  /// mpi::MachineConfig::faults) replays exactly the batches whose bytes
+  /// had not reached storage, and the surviving writer that adopts the dead
+  /// writer's flows completes the dump byte-identically.
+  std::uint32_t checkpoint_interval = 0;
+
   bool real_data = false;  ///< write real particle-id payloads
   std::uint64_t seed = 42;
 };

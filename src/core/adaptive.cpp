@@ -106,7 +106,11 @@ std::uint32_t FlowController::observe_flush(FlushTrigger trigger,
   bytes_in_window_ += wire_bytes;
   if (trigger == FlushTrigger::Budget) ++budget_flushes_;
   if (trigger == FlushTrigger::Idle && elements > 0) ++idle_flushes_;
-  if (flushes_in_window_ < config_.window) return budget;
+  if (trigger == FlushTrigger::Credit) ++credit_flushes_;
+  if (flushes_in_window_ < config_.window) {
+    window_rolled_ = false;
+    return budget;
+  }
 
   const double budget_fraction =
       static_cast<double>(budget_flushes_) / flushes_in_window_;
@@ -125,11 +129,26 @@ std::uint32_t FlowController::observe_flush(FlushTrigger trigger,
     // budget buys nothing — halve it (never below one small element's worth).
     next = std::max(config_.min_budget, budget / 2);
   }
+  window_rolled_ = true;
+  last_window_credit_stalled_ = credit_flushes_ > 0;
   flushes_in_window_ = 0;
   budget_flushes_ = 0;
   idle_flushes_ = 0;
+  credit_flushes_ = 0;
   bytes_in_window_ = 0;
   return next;
+}
+
+std::uint32_t FlowController::retune_window(std::uint32_t current,
+                                            std::uint32_t configured,
+                                            std::uint32_t cap,
+                                            bool credit_stalled) noexcept {
+  if (configured == 0) return 0;  // flow control off
+  if (credit_stalled) return std::min(cap, current * 2);
+  // No credit stall this window: decay halfway toward the configured value
+  // (never below it — the consumer's liveness clamp is derived from it).
+  if (current <= configured) return configured;
+  return current - (current - configured + 1) / 2;
 }
 
 std::uint32_t FlowController::retune_ack_interval(

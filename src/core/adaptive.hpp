@@ -117,7 +117,9 @@ enum class FlushTrigger : std::uint8_t {
   Idle,     ///< same-instant backstop: the fiber yielded mid-frame
   Term,     ///< stream termination flushed a partial frame
   Credit,   ///< producer blocked on the credit window
-  Explicit  ///< Stream::flush() called by the application
+  Explicit, ///< Stream::flush() called by the application
+  Epoch     ///< resilient flow crossed a checkpoint boundary (frames never
+            ///< straddle epochs, so durability acks truncate whole frames)
 };
 
 /// Producer-side controller: one per coalescing stream. Observes every
@@ -146,6 +148,30 @@ class FlowController {
   std::uint32_t observe_flush(FlushTrigger trigger, std::uint32_t elements,
                               std::uint64_t wire_bytes, std::uint32_t budget);
 
+  /// Adaptive max_inflight (ROADMAP follow-up): retune the producer's
+  /// effective credit window from the same flush-trigger signals, once per
+  /// controller window. Credit-triggered flushes mean the producer keeps
+  /// blocking on the window — grow it (x2, capped at `cap`); a window with
+  /// no credit stalls decays halfway back toward the configured value.
+  /// The result never drops below `configured`: the consumer-side liveness
+  /// clamp ceil(configured/spread) stays valid for any window >= configured,
+  /// so adaptation can never starve a blocked producer of its ack flush.
+  /// Call at the window rollover (when observe_flush returns a fresh
+  /// budget); `credit_stalled` is whether the rolled-over window contained
+  /// credit-triggered flushes.
+  [[nodiscard]] static std::uint32_t retune_window(std::uint32_t current,
+                                                  std::uint32_t configured,
+                                                  std::uint32_t cap,
+                                                  bool credit_stalled) noexcept;
+
+  /// Credit-triggered flushes observed in the window that just rolled over
+  /// (valid right after observe_flush crossed the window boundary).
+  [[nodiscard]] bool last_window_credit_stalled() const noexcept {
+    return last_window_credit_stalled_;
+  }
+  /// True exactly when the previous observe_flush call rolled the window.
+  [[nodiscard]] bool window_rolled() const noexcept { return window_rolled_; }
+
   /// Consumer-side ack retune: with self-tuning on, the effective credit
   /// batch tracks the observed frame occupancy (one ack per drained frame)
   /// but never drops below the library default nor exceeds the liveness
@@ -159,7 +185,10 @@ class FlowController {
   std::uint32_t flushes_in_window_ = 0;
   std::uint32_t budget_flushes_ = 0;
   std::uint32_t idle_flushes_ = 0;
+  std::uint32_t credit_flushes_ = 0;
   std::uint64_t bytes_in_window_ = 0;
+  bool window_rolled_ = false;
+  bool last_window_credit_stalled_ = false;
 };
 
 }  // namespace ds::stream

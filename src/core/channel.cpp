@@ -52,6 +52,10 @@ Channel Channel::create(mpi::Rank& self, const mpi::Comm& parent,
 
 void Channel::free(mpi::Rank& self) {
   if (!valid() || self.rank_in(comm_) < 0) return;
+  // Resilient channels skip the quiesce barrier: a crashed member can never
+  // join it (all members agree from the shared config, so nobody waits), and
+  // a crashed rank's own unwinding must not start a collective.
+  if (config_.resilient() || self.failed()) return;
   self.barrier(comm_);
 }
 

@@ -94,6 +94,28 @@ struct ChannelConfig {
   /// coalesce_budget/ack_interval and set this false for fixed behavior.
   bool flow_autotune = true;
 
+  /// Stream epochs / consumer failover (ds::resilience): when nonzero, every
+  /// element of the stream travels in a framed message stamped with its flow
+  /// id and sequence number, producers cut an epoch every
+  /// `checkpoint_interval` elements per flow and retain unacknowledged
+  /// frames for replay, and on an injected consumer crash the producers
+  /// rebind the dead consumer's flows to the deterministic failover target,
+  /// replay the open epoch, and the receiver dedupes by (flow, seq) so
+  /// delivery stays exactly-once from the application's view. 0 (default)
+  /// disables all resilience machinery — the fault-free hot path is
+  /// untouched.
+  std::uint32_t checkpoint_interval = 0;
+
+  /// Durability-acknowledgment mode for resilient streams: false = automatic
+  /// at epoch boundaries (processing counts as durable); true = the consumer
+  /// application calls Stream::ack_durable once its external effects are
+  /// safe. See resilience::ResilienceOptions.
+  bool manual_durability = false;
+
+  [[nodiscard]] bool resilient() const noexcept {
+    return checkpoint_interval > 0;
+  }
+
   /// Default frame budget in wire bytes (fits well under the default eager
   /// threshold; ~28 64-byte elements per frame).
   static constexpr std::uint32_t kDefaultCoalesceBudget = 2048;
@@ -103,6 +125,11 @@ struct ChannelConfig {
   /// configured value; consumers size their receive buffers from the same
   /// bound, so both sides agree without coordination.
   static constexpr std::uint32_t kCoalesceGrowthCap = 4;
+  /// Adaptive flow control may grow the effective credit window to at most
+  /// this multiple of max_inflight (and never below it): the consumer-side
+  /// liveness clamp is derived from the configured window, so growing — but
+  /// never shrinking past — the configured value keeps the clamp valid.
+  static constexpr std::uint32_t kWindowGrowthCap = 4;
 };
 
 class Channel {

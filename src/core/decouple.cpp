@@ -81,6 +81,8 @@ std::uint64_t StreamBase::operate_while(
 
 bool StreamBase::poll_one() { return stream_.poll_one(self()); }
 
+void StreamBase::ack_durable() { stream_.ack_durable(self()); }
+
 std::uint64_t StreamBase::drain() {
   std::uint64_t consumed = 0;
   while (poll_one()) ++consumed;
@@ -317,6 +319,15 @@ Pipeline& Pipeline::with_channel_base(std::uint64_t base) & {
   return *this;
 }
 
+Pipeline& Pipeline::with_resilience(resilience::ResilienceOptions options) & {
+  if (options.checkpoint_interval == 0)
+    throw std::invalid_argument(
+        "Pipeline::with_resilience: checkpoint_interval must be > 0 "
+        "(resilience without epochs would retain unboundedly)");
+  resilience_ = options;
+  return *this;
+}
+
 bool Pipeline::is_helper_rank(int parent_rank) const noexcept {
   return std::binary_search(helpers_.begin(), helpers_.end(), parent_rank);
 }
@@ -467,6 +478,13 @@ void Pipeline::launch(const RoleFn& role_fn) {
     config.coalesce_budget = slot.options.coalesce_budget;
     config.coalesce_max_elements = slot.options.coalesce_max_elements;
     config.flow_autotune = slot.options.flow_autotune;
+    config.checkpoint_interval = slot.options.checkpoint_interval;
+    config.manual_durability = slot.options.manual_durability;
+    if (resilience_ && config.checkpoint_interval == 0) {
+      config.checkpoint_interval = resilience_->checkpoint_interval;
+      config.manual_durability =
+          config.manual_durability || resilience_->manual_durability;
+    }
     const bool to_helpers = slot.options.direction == Direction::ToHelpers;
     const bool produce = slot.options.producers
                              ? slot.options.producers(me)

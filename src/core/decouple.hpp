@@ -56,6 +56,7 @@
 #include "core/group_plan.hpp"
 #include "core/stream.hpp"
 #include "mpi/comm.hpp"
+#include "resilience/options.hpp"
 #include "util/time.hpp"
 
 namespace ds::mpi {
@@ -110,10 +111,20 @@ struct StreamOptions {
   /// Per-frame element cap (0 picks the library default).
   std::uint32_t coalesce_max_elements = 0;
   /// Self-tuning flow control: drive the coalesce budget (and, when
-  /// ack_interval is 0, the consumer's credit batch) online from the frame
-  /// occupancy / inter-arrival signals. Pin the knobs and set this false
-  /// for fully static behavior.
+  /// ack_interval is 0, the consumer's credit batch; and, when max_inflight
+  /// is set, the effective credit window — grown on credit stalls, never
+  /// shrunk below the configured value) online from the frame occupancy /
+  /// inter-arrival signals. Pin the knobs and set this false for fully
+  /// static behavior.
   bool flow_autotune = true;
+  /// Stream epochs / consumer failover (see ChannelConfig::
+  /// checkpoint_interval and README "Resilience"): elements per epoch on
+  /// each flow; 0 disables resilience for this stream unless the pipeline
+  /// sets a default via Pipeline::with_resilience.
+  std::uint32_t checkpoint_interval = 0;
+  /// Durability-ack mode for resilient streams (see
+  /// resilience::ResilienceOptions::manual_durability).
+  bool manual_durability = false;
   /// Endpoint overrides for streams that do not follow the worker/helper
   /// split (e.g. a reduce group's internal master stream); when set, they
   /// replace the direction-derived groups.
@@ -206,6 +217,10 @@ class StreamBase {
   virtual void terminate();
 
   // ---- consumer side ----
+  /// Resilient streams with manual durability: acknowledge that everything
+  /// consumed so far has durable effects (e.g. after a file flush); see
+  /// stream::Stream::ack_durable. No-op otherwise.
+  void ack_durable();
   /// Process elements FCFS until every routed producer terminated.
   std::uint64_t operate();
   /// Process arrivals while `keep_going()` stays true (re-checked after
@@ -239,6 +254,27 @@ class StreamBase {
   /// bytes; 0 when coalescing is off or nothing has been sent.
   [[nodiscard]] std::uint32_t coalesce_budget_now() const noexcept {
     return stream_.coalesce_budget_now();
+  }
+  /// The producer's current effective credit window (adaptively grown when
+  /// flow_autotune is on; equals max_inflight otherwise).
+  [[nodiscard]] std::uint32_t max_inflight_now() const noexcept {
+    return stream_.max_inflight_now();
+  }
+  /// Elements this producer re-posted from replay logs across failovers.
+  [[nodiscard]] std::uint64_t replayed_elements() const noexcept {
+    return stream_.replayed_elements();
+  }
+  /// Elements currently retained for replay (producer side).
+  [[nodiscard]] std::uint64_t retained_elements() const noexcept {
+    return stream_.retained_elements();
+  }
+  /// Flow rebinds this producer performed after consumer crashes.
+  [[nodiscard]] std::uint32_t failovers() const noexcept {
+    return stream_.failovers();
+  }
+  /// Duplicate deliveries suppressed by the exactly-once filter (consumer).
+  [[nodiscard]] std::uint64_t duplicates_dropped() const noexcept {
+    return stream_.duplicates_dropped();
   }
   /// True once all routed producers have terminated (consumer side).
   [[nodiscard]] bool exhausted() const noexcept { return stream_.exhausted(); }
@@ -538,6 +574,15 @@ class Pipeline {
   Pipeline&& with_channel_base(std::uint64_t base) && {
     return std::move(with_channel_base(base));
   }
+  /// Resilience defaults for every stream of this pipeline: stream epochs,
+  /// bounded replay, and consumer failover (see README "Resilience"). A
+  /// stream whose StreamOptions sets checkpoint_interval explicitly keeps
+  /// its own value; manual_durability likewise composes per stream (a
+  /// stream-level `true` is never overridden).
+  Pipeline& with_resilience(resilience::ResilienceOptions options = {}) &;
+  Pipeline&& with_resilience(resilience::ResilienceOptions options = {}) && {
+    return std::move(with_resilience(options));
+  }
 
   // ---- stream declaration ----
   /// A stream of `Record`s, each carrying up to `max_payload_bytes` extra.
@@ -627,6 +672,7 @@ class Pipeline {
   bool want_worker_comm_ = false;
   bool ran_ = false;
   std::uint64_t channel_base_ = 0;
+  std::optional<resilience::ResilienceOptions> resilience_;
   mpi::Comm worker_comm_{};
   std::vector<Slot> slots_;
 };

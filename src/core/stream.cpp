@@ -26,8 +26,38 @@ struct SubHeader {
   std::uint32_t data = 0;
 };
 
+/// Resilient frames carry this directly after the FrameHeader: the flow the
+/// frame belongs to (the original consumer index of its sequence space) and
+/// the flow sequence of the first packed element. Everything the receiver
+/// needs for exactly-once admission, and everything a replayed frame needs
+/// to stay self-describing.
+struct EpochHeader {
+  std::uint64_t seq0 = 0;
+  std::uint32_t flow = 0;
+  std::uint32_t reserved = 0;
+};
+
+/// One durability acknowledgment: every element of `flow` below `upto` has
+/// durable effects at the consumer; the producer truncates its replay log.
+struct DurableAck {
+  std::uint64_t upto = 0;
+  std::uint32_t flow = 0;
+  std::uint32_t reserved = 0;
+};
+
+/// Flow handoff sent at failover, ahead of the replayed frames: the adopted
+/// flow's durable point, so the adopter admits exactly the undurable tail
+/// even when a retained frame straddles the durability boundary (possible
+/// under manual acks, which land at arbitrary consumption points).
+struct FlowHandoff {
+  std::uint64_t durable = 0;
+  std::uint32_t flow = 0;
+  std::uint32_t reserved = 0;
+};
+
 constexpr std::size_t kFrameOverhead = sizeof(FrameHeader);
 constexpr std::size_t kSubOverhead = sizeof(SubHeader);
+constexpr std::size_t kEpochOverhead = sizeof(EpochHeader);
 
 }  // namespace
 
@@ -55,25 +85,53 @@ struct CoalesceState {
   util::SimTime send_overhead = 0;
   util::SimTime debt = 0;  ///< CPU owed from event-context flushes
 
+  // Adaptive credit window (flow_autotune && max_inflight > 0): grown on
+  // credit stalls, decayed back toward — never below — the configured value.
+  std::uint32_t window_cfg = 0;
+  std::uint32_t window_cap = 0;
+  std::uint32_t window_now = 0;
+
+  // Resilience (ChannelConfig::checkpoint_interval > 0): per-flow sequence
+  // spaces, replay logs, and the physical redirect installed by failover.
+  // Lives in the shared box so backstop (event-context) flushes retain
+  // frames exactly like fiber flushes.
+  bool resilient = false;
+  std::size_t frame_overhead = kFrameOverhead;  ///< + epoch header if resilient
+  std::uint32_t checkpoint_interval = 0;
+  struct Flow {
+    std::uint64_t seq = 0;  ///< next sequence to assign on this flow
+    resilience::ReplayLog log;
+  };
+  std::vector<Flow> flows;     ///< by flow id (original consumer index)
+  std::vector<int> redirect;   ///< physical consumer per flow (identity start)
+  std::uint64_t seen_failure_epoch = 0;
+  std::uint64_t replayed_elements = 0;
+  std::uint32_t failovers = 0;
+
   struct Pending {
     std::vector<std::byte> buf;  ///< FrameHeader + sub-records (capacity kept)
     std::uint32_t elements = 0;
     std::uint64_t wire = 0;   ///< frame wire bytes incl. all framing
     std::uint64_t epoch = 0;  ///< bumped per flush; stale backstops no-op
+    std::uint64_t seq0 = 0;   ///< resilient: flow seq of the first element
     int dst_world = -1;
   };
-  std::vector<Pending> pending;  ///< by consumer index, lazily sized
+  std::vector<Pending> pending;  ///< by flow (== consumer index), lazily sized
 
   std::uint64_t frames_sent = 0;
   std::uint64_t coalesced_elements = 0;
 
-  /// Post one consumer's pending frame (fiber or event context) and reset
-  /// the slot. Returns the frame's wire size for the controller.
+  /// Post one flow's pending frame (fiber or event context) and reset the
+  /// slot. Resilient flows retain the frame bytes for replay before posting.
+  /// Returns the frame's wire size for the controller.
   std::uint64_t post_frame(int consumer) {
     Pending& p = pending[static_cast<std::size_t>(consumer)];
     FrameHeader header{p.elements,
                        static_cast<std::uint32_t>(p.buf.size() - kFrameOverhead)};
     std::memcpy(p.buf.data(), &header, sizeof header);
+    if (resilient)
+      flows[static_cast<std::size_t>(consumer)].log.retain(
+          p.seq0, p.elements, p.wire, p.buf.data(), p.buf.size());
     machine->post_send(context, producer_index, src_world, p.dst_world,
                        frame_tag,
                        mpi::SendBuf{p.buf.data(), p.buf.size(), p.wire});
@@ -87,12 +145,17 @@ struct CoalesceState {
     return wire;
   }
 
-  /// Retune the budget after a flush of `elements`/`wire` under `trigger`.
+  /// Retune the budget (and, when flow control is on, the credit window)
+  /// after a flush of `elements`/`wire` under `trigger`.
   void retune(FlushTrigger trigger, std::uint32_t elements, std::uint64_t wire) {
     if (!autotune) return;
     const std::uint32_t next =
         controller.observe_flush(trigger, elements, wire, budget);
     budget = std::clamp(next, budget_floor, budget_cap);
+    if (window_cfg > 0 && controller.window_rolled())
+      window_now = FlowController::retune_window(
+          window_now, window_cfg, window_cap,
+          controller.last_window_credit_stalled());
   }
 };
 
@@ -106,6 +169,7 @@ Stream Stream::attach(const Channel& channel, const mpi::Datatype& element_type,
     s.context_ = mpi::Machine::derive_context(channel.comm().context(),
                                               0x57BEA4ull, stream_id);
     s.ack_context_ = mpi::Machine::derive_context(s.context_, 0xACCull, 1);
+    s.durable_context_ = mpi::Machine::derive_context(s.context_, 0xD07ull, 2);
   }
   return s;
 }
@@ -122,23 +186,57 @@ std::uint32_t Stream::coalesce_budget_now() const noexcept {
   return coalesce_ ? coalesce_->budget : 0;
 }
 
+std::uint32_t Stream::max_inflight_now() const noexcept {
+  return coalesce_ && coalesce_->window_now > 0
+             ? coalesce_->window_now
+             : (channel_ != nullptr ? channel_->config().max_inflight : 0);
+}
+
+std::uint32_t Stream::window_now() const noexcept { return max_inflight_now(); }
+
+std::uint64_t Stream::replayed_elements() const noexcept {
+  return coalesce_ ? coalesce_->replayed_elements : 0;
+}
+
+std::uint64_t Stream::retained_elements() const noexcept {
+  if (!coalesce_) return 0;
+  std::uint64_t total = 0;
+  for (const CoalesceState::Flow& f : coalesce_->flows)
+    total += f.log.retained_elements();
+  return total;
+}
+
+std::uint32_t Stream::failovers() const noexcept {
+  return coalesce_ ? coalesce_->failovers : 0;
+}
+
 void Stream::ensure_producer_state(mpi::Rank& self) {
-  if (coalesce_ || channel_->config().coalesce_budget == 0) return;
   const ChannelConfig& cfg = channel_->config();
+  if (coalesce_ || (cfg.coalesce_budget == 0 && !cfg.resilient())) return;
   auto st = std::make_shared<CoalesceState>();
   st->machine = &self.machine();
   st->context = context_;
   st->producer_index = channel_->my_producer_index(self);
   st->src_world = self.world_rank();
   st->frame_tag = kTagFrame;
-  st->budget = cfg.coalesce_budget;
-  st->budget_cap = cfg.coalesce_budget * ChannelConfig::kCoalesceGrowthCap;
-  st->budget_floor =
-      std::min(cfg.coalesce_budget, FlowController::Config{}.min_budget);
+  st->resilient = cfg.resilient();
+  st->frame_overhead =
+      kFrameOverhead + (st->resilient ? kEpochOverhead : 0);
+  // Resilience with coalescing off still frames every element (alone): the
+  // frame is what carries the flow/sequence stamp and what the replay log
+  // retains. A budget of exactly the framing overhead admits one forced
+  // element per frame and packs nothing.
+  const std::uint32_t base_budget =
+      cfg.coalesce_budget > 0
+          ? cfg.coalesce_budget
+          : static_cast<std::uint32_t>(st->frame_overhead + kSubOverhead);
+  st->budget = base_budget;
+  st->budget_cap = base_budget * ChannelConfig::kCoalesceGrowthCap;
+  st->budget_floor = std::min(base_budget, FlowController::Config{}.min_budget);
   st->max_elements = cfg.coalesce_max_elements == 0
                          ? ChannelConfig::kDefaultCoalesceMaxElements
                          : cfg.coalesce_max_elements;
-  st->autotune = cfg.flow_autotune;
+  st->autotune = cfg.flow_autotune && cfg.coalesce_budget > 0;
   FlowController::Config fc;
   fc.min_budget = st->budget_floor;
   fc.max_budget = st->budget_cap;
@@ -146,6 +244,19 @@ void Stream::ensure_producer_state(mpi::Rank& self) {
   st->inject_overhead = cfg.inject_overhead;
   st->send_overhead = self.machine().config().network.send_overhead;
   st->pending.resize(static_cast<std::size_t>(channel_->consumer_count()));
+  if (cfg.max_inflight > 0 && st->autotune) {
+    st->window_cfg = cfg.max_inflight;
+    st->window_cap = cfg.max_inflight * ChannelConfig::kWindowGrowthCap;
+    st->window_now = cfg.max_inflight;
+  }
+  if (st->resilient) {
+    st->checkpoint_interval = cfg.checkpoint_interval;
+    st->flows.resize(static_cast<std::size_t>(channel_->consumer_count()));
+    st->redirect.resize(static_cast<std::size_t>(channel_->consumer_count()));
+    for (std::size_t c = 0; c < st->redirect.size(); ++c)
+      st->redirect[c] = static_cast<int>(c);
+    st->seen_failure_epoch = 0;
+  }
   coalesce_ = std::move(st);
 }
 
@@ -156,7 +267,12 @@ bool Stream::coalesce_element(mpi::Rank& self, int consumer,
   const std::size_t el_wire = element.on_wire();
   // Oversized for even an empty frame: bypass (after ordering-preserving
   // flush of anything already pending toward this consumer, done by caller).
-  if (kFrameOverhead + kSubOverhead + el_wire > st.budget) return false;
+  // Resilient flows never bypass — every element needs its sequence stamp —
+  // so an oversized element is force-framed alone (flushed below by the
+  // budget check before the next element can join it).
+  if (!st.resilient &&
+      st.frame_overhead + kSubOverhead + el_wire > st.budget)
+    return false;
 
   auto& p = st.pending[static_cast<std::size_t>(consumer)];
   if (p.elements > 0 &&
@@ -166,9 +282,22 @@ bool Stream::coalesce_element(mpi::Rank& self, int consumer,
                 static_cast<std::uint8_t>(FlushTrigger::Budget));
   }
   if (p.elements == 0) {
-    p.buf.resize(kFrameOverhead);  // header written at flush
-    p.wire = kFrameOverhead;
-    p.dst_world = channel_->comm().world_rank(channel_->consumer_rank(consumer));
+    p.buf.resize(st.frame_overhead);  // header(s) written at flush/open
+    p.wire = st.frame_overhead;
+    if (st.resilient) {
+      // The frame belongs to flow `consumer` but travels to the flow's
+      // current physical target; the epoch header makes it self-describing
+      // for both first delivery and replay.
+      auto& flow = st.flows[static_cast<std::size_t>(consumer)];
+      p.seq0 = flow.seq;
+      p.dst_world = channel_->comm().world_rank(channel_->consumer_rank(
+          st.redirect[static_cast<std::size_t>(consumer)]));
+      const EpochHeader eh{p.seq0, static_cast<std::uint32_t>(consumer), 0};
+      std::memcpy(p.buf.data() + kFrameOverhead, &eh, sizeof eh);
+    } else {
+      p.dst_world =
+          channel_->comm().world_rank(channel_->consumer_rank(consumer));
+    }
     // Same-instant backstop: the moment this fiber yields the CPU (advance,
     // wait, return), the engine runs this event at the *current* virtual
     // time and flushes whatever the burst left behind — coalescing merges
@@ -195,6 +324,16 @@ bool Stream::coalesce_element(mpi::Rank& self, int consumer,
     std::memcpy(p.buf.data() + at + kSubOverhead, element.ptr, element.bytes);
   p.wire += kSubOverhead + el_wire;
   ++p.elements;
+  if (st.resilient) {
+    auto& flow = st.flows[static_cast<std::size_t>(consumer)];
+    ++flow.seq;
+    // Epoch cut: frames never straddle checkpoint boundaries, so durability
+    // acknowledgments (which arrive at epoch granularity) always truncate
+    // whole frames from the replay log.
+    if (flow.seq % st.checkpoint_interval == 0)
+      flush_frame(self, consumer,
+                  static_cast<std::uint8_t>(FlushTrigger::Epoch));
+  }
   return true;
 }
 
@@ -244,13 +383,23 @@ void Stream::isend_to(mpi::Rank& self, int consumer, mpi::SendBuf element) {
     throw std::logic_error("Stream::isend: stream already terminated");
   ensure_producer_state(self);
 
+  if (coalesce_ && coalesce_->resilient) {
+    // Truncate replay logs with any durability progress first (smaller
+    // replays), then react to crashes observed since the last send.
+    drain_durable_acks(self);
+    check_producer_failover(self);
+  }
+
   // Credit-based backpressure: block until the in-flight window has room —
   // flushing first, since buffered elements count against the window and
-  // only delivered elements can come back as credits.
-  const std::uint32_t window = channel_->config().max_inflight;
-  if (window > 0 && sent_ - acks_seen_ >= window) {
+  // only delivered elements can come back as credits. (Failover can return
+  // a handful of duplicate credits, so the outstanding count is computed
+  // underflow-safe.)
+  const std::uint32_t window = window_now();
+  if (window > 0 && sent_ > acks_seen_ && sent_ - acks_seen_ >= window) {
     flush_all_frames(self, static_cast<std::uint8_t>(FlushTrigger::Credit));
-    while (sent_ - acks_seen_ >= window) await_credit(self);
+    while (sent_ > acks_seen_ && sent_ - acks_seen_ >= window)
+      await_credit(self);
   }
 
   ++sent_;
@@ -258,7 +407,12 @@ void Stream::isend_to(mpi::Rank& self, int consumer, mpi::SendBuf element) {
     if (sent_per_consumer_.empty())
       sent_per_consumer_.assign(
           static_cast<std::size_t>(channel_->consumer_count()), 0);
-    ++sent_per_consumer_[static_cast<std::size_t>(consumer)];
+    // Tally at the element's *physical* destination: on a rebound flow the
+    // element is delivered to (and will be accounted by) the failover target.
+    const int phys = coalesce_ && coalesce_->resilient
+                         ? coalesce_->redirect[static_cast<std::size_t>(consumer)]
+                         : consumer;
+    ++sent_per_consumer_[static_cast<std::size_t>(phys)];
   }
 
   if (coalesce_element(self, consumer, element)) return;
@@ -282,6 +436,21 @@ void Stream::terminate(mpi::Rank& self) {
   const int p = channel_->my_producer_index(self);
   if (p < 0) throw std::logic_error("Stream::terminate: caller is not a producer");
   if (terminated_) return;
+  if (self.failed()) {
+    // A crashed rank's RAII termination must not emit protocol traffic.
+    terminated_ = true;
+    return;
+  }
+  // A producer that never sent still needs its resilience state here: its
+  // term must route to the failover target, not to a dead consumer.
+  ensure_producer_state(self);
+  const bool resilient = coalesce_ && coalesce_->resilient;
+  if (resilient) {
+    // Last chance to repair routing before the counts are announced: a crash
+    // after this producer terminates is outside the recoverability window.
+    drain_durable_acks(self);
+    check_producer_failover(self);
+  }
   terminated_ = true;
   // Partial frames leave before the term so counts and order stay intact;
   // settle any backstop debt even when nothing is pending.
@@ -300,20 +469,32 @@ void Stream::terminate(mpi::Rank& self) {
     ++term_msgs_sent_;
   };
   if (!channel_->tree_termination()) {
-    // Block mapping: this producer routes to exactly one consumer.
-    post_term(channel_->route(p, 0), mpi::SendBuf::synthetic(0));
+    // Block mapping: this producer routes to exactly one consumer — after a
+    // failover, to the consumer that adopted its flow (which repaired its
+    // expected term count when it adopted).
+    const int peer = channel_->route(p, 0);
+    post_term(resilient ? coalesce_->redirect[static_cast<std::size_t>(peer)]
+                        : peer,
+              mpi::SendBuf::synthetic(0));
     return;
   }
   // Aggregated termination: one term to the aggregator consumer, carrying
   // this producer's per-consumer element counts (nonzero entries only) so
-  // consumers can account for data still in flight.
+  // consumers can account for data still in flight. On a resilient channel
+  // the aggregator role falls to the first *live* consumer.
   term_tx_.clear();
   term_tx_.reserve(sent_per_consumer_.size());
   for (std::size_t c = 0; c < sent_per_consumer_.size(); ++c)
     if (sent_per_consumer_[c] > 0)
       term_tx_.push_back(TermEntry{c, sent_per_consumer_[c]});
-  post_term(Channel::term_aggregator(),
-            mpi::SendBuf::of(term_tx_.data(), term_tx_.size()));
+  const int aggregator =
+      resilient
+          ? resilience::effective_aggregator(*channel_, self.machine())
+          : Channel::term_aggregator();
+  if (aggregator < 0)
+    throw std::runtime_error(
+        "Stream::terminate: every consumer of the resilient channel is dead");
+  post_term(aggregator, mpi::SendBuf::of(term_tx_.data(), term_tx_.size()));
 }
 
 void Stream::ensure_consumer_state(mpi::Rank& self) {
@@ -323,16 +504,24 @@ void Stream::ensure_consumer_state(mpi::Rank& self) {
     throw std::logic_error("Stream::operate: caller is not a consumer");
   expected_terms_ = channel_->expected_term_count(my_consumer_);
   const ChannelConfig& cfg = channel_->config();
+  resilient_ = cfg.resilient();
+  manual_durability_ = cfg.manual_durability;
+  checkpoint_interval_ = cfg.checkpoint_interval;
   // Tree-mode terms carry up to one count entry per consumer; coalesced
   // frames carry up to the (possibly self-tuned) budget. Size the receive
   // buffer for the largest of those, the bare element, or a single-element
   // frame — the growth factor applies only when self-tuning can actually
-  // grow the producer's budget.
+  // grow the producer's budget. Resilient frames carry the epoch header on
+  // top, and arrive even with coalescing off (forced single-element frames).
+  const std::size_t frame_overhead =
+      kFrameOverhead + (resilient_ ? kEpochOverhead : 0);
   std::size_t capacity = element_size_;
-  if (cfg.coalesce_budget > 0) {
+  if (cfg.coalesce_budget > 0 || resilient_) {
     const std::size_t growth =
-        cfg.flow_autotune ? ChannelConfig::kCoalesceGrowthCap : 1;
-    capacity = std::max(capacity + kFrameOverhead + kSubOverhead,
+        cfg.flow_autotune && cfg.coalesce_budget > 0
+            ? ChannelConfig::kCoalesceGrowthCap
+            : 1;
+    capacity = std::max(capacity + frame_overhead + kSubOverhead,
                         static_cast<std::size_t>(cfg.coalesce_budget) * growth);
   }
   if (channel_->tree_termination()) {
@@ -375,20 +564,33 @@ void Stream::fan_out_term(mpi::Rank& self,
   // Every child gets a collective term; its payload is sliced down to the
   // counts of the child's own subtree. The slice scratch is a reserved
   // member, reused across children instead of reallocating per slice.
+  for (const int child : channel_->term_children(my_consumer_))
+    fan_out_to(self, child, entries);
+}
+
+void Stream::fan_out_to(mpi::Rank& self, int child,
+                        const std::vector<TermEntry>& entries) {
   auto& machine = self.machine();
-  for (const int child : channel_->term_children(my_consumer_)) {
-    term_slice_.clear();
-    for (const TermEntry& e : entries)
-      if (Channel::term_in_subtree(static_cast<int>(e.consumer), child))
-        term_slice_.push_back(e);
-    self.process().advance(machine.config().network.send_overhead);
-    machine.post_send(context_, channel_->consumer_rank(my_consumer_),
-                      self.world_rank(),
-                      channel_->comm().world_rank(channel_->consumer_rank(child)),
-                      kTagTerm,
-                      mpi::SendBuf::of(term_slice_.data(), term_slice_.size()));
-    ++term_msgs_sent_;
+  if (resilient_ &&
+      machine.rank_failed(
+          channel_->comm().world_rank(channel_->consumer_rank(child)))) {
+    // Route around a crashed interior consumer: its subtrees still need the
+    // collective term, delivered straight to the grandchildren.
+    for (const int grandchild : channel_->term_children(child))
+      fan_out_to(self, grandchild, entries);
+    return;
   }
+  term_slice_.clear();
+  for (const TermEntry& e : entries)
+    if (Channel::term_in_subtree(static_cast<int>(e.consumer), child))
+      term_slice_.push_back(e);
+  self.process().advance(machine.config().network.send_overhead);
+  machine.post_send(context_, channel_->consumer_rank(my_consumer_),
+                    self.world_rank(),
+                    channel_->comm().world_rank(channel_->consumer_rank(child)),
+                    kTagTerm,
+                    mpi::SendBuf::of(term_slice_.data(), term_slice_.size()));
+  ++term_msgs_sent_;
 }
 
 void Stream::handle_tree_term(mpi::Rank& self, const mpi::Status& status) {
@@ -398,7 +600,7 @@ void Stream::handle_tree_term(mpi::Rank& self, const mpi::Status& status) {
   if (n > 0)
     std::memcpy(term_rx_.data(), element_buffer_.data(), n * sizeof(TermEntry));
   ++terms_seen_;
-  if (my_consumer_ == Channel::term_aggregator()) {
+  if (my_consumer_ == effective_aggregator_) {
     // Producer term: accumulate; once every producer reported, the summed
     // totals are final — announce them down the tree.
     if (count_accum_.empty()) count_accum_.assign(consumers, 0);
@@ -449,6 +651,23 @@ void Stream::await_credit(mpi::Rank& self) {
                                       mpi::kAnySource, kTagAck,
                                       mpi::RecvBuf::of(&granted, 1), {},
                                       /*fused_wake=*/true);
+  if (coalesce_ && coalesce_->resilient) {
+    // A credit may never come if the consumer holding it just crashed: wait
+    // interruptibly, re-evaluating failover on every crash notification.
+    // Rebinding replays the lost elements to the adopting consumer, whose
+    // consumption then produces the acks this loop is blocked on.
+    auto& machine = self.machine();
+    while (!req->complete) {
+      req->waiter_pid = self.process().id();
+      machine.add_failure_waiter(self.process().id());
+      self.process().set_state_note("blocked in stream credit wait");
+      self.process().suspend();
+      machine.ensure_alive(self.world_rank());
+      check_producer_failover(self);
+    }
+    req->waiter_pid = -1;
+    self.process().set_state_note({});
+  }
   self.wait(req);
   // Each ack carries the batch size it returns; malformed/synthetic acks
   // conservatively count one credit.
@@ -456,6 +675,158 @@ void Stream::await_credit(mpi::Rank& self) {
                  granted > 0)
                     ? granted
                     : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Resilience (ds::resilience): failover, replay, durability. Everything in
+// this block is inert unless ChannelConfig::checkpoint_interval > 0.
+// ---------------------------------------------------------------------------
+
+bool Stream::check_producer_failover(mpi::Rank& self) {
+  CoalesceState& st = *coalesce_;
+  auto& machine = self.machine();
+  if (st.seen_failure_epoch == machine.failure_epoch()) return false;
+  st.seen_failure_epoch = machine.failure_epoch();
+
+  bool any = false;
+  const auto consumers = static_cast<std::size_t>(channel_->consumer_count());
+  for (std::size_t flow = 0; flow < consumers; ++flow) {
+    const int phys = st.redirect[flow];
+    if (!machine.rank_failed(
+            channel_->comm().world_rank(channel_->consumer_rank(phys))))
+      continue;
+    const int target =
+        resilience::failover_target(*channel_, phys, machine);
+    if (target < 0)
+      throw std::runtime_error(
+          "stream failover: every consumer of the resilient channel is dead");
+    any = true;
+    ++st.failovers;
+    st.redirect[flow] = target;
+
+    auto& fl = st.flows[flow];
+    auto& p = st.pending[flow];
+    // A frame still being packed follows the flow to its new target.
+    if (p.elements > 0)
+      p.dst_world =
+          channel_->comm().world_rank(channel_->consumer_rank(target));
+
+    // Termination repair: every element past the durable point will be
+    // (re)delivered to — and admitted by — the target, so its announced
+    // count moves there. The durable prefix stays attributed to the dead
+    // consumer (nobody waits on a dead consumer's exhaustion).
+    if (channel_->tree_termination() && !sent_per_consumer_.empty()) {
+      const std::uint64_t moved = fl.seq - fl.log.durable_seq();
+      auto& from = sent_per_consumer_[static_cast<std::size_t>(phys)];
+      from -= std::min(from, moved);
+      sent_per_consumer_[static_cast<std::size_t>(target)] += moved;
+    }
+
+    // Hand the flow over: the durable point travels ahead of the replayed
+    // frames (per-source FIFO), so the adopter's cursor skips whatever the
+    // dead consumer already made durable — even mid-frame.
+    const int dst_world =
+        channel_->comm().world_rank(channel_->consumer_rank(target));
+    if (fl.log.durable_seq() > 0) {
+      const FlowHandoff handoff{fl.log.durable_seq(),
+                                static_cast<std::uint32_t>(flow), 0};
+      self.process().advance(st.send_overhead);
+      machine.post_send(context_, st.producer_index, st.src_world, dst_world,
+                        kTagHandoff, mpi::SendBuf::of(&handoff, 1));
+    }
+
+    // Replay: re-post the retained frames verbatim (they are
+    // self-describing: flow id and sequences travel in the epoch header).
+    for (const resilience::RetainedFrame& rf : fl.log.frames()) {
+      self.process().advance(st.send_overhead);
+      machine.post_send(context_, st.producer_index, st.src_world, dst_world,
+                        kTagFrame,
+                        mpi::SendBuf{rf.buf.data(), rf.buf.size(), rf.wire});
+      st.replayed_elements += rf.elements;
+    }
+  }
+  return any;
+}
+
+void Stream::check_consumer_failover(mpi::Rank& self) {
+  auto& machine = self.machine();
+  if (consumer_failure_epoch_ == machine.failure_epoch()) return;
+  consumer_failure_epoch_ = machine.failure_epoch();
+
+  const int consumers = channel_->consumer_count();
+  if (adopted_.empty())
+    adopted_.assign(static_cast<std::size_t>(consumers), 0);
+  for (int c = 0; c < consumers; ++c) {
+    if (c == my_consumer_ || adopted_[static_cast<std::size_t>(c)] != 0)
+      continue;
+    if (!machine.rank_failed(
+            channel_->comm().world_rank(channel_->consumer_rank(c))))
+      continue;
+    if (resilience::failover_target(*channel_, c, machine) != my_consumer_)
+      continue;
+    adopted_[static_cast<std::size_t>(c)] = 1;
+    // Block mapping counts terms per routed producer: adopting a dead
+    // consumer's flows means its producers' terms now arrive here. Tree
+    // mode needs no repair — producers move the announced counts to this
+    // consumer's entry before terminating.
+    if (!channel_->tree_termination())
+      expected_terms_ +=
+          static_cast<int>(channel_->producers_of(c).size());
+  }
+  if (channel_->tree_termination()) {
+    const int aggregator =
+        resilience::effective_aggregator(*channel_, machine);
+    if (aggregator >= 0 && aggregator != effective_aggregator_) {
+      effective_aggregator_ = aggregator;
+      // Adopting the aggregator role is only sound before the collective
+      // term went out (the old aggregator's partial accumulation died with
+      // it; producers re-target their terms to the new aggregator).
+      if (my_consumer_ == aggregator && !counts_known_)
+        expected_terms_ = channel_->producer_count();
+    }
+  }
+}
+
+void Stream::drain_durable_acks(mpi::Rank& self) {
+  auto& machine = self.machine();
+  mpi::Status st;
+  while (machine.match_probe(durable_context_, self.world_rank(),
+                             mpi::kAnySource, kTagDurable, &st)) {
+    DurableAck ack;
+    auto req = machine.post_recv(durable_context_, self.world_rank(),
+                                 st.source, kTagDurable,
+                                 mpi::RecvBuf::of(&ack, 1));
+    self.wait(req);  // completes synchronously after a successful probe
+    if (!req->status.synthetic && req->status.bytes >= sizeof ack &&
+        ack.flow < coalesce_->flows.size())
+      coalesce_->flows[ack.flow].log.truncate(ack.upto);
+  }
+}
+
+void Stream::send_durable_ack(mpi::Rank& self, int producer, int flow,
+                              std::uint64_t upto) {
+  auto& acked = durable_acked_[resilience::DedupFilter::key(producer, flow)];
+  if (upto <= acked) return;
+  acked = upto;
+  auto& machine = self.machine();
+  const DurableAck ack{upto, static_cast<std::uint32_t>(flow), 0};
+  self.process().advance(machine.config().network.send_overhead);
+  machine.post_send(durable_context_, my_consumer_, self.world_rank(),
+                    channel_->comm().world_rank(Channel::producer_rank(producer)),
+                    kTagDurable, mpi::SendBuf::of(&ack, 1));
+  ++durable_acks_sent_;
+}
+
+void Stream::flush_durable_acks(mpi::Rank& self) {
+  dedup_.for_each([&](int producer, int flow, std::uint64_t next) {
+    send_durable_ack(self, producer, flow, next);
+  });
+}
+
+void Stream::ack_durable(mpi::Rank& self) {
+  if (channel_ == nullptr || !channel_->config().resilient()) return;
+  ensure_consumer_state(self);
+  flush_durable_acks(self);
 }
 
 void Stream::account_data_element(mpi::Rank& self, int producer) {
@@ -474,9 +845,16 @@ void Stream::begin_frame(const mpi::Status& status) {
   frame_elements_ = header.elements;
   frame_cursor_ = kFrameOverhead;
   frame_source_ = status.source;
+  if (resilient_) {
+    EpochHeader eh;
+    std::memcpy(&eh, element_buffer_.data() + kFrameOverhead, sizeof eh);
+    frame_seq0_ = eh.seq0;
+    frame_flow_ = static_cast<int>(eh.flow);
+    frame_cursor_ += kEpochOverhead;
+  }
 }
 
-void Stream::consume_frame_element(mpi::Rank& self) {
+bool Stream::consume_frame_element(mpi::Rank& self) {
   SubHeader sub;
   std::memcpy(&sub, element_buffer_.data() + frame_cursor_, sizeof sub);
   const std::size_t data_at = frame_cursor_ + kSubOverhead;
@@ -484,15 +862,29 @@ void Stream::consume_frame_element(mpi::Rank& self) {
   // the operator runs, so a throwing operator leaves the frame walkable
   // (matching the per-message path, where the message left the mailbox
   // before the operator saw it).
+  const std::uint64_t seq = frame_seq0_ + (frame_elements_ - frame_left_);
   frame_cursor_ += kSubOverhead + sub.data;
   --frame_left_;
-  ++processed_data_;
-  if (operator_) {
-    StreamElement el{sub.data > 0 ? element_buffer_.data() + data_at : nullptr,
-                     sub.wire, frame_source_};
-    operator_(el);
+  // Exactly-once admission: a replayed element the filter has already seen
+  // is unpacked but never reaches the operator, the processed count, or the
+  // credit accounting — from every accounting angle it never arrived.
+  const bool admit =
+      !resilient_ || dedup_.admit(frame_source_, frame_flow_, seq);
+  if (admit) {
+    ++processed_data_;
+    if (operator_) {
+      StreamElement el{sub.data > 0 ? element_buffer_.data() + data_at
+                                    : nullptr,
+                       sub.wire, frame_source_};
+      operator_(el);
+    }
+    account_data_element(self, frame_source_);
+    if (resilient_) {
+      if (!manual_durability_ && (seq + 1) % checkpoint_interval_ == 0)
+        send_durable_ack(self, frame_source_, frame_flow_, seq + 1);
+      if (!manual_durability_ && exhausted()) flush_durable_acks(self);
+    }
   }
-  account_data_element(self, frame_source_);
   if (frame_left_ == 0 && ack_auto_) {
     // Close the loop with the producer's coalescer: one credit batch per
     // drained frame, bounded by the liveness clamp.
@@ -500,6 +892,7 @@ void Stream::consume_frame_element(mpi::Rank& self) {
         ack_every_, frame_elements_, ChannelConfig::kDefaultAckInterval,
         ack_limit_);
   }
+  return admit;
 }
 
 void Stream::handle(mpi::Rank& self, const mpi::Status& status) {
@@ -512,6 +905,17 @@ void Stream::handle(mpi::Rank& self, const mpi::Status& status) {
     // every credit still held back so no producer tail blocks on a partial
     // batch.
     if (!credit_pending_.empty()) flush_all_credits(self);
+    return;
+  }
+  if (status.tag == kTagHandoff) {
+    // Control flow, not an element: adopt the flow's durable point.
+    if (resilient_ && !status.synthetic &&
+        status.bytes >= sizeof(FlowHandoff) && !element_buffer_.empty()) {
+      FlowHandoff handoff;
+      std::memcpy(&handoff, element_buffer_.data(), sizeof handoff);
+      dedup_.advance_to(status.source, static_cast<int>(handoff.flow),
+                        handoff.durable);
+    }
     return;
   }
   ++processed_data_;
@@ -539,10 +943,14 @@ std::uint64_t Stream::operate_while(mpi::Rank& self,
   // again (frames preserve per-(context,src) order; arrival interleaving
   // across sources happens at frame granularity).
   auto& machine = self.machine();
-  while (!exhausted() && keep_going()) {
+  while (true) {
+    // React to crashes before judging exhaustion: adopting a dead peer's
+    // flows may raise the expected term count, and must land before this
+    // consumer could otherwise conclude it is done.
+    if (resilient_) check_consumer_failover(self);
+    if (exhausted() || !keep_going()) break;
     if (frame_left_ > 0) {
-      consume_frame_element(self);
-      ++processed;
+      if (consume_frame_element(self)) ++processed;
       continue;
     }
     auto req = machine.post_recv(
@@ -569,11 +977,13 @@ bool Stream::poll_one(mpi::Rank& self) {
   auto& machine = self.machine();
   // Terminations are control flow, not elements: consume them silently and
   // keep looking, so the return value counts data elements only (matching
-  // operate_while accounting).
-  while (!exhausted()) {
+  // operate_while accounting). Replay duplicates are likewise absorbed.
+  while (true) {
+    if (resilient_) check_consumer_failover(self);
+    if (exhausted()) break;
     if (frame_left_ > 0) {
-      consume_frame_element(self);
-      return true;
+      if (consume_frame_element(self)) return true;
+      continue;
     }
     mpi::Status status;
     if (!machine.match_probe(context_, self.world_rank(), mpi::kAnySource,

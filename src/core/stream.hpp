@@ -37,6 +37,23 @@
 // the producing fiber yields, so coalescing never delays an element in
 // virtual time. See ChannelConfig::flow_autotune for the self-tuning loop.
 //
+// Resilience (ChannelConfig::checkpoint_interval > 0, the ds::resilience
+// subsystem): every element travels in a framed message stamped with its
+// *flow* (the original consumer index its sequence space belongs to) and
+// sequence number. Producers cut an epoch every checkpoint_interval elements
+// per flow and retain flushed-but-not-durably-acknowledged frames in a
+// bounded replay log (resilience::ReplayLog); consumers acknowledge epoch
+// durability (automatically at epoch boundaries, or via ack_durable for
+// consumers with external effects), which truncates the log. When fault
+// injection crashes a consumer, producers rebind the dead consumer's flows
+// to the deterministic failover target (resilience::failover_target), replay
+// the retained frames, and repair the termination tallies so the aggregated
+// term tree still exhausts exactly; receivers dedupe by (producer, flow,
+// seq), so application code sees every element exactly once. Recoverability
+// window: crashes are recoverable while producers are still active on the
+// stream (terminate() repairs its own routing); data already durable at the
+// dead consumer is never replayed.
+//
 // This is the implementation layer: application code normally uses the
 // typed streams of core/decouple.hpp (decouple::TypedStream / RawStream),
 // which decode elements and terminate by RAII.
@@ -45,10 +62,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/channel.hpp"
 #include "mpi/datatype.hpp"
+#include "resilience/failover.hpp"
 
 namespace ds::stream {
 
@@ -124,6 +143,14 @@ class Stream {
   /// operate_while accounting). Returns true iff a data element was consumed.
   bool poll_one(mpi::Rank& self);
 
+  /// Consumer (resilient streams with manual_durability): acknowledge that
+  /// every element consumed so far has durable effects (e.g. the writer's
+  /// buffer reached storage). Producers truncate their replay logs up to the
+  /// acknowledged sequences; a later crash of this consumer replays only
+  /// elements consumed after the last ack. No-op on non-resilient streams
+  /// and in automatic mode (where epoch boundaries ack on their own).
+  void ack_durable(mpi::Rank& self);
+
   [[nodiscard]] std::size_t element_size() const noexcept { return element_size_; }
   [[nodiscard]] const Channel& channel() const noexcept { return *channel_; }
   [[nodiscard]] std::uint64_t elements_sent() const noexcept { return sent_; }
@@ -158,6 +185,26 @@ class Stream {
   [[nodiscard]] std::uint32_t ack_interval_now() const noexcept {
     return ack_every_;
   }
+  /// The producer's current effective credit window: max_inflight, adaptively
+  /// grown (never shrunk below the configured value) from credit-stall
+  /// signals when flow_autotune is on and coalescing is active.
+  [[nodiscard]] std::uint32_t max_inflight_now() const noexcept;
+
+  // ---- resilience instrumentation (see ds::resilience) ----
+  /// Elements this producer has re-posted from replay logs across failovers.
+  [[nodiscard]] std::uint64_t replayed_elements() const noexcept;
+  /// Elements currently retained for replay across this producer's flows.
+  [[nodiscard]] std::uint64_t retained_elements() const noexcept;
+  /// Flow rebinds this producer has performed after consumer crashes.
+  [[nodiscard]] std::uint32_t failovers() const noexcept;
+  /// Duplicate deliveries this consumer suppressed (exactly-once filter).
+  [[nodiscard]] std::uint64_t duplicates_dropped() const noexcept {
+    return dedup_.duplicates_dropped();
+  }
+  /// Durability acknowledgments this consumer has sent.
+  [[nodiscard]] std::uint64_t durable_acks_sent() const noexcept {
+    return durable_acks_sent_;
+  }
   /// True once the stream's termination protocol has completed for this
   /// consumer: all terms observed and, under tree termination, every
   /// announced element processed.
@@ -181,30 +228,60 @@ class Stream {
   void ensure_producer_state(mpi::Rank& self);
   /// Append one element to the consumer's pending frame, flushing by budget
   /// or element cap first. False when the element is too large to coalesce
-  /// (bypasses as a per-element message).
+  /// (bypasses as a per-element message; resilient flows force-frame it
+  /// instead, alone in its own frame, so every element carries a sequence).
   bool coalesce_element(mpi::Rank& self, int consumer, mpi::SendBuf element);
   /// Fiber-context flush of one consumer's pending frame (post, retune,
   /// charge the deferred per-element + per-message overhead as one advance).
   void flush_frame(mpi::Rank& self, int consumer, std::uint8_t trigger);
   void flush_all_frames(mpi::Rank& self, std::uint8_t trigger);
   /// Unpack state for an arrived frame; consume_frame_element() then hands
-  /// elements to the operator one at a time, in place.
+  /// elements to the operator one at a time, in place. Returns false when
+  /// the element was a replay duplicate suppressed by the exactly-once
+  /// filter (nothing was delivered or accounted).
   void begin_frame(const mpi::Status& status);
-  void consume_frame_element(mpi::Rank& self);
+  bool consume_frame_element(mpi::Rank& self);
   void account_data_element(mpi::Rank& self, int producer);
   void handle(mpi::Rank& self, const mpi::Status& status);
   void handle_tree_term(mpi::Rank& self, const mpi::Status& status);
   /// Send the collective term on to this consumer's tree children, sliced
   /// to each child's subtree.
   void fan_out_term(mpi::Rank& self, const std::vector<TermEntry>& entries);
+  /// One fan-out hop: send `entries` sliced to `child`'s subtree, or — when
+  /// the child is a crashed consumer of a resilient stream — route around it
+  /// into its own tree children, so the collective term reaches every
+  /// surviving subtree.
+  void fan_out_to(mpi::Rank& self, int child,
+                  const std::vector<TermEntry>& entries);
   /// Return `producer`'s accumulated credits as one batched ack message.
   void flush_credits(mpi::Rank& self, int producer);
   void flush_all_credits(mpi::Rank& self);
   void await_credit(mpi::Rank& self);
 
+  // ---- resilience (ds::resilience; active only when the channel config
+  // ---- sets checkpoint_interval > 0) ----
+  /// Producer: react to newly observed crashes — rebind dead consumers'
+  /// flows to their failover targets, retarget pending frames, move the
+  /// undurable part of the termination tallies, and replay retained frames.
+  /// Returns true when at least one flow was rebound.
+  bool check_producer_failover(mpi::Rank& self);
+  /// Consumer: react to newly observed crashes — adopt the dead consumers'
+  /// flows this rank is the failover target of (repairing expected term
+  /// counts under Block mapping) and re-derive the effective aggregator.
+  void check_consumer_failover(mpi::Rank& self);
+  /// Producer: consume pending durability acknowledgments, truncating logs.
+  void drain_durable_acks(mpi::Rank& self);
+  /// Consumer: one durability ack for (producer, flow) up to sequence `upto`.
+  void send_durable_ack(mpi::Rank& self, int producer, int flow,
+                        std::uint64_t upto);
+  /// Consumer: ack the current consumption point of every tracked flow.
+  void flush_durable_acks(mpi::Rank& self);
+  [[nodiscard]] std::uint32_t window_now() const noexcept;
+
   const Channel* channel_ = nullptr;
   std::uint64_t context_ = 0;      ///< matching context derived per stream
   std::uint64_t ack_context_ = 0;  ///< credit/ack context derived from it
+  std::uint64_t durable_context_ = 0;  ///< durability-ack matching context
   std::size_t element_size_ = 0;
   Operator operator_;
 
@@ -243,6 +320,22 @@ class Stream {
   std::uint32_t frame_elements_ = 0;  ///< total elements of the current frame
   std::size_t frame_cursor_ = 0;
   int frame_source_ = -1;
+  /// Resilient frames additionally carry their flow id and the sequence of
+  /// their first element (the epoch header).
+  int frame_flow_ = -1;
+  std::uint64_t frame_seq0_ = 0;
+
+  // consumer-side resilience state (inert unless the channel is resilient)
+  bool resilient_ = false;
+  bool manual_durability_ = false;
+  std::uint32_t checkpoint_interval_ = 0;
+  resilience::DedupFilter dedup_;
+  std::uint64_t consumer_failure_epoch_ = 0;  ///< last crash count reacted to
+  std::vector<std::uint8_t> adopted_;  ///< dead consumers whose flows I took
+  int effective_aggregator_ = 0;  ///< tree root, re-derived after crashes
+  /// Highest durability ack already sent per (producer, flow) key.
+  std::unordered_map<std::uint64_t, std::uint64_t> durable_acked_;
+  std::uint64_t durable_acks_sent_ = 0;
 
   // termination scratch, reserved once and reused across terms/children so
   // the fan-out does not reallocate per child slice
@@ -260,6 +353,13 @@ class Stream {
   /// A coalesced frame: length-prefixed sub-records of one or more
   /// same-destination elements, unpacked in place at the consumer.
   static constexpr int kTagFrame = 3;
+  /// A durability acknowledgment (resilient streams, durable_context_).
+  static constexpr int kTagDurable = 4;
+  /// A flow handoff announcing an adopted flow's durable point; posted on
+  /// the data context right before its replayed frames, so per-source FIFO
+  /// delivers it first and the adopter's dedup cursor skips the replay's
+  /// already-durable prefix.
+  static constexpr int kTagHandoff = 5;
 };
 
 }  // namespace ds::stream

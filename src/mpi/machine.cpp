@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
 
 #include "mpi/rank.hpp"
 #include "util/rng.hpp"
@@ -14,19 +15,114 @@ Machine::Machine(MachineConfig config)
       fabric_(config.network, config.world_size),
       filesystem_(config.filesystem),
       world_(/*context=*/1, Group::world(config.world_size)),
-      mailboxes_(static_cast<std::size_t>(config.world_size)) {}
+      mailboxes_(static_cast<std::size_t>(config.world_size)),
+      pids_(static_cast<std::size_t>(config.world_size), -1),
+      dead_(static_cast<std::size_t>(config.world_size), 0),
+      incarnation_(static_cast<std::size_t>(config.world_size), 0) {}
 
 Machine::~Machine() = default;
 
 util::SimTime Machine::run(std::function<void(Rank&)> program) {
-  for (int r = 0; r < config_.world_size; ++r) {
-    engine_.spawn([this, r, program](sim::Process& p) {
-      Rank rank(*this, p, r);
-      program(rank);
-    });
-  }
+  program_ = std::move(program);
+  for (int r = 0; r < config_.world_size; ++r) spawn_rank(r);
+  install_faults();
   engine_.run();
   return engine_.now();
+}
+
+void Machine::spawn_rank(int r) {
+  pids_[static_cast<std::size_t>(r)] =
+      engine_.spawn([this, r](sim::Process& p) {
+        Rank rank(*this, p, r);
+        try {
+          program_(rank);
+        } catch (const RankFailure&) {
+          // Fail-stop: the crashed fiber unwinds here and simply ends; the
+          // rest of the simulation keeps running.
+        }
+      });
+}
+
+void Machine::install_faults() {
+  for (const sim::FaultEvent& ev : config_.faults.events) {
+    if (ev.rank < 0 || ev.rank >= config_.world_size)
+      throw std::invalid_argument("FaultPlan: event rank outside the world");
+    engine_.schedule(ev.at, [this, ev] { apply_fault(ev); });
+  }
+}
+
+void Machine::apply_fault(const sim::FaultEvent& event) {
+  switch (event.kind) {
+    case sim::FaultEvent::Kind::RankCrash:
+      kill_rank(event.rank);
+      break;
+    case sim::FaultEvent::Kind::RankRestart:
+      restart_rank(event.rank);
+      break;
+    case sim::FaultEvent::Kind::LinkDegrade:
+      fabric_.set_degrade(event.rank, event.factor);
+      engine_.set_compute_degrade(pids_[static_cast<std::size_t>(event.rank)],
+                                  event.factor);
+      if (event.duration > 0) {
+        engine_.schedule_after(event.duration, [this, r = event.rank] {
+          fabric_.set_degrade(r, 1.0);
+          engine_.set_compute_degrade(pids_[static_cast<std::size_t>(r)], 1.0);
+        });
+      }
+      break;
+  }
+}
+
+void Machine::kill_rank(int world_rank) {
+  auto& dead = dead_.at(static_cast<std::size_t>(world_rank));
+  if (dead != 0) return;
+  dead = 1;
+  ++failure_epoch_;
+
+  // Drain the dead rank's mailbox. Unexpected arrivals are dropped — taking
+  // them releases the queue's references, so the pooled send ops recycle
+  // (completing any rendezvous sender still waiting on a match). Posted
+  // receives complete with Status::failed, waking the dead fiber so its next
+  // wait() observes the crash and unwinds.
+  auto& box = mailboxes_.at(static_cast<std::size_t>(world_rank));
+  for (auto& [context, q] : box.contexts) {
+    (void)context;
+    while (!q.unexpected.empty()) {
+      const auto msg = q.unexpected.take(0);
+      if (!msg->complete) complete_op(*msg);
+    }
+    while (!q.posted.empty()) {
+      const auto recv = q.posted.take(0);
+      recv->status = Status{};
+      recv->status.failed = true;
+      complete_op(*recv);
+    }
+  }
+  // The dead fiber may be parked in probe(); wake it so it can unwind.
+  for (const int pid : box.probe_waiters) engine_.wake(pid);
+  box.probe_waiters.clear();
+
+  // Wake blocked protocol loops (credit waits) on every rank: routing toward
+  // the dead rank must be re-evaluated.
+  for (const int pid : failure_waiters_) engine_.wake(pid);
+  failure_waiters_.clear();
+}
+
+void Machine::restart_rank(int world_rank) {
+  auto& dead = dead_.at(static_cast<std::size_t>(world_rank));
+  if (dead == 0) return;
+  dead = 0;
+  ++incarnation_[static_cast<std::size_t>(world_rank)];
+  spawn_rank(world_rank);
+}
+
+void Machine::add_failure_waiter(int pid) {
+  // Registrations outlive individual waits (they are only consumed by the
+  // next crash), so keep the list unique: one entry per fiber bounds it by
+  // the world size instead of growing with every credit-stall wakeup.
+  for (const int waiting : failure_waiters_)
+    if (waiting == pid) return;
+  failure_waiters_.push_back(pid);
 }
 
 std::uint64_t Machine::derive_context(std::uint64_t parent, std::uint64_t salt,
@@ -85,6 +181,13 @@ detail::OpRef<detail::SendOp> Machine::post_send(std::uint64_t context,
                  ? detail::SendMode::Rendezvous
                  : detail::SendMode::Eager;
 
+  // Fault injection: a crashed sender emits nothing (its fiber is unwinding
+  // and must not leave traffic behind); the op completes inert.
+  if (rank_failed(src_world)) {
+    complete_op(*op);
+    return op;
+  }
+
   const util::SimTime now = engine_.now();
   if (op->mode == detail::SendMode::Eager) {
     // Payload moves immediately; envelope+payload as one fabric message.
@@ -131,6 +234,13 @@ detail::OpRef<detail::RecvOp> Machine::post_recv(std::uint64_t context,
 }
 
 void Machine::deposit(const detail::OpRef<detail::SendOp>& msg) {
+  // Fault injection: arrivals at a crashed rank are dropped. Completing the
+  // op here keeps rendezvous senders (whose completion normally waits for a
+  // matching receive) from blocking forever on a dead peer.
+  if (rank_failed(msg->dst_world)) {
+    if (!msg->complete) complete_op(*msg);
+    return;
+  }
   auto& box = mailboxes_.at(static_cast<std::size_t>(msg->dst_world));
   auto& q = box.touch(msg->context);
   for (std::size_t i = 0; i < q.posted.size(); ++i) {

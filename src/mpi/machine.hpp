@@ -11,6 +11,7 @@
 #include "mpi/comm.hpp"
 #include "mpi/ops.hpp"
 #include "net/fabric.hpp"
+#include "resilience/fault.hpp"
 #include "sim/engine.hpp"
 
 namespace ds::mpi {
@@ -22,6 +23,8 @@ struct MachineConfig {
   net::NetworkConfig network = net::NetworkConfig::aries_like();
   fs::FsConfig filesystem = fs::FsConfig::lustre_like();
   sim::EngineConfig engine{};
+  /// Fault-injection schedule executed during run() (see resilience/fault.hpp).
+  sim::FaultPlan faults{};
 
   [[nodiscard]] static MachineConfig testbed(int world_size) {
     MachineConfig c;
@@ -105,10 +108,55 @@ class Machine {
     return mailboxes_.at(static_cast<std::size_t>(world_rank)).contexts.size();
   }
 
+  // ---- fault injection / failure record (resilience subsystem) ----
+
+  /// True once `world_rank` has been crashed (and not restarted).
+  [[nodiscard]] bool rank_failed(int world_rank) const noexcept {
+    return dead_[static_cast<std::size_t>(world_rank)] != 0;
+  }
+  /// Monotone counter bumped on every crash: layers that must react to
+  /// failures (stream failover) compare it against a cached value instead of
+  /// scanning the dead set on every operation.
+  [[nodiscard]] std::uint64_t failure_epoch() const noexcept {
+    return failure_epoch_;
+  }
+  /// How many times `world_rank`'s program fiber has been (re)started; 0 for
+  /// the original incarnation. Restart-aware programs branch on this.
+  [[nodiscard]] int incarnation(int world_rank) const noexcept {
+    return incarnation_[static_cast<std::size_t>(world_rank)];
+  }
+
+  /// Fail-stop `world_rank` now (fiber or event context): marks it dead,
+  /// drops its unexpected messages (releasing their pool slots), completes
+  /// its posted receives with Status::failed (waking the fiber so it can
+  /// unwind via RankFailure), and wakes registered failure waiters. Messages
+  /// already in flight toward the rank are dropped on arrival; rendezvous
+  /// senders targeting it complete without transferring.
+  void kill_rank(int world_rank);
+
+  /// Respawn the program fiber of a previously crashed rank (incarnation
+  /// bumped). The new fiber starts at the current virtual time with a fresh
+  /// stack; reintegration into application protocols is the program's job.
+  void restart_rank(int world_rank);
+
+  /// Throw RankFailure if `world_rank` has been crashed. Called by the Rank
+  /// facade at every runtime interaction — the fail-stop observation point.
+  void ensure_alive(int world_rank) const {
+    if (rank_failed(world_rank)) throw RankFailure(world_rank);
+  }
+
+  /// Register the calling fiber to be woken at the next crash (one-shot, like
+  /// add_probe_waiter): used by blocking protocol loops (credit waits) that
+  /// must re-evaluate routing when a peer dies.
+  void add_failure_waiter(int pid);
+
   /// Control-message wire size used by rendezvous handshakes.
   static constexpr std::size_t kControlBytes = 64;
 
  private:
+  void spawn_rank(int r);
+  void install_faults();
+  void apply_fault(const sim::FaultEvent& event);
   void deposit(const detail::OpRef<detail::SendOp>& msg);
   void start_transfer(const detail::OpRef<detail::RecvOp>& recv,
                       const detail::OpRef<detail::SendOp>& send);
@@ -125,6 +173,14 @@ class Machine {
   fs::FileSystem filesystem_;
   Comm world_;
   std::vector<detail::Mailbox> mailboxes_;  // by world rank
+
+  // fault-injection state
+  std::function<void(Rank&)> program_;     ///< for restart_rank respawns
+  std::vector<int> pids_;                  ///< engine pid per world rank
+  std::vector<std::uint8_t> dead_;         ///< fail-stopped ranks
+  std::vector<int> incarnation_;           ///< fiber (re)starts per rank
+  std::uint64_t failure_epoch_ = 0;
+  std::vector<int> failure_waiters_;       ///< pids to wake on the next crash
 };
 
 }  // namespace ds::mpi

@@ -190,6 +190,15 @@ struct SendOp final : OpState {
     if (n <= kInlineBytes) {
       std::memcpy(inline_payload_.data(), data, n);
     } else {
+      if (n > overflow_.capacity()) {
+        // Round the reservation up to its power-of-two size class: recycled
+        // slots then converge after one growth per class instead of creeping
+        // as self-tuned frame budgets drift upward — late creep reads as a
+        // steady-state allocation under the zero-alloc gate's delta method.
+        std::size_t cap = 2 * kInlineBytes;
+        while (cap < n) cap *= 2;
+        overflow_.reserve(cap);
+      }
       overflow_.resize(n);
       std::memcpy(overflow_.data(), data, n);
     }
@@ -243,8 +252,15 @@ struct RecvOp final : OpState {
 struct OpPoolStats {
   std::uint64_t created = 0;   ///< op states ever allocated
   std::uint64_t acquired = 0;  ///< acquisitions (created + recycled)
+  std::uint64_t released = 0;  ///< slots returned to the freelist
   [[nodiscard]] std::uint64_t reused() const noexcept {
     return acquired - created;
+  }
+  /// Slots currently held by live handles/queues/events. Fault-injection
+  /// tests assert this returns to 0 after a crash-and-drain run: killing a
+  /// rank must recycle every op it pinned, never leak pool slots.
+  [[nodiscard]] std::uint64_t outstanding() const noexcept {
+    return acquired - released;
   }
 };
 
@@ -270,6 +286,7 @@ class OpPool final : public OpPoolBase {
   }
 
   void release(OpState* op) noexcept override {
+    ++stats_.released;
     ++op->gen;
     // Resetting may drop continuations that hold references to other ops,
     // recursively releasing them; each inner release completes before the

@@ -17,6 +17,7 @@ namespace {
 }  // namespace
 
 Request Rank::isend(const Comm& comm, int dst, int tag, SendBuf data) {
+  machine_->ensure_alive(world_rank_);
   const int me = require_member(comm, world_rank_, "isend");
   if (tag < kMinUserTag) throw std::invalid_argument("isend: user tags must be >= 0");
   process_->advance(machine_->config().network.send_overhead);
@@ -25,6 +26,7 @@ Request Rank::isend(const Comm& comm, int dst, int tag, SendBuf data) {
 }
 
 Request Rank::irecv(const Comm& comm, int src, int tag, RecvBuf out) {
+  machine_->ensure_alive(world_rank_);
   require_member(comm, world_rank_, "irecv");
   if (tag != kAnyTag && tag < kMinUserTag)
     throw std::invalid_argument("irecv: user tags must be >= 0 or kAnyTag");
@@ -52,10 +54,15 @@ Status Rank::sendrecv(const Comm& comm, int dst, int send_tag, SendBuf data,
 
 void Rank::wait(const Request& req) {
   if (!req) throw std::invalid_argument("wait: null request");
+  machine_->ensure_alive(world_rank_);
   while (!req->complete) {
     req->waiter_pid = process_->id();
     process_->set_state_note("blocked in wait()");
     process_->suspend();
+    // Fail-stop observation point: kill_rank completes this rank's posted
+    // receives (Status::failed) and wakes it precisely so the fiber lands
+    // here and unwinds.
+    machine_->ensure_alive(world_rank_);
   }
   req->waiter_pid = -1;
   process_->set_state_note({});
@@ -87,6 +94,7 @@ std::size_t Rank::wait_any(std::span<const Request> reqs) {
     for (const Request& r : reqs) r->waiter_pid = process_->id();
     process_->set_state_note("blocked in wait_any()");
     process_->suspend();
+    machine_->ensure_alive(world_rank_);
   }
 }
 
@@ -97,6 +105,7 @@ Status Rank::probe(const Comm& comm, int src, int tag) {
     machine_->add_probe_waiter(world_rank_, process_->id());
     process_->set_state_note("blocked in probe()");
     process_->suspend();
+    machine_->ensure_alive(world_rank_);
   }
   process_->set_state_note({});
   return st;

@@ -39,7 +39,19 @@ class Rank {
 
   /// Busy the rank for `nominal` virtual time, noise-perturbed and traced.
   void compute(util::SimTime nominal, const char* label = "comp") {
+    machine_->ensure_alive(world_rank_);
     process_->compute(nominal, label);
+  }
+
+  /// True once fault injection has crashed this rank. RAII cleanup that runs
+  /// while a crashed fiber unwinds (channel release, stream termination)
+  /// checks this and backs off instead of starting new communication.
+  [[nodiscard]] bool failed() const noexcept {
+    return machine_->rank_failed(world_rank_);
+  }
+  /// Fiber (re)starts of this rank: 0 for the original incarnation.
+  [[nodiscard]] int incarnation() const noexcept {
+    return machine_->incarnation(world_rank_);
   }
 
   // ---- point-to-point ----

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <string>
 
 namespace ds::mpi {
 
@@ -20,6 +22,28 @@ struct Status {
   int tag = kAnyTag;
   std::size_t bytes = 0;    ///< payload size on the wire
   bool synthetic = false;   ///< true when the sender attached no real payload
+  /// The operation was aborted by fault injection (the receiving rank was
+  /// crashed while the receive was posted); no data arrived.
+  bool failed = false;
+};
+
+/// Thrown inside a simulated process when fault injection has crashed its
+/// rank (fail-stop): the fiber observes the crash at its next runtime
+/// interaction (compute, send/recv, wait, collective) and unwinds. Caught by
+/// Machine::run's program wrapper, so the rest of the simulation continues;
+/// RAII cleanup along the unwind path must not start new communication
+/// (ScopedChannel/Channel::free and stream termination check
+/// Machine::rank_failed and become no-ops on a crashed rank).
+class RankFailure : public std::runtime_error {
+ public:
+  explicit RankFailure(int world_rank)
+      : std::runtime_error("rank " + std::to_string(world_rank) +
+                           " crashed (fault injection)"),
+        world_rank_(world_rank) {}
+  [[nodiscard]] int world_rank() const noexcept { return world_rank_; }
+
+ private:
+  int world_rank_;
 };
 
 /// Outgoing payload. `ptr == nullptr` marks a *synthetic* payload: the

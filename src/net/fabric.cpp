@@ -8,8 +8,13 @@ namespace ds::net {
 Fabric::Fabric(NetworkConfig config, int endpoints)
     : config_(config),
       tx_free_(static_cast<std::size_t>(endpoints), 0),
-      rx_free_(static_cast<std::size_t>(endpoints), 0) {
+      rx_free_(static_cast<std::size_t>(endpoints), 0),
+      degrade_(static_cast<std::size_t>(endpoints), 1.0) {
   if (endpoints <= 0) throw std::invalid_argument("Fabric: endpoints must be > 0");
+}
+
+void Fabric::set_degrade(int endpoint, double factor) {
+  degrade_.at(static_cast<std::size_t>(endpoint)) = factor < 1.0 ? 1.0 : factor;
 }
 
 DeliverySchedule Fabric::schedule_message(int src, int dst, std::size_t bytes,
@@ -18,8 +23,9 @@ DeliverySchedule Fabric::schedule_message(int src, int dst, std::size_t bytes,
   auto& rx = rx_free_.at(static_cast<std::size_t>(dst));
 
   const double byte_ns = config_.byte_time(src, dst);
-  const auto payload_time =
-      static_cast<util::SimTime>(byte_ns * static_cast<double>(bytes));
+  const auto payload_time = static_cast<util::SimTime>(
+      degrade_[static_cast<std::size_t>(src)] * byte_ns *
+      static_cast<double>(bytes));
 
   // Transmit: wait for the sender port, then occupy it for gap + payload.
   const util::SimTime tx_start = std::max(earliest, tx);
@@ -29,7 +35,8 @@ DeliverySchedule Fabric::schedule_message(int src, int dst, std::size_t bytes,
   // Propagate, then drain through the receiver port.
   const util::SimTime arrival = tx_end + config_.wire_latency(src, dst);
   const auto drain_time = static_cast<util::SimTime>(
-      config_.receiver_drain_factor * byte_ns * static_cast<double>(bytes));
+      degrade_[static_cast<std::size_t>(dst)] * config_.receiver_drain_factor *
+      byte_ns * static_cast<double>(bytes));
   const util::SimTime rx_start = std::max(arrival, rx);
   const util::SimTime rx_end = rx_start + drain_time;
   rx = rx_end;

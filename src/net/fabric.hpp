@@ -37,10 +37,19 @@ class Fabric {
   [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
   [[nodiscard]] std::uint64_t total_messages() const noexcept { return total_messages_; }
 
+  /// Fault-injected link degradation (sim::FaultPlan): messages touching a
+  /// degraded endpoint occupy its ports `factor` times longer (payload and
+  /// drain time; propagation latency is unaffected). 1 restores nominal.
+  void set_degrade(int endpoint, double factor);
+  [[nodiscard]] double degrade(int endpoint) const {
+    return degrade_.at(static_cast<std::size_t>(endpoint));
+  }
+
  private:
   NetworkConfig config_;
   std::vector<util::SimTime> tx_free_;  // per-endpoint transmit port
   std::vector<util::SimTime> rx_free_;  // per-endpoint drain port
+  std::vector<double> degrade_;         // per-endpoint port-cost multiplier
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_messages_ = 0;
 };

@@ -1,0 +1,83 @@
+#include "resilience/failover.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "core/channel.hpp"
+#include "mpi/machine.hpp"
+
+namespace ds::resilience {
+
+void ReplayLog::retain(std::uint64_t seq0, std::uint32_t elements,
+                       std::uint64_t wire, const std::byte* frame,
+                       std::size_t bytes) {
+  RetainedFrame rf;
+  rf.seq0 = seq0;
+  rf.elements = elements;
+  rf.wire = wire;
+  if (!spare_.empty()) {
+    rf.buf = std::move(spare_.back());  // capacity recycled from a truncation
+    spare_.pop_back();
+    rf.buf.clear();
+  }
+  rf.buf.resize(bytes);
+  std::memcpy(rf.buf.data(), frame, bytes);
+  retained_elements_ += elements;
+  frames_.push_back(std::move(rf));
+}
+
+void ReplayLog::truncate(std::uint64_t durable_seq) {
+  if (durable_seq <= durable_) return;  // acks may arrive out of order
+  durable_ = durable_seq;
+  while (!frames_.empty() &&
+         frames_.front().seq0 + frames_.front().elements <= durable_) {
+    retained_elements_ -= frames_.front().elements;
+    spare_.push_back(std::move(frames_.front().buf));
+    frames_.pop_front();
+  }
+}
+
+bool DedupFilter::admit(int producer, int flow, std::uint64_t seq) {
+  auto& next = next_[key(producer, flow)];
+  if (seq < next) {
+    ++duplicates_;
+    return false;
+  }
+  // Sequences within a flow arrive in order (frames preserve per-flow FIFO
+  // and replay re-posts in order), so admission advances the cursor by one.
+  next = seq + 1;
+  return true;
+}
+
+void DedupFilter::advance_to(int producer, int flow, std::uint64_t seq) {
+  auto& next = next_[key(producer, flow)];
+  if (seq > next) next = seq;
+}
+
+std::uint64_t DedupFilter::next_seq(int producer, int flow) const noexcept {
+  const auto it = next_.find(key(producer, flow));
+  return it == next_.end() ? 0 : it->second;
+}
+
+int failover_target(const stream::Channel& channel, int dead_consumer,
+                    const mpi::Machine& machine) {
+  const int consumers = channel.consumer_count();
+  for (int step = 1; step < consumers; ++step) {
+    const int c = (dead_consumer + step) % consumers;
+    const int world =
+        channel.comm().world_rank(channel.consumer_rank(c));
+    if (!machine.rank_failed(world)) return c;
+  }
+  return -1;
+}
+
+int effective_aggregator(const stream::Channel& channel,
+                         const mpi::Machine& machine) {
+  for (int c = 0; c < channel.consumer_count(); ++c) {
+    const int world = channel.comm().world_rank(channel.consumer_rank(c));
+    if (!machine.rank_failed(world)) return c;
+  }
+  return -1;
+}
+
+}  // namespace ds::resilience

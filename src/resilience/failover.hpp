@@ -1,0 +1,137 @@
+// Consumer-failover primitives (ds::resilience, layer 2).
+//
+// Recovery for decoupled streams is built from three small, independently
+// testable pieces that core/stream composes:
+//
+//  * ReplayLog    — producer-side bounded retention: every flushed frame of a
+//    resilient flow is retained (in its wire form) until the consumer
+//    acknowledges epoch durability, then truncated. On failover the retained
+//    frames are re-posted verbatim to the adopting consumer. Buffers recycle
+//    through a small freelist, so steady-state retention does not allocate.
+//  * DedupFilter  — consumer-side exactly-once admission: every resilient
+//    frame carries its flow id and starting sequence number; the filter
+//    admits each (producer, flow, seq) at most once, so replay overlap can
+//    never deliver an element to application code twice.
+//  * failover_target — the deterministic adoption rule: the next live
+//    consumer index after the dead one, cyclically. Every rank evaluates it
+//    locally against the machine's failure record and arrives at the same
+//    answer, so no coordination protocol is needed to agree on the new
+//    routing.
+//
+// A *flow* is the unit of replay and ordering: the elements one producer
+// addressed to one original consumer index. After failover a flow keeps its
+// identity (and its sequence space) while being physically delivered to the
+// adopting consumer — dedup and termination accounting stay exact across
+// repeated failures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace ds::mpi {
+class Machine;
+}
+namespace ds::stream {
+class Channel;
+}
+
+namespace ds::resilience {
+
+/// One retained frame: the wire bytes of a coalesced frame (headers
+/// included) plus the flow positions it covers.
+struct RetainedFrame {
+  std::uint64_t seq0 = 0;      ///< flow sequence of the first element
+  std::uint32_t elements = 0;  ///< elements packed in the frame
+  std::uint64_t wire = 0;      ///< simulated wire size of the frame
+  std::vector<std::byte> buf;  ///< frame bytes as they were posted
+};
+
+/// Producer-side retention of unacknowledged frames for one flow.
+class ReplayLog {
+ public:
+  /// Retain a flushed frame (copies `bytes` of `frame`). Frames must be
+  /// retained in increasing seq0 order (the flush order guarantees this).
+  void retain(std::uint64_t seq0, std::uint32_t elements, std::uint64_t wire,
+              const std::byte* frame, std::size_t bytes);
+
+  /// Durability acknowledgment: every element below `durable_seq` is safe at
+  /// the consumer; frames entirely below it are dropped (buffers recycled).
+  void truncate(std::uint64_t durable_seq);
+
+  [[nodiscard]] const std::deque<RetainedFrame>& frames() const noexcept {
+    return frames_;
+  }
+  [[nodiscard]] std::uint64_t durable_seq() const noexcept { return durable_; }
+  [[nodiscard]] std::uint64_t retained_elements() const noexcept {
+    return retained_elements_;
+  }
+  [[nodiscard]] std::size_t frame_count() const noexcept {
+    return frames_.size();
+  }
+
+ private:
+  std::deque<RetainedFrame> frames_;
+  std::vector<std::vector<std::byte>> spare_;  ///< recycled frame buffers
+  std::uint64_t durable_ = 0;
+  std::uint64_t retained_elements_ = 0;
+};
+
+/// Consumer-side exactly-once admission by (producer, flow, seq).
+class DedupFilter {
+ public:
+  /// True when (producer, flow, seq) is new — the element may be delivered
+  /// to application code; the flow cursor advances. False for a duplicate.
+  bool admit(int producer, int flow, std::uint64_t seq);
+
+  /// Pre-advance a flow cursor without counting duplicates: applied from a
+  /// producer's flow-handoff message, which announces the durable point of
+  /// an adopted flow so the replay's already-durable prefix (a replayed
+  /// frame may straddle the durability boundary under manual acks) is
+  /// skipped rather than re-delivered.
+  void advance_to(int producer, int flow, std::uint64_t seq);
+
+  /// Next expected sequence for the flow (0 when never seen).
+  [[nodiscard]] std::uint64_t next_seq(int producer, int flow) const noexcept;
+  [[nodiscard]] std::uint64_t duplicates_dropped() const noexcept {
+    return duplicates_;
+  }
+
+  /// Visit every tracked flow as fn(producer, flow, next_seq) — the source
+  /// of truth for "everything consumed so far" when flushing durability
+  /// acknowledgments.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [k, next] : next_)
+      fn(static_cast<int>(k >> 32), static_cast<int>(k & 0xFFFFFFFFu), next);
+  }
+
+  /// The (producer, flow) map key, shared with callers that keep parallel
+  /// bookkeeping (e.g. acks already sent per flow).
+  [[nodiscard]] static std::uint64_t key(int producer, int flow) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(producer))
+            << 32) |
+           static_cast<std::uint32_t>(flow);
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> next_;
+  std::uint64_t duplicates_ = 0;
+};
+
+/// The deterministic adoption rule: the first live consumer index after
+/// `dead_consumer`, cyclically, judged against `machine`'s failure record.
+/// Returns -1 when every consumer of the channel is dead (unrecoverable).
+[[nodiscard]] int failover_target(const stream::Channel& channel,
+                                  int dead_consumer,
+                                  const mpi::Machine& machine);
+
+/// Who aggregates producer terms on a resilient tree-termination channel:
+/// the first live consumer index (consumer 0 while it survives). -1 when
+/// every consumer is dead.
+[[nodiscard]] int effective_aggregator(const stream::Channel& channel,
+                                       const mpi::Machine& machine);
+
+}  // namespace ds::resilience

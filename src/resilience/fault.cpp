@@ -1,0 +1,46 @@
+#include "resilience/fault.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ds::sim {
+
+namespace {
+void require_rank(int rank, const char* who) {
+  if (rank < 0) throw std::invalid_argument(std::string(who) + ": negative rank");
+}
+}  // namespace
+
+FaultPlan& FaultPlan::crash(int rank, util::SimTime at) {
+  require_rank(rank, "FaultPlan::crash");
+  events.push_back(FaultEvent{FaultEvent::Kind::RankCrash, at, rank, 1.0, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart(int rank, util::SimTime at) {
+  require_rank(rank, "FaultPlan::restart");
+  events.push_back(FaultEvent{FaultEvent::Kind::RankRestart, at, rank, 1.0, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::degrade_link(int rank, util::SimTime at, double factor,
+                                   util::SimTime duration) {
+  require_rank(rank, "FaultPlan::degrade_link");
+  if (factor < 1.0)
+    throw std::invalid_argument(
+        "FaultPlan::degrade_link: factor must be >= 1 (a slowdown)");
+  events.push_back(
+      FaultEvent{FaultEvent::Kind::LinkDegrade, at, rank, factor, duration});
+  return *this;
+}
+
+util::SimTime FaultPlan::first_crash_at(int rank) const noexcept {
+  util::SimTime best = -1;
+  for (const FaultEvent& ev : events)
+    if (ev.kind == FaultEvent::Kind::RankCrash && ev.rank == rank &&
+        (best < 0 || ev.at < best))
+      best = ev.at;
+  return best;
+}
+
+}  // namespace ds::sim

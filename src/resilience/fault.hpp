@@ -1,0 +1,65 @@
+// Fault injection for the simulated machine (ds::resilience, layer 1).
+//
+// The exascale-readiness literature ranks resilience as a top unmet
+// requirement: at full machine scale the mean time between component
+// failures drops below the runtime of a single job, so an application that
+// cannot survive a rank loss cannot finish. This module gives the simulator
+// a deterministic fault model to measure that against:
+//
+//  * rank crash   — fail-stop: the rank's fiber unwinds at its next runtime
+//    interaction (mpi::RankFailure), its mailbox is drained, its posted
+//    receives complete with Status::failed, and messages addressed to it are
+//    dropped on arrival. Pooled operation slots are released, never leaked.
+//  * rank restart — the machine respawns the program fiber for a previously
+//    crashed rank; Rank::incarnation() tells restarted code apart.
+//  * link degrade — the endpoint's fabric ports slow by a factor for a
+//    window (failing NIC, thermal throttling); the same factor composes
+//    with the NoiseModel for the rank's compute perturbation, so degraded
+//    intervals still carry jitter and detours on top.
+//
+// A FaultPlan is a schedule of such events, installed via
+// mpi::MachineConfig::faults and executed by the engine at exact virtual
+// times — runs remain pure functions of (program, seed, plan).
+//
+// Collectives are not failure-aware: a crash that lands while surviving
+// ranks are inside a collective with the victim (including the allgatherv
+// in Channel::create and communicator splits) leaves them waiting on a
+// contribution that never comes — a DeadlockError, not a recovery. Schedule
+// crashes after setup collectives complete; the stream failover protocol
+// (core/stream.hpp) then recovers crashes observed while producers are
+// active. Failure-aware collectives are a ROADMAP follow-up.
+#pragma once
+
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace ds::sim {
+
+struct FaultEvent {
+  enum class Kind { RankCrash, RankRestart, LinkDegrade };
+  Kind kind = Kind::RankCrash;
+  util::SimTime at = 0;  ///< absolute virtual time
+  int rank = -1;         ///< world rank the event targets
+  /// LinkDegrade: cost multiplier (>= 1) applied to the rank's fabric port
+  /// occupancy and composed into its compute perturbation.
+  double factor = 1.0;
+  /// LinkDegrade: window length; 0 degrades until the end of the run.
+  util::SimTime duration = 0;
+};
+
+/// A deterministic schedule of fault events (builder-style).
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  FaultPlan& crash(int rank, util::SimTime at);
+  FaultPlan& restart(int rank, util::SimTime at);
+  FaultPlan& degrade_link(int rank, util::SimTime at, double factor,
+                          util::SimTime duration = 0);
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+  /// First crash scheduled for `rank`, or -1 when none.
+  [[nodiscard]] util::SimTime first_crash_at(int rank) const noexcept;
+};
+
+}  // namespace ds::sim

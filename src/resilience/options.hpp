@@ -1,0 +1,31 @@
+// Facade-level resilience options (ds::resilience, layer 3).
+//
+// decouple::Pipeline::with_resilience(ResilienceOptions) applies these to
+// every stream the pipeline declares; per-stream StreamOptions fields
+// override them. See README "Resilience" for the fault model and the
+// exactly-once contract.
+#pragma once
+
+#include <cstdint>
+
+namespace ds::resilience {
+
+struct ResilienceOptions {
+  /// Elements per epoch on each flow: producers cut an epoch marker every
+  /// `checkpoint_interval` elements and retain unacknowledged frames for
+  /// replay. Bounds the replay window (and, with automatic durability, the
+  /// retained memory) per flow. Must be > 0 — resilience without epochs
+  /// would retain unboundedly.
+  std::uint32_t checkpoint_interval = 1024;
+
+  /// When false (default), consumers acknowledge durability automatically at
+  /// every epoch boundary: "processed by the operator" counts as durable,
+  /// which fits in-memory consumers (reduce stages, aggregators). Set true
+  /// for consumers with external effects (file writers): the application
+  /// calls Stream::ack_durable / decouple::StreamBase::ack_durable after its
+  /// effects are actually safe (e.g. after a file flush), and replay after a
+  /// crash covers exactly the elements whose effects died with the consumer.
+  bool manual_durability = false;
+};
+
+}  // namespace ds::resilience

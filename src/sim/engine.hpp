@@ -87,6 +87,7 @@ class Process {
   util::Rng rng_;
   State state_ = State::Created;
   bool wake_pending_ = false;
+  double degrade_ = 1.0;  ///< fault-injected compute slowdown (>= 1)
   const char* state_note_ = nullptr;
   std::unique_ptr<Fiber> fiber_;
 };
@@ -132,6 +133,11 @@ class Engine {
 
   /// Process currently executing, or nullptr when the engine itself runs.
   [[nodiscard]] Process* current() noexcept { return running_; }
+
+  /// Fault-injected compute slowdown for `pid` (>= 1, 1 = nominal): composed
+  /// with the noise model by Process::compute. See sim::FaultPlan.
+  void set_compute_degrade(int pid, double factor);
+  [[nodiscard]] double compute_degrade(int pid) const;
 
   /// Trace recorder, or nullptr when EngineConfig::record_trace is false.
   [[nodiscard]] TraceRecorder* trace() noexcept { return trace_.get(); }

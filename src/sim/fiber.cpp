@@ -6,6 +6,10 @@
 #include <cstdint>
 #include <stdexcept>
 
+#ifdef DS_FIBER_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace ds::sim {
 
 namespace {
@@ -19,6 +23,17 @@ thread_local Fiber* t_current_fiber = nullptr;
 [[nodiscard]] std::size_t round_up_pages(std::size_t bytes) {
   const std::size_t p = page_size();
   return (bytes + p - 1) / p * p;
+}
+
+/// ASan-instrumented frames carry redzones and bookkeeping that inflate
+/// stack use severalfold; scale fiber stacks so sanitizer CI runs the same
+/// programs without tripping the guard page.
+[[nodiscard]] std::size_t scaled_stack_bytes(std::size_t bytes) {
+#ifdef DS_FIBER_ASAN
+  return bytes * 4;
+#else
+  return bytes;
+#endif
 }
 }  // namespace
 
@@ -87,6 +102,12 @@ void ds_fiber_entry(void* fiber) noexcept;
 }
 
 void fiber_entry_thunk(Fiber* fiber) {
+#ifdef DS_FIBER_ASAN
+  // First activation: tell ASan the switch from the host stack completed,
+  // learning the host stack bounds for the switches back.
+  __sanitizer_finish_switch_fiber(nullptr, &fiber->asan_host_bottom_,
+                                  &fiber->asan_host_size_);
+#endif
   fiber->run_body();
   // Return control to the resumer for good; resuming a finished fiber is an
   // error caught in resume(), so this switch never comes back.
@@ -99,7 +120,7 @@ extern "C" void ds_fiber_entry(void* fiber) noexcept {
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
     : body_(std::move(body)) {
-  const std::size_t stack = round_up_pages(stack_bytes);
+  const std::size_t stack = round_up_pages(scaled_stack_bytes(stack_bytes));
   map_bytes_ = stack + page_size();  // one guard page below the stack
   stack_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
@@ -143,7 +164,15 @@ void Fiber::resume() {
   Fiber* previous = t_current_fiber;
   t_current_fiber = this;
   started_ = true;
+#ifdef DS_FIBER_ASAN
+  __sanitizer_start_switch_fiber(&asan_host_fake_,
+                                 static_cast<char*>(stack_) + page_size(),
+                                 map_bytes_ - page_size());
+#endif
   ds_fiber_switch(&host_sp_, fiber_sp_);
+#ifdef DS_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(asan_host_fake_, nullptr, nullptr);
+#endif
   t_current_fiber = previous;
   if (finished_ && pending_exception_) {
     auto ex = pending_exception_;
@@ -155,14 +184,25 @@ void Fiber::resume() {
 void Fiber::yield() {
   Fiber* self = t_current_fiber;
   if (!self) throw std::logic_error("Fiber::yield called outside any fiber");
+#ifdef DS_FIBER_ASAN
+  // A finished fiber never runs again: passing null releases its fake stack.
+  __sanitizer_start_switch_fiber(
+      self->finished_ ? nullptr : &self->asan_fiber_fake_,
+      self->asan_host_bottom_, self->asan_host_size_);
+#endif
   ds_fiber_switch(&self->fiber_sp_, self->host_sp_);
+#ifdef DS_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(self->asan_fiber_fake_,
+                                  &self->asan_host_bottom_,
+                                  &self->asan_host_size_);
+#endif
 }
 
 #else  // !DS_FIBER_RAW_X86_64: portable ucontext implementation
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
     : body_(std::move(body)) {
-  const std::size_t stack = round_up_pages(stack_bytes);
+  const std::size_t stack = round_up_pages(scaled_stack_bytes(stack_bytes));
   map_bytes_ = stack + page_size();  // one guard page below the stack
   stack_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);

@@ -23,6 +23,18 @@
 #include <ucontext.h>
 #endif
 
+// AddressSanitizer needs to be told about manual stack switches (its shadow
+// stack and fake-stack machinery track one stack per thread): every switch
+// is bracketed with __sanitizer_start/finish_switch_fiber, and fiber stacks
+// are scaled up for the instrumented frames' extra footprint.
+#if defined(__SANITIZE_ADDRESS__)
+#define DS_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DS_FIBER_ASAN 1
+#endif
+#endif
+
 namespace ds::sim {
 
 class Fiber {
@@ -60,6 +72,12 @@ class Fiber {
   friend void fiber_entry_thunk(Fiber* fiber);
   void* fiber_sp_ = nullptr;  ///< fiber's saved stack pointer while yielded
   void* host_sp_ = nullptr;   ///< resumer's saved stack pointer while running
+#ifdef DS_FIBER_ASAN
+  void* asan_host_fake_ = nullptr;   ///< host's fake stack while fiber runs
+  void* asan_fiber_fake_ = nullptr;  ///< fiber's fake stack while yielded
+  const void* asan_host_bottom_ = nullptr;  ///< host stack, learned on entry
+  std::size_t asan_host_size_ = 0;
+#endif
 #else
   static void trampoline(unsigned hi, unsigned lo);
   ucontext_t context_{};

@@ -389,5 +389,134 @@ TEST(StreamCoalesce, ExplicitFlushShipsAPartialFrame) {
   });
 }
 
+TEST(StreamCoalesce, OversizedAsFinalElementBeforeTerminate) {
+  // Gap left by the PR 4 sweep: an oversized bypass element as the very
+  // last send leaves a partial frame pending toward the same consumer. The
+  // ordering-preserving flush, the bypass message, and the term must arrive
+  // in exactly that order — nothing stranded, nothing overtaken.
+  struct Big {
+    int seq = 0;
+    std::byte fill[3000] = {};  // exceeds the default 2 KiB budget
+  };
+  std::vector<int> order;
+  std::uint64_t consumed = 0;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    ChannelConfig cfg;
+    cfg.flow_autotune = false;  // keep the 2 KiB budget pinned
+    const Channel ch = Channel::create(self, self.world(), producer, !producer, cfg);
+    Stream s = Stream::attach(ch, mpi::Datatype::bytes(sizeof(Big)),
+                              [&](const StreamElement& el) {
+                                int seq = 0;
+                                std::memcpy(&seq, el.data, sizeof seq);
+                                order.push_back(seq);
+                              });
+    if (producer) {
+      for (int i = 0; i < 4; ++i) {
+        int small[2] = {i, 0};
+        s.isend(self, SendBuf::of(small, 2));
+      }
+      Big big;
+      big.seq = 4;
+      s.isend(self, SendBuf::of(&big, 1));  // bypass right before the term
+      s.terminate(self);
+    } else {
+      consumed = s.operate(self);
+    }
+  });
+  EXPECT_EQ(consumed, 5u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(StreamCoalesce, OversizedInterleavedWithPartialFinalFramesUnderTreeTermination) {
+  // Directed (tree-terminated) spray where every consumer's tail mixes a
+  // partial final frame with an oversized bypass element: count-based
+  // exhaustion must account bypass elements and packed elements alike, on
+  // every consumer, or operate() would hang or exit early.
+  struct Big {
+    int seq = 0;
+    std::byte fill[2500] = {};
+  };
+  constexpr int kProducers = 2, kConsumers = 3, kEach = 31;
+  std::vector<std::uint64_t> per_consumer(kConsumers, 0);
+  std::vector<bool> exhausted(kConsumers, false);
+  testing::run_program(
+      testing::tiny_machine(kProducers + kConsumers), [&](Rank& self) {
+        const bool producer = self.world_rank() < kProducers;
+        ChannelConfig cfg;
+        cfg.mapping = ChannelConfig::Mapping::Directed;
+        cfg.flow_autotune = false;
+        const Channel ch =
+            Channel::create(self, self.world(), producer, !producer, cfg);
+        const int me = ch.my_consumer_index(self);
+        Stream s = Stream::attach(ch, mpi::Datatype::bytes(sizeof(Big)),
+                                  [&](const StreamElement&) {});
+        if (producer) {
+          for (int i = 0; i < kEach; ++i) {
+            const int to = (self.world_rank() + i) % kConsumers;
+            if (i % 5 == 4) {
+              Big big;
+              big.seq = i;
+              s.isend_to(self, to, SendBuf::of(&big, 1));  // bypass
+            } else {
+              int small[2] = {i, 0};
+              s.isend_to(self, to, SendBuf::of(small, 2));  // coalesces
+            }
+          }
+          s.terminate(self);  // partial final frames + announced counts
+        } else {
+          per_consumer[static_cast<std::size_t>(me)] = s.operate(self);
+          exhausted[static_cast<std::size_t>(me)] = s.exhausted();
+        }
+      });
+  std::uint64_t total = 0;
+  for (int c = 0; c < kConsumers; ++c) {
+    EXPECT_TRUE(exhausted[static_cast<std::size_t>(c)]) << "consumer " << c;
+    total += per_consumer[static_cast<std::size_t>(c)];
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kProducers) *
+                       static_cast<std::uint64_t>(kEach));
+}
+
+TEST(StreamCoalesce, AlternatingOversizedAndSmallWithCreditWindow) {
+  // Oversized bypass interleaved with packed elements under flow control:
+  // per-element credit accounting must stay exact across both paths (a
+  // bypass element acks like any other), so the producer's window never
+  // wedges and the tail drains.
+  struct Big {
+    int seq = 0;
+    std::byte fill[2500] = {};
+  };
+  std::uint64_t consumed = 0, credits = 0;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    ChannelConfig cfg;
+    cfg.max_inflight = 3;
+    cfg.ack_interval = 2;
+    cfg.flow_autotune = false;
+    const Channel ch = Channel::create(self, self.world(), producer, !producer, cfg);
+    Stream s = Stream::attach(ch, mpi::Datatype::bytes(sizeof(Big)), {});
+    if (producer) {
+      for (int i = 0; i < 20; ++i) {
+        if (i % 2 == 0) {
+          Big big;
+          big.seq = i;
+          s.isend(self, SendBuf::of(&big, 1));
+        } else {
+          int small[2] = {i, 0};
+          s.isend(self, SendBuf::of(small, 2));
+        }
+      }
+      s.terminate(self);
+      credits = s.credits_received();
+    } else {
+      consumed = s.operate(self);
+    }
+  });
+  EXPECT_EQ(consumed, 20u);
+  EXPECT_LE(credits, 20u);
+  EXPECT_GE(credits + 3u, 20u);  // everything beyond a window came back
+}
+
 }  // namespace
 }  // namespace ds::stream

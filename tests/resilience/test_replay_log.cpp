@@ -1,0 +1,108 @@
+// ReplayLog / DedupFilter unit semantics (ds::resilience layer 2).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "resilience/failover.hpp"
+
+namespace ds::resilience {
+namespace {
+
+[[nodiscard]] std::vector<std::byte> frame_bytes(std::uint8_t fill,
+                                                 std::size_t n) {
+  std::vector<std::byte> buf(n);
+  std::memset(buf.data(), fill, n);
+  return buf;
+}
+
+TEST(ReplayLog, RetainsUntilDurableTruncation) {
+  ReplayLog log;
+  const auto f0 = frame_bytes(0xA0, 32);
+  const auto f1 = frame_bytes(0xA1, 40);
+  const auto f2 = frame_bytes(0xA2, 24);
+  log.retain(0, 8, 100, f0.data(), f0.size());
+  log.retain(8, 8, 110, f1.data(), f1.size());
+  log.retain(16, 4, 60, f2.data(), f2.size());
+  EXPECT_EQ(log.frame_count(), 3u);
+  EXPECT_EQ(log.retained_elements(), 20u);
+
+  // An ack mid-frame keeps the straddling frame retained.
+  log.truncate(10);
+  EXPECT_EQ(log.durable_seq(), 10u);
+  EXPECT_EQ(log.frame_count(), 2u);
+  EXPECT_EQ(log.retained_elements(), 12u);
+  EXPECT_EQ(log.frames().front().seq0, 8u);
+  // Retained bytes are the frame as posted.
+  EXPECT_EQ(log.frames().front().buf, f1);
+
+  // Out-of-order (stale) acks are ignored.
+  log.truncate(4);
+  EXPECT_EQ(log.durable_seq(), 10u);
+  EXPECT_EQ(log.frame_count(), 2u);
+
+  log.truncate(20);
+  EXPECT_EQ(log.frame_count(), 0u);
+  EXPECT_EQ(log.retained_elements(), 0u);
+}
+
+TEST(ReplayLog, RecyclesBuffersThroughTheSpareList) {
+  // Steady state: every retained frame reuses a truncated frame's capacity.
+  ReplayLog log;
+  const auto frame = frame_bytes(0x55, 512);
+  log.retain(0, 4, 600, frame.data(), frame.size());
+  log.truncate(4);
+  // The recycled buffer serves the next retention without growing.
+  log.retain(4, 4, 600, frame.data(), frame.size());
+  EXPECT_EQ(log.frame_count(), 1u);
+  EXPECT_GE(log.frames().front().buf.capacity(), 512u);
+}
+
+TEST(DedupFilter, AdmitsEachSequenceOnce) {
+  DedupFilter filter;
+  EXPECT_TRUE(filter.admit(1, 0, 0));
+  EXPECT_TRUE(filter.admit(1, 0, 1));
+  // Replay overlap: the same sequences come again.
+  EXPECT_FALSE(filter.admit(1, 0, 0));
+  EXPECT_FALSE(filter.admit(1, 0, 1));
+  EXPECT_TRUE(filter.admit(1, 0, 2));
+  EXPECT_EQ(filter.duplicates_dropped(), 2u);
+  // Flows are independent per (producer, flow).
+  EXPECT_TRUE(filter.admit(2, 0, 0));
+  EXPECT_TRUE(filter.admit(1, 3, 0));
+  EXPECT_EQ(filter.next_seq(1, 0), 3u);
+  EXPECT_EQ(filter.next_seq(9, 9), 0u);
+}
+
+TEST(DedupFilter, AdvanceToSkipsDurablePrefixWithoutCountingDuplicates) {
+  // The flow-handoff path: the adopter learns the durable point before the
+  // replayed frames arrive, so the durable prefix is filtered silently.
+  DedupFilter filter;
+  filter.advance_to(0, 2, 10);
+  EXPECT_FALSE(filter.admit(0, 2, 8));
+  EXPECT_FALSE(filter.admit(0, 2, 9));
+  EXPECT_TRUE(filter.admit(0, 2, 10));
+  EXPECT_EQ(filter.duplicates_dropped(), 2u);
+  // advance_to never regresses a cursor.
+  filter.advance_to(0, 2, 5);
+  EXPECT_TRUE(filter.admit(0, 2, 11));
+}
+
+TEST(DedupFilter, ForEachVisitsEveryTrackedFlow) {
+  DedupFilter filter;
+  ASSERT_TRUE(filter.admit(3, 1, 0));
+  ASSERT_TRUE(filter.admit(4, 0, 0));
+  ASSERT_TRUE(filter.admit(4, 0, 1));
+  int seen = 0;
+  std::uint64_t total = 0;
+  filter.for_each([&](int producer, int flow, std::uint64_t next) {
+    ++seen;
+    total += next;
+    EXPECT_TRUE((producer == 3 && flow == 1) || (producer == 4 && flow == 0));
+  });
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(total, 3u);
+}
+
+}  // namespace
+}  // namespace ds::resilience

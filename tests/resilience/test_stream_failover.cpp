@@ -1,0 +1,336 @@
+// Stream epochs + consumer failover, end to end at the stream layer
+// (ds::resilience layer 2/3): exactly-once delivery across an injected
+// consumer crash, bounded replay, termination repair under Block and
+// Directed (tree) mappings, and recovery from a credit-blocked producer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/machine_helpers.hpp"
+#include "core/channel.hpp"
+#include "core/stream.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/rank.hpp"
+
+namespace ds {
+namespace {
+
+using mpi::Rank;
+using mpi::SendBuf;
+using stream::Channel;
+using stream::ChannelConfig;
+using stream::Stream;
+using stream::StreamElement;
+
+[[nodiscard]] std::uint64_t element_id(int producer, int i) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(producer))
+          << 32) |
+         static_cast<std::uint32_t>(i);
+}
+
+/// True when `ids` contains no repeated element.
+[[nodiscard]] bool all_unique(std::vector<std::uint64_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  return std::adjacent_find(ids.begin(), ids.end()) == ids.end();
+}
+
+TEST(StreamFailover, BlockMappingSurvivorDeliversExactlyOnce) {
+  // 2 producers block-map onto 2 consumers; consumer 1 (world rank 3) is
+  // crashed mid-stream. Its producer rebinds to consumer 0, replays the
+  // undurable tail, and the union of deliveries covers every element while
+  // the survivor never sees one twice.
+  constexpr int kProducers = 2, kConsumers = 2, kEach = 40;
+  constexpr std::uint32_t kInterval = 4;
+  auto config = testing::tiny_machine(kProducers + kConsumers);
+  config.faults.crash(/*world rank of consumer 1=*/3, util::microseconds(40));
+  std::vector<std::vector<std::uint64_t>> delivered(kConsumers);
+  std::uint64_t survivor_dupes_filtered = 0;
+  testing::run_program(config, [&](Rank& self) {
+    const bool producer = self.world_rank() < kProducers;
+    ChannelConfig cfg;
+    cfg.checkpoint_interval = kInterval;
+    const Channel ch =
+        Channel::create(self, self.world(), producer, !producer, cfg);
+    const int me = ch.my_consumer_index(self);
+    Stream s = Stream::attach(ch, mpi::Datatype::int64(),
+                              [&](const StreamElement& el) {
+                                std::uint64_t id = 0;
+                                std::memcpy(&id, el.data, sizeof id);
+                                delivered[static_cast<std::size_t>(me)]
+                                    .push_back(id);
+                              });
+    if (producer) {
+      for (int i = 0; i < kEach; ++i) {
+        self.compute(util::microseconds(2));  // paced: the crash lands mid-run
+        const std::uint64_t id = element_id(self.world_rank(), i);
+        s.isend(self, SendBuf::of(&id, 1));
+      }
+      s.terminate(self);
+    } else {
+      s.operate(self);
+      if (me == 0) survivor_dupes_filtered = s.duplicates_dropped();
+    }
+  });
+
+  // Survivor exactly-once: no id reaches consumer 0's operator twice.
+  EXPECT_TRUE(all_unique(delivered[0]));
+  // Coverage: everything producer 0 sent lands at consumer 0; everything
+  // producer 1 sent lands at consumer 1 (before the crash) or consumer 0
+  // (replayed / rerouted after it).
+  std::set<std::uint64_t> seen(delivered[0].begin(), delivered[0].end());
+  seen.insert(delivered[1].begin(), delivered[1].end());
+  for (int p = 0; p < kProducers; ++p)
+    for (int i = 0; i < kEach; ++i)
+      EXPECT_TRUE(seen.count(element_id(p, i))) << "lost element " << p << ":" << i;
+  // Bounded replay overlap: only the dead consumer's undurable tail can be
+  // seen by both consumers — at most two epochs' worth (one open epoch plus
+  // one whose ack could still be in flight at the rebind).
+  std::vector<std::uint64_t> overlap;
+  std::set<std::uint64_t> dead(delivered[1].begin(), delivered[1].end());
+  for (const std::uint64_t id : delivered[0])
+    if (dead.count(id)) overlap.push_back(id);
+  EXPECT_LE(overlap.size(), 2u * kInterval);
+  // The dedup filter absorbed any replayed-but-durable prefix silently.
+  (void)survivor_dupes_filtered;  // informational; app-level view is above
+}
+
+TEST(StreamFailover, DirectedTreeRepairsAnnouncedCountsAndExhausts) {
+  // Directed spray over 3 consumers with tree termination; consumer 2 (a
+  // tree leaf) dies mid-stream. Producers move the undurable announced
+  // counts to the adopter (consumer 0), the collective term routes around
+  // the dead leaf, and both survivors exhaust exactly.
+  constexpr int kProducers = 2, kConsumers = 3, kEach = 45;
+  auto config = testing::tiny_machine(kProducers + kConsumers);
+  config.faults.crash(/*world rank of consumer 2=*/4, util::microseconds(40));
+  std::vector<std::vector<std::uint64_t>> delivered(kConsumers);
+  testing::run_program(config, [&](Rank& self) {
+    const bool producer = self.world_rank() < kProducers;
+    ChannelConfig cfg;
+    cfg.mapping = ChannelConfig::Mapping::Directed;
+    cfg.checkpoint_interval = 8;
+    const Channel ch =
+        Channel::create(self, self.world(), producer, !producer, cfg);
+    const int me = ch.my_consumer_index(self);
+    Stream s = Stream::attach(ch, mpi::Datatype::int64(),
+                              [&](const StreamElement& el) {
+                                std::uint64_t id = 0;
+                                std::memcpy(&id, el.data, sizeof id);
+                                delivered[static_cast<std::size_t>(me)]
+                                    .push_back(id);
+                              });
+    if (producer) {
+      for (int i = 0; i < kEach; ++i) {
+        self.compute(util::microseconds(2));
+        const std::uint64_t id = element_id(self.world_rank(), i);
+        s.isend_to(self, i % kConsumers, SendBuf::of(&id, 1));
+      }
+      s.terminate(self);
+    } else {
+      s.operate(self);  // must exhaust — a count mismatch would deadlock
+      EXPECT_TRUE(s.exhausted());
+    }
+  });
+  EXPECT_TRUE(all_unique(delivered[0]));
+  EXPECT_TRUE(all_unique(delivered[1]));
+  std::set<std::uint64_t> seen;
+  for (const auto& d : delivered) seen.insert(d.begin(), d.end());
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers) * static_cast<std::size_t>(kEach));
+}
+
+TEST(StreamFailover, CreditBlockedProducerRecoversAndReplays) {
+  // Every element is directed at consumer 1 under a tight credit window.
+  // When consumer 1 dies, the producer is asleep waiting for a credit that
+  // can never come; the crash notification wakes it, it rebinds to consumer
+  // 0, replays, and the stream completes with every element delivered.
+  constexpr int kEach = 60;
+  auto config = testing::tiny_machine(3);  // 1 producer + 2 consumers
+  config.faults.crash(/*world rank of consumer 1=*/2, util::microseconds(30));
+  std::vector<std::uint64_t> survivor;
+  std::vector<std::uint64_t> dead;
+  testing::run_program(config, [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    ChannelConfig cfg;
+    cfg.mapping = ChannelConfig::Mapping::Directed;
+    cfg.checkpoint_interval = 8;
+    cfg.max_inflight = 4;
+    cfg.flow_autotune = false;  // keep the window tight: the point is stalling
+    const Channel ch =
+        Channel::create(self, self.world(), producer, !producer, cfg);
+    const int me = ch.my_consumer_index(self);
+    Stream s = Stream::attach(ch, mpi::Datatype::int64(),
+                              [&](const StreamElement& el) {
+                                self.compute(util::microseconds(2));  // slow
+                                std::uint64_t id = 0;
+                                std::memcpy(&id, el.data, sizeof id);
+                                (me == 0 ? survivor : dead).push_back(id);
+                              });
+    if (producer) {
+      for (int i = 0; i < kEach; ++i) {
+        const std::uint64_t id = element_id(0, i);
+        s.isend_to(self, 1, SendBuf::of(&id, 1));
+      }
+      s.terminate(self);
+      EXPECT_GE(s.failovers(), 1u);
+      EXPECT_GT(s.replayed_elements(), 0u);
+    } else {
+      s.operate(self);
+    }
+  });
+  EXPECT_TRUE(all_unique(survivor));
+  std::set<std::uint64_t> seen(survivor.begin(), survivor.end());
+  seen.insert(dead.begin(), dead.end());
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kEach));
+}
+
+TEST(StreamFailover, FaultFreeRetentionStaysBounded) {
+  // The replay log is the resilience cost in the fault-free run: with
+  // automatic epoch acks and a credit window, retention can never exceed
+  // the open epoch plus the window plus ack/batching slack.
+  constexpr int kEach = 400;
+  constexpr std::uint32_t kInterval = 16, kWindow = 8;
+  std::uint64_t max_retained = 0;
+  std::uint64_t acks = 0;
+  testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+    const bool producer = self.world_rank() == 0;
+    ChannelConfig cfg;
+    cfg.checkpoint_interval = kInterval;
+    cfg.max_inflight = kWindow;
+    cfg.coalesce_max_elements = 4;
+    const Channel ch =
+        Channel::create(self, self.world(), producer, !producer, cfg);
+    Stream s = Stream::attach(ch, mpi::Datatype::int64(), {});
+    if (producer) {
+      for (int i = 0; i < kEach; ++i) {
+        const std::uint64_t id = element_id(0, i);
+        s.isend(self, SendBuf::of(&id, 1));
+        max_retained = std::max(max_retained, s.retained_elements());
+      }
+      s.terminate(self);
+    } else {
+      s.operate(self);
+      acks = s.durable_acks_sent();
+    }
+  });
+  // Open epoch + credit window + a frame and an ack batch of slack.
+  EXPECT_LE(max_retained, kInterval + 2 * kWindow + 8);
+  EXPECT_GE(acks, static_cast<std::uint64_t>(kEach / kInterval / 2));
+}
+
+TEST(StreamFailover, ManualDurabilityReplaysEverythingUnacked) {
+  // Under manual durability a consumer that never acknowledges is treated
+  // as having no durable effects: after its crash the adopter receives the
+  // dead consumer's entire flow from the start.
+  constexpr int kProducers = 2, kConsumers = 2, kEach = 24;
+  auto config = testing::tiny_machine(kProducers + kConsumers);
+  config.faults.crash(3, util::microseconds(40));
+  std::vector<std::vector<std::uint64_t>> delivered(kConsumers);
+  testing::run_program(config, [&](Rank& self) {
+    const bool producer = self.world_rank() < kProducers;
+    ChannelConfig cfg;
+    cfg.checkpoint_interval = 8;
+    cfg.manual_durability = true;
+    const Channel ch =
+        Channel::create(self, self.world(), producer, !producer, cfg);
+    const int me = ch.my_consumer_index(self);
+    Stream s = Stream::attach(ch, mpi::Datatype::int64(),
+                              [&](const StreamElement& el) {
+                                std::uint64_t id = 0;
+                                std::memcpy(&id, el.data, sizeof id);
+                                delivered[static_cast<std::size_t>(me)]
+                                    .push_back(id);
+                              });
+    if (producer) {
+      for (int i = 0; i < kEach; ++i) {
+        self.compute(util::microseconds(2));
+        const std::uint64_t id = element_id(self.world_rank(), i);
+        s.isend(self, SendBuf::of(&id, 1));
+      }
+      s.terminate(self);
+    } else {
+      s.operate(self);
+    }
+  });
+  EXPECT_TRUE(all_unique(delivered[0]));
+  // The survivor holds its own full flow AND the dead consumer's full flow.
+  std::set<std::uint64_t> survivor(delivered[0].begin(), delivered[0].end());
+  for (int p = 0; p < kProducers; ++p)
+    for (int i = 0; i < kEach; ++i)
+      EXPECT_TRUE(survivor.count(element_id(p, i)))
+          << "missing " << p << ":" << i;
+}
+
+TEST(StreamFailover, ZeroSendProducerTermRoutesToFailoverTarget) {
+  // A producer that never sent an element still has to repair its term
+  // routing: after its peer consumer crashes, the term must reach the
+  // adopting consumer (which raised its expected term count), or the
+  // adopter would wait forever on a term sitting in a dead mailbox.
+  constexpr int kProducers = 2, kConsumers = 2;
+  auto config = testing::tiny_machine(kProducers + kConsumers);
+  config.faults.crash(/*world rank of consumer 1=*/3, util::microseconds(5));
+  std::uint64_t survivor_elements = 0;
+  bool survivor_exhausted = false;
+  testing::run_program(config, [&](Rank& self) {
+    const bool producer = self.world_rank() < kProducers;
+    ChannelConfig cfg;
+    cfg.checkpoint_interval = 4;
+    const Channel ch =
+        Channel::create(self, self.world(), producer, !producer, cfg);
+    Stream s = Stream::attach(ch, mpi::Datatype::int64(), {});
+    if (producer) {
+      self.compute(util::microseconds(20));  // terminate well after the crash
+      if (self.world_rank() == 0) {
+        const std::uint64_t id = element_id(0, 0);
+        s.isend(self, SendBuf::of(&id, 1));
+      }
+      // Producer 1 (block-routed at the dead consumer) sends nothing at all.
+      s.terminate(self);
+    } else {
+      survivor_elements = s.operate(self);  // deadlocks if the term is lost
+      survivor_exhausted = s.exhausted();
+    }
+  });
+  EXPECT_TRUE(survivor_exhausted);
+  EXPECT_EQ(survivor_elements, 1u);
+}
+
+TEST(StreamFailover, AdaptiveWindowGrowsUnderCreditStallsOnly) {
+  // Satellite: flow_autotune retunes max_inflight from the controller's
+  // credit-stall signal — growth under stalls, pinned without autotune, and
+  // never below the configured value.
+  auto run = [&](bool autotune) {
+    std::uint32_t window_after = 0;
+    testing::run_program(testing::tiny_machine(2), [&](Rank& self) {
+      const bool producer = self.world_rank() == 0;
+      ChannelConfig cfg;
+      cfg.max_inflight = 4;  // tight: a fast producer stalls constantly
+      cfg.flow_autotune = autotune;
+      const Channel ch =
+          Channel::create(self, self.world(), producer, !producer, cfg);
+      Stream s = Stream::attach(ch, mpi::Datatype::int64(), {});
+      if (producer) {
+        for (int i = 0; i < 600; ++i) {
+          const std::uint64_t id = element_id(0, i);
+          s.isend(self, SendBuf::of(&id, 1));
+        }
+        s.terminate(self);
+        window_after = s.max_inflight_now();
+      } else {
+        s.operate(self);
+      }
+    });
+    return window_after;
+  };
+  const std::uint32_t pinned = run(false);
+  const std::uint32_t tuned = run(true);
+  EXPECT_EQ(pinned, 4u);
+  EXPECT_GE(tuned, 4u);
+  EXPECT_LE(tuned, 4u * stream::ChannelConfig::kWindowGrowthCap);
+  EXPECT_GT(tuned, pinned);  // stall-heavy run must actually grow
+}
+
+}  // namespace
+}  // namespace ds

@@ -9,6 +9,10 @@ steady_stream scenario regresses:
     override with DS_BENCH_EPS_TOLERANCE, e.g. 0.30 for noisy runners);
   * allocs_per_element is nonzero (the zero-allocation hot-path gate).
 
+Every problem is reported as a clear per-metric line (which file, which
+scenario, which key) and the script exits nonzero — a malformed or
+truncated JSON never surfaces as a raw KeyError traceback.
+
 The messages-per-element coalescing gate lives in the bench binary itself
 (micro_simcore exits nonzero on it); it is not duplicated here.
 
@@ -18,42 +22,81 @@ import json
 import os
 import sys
 
+errors = []
 
-def scenario(doc, name):
-    for s in doc.get("scenarios", []):
-        if s.get("name") == name:
+
+def fail(message):
+    print(f"FAIL: {message}")
+    errors.append(message)
+
+
+def load(path, which):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        raise SystemExit(f"FAIL: cannot read {which} JSON {path!r}: {e}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"FAIL: {which} JSON {path!r} is not valid JSON: {e}")
+
+
+def scenario(doc, name, which):
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list):
+        fail(f"{which} JSON has no 'scenarios' array")
+        return None
+    for s in scenarios:
+        if isinstance(s, dict) and s.get("name") == name:
             return s
-    raise SystemExit(f"FAIL: scenario '{name}' missing from bench JSON")
+    fail(f"scenario '{name}' missing from {which} JSON")
+    return None
+
+
+def metric(s, key, which, name, required=True):
+    """Fetch a numeric metric, reporting (not raising) when it is absent."""
+    if s is None:
+        return None
+    if key not in s:
+        if required:
+            fail(f"metric '{key}' missing from {which} JSON "
+             f"(scenario '{name}')")
+        return None
+    try:
+        return float(s[key])
+    except (TypeError, ValueError):
+        fail(f"metric '{key}' in {which} JSON (scenario '{name}') "
+             f"is not a number: {s[key]!r}")
+        return None
 
 
 def main():
     if len(sys.argv) != 3:
         raise SystemExit(__doc__)
-    with open(sys.argv[1]) as f:
-        baseline = scenario(json.load(f), "steady_stream")
-    with open(sys.argv[2]) as f:
-        fresh = scenario(json.load(f), "steady_stream")
+    baseline = scenario(load(sys.argv[1], "baseline"), "steady_stream",
+                        "baseline")
+    fresh = scenario(load(sys.argv[2], "fresh"), "steady_stream", "fresh")
 
     tolerance = float(os.environ.get("DS_BENCH_EPS_TOLERANCE", "0.20"))
-    base_eps = float(baseline["elements_per_sec"])
-    fresh_eps = float(fresh["elements_per_sec"])
-    floor = base_eps * (1.0 - tolerance)
-    ok = True
+    base_eps = metric(baseline, "elements_per_sec", "baseline", "steady_stream")
+    fresh_eps = metric(fresh, "elements_per_sec", "fresh", "steady_stream")
+    if base_eps is not None and fresh_eps is not None:
+        floor = base_eps * (1.0 - tolerance)
+        print(f"steady_stream elements_per_sec: baseline {base_eps:.3g}, "
+              f"fresh {fresh_eps:.3g} (floor {floor:.3g})")
+        if fresh_eps < floor:
+            fail(f"throughput dropped more than {tolerance:.0%} "
+                 f"below the committed baseline")
 
-    print(f"steady_stream elements_per_sec: baseline {base_eps:.3g}, "
-          f"fresh {fresh_eps:.3g} (floor {floor:.3g})")
-    if fresh_eps < floor:
-        print(f"FAIL: throughput dropped more than {tolerance:.0%} "
-              f"below the committed baseline")
-        ok = False
+    # Absent on old baselines is fine; absent on fresh output is a bug in the
+    # bench (the gate would silently stop gating).
+    allocs = metric(fresh, "allocs_per_element", "fresh", "steady_stream")
+    if allocs is not None:
+        print(f"steady_stream allocs_per_element: {allocs:.6f}")
+        if allocs > 0.0005:
+            fail("steady-state eager elements allocate")
 
-    allocs = float(fresh.get("allocs_per_element", 0.0))
-    print(f"steady_stream allocs_per_element: {allocs:.6f}")
-    if allocs > 0.0005:
-        print("FAIL: steady-state eager elements allocate")
-        ok = False
-
-    print("bench regression check:", "PASS" if ok else "FAIL")
+    ok = not errors
+    print("bench regression check:", "PASS" if ok else f"FAIL ({len(errors)} problem(s))")
     return 0 if ok else 1
 
 
