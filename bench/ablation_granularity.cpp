@@ -10,12 +10,12 @@
 #include "bench/bench_common.hpp"
 #include "model/perf_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ds;
-  const auto opt = util::BenchOptions::from_env();
+  const auto opt = util::BenchOptions::parse(argc, argv);
   bench::print_header("Ablation — stream granularity S (Eq. 4)",
                       "MapReduce decoupled on 128 procs, block size swept "
-                      "from 1 MB to 256 MB");
+                      "from 1 MB to 256 MB", opt);
 
   const int procs = std::min(128, opt.max_procs);
   util::Table table({"block_bytes", "elements", "decoupled_s"});
@@ -31,7 +31,7 @@ int main() {
       // Exaggerate the per-element cost so the overhead side of the
       // trade-off is visible at this reduced scale.
       const auto result = apps::wordcount::run_decoupled(
-          cfg, bench::beskow_like(p, seed));
+          cfg, bench::beskow_like(p, seed, opt));
       elements = result.elements_streamed;
       return result.seconds;
     });

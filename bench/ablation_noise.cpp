@@ -14,12 +14,12 @@
 #include "apps/wordcount/wordcount.hpp"
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ds;
-  const auto opt = util::BenchOptions::from_env();
+  const auto opt = util::BenchOptions::parse(argc, argv);
   bench::print_header("Ablation — noise & reduce-group aggregation",
                       "decoupling speedup vs machine noise; master uptick vs "
-                      "in-group aggregation");
+                      "in-group aggregation", opt);
 
   const int procs = std::min(256, opt.max_procs);
   util::Table noise_table({"noise", "reference_s", "decoupled_s", "speedup"});
@@ -38,7 +38,7 @@ int main() {
         apps::wordcount::WordcountConfig cfg;
         cfg.corpus.seed = seed;
         cfg.stride = 16;
-        mpi::MachineConfig machine = bench::beskow_like(p, seed);
+        mpi::MachineConfig machine = bench::beskow_like(p, seed, opt);
         machine.engine.noise = level.cfg;
         return (decoupled ? apps::wordcount::run_decoupled(cfg, machine)
                           : apps::wordcount::run_reference(cfg, machine))
@@ -67,7 +67,7 @@ int main() {
         cfg.stride = 16;
         cfg.aggregate_reduce_group = aggregate;
         return apps::wordcount::run_decoupled(
-                   cfg, bench::beskow_like(procs_inner, seed))
+                   cfg, bench::beskow_like(procs_inner, seed, opt))
             .seconds;
       });
     };

@@ -139,12 +139,12 @@ RunResult run_stream(int elements_per_producer, bool resilient,
 
 }  // namespace
 
-int main() {
-  const auto opt = util::BenchOptions::from_env();
+int main(int argc, char** argv) {
+  const auto opt = util::BenchOptions::parse(argc, argv);
   bench::print_header(
       "fault_recovery — consumer-crash recovery time and goodput",
       "ds::resilience: stream epochs, bounded replay, consumer failover "
-      "(exascale-readiness: surviving rank loss mid-run)");
+      "(exascale-readiness: surviving rank loss mid-run)", opt);
 
   const int elements = opt.fast ? 2000 : 8000;
   const std::uint64_t total =

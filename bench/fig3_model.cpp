@@ -19,8 +19,10 @@ constexpr util::SimTime kOp0 = util::milliseconds(10);   // red: computation
 constexpr util::SimTime kOp1 = util::milliseconds(4);    // blue: second op
 constexpr std::size_t kOp1Bytes = 64 * 1024;
 
+util::BenchOptions g_opt;  ///< machine-model sweep (--topology= etc.)
+
 mpi::MachineConfig machine_config(std::uint64_t seed) {
-  mpi::MachineConfig cfg = bench::beskow_like(kRanks, seed);
+  mpi::MachineConfig cfg = bench::beskow_like(kRanks, seed, g_opt);
   cfg.engine.noise = sim::NoiseConfig{0.25, 50.0, util::microseconds(600)};
   cfg.engine.record_trace = true;
   return cfg;
@@ -91,11 +93,13 @@ double decoupled(std::string* trace) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ds;
+  g_opt = util::BenchOptions::parse(argc, argv);
   bench::print_header("Fig. 3 — execution-model comparison",
                       "conventional vs nonblocking vs decoupled, 4 ranks; "
-                      "'r' = Op0, 'b' = Op1, '.' = idle");
+                      "'r' = Op0, 'b' = Op1, '.' = idle",
+                      g_opt);
 
   std::string trace;
   const double conv = conventional(&trace);

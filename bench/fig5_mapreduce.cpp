@@ -8,12 +8,12 @@
 #include "apps/wordcount/wordcount.hpp"
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ds;
-  const auto opt = util::BenchOptions::from_env();
+  const auto opt = util::BenchOptions::parse(argc, argv);
   bench::print_header("Fig. 5 — MapReduce weak scaling",
                       "2.9 TB corpus on 8,192 procs; Reference vs Decoupling "
-                      "(alpha = 1/8, 1/16, 1/32)");
+                      "(alpha = 1/8, 1/16, 1/32)", opt);
 
   util::Table table({"procs", "reference_s", "decoupled_a12.5%_s",
                      "decoupled_a6.25%_s", "decoupled_a3.125%_s",
@@ -25,7 +25,7 @@ int main() {
         apps::wordcount::WordcountConfig cfg;
         cfg.corpus.seed = seed;
         if (stride > 0) cfg.stride = stride;
-        const auto machine = bench::beskow_like(p, seed);
+        const auto machine = bench::beskow_like(p, seed, opt);
         const auto result = stride > 0
                                 ? apps::wordcount::run_decoupled(cfg, machine)
                                 : apps::wordcount::run_reference(cfg, machine);

@@ -9,12 +9,12 @@
 #include "apps/cg/cg_app.hpp"
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ds;
-  const auto opt = util::BenchOptions::from_env();
+  const auto opt = util::BenchOptions::parse(argc, argv);
   bench::print_header("Fig. 6 — CG solver weak scaling",
                       "120^3 grid points per process; blocking vs nonblocking "
-                      "vs decoupling (alpha = 6.25%)");
+                      "vs decoupling (alpha = 6.25%)", opt);
 
   util::Table table({"procs", "blocking_s", "nonblocking_s", "decoupling_s",
                      "blocking/decoupling"});
@@ -26,7 +26,7 @@ int main() {
         cfg.n = 120;
         cfg.iterations = 6;
         cfg.stride = 16;
-        return apps::cg::run_cg(variant, cfg, bench::beskow_like(p, seed)).seconds;
+        return apps::cg::run_cg(variant, cfg, bench::beskow_like(p, seed, opt)).seconds;
       });
     };
     const auto blocking = run(apps::cg::HaloVariant::Blocking);

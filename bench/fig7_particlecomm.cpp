@@ -8,12 +8,12 @@
 #include "apps/pic/pic_app.hpp"
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ds;
-  const auto opt = util::BenchOptions::from_env();
+  const auto opt = util::BenchOptions::parse(argc, argv);
   bench::print_header("Fig. 7 — iPIC3D particle communication weak scaling",
                       "GEM-like setup, ~2e9 particles at 8,192 procs; "
-                      "reference vs decoupling (alpha = 6.25%)");
+                      "reference vs decoupling (alpha = 6.25%)", opt);
 
   util::Table table({"procs", "reference_s", "decoupled_s",
                      "ref_exchange_s", "dec_exchange_s", "reference/decoupled"});
@@ -32,7 +32,7 @@ int main() {
         cfg.relaxed_arrival = true;
         cfg.seed = seed;
         const auto result =
-            apps::pic::run_pic(variant, cfg, bench::beskow_like(p, seed));
+            apps::pic::run_pic(variant, cfg, bench::beskow_like(p, seed, opt));
         *comm_out = result.comm_seconds;
         return result.seconds;  // execution time, as the paper plots
       });

@@ -10,12 +10,12 @@
 #include "apps/pic/pic_io.hpp"
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ds;
-  const auto opt = util::BenchOptions::from_env();
+  const auto opt = util::BenchOptions::parse(argc, argv);
   bench::print_header("Fig. 8 — iPIC3D particle I/O weak scaling",
                       "per-step particle dumps; write_all vs write_shared vs "
-                      "decoupled buffered I/O group");
+                      "decoupled buffered I/O group", opt);
 
   util::Table table({"procs", "ref_coll_s", "ref_shared_s", "decoupling_s",
                      "shared/dec", "coll/dec"});
@@ -32,7 +32,7 @@ int main() {
         // compute window the decoupled I/O group hides its writes behind.
         cfg.ns_mover_per_particle = 400.0;
         cfg.seed = seed;
-        return apps::pic::run_pic_io(variant, cfg, bench::beskow_like(p, seed))
+        return apps::pic::run_pic_io(variant, cfg, bench::beskow_like(p, seed, opt))
             .seconds;
       });
     };

@@ -82,12 +82,12 @@ TermCounts run_shape(int producers, int consumers, int elements) {
 
 }  // namespace
 
-int main() {
-  const auto opt = util::BenchOptions::from_env();
+int main(int argc, char** argv) {
+  const auto opt = util::BenchOptions::parse(argc, argv);
   bench::print_header(
       "Fig. 9 — Directed termination scaling",
       "term messages vs consumer count: per-producer broadcast O(P*C) vs "
-      "aggregated tree O(P + C), critical path O(log C)");
+      "aggregated tree O(P + C), critical path O(log C)", opt);
 
   util::Table table({"consumers", "producers", "terms_total", "terms_legacy",
                      "max_per_producer", "max_per_consumer", "tree_depth",

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstring>
+#include <numeric>
 #include <stdexcept>
 #include <vector>
 
 #include "apps/pic/pic_app.hpp"
 #include "core/decouple.hpp"
 #include "core/group_plan.hpp"
+#include "core/placement.hpp"
 #include "mpi/io.hpp"
 #include "mpi/rank.hpp"
 
@@ -44,13 +46,36 @@ PicIoResult run_pic_io(IoVariant variant, const PicIoConfig& config,
   const int size = machine.world_size();
   const bool decoupled = variant == IoVariant::Decoupled;
 
-  stream::GroupPlan plan;
-  if (decoupled) plan = stream::GroupPlan::interleaved(machine.world(), config.stride);
+  // The worker/writeback split: rank-interleaved by default (GroupPlan), or
+  // node-aware via stream::Placement — the tail ranks of each node write, so
+  // dump batches stay on their producer's node.
+  std::vector<int> worker_ranks;
+  std::vector<int> helper_ranks;
+  if (decoupled) {
+    if (config.node_aware_placement) {
+      const stream::Placement placement(machine_config.network, size);
+      std::vector<int> all(static_cast<std::size_t>(size));
+      std::iota(all.begin(), all.end(), 0);
+      const int per_node = std::max(
+          1, (placement.ranks_per_node() + config.stride - 1) / config.stride);
+      helper_ranks = placement.tail_per_node(all, per_node);
+    }
+    if (helper_ranks.empty()) {
+      const auto plan = stream::GroupPlan::interleaved(machine.world(), config.stride);
+      worker_ranks = plan.workers();
+      helper_ranks = plan.helpers();
+    } else {
+      for (int r = 0; r < size; ++r)
+        if (!std::binary_search(helper_ranks.begin(), helper_ranks.end(), r))
+          worker_ranks.push_back(r);
+    }
+  }
   // The chained decoupled pipeline carves its reduce stage out of the worker
   // group (the last worker), so one fewer rank computes.
-  const bool chained = decoupled && plan.worker_count() >= 2;
+  const bool chained = decoupled && worker_ranks.size() >= 2;
   const int compute_ranks =
-      decoupled ? plan.worker_count() - (chained ? 1 : 0) : size;
+      decoupled ? static_cast<int>(worker_ranks.size()) - (chained ? 1 : 0)
+                : size;
   const Domain domain = domain_of(compute_ranks);
   const auto counts = modeled_rank_counts(
       domain, config.particles_per_rank * static_cast<std::uint64_t>(size));
@@ -116,7 +141,6 @@ PicIoResult run_pic_io(IoVariant variant, const PicIoConfig& config,
     struct WriterManifest {
       std::uint64_t expected_bytes = 0;
     };
-    const auto& worker_ranks = plan.workers();
     const std::size_t batch_bytes =
         sizeof(std::uint64_t) + config.batch_particles * unit;
     const bool resilient = config.checkpoint_interval > 0;
@@ -138,7 +162,7 @@ PicIoResult run_pic_io(IoVariant variant, const PicIoConfig& config,
     if (chained)
       reduce_stage = pipeline.stage(std::vector<int>{worker_ranks.back()});
     const auto write_stage =
-        pipeline.stage({plan.helpers().begin(), plan.helpers().end()});
+        pipeline.stage({helper_ranks.begin(), helper_ranks.end()});
     decouple::StreamOptions batch_options;
     if (resilient) {
       // Writers have external effects: batches become durable at the file

@@ -112,6 +112,16 @@ struct ChannelConfig {
   /// safe. See resilience::ResilienceOptions.
   bool manual_durability = false;
 
+  /// Node-aware termination aggregation (tree mappings only): shape the term
+  /// tree from the machine's node structure instead of the flat binary heap.
+  /// The first consumer on each node becomes the node's leader; leaders form
+  /// a binary tree among themselves (the only cross-node edges), and every
+  /// other consumer hangs off its own node's leader — so the collective term
+  /// crosses the fabric O(nodes) times instead of O(consumers), and the
+  /// per-node hops ride shared memory. The aggregator stays consumer 0.
+  /// False (default) keeps the flat heap tree exactly as before.
+  bool node_aware_term = false;
+
   [[nodiscard]] bool resilient() const noexcept {
     return checkpoint_interval > 0;
   }
@@ -191,24 +201,57 @@ class Channel {
   [[nodiscard]] bool tree_termination() const noexcept {
     return config_.mapping != ChannelConfig::Mapping::Block;
   }
-  /// Consumer index that aggregates producer terms (tree root).
+  /// Consumer index that aggregates producer terms (tree root). Holds for
+  /// both tree shapes: the node-aware build keeps consumer 0 as the first
+  /// leader, so the root never moves.
   [[nodiscard]] static int term_aggregator() noexcept { return 0; }
-  /// Tree parent of consumer `c` (-1 for the aggregator).
+  /// Flat-heap tree parent of consumer `c` (-1 for the aggregator). Static
+  /// shape only; channel-aware code should use term_parent_of.
   [[nodiscard]] static int term_parent(int consumer) noexcept {
     return consumer <= 0 ? -1 : (consumer - 1) / 2;
   }
-  /// Tree children of consumer `c` (0, 1, or 2 entries).
+  /// Tree parent of consumer `c` under this channel's tree shape (node-aware
+  /// when enabled, the flat heap otherwise). Both shapes guarantee
+  /// parent < child, so subtree walks ascend strictly.
+  [[nodiscard]] int term_parent_of(int consumer) const noexcept {
+    if (!term_parent_.empty())
+      return consumer <= 0 ? -1 : term_parent_[static_cast<std::size_t>(consumer)];
+    return term_parent(consumer);
+  }
+  /// True when the channel built a node-aware term tree.
+  [[nodiscard]] bool node_aware_term() const noexcept {
+    return !term_parent_.empty();
+  }
+  /// Tree children of consumer `c` under this channel's tree shape.
   [[nodiscard]] std::vector<int> term_children(int consumer) const;
-  /// True when `consumer` lies in the tree subtree rooted at `root`
-  /// (inclusive). Used to slice the per-consumer counts a collective term
-  /// carries down to just the receiver's subtree.
+  /// Flat-heap membership test (static shape only; see term_in_subtree_of).
   [[nodiscard]] static bool term_in_subtree(int consumer, int root) noexcept {
     while (consumer > root) consumer = term_parent(consumer);
     return consumer == root;
   }
+  /// True when `consumer` lies in the tree subtree rooted at `root`
+  /// (inclusive) under this channel's tree shape. Used to slice the
+  /// per-consumer counts a collective term carries down to just the
+  /// receiver's subtree.
+  [[nodiscard]] bool term_in_subtree_of(int consumer, int root) const noexcept {
+    while (consumer > root) consumer = term_parent_of(consumer);
+    return consumer == root;
+  }
   /// Tree hops from the aggregator to the deepest consumer: the length of
-  /// the collective-term critical path, O(log C).
+  /// the collective-term critical path. O(log C) for the flat heap;
+  /// O(log nodes + 1) node-aware.
   [[nodiscard]] int term_tree_depth() const noexcept;
+  /// Tree edges whose endpoint consumers live on different nodes — the
+  /// term messages that must cross the fabric. The node-aware shape bounds
+  /// this by the leader tree (O(nodes)); the flat heap scatters edges
+  /// across nodes. Benches use it to compare the shapes.
+  [[nodiscard]] int term_cross_node_edges() const noexcept;
+  /// Node id of consumer `c` on the machine the channel was created on.
+  [[nodiscard]] int consumer_node(int consumer) const noexcept {
+    return consumer_node_.empty()
+               ? 0
+               : consumer_node_[static_cast<std::size_t>(consumer)];
+  }
   /// Terms consumer `c` must observe before the stream can be exhausted:
   /// its routed producers under Block; under tree termination P for the
   /// aggregator (one per producer) and 1 for everyone else (the collective
@@ -222,10 +265,16 @@ class Channel {
   }
 
  private:
+  void build_node_aware_tree();
+
   ChannelConfig config_{};
   mpi::Comm comm_{};
   int producer_count_ = 0;
   int consumer_count_ = 0;
+  /// Node id per consumer (filled at create; empty for inert handles).
+  std::vector<int> consumer_node_;
+  /// Node-aware term-tree parents (empty = flat heap shape).
+  std::vector<int> term_parent_;
 };
 
 }  // namespace ds::stream

@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/placement.hpp"
 #include "mpi/datatype.hpp"
+#include "mpi/machine.hpp"
 #include "mpi/rank.hpp"
 
 namespace ds::decouple {
@@ -309,6 +311,27 @@ Pipeline& Pipeline::with_helper_ranks(std::vector<int> helpers) & {
   return *this;
 }
 
+Pipeline& Pipeline::with_node_placement(int helpers_per_node) & {
+  if (helpers_per_node < 1)
+    throw std::invalid_argument(
+        "Pipeline::with_node_placement: helpers_per_node must be >= 1");
+  const auto& config = self_->machine().config();
+  const stream::Placement placement(config.network, config.world_size);
+  std::vector<int> world;
+  world.reserve(static_cast<std::size_t>(parent_.size()));
+  for (int r = 0; r < parent_.size(); ++r) world.push_back(parent_.world_rank(r));
+  std::vector<int> helpers;
+  for (const int w : placement.tail_per_node(world, helpers_per_node))
+    helpers.push_back(parent_.rank_of_world(w));
+  if (helpers.empty())
+    throw std::invalid_argument(
+        "Pipeline::with_node_placement: no node hosts two members of the "
+        "parent communicator (nothing to co-locate)");
+  std::sort(helpers.begin(), helpers.end());
+  set_split(std::move(helpers));
+  return *this;
+}
+
 Pipeline& Pipeline::with_worker_comm() & {
   want_worker_comm_ = true;
   return *this;
@@ -480,6 +503,7 @@ void Pipeline::launch(const RoleFn& role_fn) {
     config.flow_autotune = slot.options.flow_autotune;
     config.checkpoint_interval = slot.options.checkpoint_interval;
     config.manual_durability = slot.options.manual_durability;
+    config.node_aware_term = slot.options.node_aware_term;
     if (resilience_ && config.checkpoint_interval == 0) {
       config.checkpoint_interval = resilience_->checkpoint_interval;
       config.manual_durability =

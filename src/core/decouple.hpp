@@ -125,6 +125,12 @@ struct StreamOptions {
   /// Durability-ack mode for resilient streams (see
   /// resilience::ResilienceOptions::manual_durability).
   bool manual_durability = false;
+  /// Node-aware termination aggregation for tree mappings (RoundRobin /
+  /// Directed): shape the term tree from the machine's node structure so
+  /// cross-node term messages scale with the node count instead of the
+  /// consumer count (see ChannelConfig::node_aware_term). Off by default —
+  /// the flat heap tree is kept bit-for-bit.
+  bool node_aware_term = false;
   /// Endpoint overrides for streams that do not follow the worker/helper
   /// split (e.g. a reduce group's internal master stream); when set, they
   /// replace the direction-derived groups.
@@ -562,6 +568,16 @@ class Pipeline {
   Pipeline& with_helper_ranks(std::vector<int> helpers) &;
   Pipeline&& with_helper_ranks(std::vector<int> helpers) && {
     return std::move(with_helper_ranks(std::move(helpers)));
+  }
+  /// Topology-aware split: dedicate the last `helpers_per_node` ranks of
+  /// each compute node (stream::Placement over the machine's node
+  /// structure) to helper duty, so every worker streams to a helper on its
+  /// own node — over shared memory, off the fabric's shared links. Nodes
+  /// contributing a single rank keep it as a worker. Throws when no node
+  /// hosts two members of the parent communicator (no co-location exists).
+  Pipeline& with_node_placement(int helpers_per_node = 1) &;
+  Pipeline&& with_node_placement(int helpers_per_node = 1) && {
+    return std::move(with_node_placement(helpers_per_node));
   }
   /// Also split a workers-only communicator (for in-group collectives).
   Pipeline& with_worker_comm() &;

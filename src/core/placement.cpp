@@ -1,0 +1,50 @@
+#include "core/placement.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace ds::stream {
+
+Placement::Placement(const net::NetworkConfig& network, int world_size)
+    : world_size_(world_size),
+      ranks_per_node_(network.ranks_per_node > 0 ? network.ranks_per_node : 1) {
+  if (world_size <= 0)
+    throw std::invalid_argument("Placement: world_size must be > 0");
+  node_count_ = (world_size + ranks_per_node_ - 1) / ranks_per_node_;
+}
+
+std::vector<int> Placement::ranks_on(int node) const {
+  std::vector<int> ranks;
+  if (node < 0 || node >= node_count_) return ranks;
+  const int first = node * ranks_per_node_;
+  for (int r = first; r < first + ranks_per_node_ && r < world_size_; ++r)
+    ranks.push_back(r);
+  return ranks;
+}
+
+std::vector<std::vector<int>> Placement::group_by_node(
+    const std::vector<int>& world_ranks) const {
+  std::map<int, std::vector<int>> by_node;
+  for (const int r : world_ranks) by_node[node_of(r)].push_back(r);
+  std::vector<std::vector<int>> groups;
+  groups.reserve(by_node.size());
+  for (auto& [node, ranks] : by_node) groups.push_back(std::move(ranks));
+  return groups;
+}
+
+std::vector<int> Placement::tail_per_node(const std::vector<int>& world_ranks,
+                                          int per_node) const {
+  if (per_node < 1)
+    throw std::invalid_argument("Placement::tail_per_node: per_node must be >= 1");
+  std::vector<int> selected;
+  for (const auto& group : group_by_node(world_ranks)) {
+    const int take =
+        std::min(per_node, static_cast<int>(group.size()) - 1);
+    for (int k = 0; k < take; ++k)
+      selected.push_back(
+          group[group.size() - static_cast<std::size_t>(take - k)]);
+  }
+  return selected;
+}
+
+}  // namespace ds::stream

@@ -1,0 +1,60 @@
+// First-class placement: where ranks live on the machine.
+//
+// The paper's decoupling strategy is a placement decision as much as a role
+// split — helpers that share a node with their workers stream over shared
+// memory instead of the (possibly tapered) fabric, and per-node aggregation
+// keeps termination traffic off the upper tier. Placement captures the
+// node structure once (from NetworkConfig::ranks_per_node, the same source
+// the fabric's locality model uses) and offers the grouping primitives the
+// layers above build on: decouple::Pipeline::with_node_placement co-locates
+// helpers with their workers, Channel's node-aware term tree keeps
+// aggregation edges intra-node, and pic_io places its writeback group.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace ds::stream {
+
+class Placement {
+ public:
+  /// Snapshot the node structure of a `world_size`-rank machine. With
+  /// ranks_per_node <= 0 every rank is its own node (no locality).
+  Placement(const net::NetworkConfig& network, int world_size);
+
+  [[nodiscard]] int world_size() const noexcept { return world_size_; }
+  /// Effective ranks per node (>= 1).
+  [[nodiscard]] int ranks_per_node() const noexcept { return ranks_per_node_; }
+  [[nodiscard]] int node_count() const noexcept { return node_count_; }
+
+  [[nodiscard]] int node_of(int world_rank) const noexcept {
+    return world_rank / ranks_per_node_;
+  }
+  [[nodiscard]] bool same_node(int rank_a, int rank_b) const noexcept {
+    return node_of(rank_a) == node_of(rank_b);
+  }
+
+  /// World ranks hosted on `node`, ascending (empty for out-of-range nodes).
+  [[nodiscard]] std::vector<int> ranks_on(int node) const;
+
+  /// Partition a set of world ranks by node: groups ordered by node id,
+  /// members keeping their input order.
+  [[nodiscard]] std::vector<std::vector<int>> group_by_node(
+      const std::vector<int>& world_ranks) const;
+
+  /// Co-location selector: the last `per_node` members of each node-group,
+  /// with every node keeping at least one non-selected member (a node
+  /// contributing only one rank contributes no helper). This is the
+  /// node-aware analogue of GroupPlan::interleaved's "last of each block":
+  /// the selected ranks sit on the same node as the ranks they serve.
+  [[nodiscard]] std::vector<int> tail_per_node(
+      const std::vector<int>& world_ranks, int per_node) const;
+
+ private:
+  int world_size_ = 0;
+  int ranks_per_node_ = 1;
+  int node_count_ = 0;
+};
+
+}  // namespace ds::stream

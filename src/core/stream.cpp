@@ -582,7 +582,7 @@ void Stream::fan_out_to(mpi::Rank& self, int child,
   }
   term_slice_.clear();
   for (const TermEntry& e : entries)
-    if (Channel::term_in_subtree(static_cast<int>(e.consumer), child))
+    if (channel_->term_in_subtree_of(static_cast<int>(e.consumer), child))
       term_slice_.push_back(e);
   self.process().advance(machine.config().network.send_overhead);
   machine.post_send(context_, channel_->consumer_rank(my_consumer_),

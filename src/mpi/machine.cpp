@@ -47,6 +47,9 @@ void Machine::install_faults() {
   for (const sim::FaultEvent& ev : config_.faults.events) {
     if (ev.rank < 0 || ev.rank >= config_.world_size)
       throw std::invalid_argument("FaultPlan: event rank outside the world");
+    if (ev.rank_b >= config_.world_size)
+      throw std::invalid_argument(
+          "FaultPlan: path-degrade endpoint outside the world");
     engine_.schedule(ev.at, [this, ev] { apply_fault(ev); });
   }
 }
@@ -60,6 +63,19 @@ void Machine::apply_fault(const sim::FaultEvent& event) {
       restart_rank(event.rank);
       break;
     case sim::FaultEvent::Kind::LinkDegrade:
+      if (event.rank_b >= 0) {
+        // Path form: the fault addresses the shared links on the topology
+        // route (a cable/switch-port failure). No compute perturbation —
+        // the endpoints' cores are healthy.
+        fabric_.degrade_path(event.rank, event.rank_b, event.factor);
+        if (event.duration > 0) {
+          engine_.schedule_after(
+              event.duration, [this, a = event.rank, b = event.rank_b] {
+                fabric_.degrade_path(a, b, 1.0);
+              });
+        }
+        break;
+      }
       fabric_.set_degrade(event.rank, event.factor);
       engine_.set_compute_degrade(pids_[static_cast<std::size_t>(event.rank)],
                                   event.factor);

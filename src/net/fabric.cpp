@@ -2,19 +2,74 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace ds::net {
 
 Fabric::Fabric(NetworkConfig config, int endpoints)
     : config_(config),
-      tx_free_(static_cast<std::size_t>(endpoints), 0),
-      rx_free_(static_cast<std::size_t>(endpoints), 0),
-      degrade_(static_cast<std::size_t>(endpoints), 1.0) {
+      topology_(config_, endpoints > 0 ? endpoints : 1),
+      tx_free_(static_cast<std::size_t>(endpoints > 0 ? endpoints : 1), 0),
+      rx_free_(tx_free_.size(), 0),
+      degrade_(tx_free_.size(), 1.0),
+      link_free_(static_cast<std::size_t>(topology_.link_count()), 0),
+      link_degrade_(link_free_.size(), 1.0),
+      link_bytes_(link_free_.size(), 0) {
   if (endpoints <= 0) throw std::invalid_argument("Fabric: endpoints must be > 0");
 }
 
+void Fabric::check_endpoint(int endpoint, const char* what) const {
+  if (endpoint < 0 || endpoint >= endpoints()) {
+    throw std::out_of_range(std::string(what) + ": endpoint " +
+                            std::to_string(endpoint) +
+                            " out of range [0, " + std::to_string(endpoints()) +
+                            ")");
+  }
+}
+
+void Fabric::check_link(int link, const char* what) const {
+  if (link < 0 || link >= topology_.link_count()) {
+    throw std::out_of_range(
+        std::string(what) + ": link " + std::to_string(link) +
+        " out of range [0, " + std::to_string(topology_.link_count()) +
+        ") for topology '" + topology_.config().name() + "'");
+  }
+}
+
 void Fabric::set_degrade(int endpoint, double factor) {
-  degrade_.at(static_cast<std::size_t>(endpoint)) = factor < 1.0 ? 1.0 : factor;
+  check_endpoint(endpoint, "Fabric::set_degrade");
+  degrade_[static_cast<std::size_t>(endpoint)] = factor < 1.0 ? 1.0 : factor;
+}
+
+double Fabric::degrade(int endpoint) const {
+  check_endpoint(endpoint, "Fabric::degrade");
+  return degrade_[static_cast<std::size_t>(endpoint)];
+}
+
+void Fabric::set_link_degrade(int link, double factor) {
+  check_link(link, "Fabric::set_link_degrade");
+  link_degrade_[static_cast<std::size_t>(link)] = factor < 1.0 ? 1.0 : factor;
+}
+
+double Fabric::link_degrade(int link) const {
+  check_link(link, "Fabric::link_degrade");
+  return link_degrade_[static_cast<std::size_t>(link)];
+}
+
+int Fabric::degrade_path(int src, int dst, double factor) {
+  check_endpoint(src, "Fabric::degrade_path");
+  check_endpoint(dst, "Fabric::degrade_path");
+  const LinkPath path = topology_.route(src, dst);
+  if (path.empty()) {
+    // Flat topology or same-node pair: no shared links to address, so the
+    // fault lands on the endpoints themselves.
+    set_degrade(src, factor);
+    set_degrade(dst, factor);
+    return 0;
+  }
+  for (int i = 0; i < path.count; ++i)
+    set_link_degrade(path.links[static_cast<std::size_t>(i)], factor);
+  return path.count;
 }
 
 DeliverySchedule Fabric::schedule_message(int src, int dst, std::size_t bytes,
@@ -32,8 +87,25 @@ DeliverySchedule Fabric::schedule_message(int src, int dst, std::size_t bytes,
   const util::SimTime tx_end = tx_start + config_.injection_gap + payload_time;
   tx = tx_end;
 
+  // Serialize through each shared link on the topology route, in order. A
+  // flat topology (and any same-node pair) has an empty route, leaving the
+  // historical endpoint-only schedule bit-for-bit intact.
+  util::SimTime head = tx_end;
+  const LinkPath path = topology_.route(src, dst);
+  for (int i = 0; i < path.count; ++i) {
+    const auto link = static_cast<std::size_t>(path.links[static_cast<std::size_t>(i)]);
+    const auto link_time = static_cast<util::SimTime>(
+        link_degrade_[link] * topology_.link_ns_per_byte(path.links[static_cast<std::size_t>(i)]) *
+        static_cast<double>(bytes));
+    const util::SimTime start = std::max(head, link_free_[link]);
+    head = start + link_time;
+    link_free_[link] = head;
+    link_bytes_[link] += bytes;
+  }
+
   // Propagate, then drain through the receiver port.
-  const util::SimTime arrival = tx_end + config_.wire_latency(src, dst);
+  const util::SimTime arrival =
+      head + config_.wire_latency(src, dst) + path.extra_latency;
   const auto drain_time = static_cast<util::SimTime>(
       degrade_[static_cast<std::size_t>(dst)] * config_.receiver_drain_factor *
       byte_ns * static_cast<double>(bytes));

@@ -1,12 +1,16 @@
 // Stateful fabric: tracks when each endpoint's transmit and drain ports free
-// up, serializing concurrent messages through them. This is where congestion
-// emerges: a rank receiving from many peers accumulates drain-port backlog.
+// up — and, under a non-flat topology, when each shared link on the route
+// frees up — serializing concurrent messages through them. This is where
+// congestion emerges: a rank receiving from many peers accumulates drain-port
+// backlog, and a node (or tapered upper tier) carrying many flows accumulates
+// link backlog the flat model cannot express.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "net/network.hpp"
+#include "net/topology.hpp"
 #include "util/time.hpp"
 
 namespace ds::net {
@@ -23,33 +27,63 @@ class Fabric {
  public:
   Fabric(NetworkConfig config, int endpoints);
 
-  /// Reserve transmit (src) and drain (dst) port time for a message of
-  /// `bytes` injected no earlier than `earliest`. Mutates port state; callers
+  /// Reserve transmit (src) and drain (dst) port time — plus occupancy on
+  /// every shared link along the topology route — for a message of `bytes`
+  /// injected no earlier than `earliest`. Mutates port/link state; callers
   /// must invoke it in nondecreasing `earliest` order per endpoint pair for
   /// physical sensibility (the engine's event order guarantees this).
   DeliverySchedule schedule_message(int src, int dst, std::size_t bytes,
                                     util::SimTime earliest);
 
   [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
   [[nodiscard]] int endpoints() const noexcept { return static_cast<int>(tx_free_.size()); }
 
   /// Cumulative bytes scheduled through the fabric (for bench reporting).
   [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
   [[nodiscard]] std::uint64_t total_messages() const noexcept { return total_messages_; }
 
-  /// Fault-injected link degradation (sim::FaultPlan): messages touching a
-  /// degraded endpoint occupy its ports `factor` times longer (payload and
-  /// drain time; propagation latency is unaffected). 1 restores nominal.
+  /// Fault-injected link degradation (resilience::FaultPlan): messages
+  /// touching a degraded endpoint occupy its ports `factor` times longer
+  /// (payload and drain time; propagation latency is unaffected). 1 restores
+  /// nominal. Throws std::out_of_range naming the bad endpoint.
   void set_degrade(int endpoint, double factor);
-  [[nodiscard]] double degrade(int endpoint) const {
-    return degrade_.at(static_cast<std::size_t>(endpoint));
+  [[nodiscard]] double degrade(int endpoint) const;
+
+  /// Per-link degradation under a non-flat topology: traffic crossing the
+  /// link takes `factor` times longer on it. Throws std::out_of_range naming
+  /// the bad link id (valid ids are [0, topology().link_count())).
+  void set_link_degrade(int link, double factor);
+  [[nodiscard]] double link_degrade(int link) const;
+
+  /// Degrade the shared links on the route src -> dst (the ISSUE's
+  /// link-addressed fault form). Under a flat topology — or for same-node
+  /// pairs, which cross no shared links — falls back to degrading both
+  /// endpoints so the fault still bites. Returns the number of shared links
+  /// affected (0 indicates the endpoint fallback was used).
+  int degrade_path(int src, int dst, double factor);
+
+  /// Cumulative bytes carried per shared link (bench/diagnostic heat map).
+  [[nodiscard]] const std::vector<std::uint64_t>& link_bytes() const noexcept {
+    return link_bytes_;
+  }
+  /// When each shared link last frees up (diagnostics).
+  [[nodiscard]] util::SimTime link_busy_until(int link) const {
+    return link_free_.at(static_cast<std::size_t>(link));
   }
 
  private:
+  void check_endpoint(int endpoint, const char* what) const;
+  void check_link(int link, const char* what) const;
+
   NetworkConfig config_;
-  std::vector<util::SimTime> tx_free_;  // per-endpoint transmit port
-  std::vector<util::SimTime> rx_free_;  // per-endpoint drain port
-  std::vector<double> degrade_;         // per-endpoint port-cost multiplier
+  Topology topology_;
+  std::vector<util::SimTime> tx_free_;    // per-endpoint transmit port
+  std::vector<util::SimTime> rx_free_;    // per-endpoint drain port
+  std::vector<double> degrade_;           // per-endpoint port-cost multiplier
+  std::vector<util::SimTime> link_free_;  // per shared link occupancy
+  std::vector<double> link_degrade_;      // per shared link cost multiplier
+  std::vector<std::uint64_t> link_bytes_;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_messages_ = 0;
 };

@@ -1,6 +1,36 @@
 #include "net/network.hpp"
 
+#include <stdexcept>
+
 namespace ds::net {
+
+const char* TopologyConfig::name() const noexcept {
+  switch (kind) {
+    case Kind::Flat: return "flat";
+    case Kind::TwoLevel: return "twolevel";
+    case Kind::FatTree: return "fattree";
+    case Kind::Dragonfly: return "dragonfly";
+  }
+  return "?";
+}
+
+TopologyConfig TopologyConfig::named(const std::string& name) {
+  TopologyConfig t;
+  if (name == "flat") {
+    t.kind = Kind::Flat;
+  } else if (name == "twolevel" || name == "two-level") {
+    t.kind = Kind::TwoLevel;
+  } else if (name == "fattree" || name == "fat-tree") {
+    t.kind = Kind::FatTree;
+  } else if (name == "dragonfly") {
+    t.kind = Kind::Dragonfly;
+  } else {
+    throw std::invalid_argument(
+        "TopologyConfig: unknown topology '" + name +
+        "' (expected flat, twolevel, fattree, or dragonfly)");
+  }
+  return t;
+}
 
 NetworkConfig NetworkConfig::ideal() noexcept {
   NetworkConfig c;
@@ -13,6 +43,16 @@ NetworkConfig NetworkConfig::ideal() noexcept {
   c.injection_gap = 0;
   c.receiver_drain_factor = 0.0;
   c.coll_post_ns_per_peer = 0.0;
+  c.ns_per_byte_node_link = 0.0;
+  c.ns_per_byte_tier_link = 0.0;
+  c.latency_tier_hop = 0;
+  return c;
+}
+
+NetworkConfig NetworkConfig::slim_bisection() noexcept {
+  NetworkConfig c;
+  c.topology.kind = TopologyConfig::Kind::FatTree;
+  c.topology.tier_link_taper = 4.0;
   return c;
 }
 

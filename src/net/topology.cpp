@@ -1,0 +1,77 @@
+#include "net/topology.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ds::net {
+
+namespace {
+
+int near_square_split(int nodes) {
+  int split = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(nodes))));
+  return split < 1 ? 1 : split;
+}
+
+}  // namespace
+
+Topology::Topology(const NetworkConfig& config, int endpoints)
+    : topo_(config.topology),
+      endpoints_(endpoints),
+      ranks_per_node_(config.ranks_per_node),
+      tier_hop_latency_(config.latency_tier_hop) {
+  if (endpoints <= 0) throw std::invalid_argument("Topology: endpoints must be > 0");
+  // ranks_per_node <= 0 means "no locality": each rank is its own node.
+  const int rpn = ranks_per_node_ > 0 ? ranks_per_node_ : 1;
+  nodes_ = (endpoints + rpn - 1) / rpn;
+  nodes_per_pod_ =
+      topo_.nodes_per_pod > 0 ? topo_.nodes_per_pod : near_square_split(nodes_);
+  pods_ = (nodes_ + nodes_per_pod_ - 1) / nodes_per_pod_;
+
+  const bool two_tier = topo_.kind == TopologyConfig::Kind::FatTree ||
+                        topo_.kind == TopologyConfig::Kind::Dragonfly;
+  link_count_ = topo_.flat() ? 0 : 2 * nodes_ + (two_tier ? 2 * pods_ : 0);
+
+  const double node_taper = topo_.node_link_taper < 1.0 ? 1.0 : topo_.node_link_taper;
+  const double tier_taper = topo_.tier_link_taper < 1.0 ? 1.0 : topo_.tier_link_taper;
+  node_link_ns_ = config.ns_per_byte_node_link * node_taper;
+  tier_link_ns_ = config.ns_per_byte_tier_link * tier_taper;
+}
+
+LinkPath Topology::route(int src, int dst) const noexcept {
+  LinkPath path;
+  if (topo_.flat()) return path;
+  const int src_node = node_of(src);
+  const int dst_node = node_of(dst);
+  if (src_node == dst_node) return path;  // intra-node: shared memory, no links
+
+  path.push(node_up_link(src_node));
+  if (topo_.kind != TopologyConfig::Kind::TwoLevel) {
+    const int src_pod = src_node / nodes_per_pod_;
+    const int dst_pod = dst_node / nodes_per_pod_;
+    if (src_pod != dst_pod) {
+      path.push(tier_up_link(src_pod));
+      path.push(tier_down_link(dst_pod));
+      // Fat-tree: up through the core and back down (two switch hops).
+      // Dragonfly minimal route: one direct global link between the groups.
+      const int hops = topo_.kind == TopologyConfig::Kind::FatTree ? 2 : 1;
+      path.extra_latency = hops * tier_hop_latency_;
+    }
+  }
+  path.push(node_down_link(dst_node));
+  return path;
+}
+
+double Topology::link_ns_per_byte(int link) const noexcept {
+  return tier_link(link) ? tier_link_ns_ : node_link_ns_;
+}
+
+std::string Topology::link_name(int link) const {
+  if (link < 0 || link >= link_count_) return "link?" + std::to_string(link);
+  if (link < nodes_) return "node" + std::to_string(link) + ":up";
+  if (link < 2 * nodes_) return "node" + std::to_string(link - nodes_) + ":down";
+  if (link < 2 * nodes_ + pods_)
+    return "pod" + std::to_string(link - 2 * nodes_) + ":up";
+  return "pod" + std::to_string(link - 2 * nodes_ - pods_) + ":down";
+}
+
+}  // namespace ds::net

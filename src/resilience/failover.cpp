@@ -62,6 +62,18 @@ std::uint64_t DedupFilter::next_seq(int producer, int flow) const noexcept {
 int failover_target(const stream::Channel& channel, int dead_consumer,
                     const mpi::Machine& machine) {
   const int consumers = channel.consumer_count();
+  const auto& network = machine.config().network;
+  const int dead_world =
+      channel.comm().world_rank(channel.consumer_rank(dead_consumer));
+  // First choice: a live consumer on the dead consumer's own node — the
+  // adopted flows then travel over shared memory instead of the fabric's
+  // (possibly degraded) shared links.
+  for (int step = 1; step < consumers; ++step) {
+    const int c = (dead_consumer + step) % consumers;
+    const int world = channel.comm().world_rank(channel.consumer_rank(c));
+    if (!machine.rank_failed(world) && network.same_node(dead_world, world))
+      return c;
+  }
   for (int step = 1; step < consumers; ++step) {
     const int c = (dead_consumer + step) % consumers;
     const int world =

@@ -12,11 +12,13 @@
 //    frame carries its flow id and starting sequence number; the filter
 //    admits each (producer, flow, seq) at most once, so replay overlap can
 //    never deliver an element to application code twice.
-//  * failover_target — the deterministic adoption rule: the next live
-//    consumer index after the dead one, cyclically. Every rank evaluates it
-//    locally against the machine's failure record and arrives at the same
-//    answer, so no coordination protocol is needed to agree on the new
-//    routing.
+//  * failover_target — the deterministic, topology-aware adoption rule: the
+//    next live consumer on the dead consumer's *node* (cyclically), falling
+//    back to the next live consumer anywhere. Every rank evaluates it
+//    locally against the machine's failure record and node structure and
+//    arrives at the same answer, so no coordination protocol is needed to
+//    agree on the new routing — and a same-node adopter keeps the replayed
+//    flows on shared memory instead of pushing them across the fabric.
 //
 // A *flow* is the unit of replay and ordering: the elements one producer
 // addressed to one original consumer index. After failover a flow keeps its
@@ -121,8 +123,11 @@ class DedupFilter {
   std::uint64_t duplicates_ = 0;
 };
 
-/// The deterministic adoption rule: the first live consumer index after
-/// `dead_consumer`, cyclically, judged against `machine`'s failure record.
+/// The deterministic adoption rule, topology-aware: the first live consumer
+/// after `dead_consumer` (cyclically) that shares its node, else the first
+/// live consumer anywhere, judged against `machine`'s failure record and
+/// node structure. With no locality (ranks_per_node = 0) — or when all
+/// consumers share one node — this is exactly the plain cyclic-next rule.
 /// Returns -1 when every consumer of the channel is dead (unrecoverable).
 [[nodiscard]] int failover_target(const stream::Channel& channel,
                                   int dead_consumer,

@@ -34,6 +34,19 @@ FaultPlan& FaultPlan::degrade_link(int rank, util::SimTime at, double factor,
   return *this;
 }
 
+FaultPlan& FaultPlan::degrade_path(int src, int dst, util::SimTime at,
+                                   double factor, util::SimTime duration) {
+  require_rank(src, "FaultPlan::degrade_path");
+  require_rank(dst, "FaultPlan::degrade_path");
+  if (factor < 1.0)
+    throw std::invalid_argument(
+        "FaultPlan::degrade_path: factor must be >= 1 (a slowdown)");
+  FaultEvent ev{FaultEvent::Kind::LinkDegrade, at, src, factor, duration};
+  ev.rank_b = dst;
+  events.push_back(ev);
+  return *this;
+}
+
 util::SimTime FaultPlan::first_crash_at(int rank) const noexcept {
   util::SimTime best = -1;
   for (const FaultEvent& ev : events)

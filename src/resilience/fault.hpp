@@ -46,6 +46,13 @@ struct FaultEvent {
   double factor = 1.0;
   /// LinkDegrade: window length; 0 degrades until the end of the run.
   util::SimTime duration = 0;
+  /// LinkDegrade path form (degrade_path): second endpoint. When >= 0 the
+  /// fault addresses the *shared links* on the topology route rank -> rank_b
+  /// (Fabric::degrade_path) instead of rank's own ports, and no compute
+  /// perturbation is applied — it is a cable, not a core. Under a flat
+  /// topology (or a same-node pair) the fabric falls back to degrading both
+  /// endpoints. -1 keeps the classic endpoint form.
+  int rank_b = -1;
 };
 
 /// A deterministic schedule of fault events (builder-style).
@@ -55,6 +62,10 @@ struct FaultPlan {
   FaultPlan& crash(int rank, util::SimTime at);
   FaultPlan& restart(int rank, util::SimTime at);
   FaultPlan& degrade_link(int rank, util::SimTime at, double factor,
+                          util::SimTime duration = 0);
+  /// Degrade the shared links on the topology route src -> dst (endpoint
+  /// fallback when the route has none). See FaultEvent::rank_b.
+  FaultPlan& degrade_path(int src, int dst, util::SimTime at, double factor,
                           util::SimTime duration = 0);
 
   [[nodiscard]] bool empty() const noexcept { return events.empty(); }

@@ -1,6 +1,8 @@
 #include "util/options.hpp"
 
 #include <cstdlib>
+#include <stdexcept>
+#include <string_view>
 
 namespace ds::util {
 
@@ -37,6 +39,41 @@ BenchOptions BenchOptions::from_env() {
   o.repetitions = static_cast<int>(env_int("DS_BENCH_REPS", o.repetitions));
   o.fast = env_flag("DS_BENCH_FAST", o.fast);
   o.seed = static_cast<std::uint64_t>(env_int("DS_BENCH_SEED", static_cast<std::int64_t>(o.seed)));
+  o.topology = env_string("DS_BENCH_TOPOLOGY", o.topology);
+  o.network = env_string("DS_BENCH_NETWORK", o.network);
+  o.taper = env_double("DS_BENCH_TAPER", o.taper);
+  return o;
+}
+
+BenchOptions BenchOptions::parse(int argc, char** argv) {
+  BenchOptions o = from_env();
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    const auto value = [&](std::string_view key) {
+      return std::string(arg.substr(key.size()));
+    };
+    if (arg.rfind("--max-procs=", 0) == 0) {
+      o.max_procs = std::atoi(value("--max-procs=").c_str());
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      o.repetitions = std::atoi(value("--reps=").c_str());
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      o.seed = std::strtoull(value("--seed=").c_str(), nullptr, 10);
+    } else if (arg == "--fast") {
+      o.fast = true;
+    } else if (arg.rfind("--topology=", 0) == 0) {
+      o.topology = value("--topology=");
+    } else if (arg.rfind("--network=", 0) == 0) {
+      o.network = value("--network=");
+    } else if (arg.rfind("--taper=", 0) == 0) {
+      o.taper = std::strtod(value("--taper=").c_str(), nullptr);
+    } else {
+      throw std::invalid_argument(
+          "BenchOptions: unknown argument '" + std::string(arg) +
+          "' (supported: --max-procs=N --reps=N --seed=N --fast "
+          "--topology=flat|twolevel|fattree|dragonfly --network=aries|ideal "
+          "--taper=X)");
+    }
+  }
   return o;
 }
 

@@ -1,8 +1,8 @@
-// Environment-variable options for the bench harness.
-//
-// Bench binaries must run argument-free (the harness invokes them as
-// `build/bench/*`), so tunables (scale caps, repetition counts, fast mode)
-// come from DS_* environment variables with conservative defaults.
+// Options for the bench harness: DS_* environment variables (the harness
+// invokes benches argument-free as `build/bench/*`, so env is the primary
+// channel) plus an optional --flag=value command line that overrides them —
+// `bench_fig3_model --topology=fattree --taper=4` sweeps machine models
+// without recompiling or exporting.
 #pragma once
 
 #include <cstdint>
@@ -22,7 +22,24 @@ struct BenchOptions {
   bool fast = false;      ///< DS_BENCH_FAST: shrink workloads for smoke runs
   std::uint64_t seed = 42;///< DS_BENCH_SEED: base RNG seed
 
+  /// DS_BENCH_TOPOLOGY / --topology=<name>: machine structure for the
+  /// simulated fabric — flat (default, the historical model), twolevel,
+  /// fattree, or dragonfly (net::TopologyConfig::named).
+  std::string topology = "flat";
+  /// DS_BENCH_NETWORK / --network=<preset>: cost calibration — "aries"
+  /// (default, Cray-XC40-class), "ideal" (zero-cost, semantics only), or
+  /// "slim" (aries with a 4:1 oversubscribed upper tier).
+  std::string network = "aries";
+  /// DS_BENCH_TAPER / --taper=<x>: bandwidth taper (>= 1) on the selected
+  /// topology's contended tier — node links for twolevel, the upper tier
+  /// for fattree/dragonfly. 1 = full bisection; ignored by flat.
+  double taper = 1.0;
+
   [[nodiscard]] static BenchOptions from_env();
+  /// from_env(), then --max-procs= --reps= --seed= --fast --topology=
+  /// --network= --taper= overrides. Throws std::invalid_argument (with the
+  /// flag list) on anything unrecognized.
+  [[nodiscard]] static BenchOptions parse(int argc, char** argv);
 };
 
 }  // namespace ds::util

@@ -333,5 +333,59 @@ TEST(ScopedChannel, FreesOnScopeExitAndMoves) {
   });
 }
 
+TEST(Pipeline, NodePlacementDedicatesTailRanksPerNode) {
+  // 8 ranks, 4 per node: the placement split must pick the last rank of
+  // each node as its helper, and the streams must still deliver everything.
+  auto config = testing::tiny_machine(8);
+  config.network.ranks_per_node = 4;
+  std::uint64_t consumed = 0;
+  testing::run_program(config, [&](Rank& self) {
+    auto pipeline =
+        Pipeline::over(self, self.world()).with_node_placement(1);
+    auto data = pipeline.raw_stream(sizeof(std::int32_t));
+    pipeline.run(
+        [&](Context& ctx) {
+          EXPECT_EQ(ctx.helpers(), (std::vector<int>{3, 7}));
+          EXPECT_EQ(ctx.worker_count(), 6);
+          auto& s = ctx[data];
+          const std::int32_t v = ctx.parent_rank();
+          s.send_items(&v, 1);
+          s.send_items(&v, 1);
+        },
+        [&](Context& ctx) {
+          EXPECT_TRUE(ctx.parent_rank() == 3 || ctx.parent_rank() == 7);
+          auto& s = ctx[data];
+          consumed += s.operate();
+        });
+  });
+  EXPECT_EQ(consumed, 12u);  // 6 workers x 2 elements
+}
+
+TEST(Pipeline, NodePlacementSkipsSingleRankNodes) {
+  // 9 ranks, 4 per node: node 2 hosts only rank 8, which must stay a
+  // worker (a lone rank has nobody to co-locate with).
+  auto config = testing::tiny_machine(9);
+  config.network.ranks_per_node = 4;
+  testing::run_program(config, [&](Rank& self) {
+    auto pipeline =
+        Pipeline::over(self, self.world()).with_node_placement(1);
+    auto data = pipeline.raw_stream(8);
+    pipeline.run(
+        [&](Context& ctx) { EXPECT_EQ(ctx.helpers(), (std::vector<int>{3, 7})); },
+        [&](Context& ctx) { (void)ctx[data].operate(); });
+  });
+}
+
+TEST(Pipeline, NodePlacementRejectsDegenerateShapes) {
+  // One rank per node: no node hosts two members, nothing to co-locate.
+  auto config = testing::tiny_machine(4);
+  config.network.ranks_per_node = 1;
+  testing::run_program(config, [&](Rank& self) {
+    auto pipeline = Pipeline::over(self, self.world());
+    EXPECT_THROW(pipeline.with_node_placement(1), std::invalid_argument);
+    EXPECT_THROW(pipeline.with_node_placement(0), std::invalid_argument);
+  });
+}
+
 }  // namespace
 }  // namespace ds::decouple

@@ -1,0 +1,76 @@
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace ds::stream {
+namespace {
+
+net::NetworkConfig with_rpn(int ranks_per_node) {
+  net::NetworkConfig c;
+  c.ranks_per_node = ranks_per_node;
+  return c;
+}
+
+TEST(Placement, SnapshotsNodeStructure) {
+  const Placement p(with_rpn(4), 10);
+  EXPECT_EQ(p.world_size(), 10);
+  EXPECT_EQ(p.ranks_per_node(), 4);
+  EXPECT_EQ(p.node_count(), 3);  // 4 + 4 + 2
+  EXPECT_EQ(p.node_of(0), 0);
+  EXPECT_EQ(p.node_of(7), 1);
+  EXPECT_EQ(p.node_of(9), 2);
+  EXPECT_TRUE(p.same_node(4, 7));
+  EXPECT_FALSE(p.same_node(3, 4));
+}
+
+TEST(Placement, NoLocalityGivesOneRankPerNode) {
+  const Placement p(with_rpn(0), 5);
+  EXPECT_EQ(p.ranks_per_node(), 1);
+  EXPECT_EQ(p.node_count(), 5);
+  EXPECT_FALSE(p.same_node(0, 1));
+}
+
+TEST(Placement, RanksOnListsNodeMembers) {
+  const Placement p(with_rpn(4), 10);
+  EXPECT_EQ(p.ranks_on(0), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(p.ranks_on(2), (std::vector<int>{8, 9}));  // partial last node
+  EXPECT_TRUE(p.ranks_on(3).empty());
+  EXPECT_TRUE(p.ranks_on(-1).empty());
+}
+
+TEST(Placement, GroupByNodeKeepsInputOrderWithinGroups) {
+  const Placement p(with_rpn(4), 12);
+  const auto groups = p.group_by_node({9, 1, 0, 8, 5});
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<int>{1, 0}));  // node 0, input order
+  EXPECT_EQ(groups[1], (std::vector<int>{5}));
+  EXPECT_EQ(groups[2], (std::vector<int>{9, 8}));
+}
+
+TEST(Placement, TailPerNodeTakesLastMembers) {
+  const Placement p(with_rpn(4), 12);
+  const std::vector<int> world{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  EXPECT_EQ(p.tail_per_node(world, 1), (std::vector<int>{3, 7, 11}));
+  EXPECT_EQ(p.tail_per_node(world, 2),
+            (std::vector<int>{2, 3, 6, 7, 10, 11}));
+}
+
+TEST(Placement, TailPerNodeKeepsOneWorkerPerNode) {
+  const Placement p(with_rpn(4), 12);
+  // Node 0 contributes three members, node 1 just one: asking for three
+  // helpers per node must leave a worker on node 0 and skip node 1 entirely.
+  const auto selected = p.tail_per_node({0, 1, 2, 5}, 3);
+  EXPECT_EQ(selected, (std::vector<int>{1, 2}));
+}
+
+TEST(Placement, Validates) {
+  EXPECT_THROW(Placement(with_rpn(4), 0), std::invalid_argument);
+  const Placement p(with_rpn(4), 8);
+  EXPECT_THROW((void)p.tail_per_node({0, 1}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ds::stream

@@ -46,5 +46,30 @@ TEST(NetworkConfig, CostGrowsWithSize) {
   EXPECT_LT(c.uncontended_cost(0, 40, 64), c.uncontended_cost(0, 40, 1 << 20));
 }
 
+TEST(NetworkConfig, SameNodeAtNodeBoundaries) {
+  NetworkConfig c;
+  c.ranks_per_node = 4;
+  // First and last rank of one node, then across the boundary.
+  EXPECT_TRUE(c.same_node(4, 7));
+  EXPECT_FALSE(c.same_node(7, 8));
+  EXPECT_TRUE(c.same_node(8, 8));
+  EXPECT_FALSE(c.same_node(0, 4));
+}
+
+TEST(NetworkConfig, IdealZeroesTopologyTierCosts) {
+  const NetworkConfig c = NetworkConfig::ideal();
+  EXPECT_DOUBLE_EQ(c.ns_per_byte_node_link, 0.0);
+  EXPECT_DOUBLE_EQ(c.ns_per_byte_tier_link, 0.0);
+  EXPECT_EQ(c.latency_tier_hop, 0);
+}
+
+TEST(NetworkConfig, SlimBisectionTapersTheUpperTier) {
+  const NetworkConfig c = NetworkConfig::slim_bisection();
+  EXPECT_EQ(c.topology.kind, TopologyConfig::Kind::FatTree);
+  EXPECT_DOUBLE_EQ(c.topology.tier_link_taper, 4.0);
+  // Endpoint costs stay Aries-like: only the bisection changes.
+  EXPECT_DOUBLE_EQ(c.ns_per_byte, NetworkConfig::aries_like().ns_per_byte);
+}
+
 }  // namespace
 }  // namespace ds::net

@@ -2,6 +2,7 @@
 // mailbox draining, pool-slot accounting, restart, and degradation.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 #include "common/machine_helpers.hpp"
@@ -155,6 +156,63 @@ TEST(FaultInjection, LinkDegradationSlowsDeliveryThenRecovers) {
   const util::SimTime nominal = round_trip(false);
   const util::SimTime degraded = round_trip(true);
   EXPECT_GT(degraded, nominal + nominal / 2);
+}
+
+TEST(FaultPlan, DegradePathBuilderValidates) {
+  sim::FaultPlan plan;
+  plan.degrade_path(0, 3, util::microseconds(5), 4.0, util::milliseconds(1));
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].rank, 0);
+  EXPECT_EQ(plan.events[0].rank_b, 3);
+  EXPECT_THROW(plan.degrade_path(-1, 0, 0, 2.0), std::invalid_argument);
+  EXPECT_THROW(plan.degrade_path(0, -1, 0, 2.0), std::invalid_argument);
+  EXPECT_THROW(plan.degrade_path(0, 1, 0, 0.5), std::invalid_argument);
+}
+
+TEST(FaultInjection, PathDegradeEndpointMustBeInsideWorld) {
+  auto config = testing::tiny_machine(2);
+  config.faults.degrade_path(0, 5, 0, 2.0);
+  mpi::Machine machine(config);
+  EXPECT_THROW(machine.run([](Rank&) {}), std::invalid_argument);
+}
+
+TEST(FaultInjection, PathDegradeSlowsSharedLinksThenRecovers) {
+  // Two nodes of two ranks under the two-level topology: degrading the
+  // 0 -> 2 path hits node0:up and node1:down, so the inter-node ping-pong
+  // slows while the window is open and recovers after it expires.
+  auto round_trip = [](bool degraded) {
+    auto config = testing::tiny_machine(4);
+    config.network.ranks_per_node = 2;
+    config.network.topology.kind = net::TopologyConfig::Kind::TwoLevel;
+    config.network.ns_per_byte_node_link = 1.0;  // links dominate the cost
+    if (degraded)
+      config.faults.degrade_path(0, 2, 0, 8.0, util::milliseconds(5));
+    std::array<util::SimTime, 2> elapsed{};
+    testing::run_program(config, [&](Rank& self) {
+      std::vector<std::byte> buf(64 * 1024);
+      const auto time_round = [&](int tag) {
+        const util::SimTime t0 = self.now();
+        self.send(self.world(), 2, tag, SendBuf{buf.data(), buf.size()});
+        self.recv(self.world(), 2, tag + 1, RecvBuf{buf.data(), buf.size()});
+        return self.now() - t0;
+      };
+      if (self.world_rank() == 0) {
+        elapsed[0] = time_round(3);
+        self.compute(util::milliseconds(10));  // outlive the degrade window
+        elapsed[1] = time_round(5);
+      } else if (self.world_rank() == 2) {
+        for (const int tag : {3, 5}) {
+          self.recv(self.world(), 0, tag, RecvBuf{buf.data(), buf.size()});
+          self.send(self.world(), 0, tag + 1, SendBuf{buf.data(), buf.size()});
+        }
+      }
+    });
+    return elapsed;
+  };
+  const auto nominal = round_trip(false);
+  const auto faulted = round_trip(true);
+  EXPECT_GT(faulted[0], nominal[0] + nominal[0] / 2);  // inside the window
+  EXPECT_EQ(faulted[1], nominal[1]);                   // after revert
 }
 
 TEST(FaultInjection, NoiseModelComposesDegradation) {

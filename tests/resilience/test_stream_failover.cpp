@@ -14,6 +14,7 @@
 #include "core/stream.hpp"
 #include "mpi/datatype.hpp"
 #include "mpi/rank.hpp"
+#include "resilience/failover.hpp"
 
 namespace ds {
 namespace {
@@ -330,6 +331,43 @@ TEST(StreamFailover, AdaptiveWindowGrowsUnderCreditStallsOnly) {
   EXPECT_GE(tuned, 4u);
   EXPECT_LE(tuned, 4u * stream::ChannelConfig::kWindowGrowthCap);
   EXPECT_GT(tuned, pinned);  // stall-heavy run must actually grow
+}
+
+TEST(StreamFailover, FailoverTargetPrefersSameNodeConsumer) {
+  // 12 ranks, 4 per node; consumers are world ranks 3-11, so consumer 4
+  // (world rank 7) lives on node 1 together with consumer 1 (world rank 4).
+  // When it dies, the plain cyclic rule would adopt consumer 5 (node 2) —
+  // the topology-aware rule keeps the flows on node 1 instead.
+  auto config = testing::tiny_machine(12);
+  config.network.ranks_per_node = 4;
+  config.faults.crash(7, util::microseconds(200));
+  int target = -2;
+  testing::run_program(config, [&](Rank& self) {
+    const int me = self.world_rank();
+    ChannelConfig cfg;
+    cfg.mapping = ChannelConfig::Mapping::Directed;
+    const Channel ch = Channel::create(self, self.world(), me < 3, me >= 3, cfg);
+    self.compute(util::milliseconds(1));  // let the crash land
+    if (me == 0) target = resilience::failover_target(ch, 4, self.machine());
+  });
+  EXPECT_EQ(target, 1);
+}
+
+TEST(StreamFailover, FailoverTargetWithoutLocalityIsCyclicNext) {
+  // Same shape, no node structure: the historical rule, unchanged.
+  auto config = testing::tiny_machine(12);
+  config.network.ranks_per_node = 0;
+  config.faults.crash(7, util::microseconds(200));
+  int target = -2;
+  testing::run_program(config, [&](Rank& self) {
+    const int me = self.world_rank();
+    ChannelConfig cfg;
+    cfg.mapping = ChannelConfig::Mapping::Directed;
+    const Channel ch = Channel::create(self, self.world(), me < 3, me >= 3, cfg);
+    self.compute(util::milliseconds(1));
+    if (me == 0) target = resilience::failover_target(ch, 4, self.machine());
+  });
+  EXPECT_EQ(target, 5);
 }
 
 }  // namespace

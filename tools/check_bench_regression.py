@@ -1,20 +1,30 @@
 #!/usr/bin/env python3
-"""CI perf-regression guard for the simulator hot-path microbench.
+"""CI perf/behavior-regression guard for the committed bench baselines.
 
-Compares a freshly produced BENCH_simcore.json against the committed
-baseline (bench/baselines/BENCH_simcore.json) and fails when the
-steady_stream scenario regresses:
+The baseline document's top-level "bench" key selects the mode:
 
-  * elements_per_sec drops by more than the tolerance (default 20%,
-    override with DS_BENCH_EPS_TOLERANCE, e.g. 0.30 for noisy runners);
-  * allocs_per_element is nonzero (the zero-allocation hot-path gate).
+  * "topology_sweep" (BENCH_topology.json): every scenario the baseline
+    records must exist in the fresh output, and every numeric metric must
+    match within a relative tolerance (default 1%, override with
+    DS_BENCH_VT_TOLERANCE). The sweep is virtual-time deterministic — a
+    pure function of the machine model, independent of the host — so a
+    drift means the simulated network or placement behavior changed; the
+    tight default is intentional.
+
+  * anything else (BENCH_simcore.json, predating the key): the simulator
+    hot-path mode. The steady_stream scenario must not regress:
+    elements_per_sec within DS_BENCH_EPS_TOLERANCE (default 20% — it is a
+    wall-clock number, host-dependent) and allocs_per_element zero (the
+    zero-allocation hot-path gate).
 
 Every problem is reported as a clear per-metric line (which file, which
 scenario, which key) and the script exits nonzero — a malformed or
 truncated JSON never surfaces as a raw KeyError traceback.
 
 The messages-per-element coalescing gate lives in the bench binary itself
-(micro_simcore exits nonzero on it); it is not duplicated here.
+(micro_simcore exits nonzero on it); it is not duplicated here, and the
+topology sweep's monotone-advantage gate likewise lives in
+bench_topology_sweep.
 
 Usage: check_bench_regression.py <baseline.json> <fresh.json>
 """
@@ -69,12 +79,53 @@ def metric(s, key, which, name, required=True):
         return None
 
 
+def check_topology(baseline_doc, fresh_doc):
+    """Virtual-time determinism gate: fresh metrics must reproduce the
+    committed baseline within a tight relative tolerance."""
+    tolerance = float(os.environ.get("DS_BENCH_VT_TOLERANCE", "0.01"))
+    scenarios = baseline_doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        fail("baseline JSON has no 'scenarios' array")
+        return
+    for base in scenarios:
+        if not isinstance(base, dict) or "name" not in base:
+            fail("baseline scenario without a 'name'")
+            continue
+        name = base["name"]
+        fresh = scenario(fresh_doc, name, "fresh")
+        if fresh is None:
+            continue
+        for key, value in base.items():
+            if key == "name" or not isinstance(value, (int, float)):
+                continue
+            got = metric(fresh, key, "fresh", name)
+            if got is None:
+                continue
+            reference = float(value)
+            slack = abs(reference) * tolerance
+            if abs(got - reference) > slack:
+                fail(f"scenario '{name}' metric '{key}': baseline "
+                     f"{reference:.6g}, fresh {got:.6g} "
+                     f"(> {tolerance:.0%} drift)")
+    print(f"topology sweep: {len(scenarios)} scenario(s) compared at "
+          f"{tolerance:.0%} tolerance")
+
+
 def main():
     if len(sys.argv) != 3:
         raise SystemExit(__doc__)
-    baseline = scenario(load(sys.argv[1], "baseline"), "steady_stream",
-                        "baseline")
-    fresh = scenario(load(sys.argv[2], "fresh"), "steady_stream", "fresh")
+    baseline_doc = load(sys.argv[1], "baseline")
+    fresh_doc = load(sys.argv[2], "fresh")
+    if isinstance(baseline_doc, dict) and \
+            baseline_doc.get("bench") == "topology_sweep":
+        check_topology(baseline_doc, fresh_doc)
+        ok = not errors
+        print("bench regression check:",
+              "PASS" if ok else f"FAIL ({len(errors)} problem(s))")
+        return 0 if ok else 1
+
+    baseline = scenario(baseline_doc, "steady_stream", "baseline")
+    fresh = scenario(fresh_doc, "steady_stream", "fresh")
 
     tolerance = float(os.environ.get("DS_BENCH_EPS_TOLERANCE", "0.20"))
     base_eps = metric(baseline, "elements_per_sec", "baseline", "steady_stream")
