@@ -16,6 +16,14 @@
 //    consumer twice, and per-producer replay stays within
 //    checkpoint_interval + credit-window slack.
 //
+// With --churn a fourth scenario runs the elastic-membership stress: ten
+// crash/rejoin cycles sweep across the consumer group while producers keep
+// streaming at a fixed pace. Every respawned incarnation re-attaches to the
+// live channel (Channel::attach, no collective), producers hand its flows
+// back voluntarily, and the run is gated on exactly-once delivery per
+// consumer view (0 duplicates), full coverage across all views, and churn
+// goodput >= 80% of the same paced run without faults.
+//
 // Emits BENCH_fault_recovery.json (override with DS_FAULT_BENCH_JSON) for
 // the CI artifact; exits nonzero when any contract above fails.
 #include <algorithm>
@@ -137,10 +145,130 @@ RunResult run_stream(int elements_per_producer, bool resilient,
   return result;
 }
 
+// ---- churn: repeated crash/rejoin cycles under a paced stream -------------
+
+constexpr int kChurnCycles = 10;
+/// Incarnation views kept per consumer slot (cycles revisit victims, so a
+/// slot can run its third life; anything beyond folds into the last view).
+constexpr int kMaxIncarnations = 4;
+
+struct ChurnResult {
+  double wall_s = 0;
+  double virtual_s = 0;
+  std::uint64_t delivered = 0;   ///< operator invocations, all views
+  std::uint64_t unique = 0;      ///< distinct elements across all views
+  std::uint64_t replayed = 0;
+  std::uint64_t duplicates_filtered = 0;
+  std::uint32_t failovers = 0;
+  std::uint32_t rebalances = 0;  ///< voluntary handbacks (rejoins observed)
+  int rejoined_views = 0;        ///< incarnation>0 views that saw elements
+  bool exactly_once = true;      ///< no element twice within any single view
+  bool complete = true;          ///< every element in some view
+};
+
+/// One paced run: each producer spaces its sends by a fixed compute step so
+/// the producing window is long enough for every churn cycle to land inside
+/// it. `inject` schedules kChurnCycles crash/restart pairs sweeping over
+/// consumers 1..kConsumers-1 (slot 0 stays up so the machine is never
+/// consumer-empty); the same pacing without faults is the goodput reference.
+ChurnResult run_churn(int elements_per_producer, bool inject) {
+  ChurnResult result;
+  auto config = bench_machine();
+  if (inject) {
+    for (int k = 0; k < kChurnCycles; ++k) {
+      const int victim = kProducers + 1 + (k % (kConsumers - 1));
+      const util::SimTime crash_at = util::microseconds(200 + 300 * k);
+      config.faults.crash(victim, crash_at)
+          .restart(victim, crash_at + util::microseconds(140));
+    }
+  }
+  mpi::Machine machine(config);
+  // Delivery views are per (consumer slot, incarnation): a dead
+  // incarnation's undurable tail is legitimately re-delivered to whoever
+  // owns the flow next, so exactly-once holds within each view, and
+  // coverage over the union of views.
+  std::vector<std::vector<std::uint64_t>> views(
+      static_cast<std::size_t>(kConsumers * kMaxIncarnations));
+  const auto t0 = std::chrono::steady_clock::now();
+  const util::SimTime makespan = machine.run([&](mpi::Rank& self) {
+    const bool producer = self.world_rank() < kProducers;
+    const int inc = self.machine().incarnation(self.world_rank());
+    stream::ChannelConfig cfg;
+    cfg.mapping = stream::ChannelConfig::Mapping::Block;
+    cfg.max_inflight = kWindow;
+    cfg.checkpoint_interval = kInterval;
+    // A respawned incarnation missed the original collective: it re-admits
+    // itself through the non-collective attach against the live channel.
+    const stream::Channel ch =
+        inc > 0 ? stream::Channel::attach(
+                      self, self.world(),
+                      [](int r) {
+                        return static_cast<std::int8_t>(r < kProducers ? 1 : 2);
+                      },
+                      cfg)
+                : stream::Channel::create(self, self.world(), producer,
+                                          !producer, cfg);
+    const int me = ch.my_consumer_index(self);
+    const std::size_t view = static_cast<std::size_t>(
+        me * kMaxIncarnations + std::min(inc, kMaxIncarnations - 1));
+    stream::Stream s = stream::Stream::attach(
+        ch, mpi::Datatype::int64(), [&](const stream::StreamElement& el) {
+          std::uint64_t id = 0;
+          std::memcpy(&id, el.data, sizeof id);
+          views[view].push_back(id);
+        });
+    if (producer) {
+      for (int i = 0; i < elements_per_producer; ++i) {
+        self.compute(util::microseconds(2));  // the pacing: churn lands mid-stream
+        const std::uint64_t id = element_id(self.world_rank(), i);
+        s.isend(self, mpi::SendBuf::of(&id, 1));
+      }
+      s.terminate(self);
+      result.replayed += s.replayed_elements();
+      result.failovers += s.failovers();
+      result.rebalances += s.rebalances();
+    } else {
+      (void)s.operate(self);
+      result.duplicates_filtered += s.duplicates_dropped();
+    }
+  });
+  result.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.virtual_s = util::to_seconds(makespan);
+
+  std::set<std::uint64_t> seen;
+  for (std::size_t v = 0; v < views.size(); ++v) {
+    std::vector<std::uint64_t> sorted = views[v];
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+      result.exactly_once = false;
+    if (!sorted.empty() && v % kMaxIncarnations != 0) ++result.rejoined_views;
+    seen.insert(sorted.begin(), sorted.end());
+    result.delivered += sorted.size();
+  }
+  result.unique = seen.size();
+  for (int p = 0; p < kProducers; ++p)
+    for (int i = 0; i < elements_per_producer; ++i)
+      if (!seen.count(element_id(p, i))) result.complete = false;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt = util::BenchOptions::parse(argc, argv);
+  // --churn is ours, not BenchOptions'; strip it before the strict parse.
+  bool churn = false;
+  std::vector<char*> args(argv, argv + argc);
+  args.erase(std::remove_if(args.begin(), args.end(),
+                            [&](char* a) {
+                              const bool hit = std::strcmp(a, "--churn") == 0;
+                              churn |= hit;
+                              return hit;
+                            }),
+             args.end());
+  const auto opt =
+      util::BenchOptions::parse(static_cast<int>(args.size()), args.data());
   bench::print_header(
       "fault_recovery — consumer-crash recovery time and goodput",
       "ds::resilience: stream epochs, bounded replay, consumer failover "
@@ -222,6 +350,49 @@ int main(int argc, char** argv) {
                  std::to_string(crash.replayed),
                  std::to_string(crash.max_replayed_one), note});
 
+  // -- churn: ten crash/rejoin cycles under a paced stream ------------------
+  ChurnResult churn_ref, churned;
+  double goodput_ratio = 1.0;
+  if (churn) {
+    const int churn_elements = opt.fast ? 2000 : 4000;
+    churn_ref = run_churn(churn_elements, /*inject=*/false);
+    churned = run_churn(churn_elements, /*inject=*/true);
+    ok &= churn_ref.exactly_once && churn_ref.complete;
+    ok &= churned.exactly_once && churned.complete;
+    if (churned.failovers == 0 || churned.rebalances == 0 ||
+        churned.rejoined_views == 0) {
+      std::printf(
+          "FAIL: churn did not exercise rejoin (failovers=%u rebalances=%u "
+          "rejoined_views=%d)\n",
+          churned.failovers, churned.rebalances, churned.rejoined_views);
+      ok = false;
+    }
+    // Goodput gate: useful-work rate (distinct elements per virtual second)
+    // under churn must hold >= 80% of the same paced run without faults.
+    const double ref_goodput =
+        churn_ref.virtual_s > 0
+            ? static_cast<double>(churn_ref.unique) / churn_ref.virtual_s
+            : 0.0;
+    const double churn_goodput =
+        churned.virtual_s > 0
+            ? static_cast<double>(churned.unique) / churned.virtual_s
+            : 0.0;
+    goodput_ratio = ref_goodput > 0 ? churn_goodput / ref_goodput : 0.0;
+    if (goodput_ratio < 0.80) {
+      std::printf("FAIL: churn goodput %.1f%% of fault-free (floor 80%%)\n",
+                  goodput_ratio * 100.0);
+      ok = false;
+    }
+    std::snprintf(note, sizeof note, "%d cycles, goodput %.0f%%, %u handbacks",
+                  kChurnCycles, goodput_ratio * 100.0, churned.rebalances);
+    table.add_row({"churn_fault_free", std::to_string(churn_ref.delivered),
+                   ms(churn_ref.virtual_s), ms(churn_ref.wall_s / 1e3), "0",
+                   "0", "paced reference"});
+    table.add_row({"churn", std::to_string(churned.delivered),
+                   ms(churned.virtual_s), ms(churned.wall_s / 1e3),
+                   std::to_string(churned.replayed), "-", note});
+  }
+
   bench::print_table(table);
 
   // -- JSON artifact --------------------------------------------------------
@@ -242,7 +413,7 @@ int main(int argc, char** argv) {
         "\"delivered\":%llu,\"replayed_elements\":%llu,"
         "\"max_replayed_one_producer\":%llu,\"replay_bound\":%llu,"
         "\"recovery_virtual_s\":%.9f,\"failovers\":%u,"
-        "\"duplicates_filtered\":%llu,\"goodput_eps_virtual\":%.1f}]}\n",
+        "\"duplicates_filtered\":%llu,\"goodput_eps_virtual\":%.1f}",
         kProducers + kConsumers, kProducers, kConsumers, elements, kInterval,
         kWindow, baseline.virtual_s, baseline.wall_s,
         static_cast<unsigned long long>(baseline.delivered),
@@ -260,6 +431,28 @@ int main(int argc, char** argv) {
         crash.virtual_s > 0
             ? static_cast<double>(crash.delivered) / crash.virtual_s
             : 0.0);
+    if (churn)
+      std::fprintf(
+          f,
+          ",{\"name\":\"churn_fault_free\",\"virtual_s\":%.9f,"
+          "\"wall_s\":%.6f,\"delivered\":%llu,\"unique\":%llu},"
+          "{\"name\":\"churn\",\"cycles\":%d,\"virtual_s\":%.9f,"
+          "\"wall_s\":%.6f,\"delivered\":%llu,\"unique\":%llu,"
+          "\"replayed_elements\":%llu,\"failovers\":%u,\"rebalances\":%u,"
+          "\"rejoined_views\":%d,\"duplicates_filtered\":%llu,"
+          "\"exactly_once\":%d,\"complete\":%d,\"goodput_ratio\":%.4f}",
+          churn_ref.virtual_s, churn_ref.wall_s,
+          static_cast<unsigned long long>(churn_ref.delivered),
+          static_cast<unsigned long long>(churn_ref.unique), kChurnCycles,
+          churned.virtual_s, churned.wall_s,
+          static_cast<unsigned long long>(churned.delivered),
+          static_cast<unsigned long long>(churned.unique),
+          static_cast<unsigned long long>(churned.replayed), churned.failovers,
+          churned.rebalances, churned.rejoined_views,
+          static_cast<unsigned long long>(churned.duplicates_filtered),
+          churned.exactly_once ? 1 : 0, churned.complete ? 1 : 0,
+          goodput_ratio);
+    std::fprintf(f, "]}\n");
     std::fclose(f);
     std::printf("JSON written to %s\n", path);
   }

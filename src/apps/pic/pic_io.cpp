@@ -88,6 +88,14 @@ PicIoResult run_pic_io(IoVariant variant, const PicIoConfig& config,
   const std::size_t unit =
       config.real_data ? sizeof(std::uint64_t) : config.particle_bytes;
 
+  // Keyed layout for the idempotent decoupled writeback: step-major, then
+  // worker-major, then particle index — every particle id maps to exactly
+  // one file offset, computable by any writer from the id alone.
+  std::vector<std::uint64_t> prefix_units(counts.size() + 1, 0);
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    prefix_units[i + 1] = prefix_units[i] + counts[i];
+  const std::uint64_t units_per_step = prefix_units[counts.size()];
+
   const auto program = [&](Rank& self) {
     const int me = self.rank_in(self.world());
 
@@ -169,6 +177,15 @@ PicIoResult run_pic_io(IoVariant variant, const PicIoConfig& config,
       // flush, not at consumption (see ack_durable in write_fn below).
       batch_options.checkpoint_interval = config.checkpoint_interval;
       batch_options.manual_durability = true;
+      // Directed keeps the exact Block routing (Channel::route's default
+      // peer is the same block assignment) but upgrades termination to the
+      // resilient tree-v2 release barrier: producers stay in their release
+      // wait — replay logs alive, terms re-sendable — and writers stay in
+      // operate() until every writer has flushed and acked the count
+      // matrix. A writer crashing *inside its final flush* is then still
+      // recoverable: nothing was released, so the survivors adopt its flows
+      // and the producers replay the undurable tail to them.
+      batch_options.mapping = decouple::Mapping::Directed;
     }
     const auto batches = pipeline.raw_stream_between(
         compute_stage, write_stage, batch_bytes, batch_options);
@@ -232,23 +249,54 @@ PicIoResult run_pic_io(IoVariant variant, const PicIoConfig& config,
         writer_bytes[writer] += el.record.bytes;
       });
       in.operate();
+      // Resilient chains announce the grand total to every writer: crashes,
+      // rejoins, and elastic moves shift flows between writers mid-run, so
+      // per-writer totals no longer bound any one writer's consumption —
+      // the dump total still does.
+      const std::uint64_t total =
+          std::accumulate(writer_bytes.begin(), writer_bytes.end(),
+                          std::uint64_t{0});
       for (int wr = 0; wr < writers; ++wr)
-        out.send_to(wr, WriterManifest{writer_bytes[static_cast<std::size_t>(wr)]});
+        out.send_to(
+            wr, WriterManifest{
+                    resilient ? total
+                              : writer_bytes[static_cast<std::size_t>(wr)]});
     };
 
     const auto write_fn = [&](decouple::Context& ctx) {
       // Writeback: buffer aggressively, write rarely and big.
       auto& s = ctx[batches];
       mpi::File file(machine, s.channel().comm(), kFileName);
+      // Idempotent (keyed) writeback: in resilient real-data mode each batch
+      // is written at the offset its leading particle id determines, not
+      // appended. A batch replayed after a writer crash — or redelivered
+      // because the durability ack died with the writer — overwrites the
+      // same bytes, so the dump is byte-identical to a fault-free run no
+      // matter which writer flushes it, or how often.
+      const bool keyed = resilient && config.real_data;
+      struct Run {
+        std::uint64_t offset = 0;
+        std::size_t bytes = 0;
+      };
+      std::vector<Run> runs;  ///< keyed mode: file extents backing `buffer`
       std::vector<std::byte> buffer;
       buffer.reserve(config.real_data ? config.helper_buffer_bytes : 0);
       std::size_t buffered = 0;
       std::uint64_t consumed_bytes = 0;
       auto flush = [&] {
         if (buffered == 0) return;
-        file.write_shared(self, config.real_data
-                                    ? SendBuf{buffer.data(), buffer.size()}
-                                    : SendBuf::synthetic(buffered));
+        if (keyed) {
+          std::size_t pos = 0;
+          for (const Run& run : runs) {
+            file.write_at(self, run.offset, SendBuf{buffer.data() + pos, run.bytes});
+            pos += run.bytes;
+          }
+          runs.clear();
+        } else {
+          file.write_shared(self, config.real_data
+                                      ? SendBuf{buffer.data(), buffer.size()}
+                                      : SendBuf::synthetic(buffered));
+        }
         buffer.clear();
         buffered = 0;
         // Durability point: everything consumed so far is on storage. A
@@ -257,6 +305,26 @@ PicIoResult run_pic_io(IoVariant variant, const PicIoConfig& config,
         if (resilient) s.ack_durable();
       };
       s.on_receive([&](const decouple::RawElement& el) {
+        if (keyed && el.data != nullptr && el.bytes >= sizeof(std::uint64_t)) {
+          // Decode the deterministic fill_ids encoding of the batch's first
+          // particle: worker, step, and index recover the keyed offset.
+          std::uint64_t id = 0;
+          std::memcpy(&id, el.data, sizeof id);
+          const auto w64 = id >> 40;
+          const auto step64 = (id >> 32) & 0xffu;
+          const std::uint64_t first = id & 0xffffffffu;
+          if (w64 >= counts.size() || first >= counts[static_cast<std::size_t>(w64)])
+            throw std::runtime_error(
+                "pic_io decoupled: batch id decodes outside the dump layout");
+          const std::uint64_t offset =
+              (step64 * units_per_step + prefix_units[static_cast<std::size_t>(w64)] +
+               first) *
+              unit;
+          if (!runs.empty() && runs.back().offset + runs.back().bytes == offset)
+            runs.back().bytes += el.bytes;  // contiguous with the previous batch
+          else
+            runs.push_back(Run{offset, el.bytes});
+        }
         if (config.real_data && el.data) {
           const std::size_t base = buffer.size();
           buffer.resize(base + el.bytes);
@@ -266,7 +334,17 @@ PicIoResult run_pic_io(IoVariant variant, const PicIoConfig& config,
         consumed_bytes += el.bytes;
         if (buffered >= config.helper_buffer_bytes) flush();
       });
+      // Durability-gated termination: the stream's release barrier invokes
+      // the flush right before this writer's announce-ack (and before the
+      // aggregator's release broadcast), so the release certifies that
+      // every batch anywhere reached the file — producers hold their
+      // replay logs, in their release wait and able to service failover,
+      // until then. The flush must therefore happen *inside* operate(),
+      // not after it: a writer past operate() could no longer consume the
+      // replays a mid-flush crash of its peer would send here.
+      if (resilient) s.on_durable_point(flush);
       s.operate();
+      if (resilient) flush();  // safety net; normally a no-op after release
       if (chained) {
         // Completeness barrier: the reduce stage announces how many bytes
         // this writer must have seen before the data can be trusted on disk.
@@ -276,13 +354,12 @@ PicIoResult run_pic_io(IoVariant variant, const PicIoConfig& config,
           expected += el.record.expected_bytes;
         });
         m.operate();
-        // Fault-free: the writer saw exactly the announced bytes. After a
-        // failover the adopter additionally holds the dead writer's
-        // manifest, whose durable prefix was already written by the dead
-        // writer and is deliberately not replayed — so the adopter's own
-        // count may fall short of the announced total, never exceed it
-        // (exactly-once). The dump content itself is verified end to end by
-        // the manifest/byte-identity checks in the tests.
+        // Plain chain: the writer saw exactly the announced bytes. Resilient
+        // chain: the manifest announces the dump's grand total (flows move
+        // between writers across crashes/rejoins), so the exactly-once bound
+        // is one-sided — no writer may consume more than the whole dump.
+        // Content itself is verified end to end by the byte-identity checks
+        // in the tests.
         const bool mismatch =
             resilient ? consumed_bytes > expected : expected != consumed_bytes;
         if (mismatch)

@@ -54,7 +54,12 @@ struct PicIoConfig {
   /// after flushing them to the file — so an injected writer crash (via
   /// mpi::MachineConfig::faults) replays exactly the batches whose bytes
   /// had not reached storage, and the surviving writer that adopts the dead
-  /// writer's flows completes the dump byte-identically.
+  /// writer's flows completes the dump byte-identically. In real-data mode
+  /// the writeback is additionally *idempotent*: every batch is written at
+  /// the file offset its leading particle id determines (step-major, then
+  /// worker-major layout), so replayed or redelivered batches overwrite the
+  /// same bytes and the dump is byte-identical to a fault-free run across
+  /// producer crashes, writer crashes, and writer rejoins.
   std::uint32_t checkpoint_interval = 0;
 
   bool real_data = false;  ///< write real particle-id payloads

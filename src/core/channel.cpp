@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "resilience/failover.hpp"
+
 namespace ds::stream {
 
 Channel Channel::create(mpi::Rank& self, const mpi::Comm& parent,
@@ -22,7 +24,24 @@ Channel Channel::create(mpi::Rank& self, const mpi::Comm& parent,
   std::vector<std::int8_t> roles(static_cast<std::size_t>(size));
   const std::vector<std::size_t> counts(static_cast<std::size_t>(size), 1);
   self.allgatherv(parent, mpi::SendBuf::of(&my_role, 1), roles.data(), counts);
+  return build(self, parent, roles, config);
+}
 
+Channel Channel::attach(mpi::Rank& self, const mpi::Comm& parent,
+                        const std::function<std::int8_t(int)>& role_of,
+                        ChannelConfig config) {
+  if (self.rank_in(parent) < 0)
+    throw std::logic_error("Channel::attach: caller not in parent communicator");
+  std::vector<std::int8_t> roles(static_cast<std::size_t>(parent.size()));
+  for (int r = 0; r < parent.size(); ++r)
+    roles[static_cast<std::size_t>(r)] = role_of(r);
+  return build(self, parent, roles, config);
+}
+
+Channel Channel::build(mpi::Rank& self, const mpi::Comm& parent,
+                       const std::vector<std::int8_t>& roles,
+                       ChannelConfig config) {
+  const int size = parent.size();
   std::vector<int> members;  // world ranks: producers first, then consumers
   int producers = 0;
   for (int r = 0; r < size; ++r)
@@ -60,8 +79,52 @@ Channel Channel::create(mpi::Rank& self, const mpi::Comm& parent,
       parent.context(), 0xC4A77E1ull, config.channel_id);
   const mpi::Comm channel_comm(ctx, mpi::Group(std::move(members)));
   // Non-members keep an invalid comm -> inert handle.
-  if (channel_comm.rank_of_world(self.world_rank()) >= 0) ch.comm_ = channel_comm;
+  if (channel_comm.rank_of_world(self.world_rank()) >= 0) {
+    ch.comm_ = channel_comm;
+    if (config.resilient()) {
+      // Every member of the same channel fetches the same machine-hosted
+      // ledger; deactivations are idempotent, so concurrent builders agree.
+      ch.ledger_ = self.machine().membership_ledger(ctx, consumers);
+      for (const int c : config.initially_inactive_consumers) {
+        if (c < 0 || c >= consumers)
+          throw std::invalid_argument(
+              "Channel: initially_inactive_consumers slot outside the "
+              "consumer group");
+        ch.ledger_->set_active(c, false);
+      }
+    }
+  }
   return ch;
+}
+
+void Channel::retire_consumer(mpi::Rank& self, int c) const {
+  if (!ledger_)
+    throw std::logic_error(
+        "Channel::retire_consumer: elastic membership needs a resilient "
+        "channel (checkpoint_interval > 0)");
+  if (c < 0 || c >= consumer_count_)
+    throw std::invalid_argument("Channel::retire_consumer: no such slot");
+  // The effective aggregator runs the termination protocol; a retired slot
+  // stops polling, so retiring it would strand producer terms forever.
+  if (c == resilience::effective_aggregator(*this, self.machine()))
+    throw std::logic_error(
+        "Channel::retire_consumer: cannot retire the effective aggregator "
+        "(retire another slot, or crash it and let re-election run)");
+  ledger_->set_active(c, false);
+}
+
+void Channel::admit_consumer(mpi::Rank& self, int c) const {
+  if (!ledger_)
+    throw std::logic_error(
+        "Channel::admit_consumer: elastic membership needs a resilient "
+        "channel (checkpoint_interval > 0)");
+  if (c < 0 || c >= consumer_count_)
+    throw std::invalid_argument("Channel::admit_consumer: no such slot");
+  const int world = comm_.world_rank(consumer_rank(c));
+  if (self.machine().rank_failed(world))
+    throw std::logic_error(
+        "Channel::admit_consumer: slot's rank is crashed — restart it first");
+  ledger_->set_active(c, true);
 }
 
 void Channel::free(mpi::Rank& self) {

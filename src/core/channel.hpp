@@ -18,10 +18,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "mpi/comm.hpp"
 #include "mpi/rank.hpp"
+#include "resilience/membership.hpp"
 #include "util/time.hpp"
 
 namespace ds::stream {
@@ -122,6 +125,12 @@ struct ChannelConfig {
   /// False (default) keeps the flat heap tree exactly as before.
   bool node_aware_term = false;
 
+  /// Consumer slots that start the run deactivated in the membership ledger
+  /// (resilient channels only): their flows are served by the deterministic
+  /// failover target until Channel::admit_consumer brings them online — the
+  /// elastic scale-up scenario. Ignored on non-resilient channels.
+  std::vector<int> initially_inactive_consumers{};
+
   [[nodiscard]] bool resilient() const noexcept {
     return checkpoint_interval > 0;
   }
@@ -152,6 +161,18 @@ class Channel {
   [[nodiscard]] static Channel create(mpi::Rank& self, const mpi::Comm& parent,
                                       bool is_producer, bool is_consumer,
                                       ChannelConfig config = {});
+
+  /// Local-only (non-collective) reconstruction of the channel create()
+  /// built: `role_of(parent_rank)` must return the role each member passed
+  /// at create time (0 = neither, 1 = producer, 2 = consumer). A respawned
+  /// fiber rejoining a live channel cannot re-enter the creation collective
+  /// — its peers are long past it — but in every decoupled program the role
+  /// assignment is a pure function of rank, so the restarted rank rebuilds
+  /// an identical handle (same derived context, same membership ledger)
+  /// without touching the fabric.
+  [[nodiscard]] static Channel attach(
+      mpi::Rank& self, const mpi::Comm& parent,
+      const std::function<std::int8_t(int)>& role_of, ChannelConfig config = {});
 
   /// Collective over the channel members: quiesce and release (paper's
   /// MPIStream_FreeChannel). No-op for non-members.
@@ -264,8 +285,34 @@ class Channel {
     return producer_count_ + c;
   }
 
+  // ---- elastic membership (resilient channels) ---------------------------
+  // The ledger is shared machine-wide per channel context: a retire/admit on
+  // any rank is observed by every other rank at its next poll, exactly like
+  // the failure record. Slots, not ranks: a retired slot's rank stays alive.
+
+  /// True when consumer slot `c` is active (always true without a ledger —
+  /// non-resilient channels have static membership).
+  [[nodiscard]] bool consumer_active(int c) const noexcept {
+    return !ledger_ || ledger_->is_active(c);
+  }
+  /// Monotone membership version (0 without a ledger). Streams cache it and
+  /// rebalance flows when it moves — the elastic analogue of failure_epoch.
+  [[nodiscard]] std::uint64_t membership_version() const noexcept {
+    return ledger_ ? ledger_->version : 0;
+  }
+  /// Deactivate consumer slot `c`: its flows rebalance to the deterministic
+  /// failover target (voluntary handoff — no replay storm, no data loss).
+  /// Retiring the current effective aggregator is rejected: the aggregator
+  /// must keep servicing the termination protocol. Resilient channels only.
+  void retire_consumer(mpi::Rank& self, int c) const;
+  /// (Re)activate consumer slot `c`: the current owner hands its flows back.
+  void admit_consumer(mpi::Rank& self, int c) const;
+
  private:
   void build_node_aware_tree();
+  static Channel build(mpi::Rank& self, const mpi::Comm& parent,
+                       const std::vector<std::int8_t>& roles,
+                       ChannelConfig config);
 
   ChannelConfig config_{};
   mpi::Comm comm_{};
@@ -275,6 +322,8 @@ class Channel {
   std::vector<int> consumer_node_;
   /// Node-aware term-tree parents (empty = flat heap shape).
   std::vector<int> term_parent_;
+  /// Shared membership ledger (resilient channels; null otherwise).
+  std::shared_ptr<resilience::MembershipLedger> ledger_;
 };
 
 }  // namespace ds::stream

@@ -85,6 +85,20 @@ bool StreamBase::poll_one() { return stream_.poll_one(self()); }
 
 void StreamBase::ack_durable() { stream_.ack_durable(self()); }
 
+void StreamBase::on_durable_point(std::function<void()> hook) {
+  stream_.set_durable_point(std::move(hook));
+}
+
+void StreamBase::retire() { stream_.retire(self()); }
+
+void StreamBase::retire_consumer(int c) {
+  channel_.get().retire_consumer(self(), c);
+}
+
+void StreamBase::admit_consumer(int c) {
+  channel_.get().admit_consumer(self(), c);
+}
+
 std::uint64_t StreamBase::drain() {
   std::uint64_t consumed = 0;
   while (poll_one()) ++consumed;
@@ -485,11 +499,21 @@ void Pipeline::launch(const RoleFn& role_fn) {
   const int me = self.rank_in(parent_);
   const bool worker = !is_helper_rank(me);
 
+  // A restarted incarnation rejoins a pipeline whose surviving members are
+  // mid-run: no collective step can happen (peers are not at a matching
+  // call). Channels are re-derived locally via Channel::attach from the
+  // same pure role predicates every rank evaluated at first launch.
+  const bool rejoining = self.machine().incarnation(self.world_rank()) > 0;
+  if (rejoining && want_worker_comm_)
+    throw std::logic_error(
+        "Pipeline: a restarted rank cannot rejoin a pipeline configured "
+        "with_worker_comm (communicator splits are collective)");
+
   if (want_worker_comm_)
     worker_comm_ = self.split(parent_, worker ? 0 : -1, me);
 
   // Channel creation is collective over the parent: declaration order is the
-  // creation order on every rank.
+  // creation order on every rank. Rejoining ranks attach instead.
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     Slot& slot = slots_[i];
     stream::ChannelConfig config;
@@ -504,22 +528,38 @@ void Pipeline::launch(const RoleFn& role_fn) {
     config.checkpoint_interval = slot.options.checkpoint_interval;
     config.manual_durability = slot.options.manual_durability;
     config.node_aware_term = slot.options.node_aware_term;
+    config.initially_inactive_consumers =
+        slot.options.initially_inactive_consumers;
     if (resilience_ && config.checkpoint_interval == 0) {
       config.checkpoint_interval = resilience_->checkpoint_interval;
       config.manual_durability =
           config.manual_durability || resilience_->manual_durability;
     }
     const bool to_helpers = slot.options.direction == Direction::ToHelpers;
-    const bool produce = slot.options.producers
-                             ? slot.options.producers(me)
-                             : (to_helpers ? worker : !worker);
-    const bool consume = slot.options.consumers
-                             ? slot.options.consumers(me)
-                             : (to_helpers ? !worker : worker);
-    slot.stream->bind(self,
-                      ScopedChannel::create(self, parent_, produce, consume,
-                                            std::move(config)),
-                      slot.element_bytes, /*stream_id=*/i + 1);
+    const auto role_of = [&](int r) -> std::int8_t {
+      const bool w = !is_helper_rank(r);
+      const bool produce = slot.options.producers
+                               ? slot.options.producers(r)
+                               : (to_helpers ? w : !w);
+      const bool consume = slot.options.consumers
+                               ? slot.options.consumers(r)
+                               : (to_helpers ? !w : w);
+      return produce ? std::int8_t{1} : (consume ? std::int8_t{2} : std::int8_t{0});
+    };
+    ScopedChannel channel;
+    if (rejoining) {
+      if (!config.resilient())
+        throw std::logic_error(
+            "Pipeline: a restarted rank can only rejoin resilient streams "
+            "(set checkpoint_interval or with_resilience)");
+      channel = ScopedChannel(
+          self, stream::Channel::attach(self, parent_, role_of, std::move(config)));
+    } else {
+      channel = ScopedChannel::create(self, parent_, role_of(me) == 1,
+                                      role_of(me) == 2, std::move(config));
+    }
+    slot.stream->bind(self, std::move(channel), slot.element_bytes,
+                      /*stream_id=*/i + 1);
   }
 
   Context context(*this);

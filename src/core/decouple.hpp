@@ -131,6 +131,11 @@ struct StreamOptions {
   /// consumer count (see ChannelConfig::node_aware_term). Off by default —
   /// the flat heap tree is kept bit-for-bit.
   bool node_aware_term = false;
+  /// Elastic membership (resilient streams only): consumer slots that start
+  /// deactivated in the shared membership ledger. Their traffic routes to
+  /// failover targets until Stream/Channel admit_consumer brings them in
+  /// (see ChannelConfig::initially_inactive_consumers).
+  std::vector<int> initially_inactive_consumers;
   /// Endpoint overrides for streams that do not follow the worker/helper
   /// split (e.g. a reduce group's internal master stream); when set, they
   /// replace the direction-derived groups.
@@ -227,6 +232,25 @@ class StreamBase {
   /// consumed so far has durable effects (e.g. after a file flush); see
   /// stream::Stream::ack_durable. No-op otherwise.
   void ack_durable();
+  /// Resilient tree streams (Directed/RoundRobin) with manual durability:
+  /// register the hook the termination protocol runs before this consumer
+  /// commits to the release barrier (its announce-ack; the release
+  /// broadcast on the aggregator). The hook must flush external effects and
+  /// call ack_durable — the release then certifies global durability, so
+  /// producers retire replay logs only once no consumer still buffers
+  /// undurable state; see stream::Stream::set_durable_point.
+  void on_durable_point(std::function<void()> hook);
+  /// Elastic membership: gracefully withdraw this consumer from the stream
+  /// (resilient streams only). Deactivates the slot in the shared ledger,
+  /// hands the dedup cursors of every owned flow to the failover target, and
+  /// marks the stream exhausted; see stream::Stream::retire.
+  void retire();
+  /// Elastic membership control plane (resilient streams only, callable
+  /// from any member): deactivate / re-admit consumer slot `c` in the
+  /// shared ledger. Live peers observe the membership change and rebalance;
+  /// see Channel::retire_consumer / admit_consumer.
+  void retire_consumer(int c);
+  void admit_consumer(int c);
   /// Process elements FCFS until every routed producer terminated.
   std::uint64_t operate();
   /// Process arrivals while `keep_going()` stays true (re-checked after
@@ -281,6 +305,18 @@ class StreamBase {
   /// Duplicate deliveries suppressed by the exactly-once filter (consumer).
   [[nodiscard]] std::uint64_t duplicates_dropped() const noexcept {
     return stream_.duplicates_dropped();
+  }
+  /// Voluntary flow handbacks/moves this producer performed after rejoins
+  /// or elastic membership changes (vs. failovers(), which counts
+  /// crash-driven rebinds).
+  [[nodiscard]] std::uint32_t rebalances() const noexcept {
+    return stream_.rebalances();
+  }
+  /// Live (producer, flow) entries in the consumer's exactly-once filter —
+  /// the dedup memory bound observable (entries are erased on handback and
+  /// retire).
+  [[nodiscard]] std::size_t dedup_entries() const noexcept {
+    return stream_.dedup_entries();
   }
   /// True once all routed producers have terminated (consumer side).
   [[nodiscard]] bool exhausted() const noexcept { return stream_.exhausted(); }

@@ -1,6 +1,7 @@
 #include "core/stream.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
@@ -55,6 +56,20 @@ struct FlowHandoff {
   std::uint32_t reserved = 0;
 };
 
+/// One rebalance-sync record (kTagSync from a consumer): the receiver adopts
+/// the dedup cursor — and, under Block mapping, the term-seen flag — for one
+/// (producer, flow) pair, while the sender erases its own entry. `next == 0`
+/// carries no cursor; it still marks the flow as handed over, which is what
+/// adopters blocked in await_rebalance_sync wake on. Producer-sourced
+/// kTagSync messages reuse FlowHandoff as a handback marker instead
+/// (durable = the flow sequence as of the handback).
+struct SyncEntry {
+  std::uint64_t producer = 0;
+  std::uint64_t flow = 0;
+  std::uint64_t next = 0;
+  std::uint64_t termed = 0;
+};
+
 constexpr std::size_t kFrameOverhead = sizeof(FrameHeader);
 constexpr std::size_t kSubOverhead = sizeof(SubHeader);
 constexpr std::size_t kEpochOverhead = sizeof(EpochHeader);
@@ -105,8 +120,16 @@ struct CoalesceState {
   std::vector<Flow> flows;     ///< by flow id (original consumer index)
   std::vector<int> redirect;   ///< physical consumer per flow (identity start)
   std::uint64_t seen_failure_epoch = 0;
+  std::uint64_t seen_rejoin_epoch = 0;
+  std::uint64_t seen_membership_version = 0;
+  /// Last observed incarnation of each flow's *home* rank: a bump while the
+  /// redirect still points home means the rank crashed and restarted without
+  /// this producer ever noticing — everything sent during the dead window
+  /// was dropped at the dead mailbox and must be replayed.
+  std::vector<int> flow_incarnation;
   std::uint64_t replayed_elements = 0;
   std::uint32_t failovers = 0;
+  std::uint32_t rebalances = 0;  ///< voluntary moves (rejoin/elastic)
 
   struct Pending {
     std::vector<std::byte> buf;  ///< FrameHeader + sub-records (capacity kept)
@@ -210,6 +233,10 @@ std::uint32_t Stream::failovers() const noexcept {
   return coalesce_ ? coalesce_->failovers : 0;
 }
 
+std::uint32_t Stream::rebalances() const noexcept {
+  return coalesce_ ? coalesce_->rebalances : 0;
+}
+
 void Stream::ensure_producer_state(mpi::Rank& self) {
   const ChannelConfig& cfg = channel_->config();
   if (coalesce_ || (cfg.coalesce_budget == 0 && !cfg.resilient())) return;
@@ -250,12 +277,28 @@ void Stream::ensure_producer_state(mpi::Rank& self) {
     st->window_now = cfg.max_inflight;
   }
   if (st->resilient) {
+    auto& machine = self.machine();
     st->checkpoint_interval = cfg.checkpoint_interval;
     st->flows.resize(static_cast<std::size_t>(channel_->consumer_count()));
     st->redirect.resize(static_cast<std::size_t>(channel_->consumer_count()));
-    for (std::size_t c = 0; c < st->redirect.size(); ++c)
+    st->flow_incarnation.resize(st->redirect.size());
+    for (std::size_t c = 0; c < st->redirect.size(); ++c) {
       st->redirect[c] = static_cast<int>(c);
+      const int w = channel_->comm().world_rank(
+          channel_->consumer_rank(static_cast<int>(c)));
+      st->flow_incarnation[c] = machine.incarnation(w);
+      // Slots already unavailable (crashed before our first send, or
+      // inactive from birth — elastic spares) start routed around.
+      if (machine.rank_failed(w) ||
+          !channel_->consumer_active(static_cast<int>(c))) {
+        const int target = resilience::failover_target(
+            *channel_, static_cast<int>(c), machine);
+        if (target >= 0) st->redirect[c] = target;
+      }
+    }
     st->seen_failure_epoch = 0;
+    st->seen_rejoin_epoch = machine.rejoin_epoch();
+    st->seen_membership_version = channel_->membership_version();
   }
   coalesce_ = std::move(st);
 }
@@ -385,9 +428,11 @@ void Stream::isend_to(mpi::Rank& self, int consumer, mpi::SendBuf element) {
 
   if (coalesce_ && coalesce_->resilient) {
     // Truncate replay logs with any durability progress first (smaller
-    // replays), then react to crashes observed since the last send.
+    // replays), then react to crashes, rejoins, and membership changes
+    // observed since the last send.
     drain_durable_acks(self);
     check_producer_failover(self);
+    check_producer_rebalance(self);
   }
 
   // Credit-based backpressure: block until the in-flight window has room —
@@ -403,16 +448,15 @@ void Stream::isend_to(mpi::Rank& self, int consumer, mpi::SendBuf element) {
   }
 
   ++sent_;
-  if (channel_->tree_termination()) {
+  // Per-consumer tallies feed the v1 aggregated term; resilient tree
+  // channels derive their counted terms from the per-flow sequence spaces
+  // instead (counts stay logical — the exhaustion matrix is per flow, not
+  // per physical destination).
+  if (channel_->tree_termination() && !(coalesce_ && coalesce_->resilient)) {
     if (sent_per_consumer_.empty())
       sent_per_consumer_.assign(
           static_cast<std::size_t>(channel_->consumer_count()), 0);
-    // Tally at the element's *physical* destination: on a rebound flow the
-    // element is delivered to (and will be accounted by) the failover target.
-    const int phys = coalesce_ && coalesce_->resilient
-                         ? coalesce_->redirect[static_cast<std::size_t>(consumer)]
-                         : consumer;
-    ++sent_per_consumer_[static_cast<std::size_t>(phys)];
+    ++sent_per_consumer_[static_cast<std::size_t>(consumer)];
   }
 
   if (coalesce_element(self, consumer, element)) return;
@@ -446,10 +490,15 @@ void Stream::terminate(mpi::Rank& self) {
   ensure_producer_state(self);
   const bool resilient = coalesce_ && coalesce_->resilient;
   if (resilient) {
-    // Last chance to repair routing before the counts are announced: a crash
-    // after this producer terminates is outside the recoverability window.
+    // Repair routing before the counts go out. Under tree termination the
+    // release-barrier wait below keeps servicing these until the whole
+    // channel is done, so later crashes/rejoins stay recoverable; under
+    // Block the durability wait below does the same for automatic
+    // durability, while manual durability gets its last chance here
+    // (terminate then returns immediately).
     drain_durable_acks(self);
     check_producer_failover(self);
+    check_producer_rebalance(self);
   }
   terminated_ = true;
   // Partial frames leave before the term so counts and order stay intact;
@@ -473,28 +522,137 @@ void Stream::terminate(mpi::Rank& self) {
     // failover, to the consumer that adopted its flow (which repaired its
     // expected term count when it adopted).
     const int peer = channel_->route(p, 0);
-    post_term(resilient ? coalesce_->redirect[static_cast<std::size_t>(peer)]
-                        : peer,
-              mpi::SendBuf::synthetic(0));
+    int owner = resilient
+                    ? coalesce_->redirect[static_cast<std::size_t>(peer)]
+                    : peer;
+    post_term(owner, mpi::SendBuf::synthetic(0));
+    if (!resilient) return;
+    // Manual durability keeps the fire-and-forget term: the app owns the
+    // ack schedule, and a consumer that never acks is *defined* as having
+    // no durable effects — blocking here on acks that may never come would
+    // deadlock that contract. Apps that need durability-certified
+    // termination use a tree mapping with a registered durable point (see
+    // set_durable_point), whose release barrier provides exactly that.
+    if (channel_->config().manual_durability) return;
+    // A resilient producer must not retire its replay log while anything it
+    // sent is still undurable: once this fiber exits, a consumer crash
+    // loses the undurable tail for good, and a consumer that crashes and
+    // *rejoins* can never re-learn this producer's term. Block until every
+    // retained frame is acknowledged durable, servicing failover and
+    // rebalance meanwhile, and re-point the term whenever the flow's
+    // ownership moves (the consumer side counts terms idempotently, so
+    // re-sends are harmless).
+    while (true) {
+      drain_durable_acks(self);
+      check_producer_failover(self);
+      check_producer_rebalance(self);
+      const int now_owner =
+          coalesce_->redirect[static_cast<std::size_t>(peer)];
+      if (now_owner != owner) {
+        owner = now_owner;
+        post_term(owner, mpi::SendBuf::synthetic(0));
+      }
+      bool pending = false;
+      for (const auto& flow : coalesce_->flows)
+        if (flow.log.frame_count() > 0) {
+          pending = true;
+          break;
+        }
+      if (!pending) break;
+      if (resilience::effective_aggregator(*channel_, machine) < 0)
+        break;  // every consumer is gone — the tail is fail-stop loss
+      machine.add_probe_waiter(self.world_rank(), self.process().id());
+      machine.add_failure_waiter(self.process().id());
+      self.process().set_state_note(blocked_note("stream durability wait"));
+      self.process().suspend();
+      machine.ensure_alive(self.world_rank());
+      self.process().set_state_note({});
+    }
     return;
   }
-  // Aggregated termination: one term to the aggregator consumer, carrying
-  // this producer's per-consumer element counts (nonzero entries only) so
-  // consumers can account for data still in flight. On a resilient channel
-  // the aggregator role falls to the first *live* consumer.
+  if (!resilient) {
+    // Aggregated termination (v1): one term to the aggregator consumer,
+    // carrying this producer's per-consumer element counts (nonzero entries
+    // only) so consumers can account for data still in flight.
+    term_tx_.clear();
+    term_tx_.reserve(sent_per_consumer_.size());
+    for (std::size_t c = 0; c < sent_per_consumer_.size(); ++c)
+      if (sent_per_consumer_[c] > 0)
+        term_tx_.push_back(TermEntry{c, sent_per_consumer_[c]});
+    post_term(Channel::term_aggregator(),
+              mpi::SendBuf::of(term_tx_.data(), term_tx_.size()));
+    return;
+  }
+
+  // Resilient tree termination: a *counted term* — this producer's final
+  // per-flow sequence (one entry per flow it touched) — goes to the
+  // effective aggregator, and the producer then blocks until the channel's
+  // release barrier commits. Blocking here is what makes the protocol
+  // crash-proof: the counts stay resendable when the aggregator role moves,
+  // and the replay logs stay alive until every consumer has confirmed the
+  // full count matrix.
   term_tx_.clear();
-  term_tx_.reserve(sent_per_consumer_.size());
-  for (std::size_t c = 0; c < sent_per_consumer_.size(); ++c)
-    if (sent_per_consumer_[c] > 0)
-      term_tx_.push_back(TermEntry{c, sent_per_consumer_[c]});
-  const int aggregator =
-      resilient
-          ? resilience::effective_aggregator(*channel_, self.machine())
-          : Channel::term_aggregator();
+  term_tx_.reserve(coalesce_->flows.size());
+  for (std::size_t c = 0; c < coalesce_->flows.size(); ++c)
+    if (coalesce_->flows[c].seq > 0)
+      term_tx_.push_back(TermEntry{c, coalesce_->flows[c].seq});
+  int aggregator = resilience::effective_aggregator(*channel_, machine);
   if (aggregator < 0)
     throw std::runtime_error(
-        "Stream::terminate: every consumer of the resilient channel is dead");
+        "Stream::terminate: every consumer of the resilient channel is "
+        "unavailable");
   post_term(aggregator, mpi::SendBuf::of(term_tx_.data(), term_tx_.size()));
+  while (true) {
+    // Service the stream while blocked: durability acks keep replay logs
+    // bounded, failover/rebalance keep the counted term's recipient (and
+    // any replays) correct across membership changes.
+    drain_durable_acks(self);
+    check_producer_failover(self);
+    check_producer_rebalance(self);
+    const int now_agg = resilience::effective_aggregator(*channel_, machine);
+    if (now_agg < 0)
+      throw std::runtime_error(
+          "Stream::terminate: every consumer of the resilient channel is "
+          "unavailable");
+    if (now_agg != aggregator) {
+      // The role moved (old aggregator crashed, or an earlier slot
+      // rejoined): re-send the counted term there. Rows are recorded
+      // idempotently, so duplicates are harmless.
+      aggregator = now_agg;
+      post_term(aggregator, mpi::SendBuf::of(term_tx_.data(), term_tx_.size()));
+    }
+    mpi::Status st;
+    if (machine.match_probe(durable_context_, self.world_rank(),
+                            mpi::kAnySource, kTagRelease, &st)) {
+      auto req = machine.post_recv(durable_context_, self.world_rank(),
+                                   st.source, kTagRelease,
+                                   mpi::RecvBuf::discard(sizeof(std::uint64_t)));
+      self.wait(req);
+      break;
+    }
+    machine.add_probe_waiter(self.world_rank(), self.process().id());
+    machine.add_failure_waiter(self.process().id());
+    self.process().set_state_note(blocked_note("stream release wait"));
+    self.process().suspend();
+    machine.ensure_alive(self.world_rank());
+  }
+  self.process().set_state_note({});
+}
+
+const char* Stream::blocked_note(const char* what) {
+  // Termination-progress snapshot for the engine's deadlock report. The
+  // note pointer must outlive the suspension, so it renders into the
+  // stream's own buffer.
+  std::snprintf(state_note_buf_, sizeof state_note_buf_,
+                "blocked in %s (ctx=%llu consumer=%d terms=%d/%d counts=%d "
+                "matrix=%d release=%d/%d announced=%d data=%llu/%llu)",
+                what, static_cast<unsigned long long>(context_), my_consumer_,
+                terms_seen_, expected_terms_, counts_known_ ? 1 : 0,
+                matrix_satisfied_ ? 1 : 0, release_seen_ ? 1 : 0,
+                release_done_ ? 1 : 0, announced_ ? 1 : 0,
+                static_cast<unsigned long long>(processed_data_),
+                static_cast<unsigned long long>(expected_data_));
+  return state_note_buf_;
 }
 
 void Stream::ensure_consumer_state(mpi::Rank& self) {
@@ -530,6 +688,33 @@ void Stream::ensure_consumer_state(mpi::Rank& self) {
     term_rx_.reserve(consumers);
     term_tx_.reserve(consumers);
     term_slice_.reserve(consumers);
+  }
+  if (resilient_) {
+    const auto producers = static_cast<std::size_t>(channel_->producer_count());
+    const auto consumers = static_cast<std::size_t>(channel_->consumer_count());
+    // Rebalance syncs carry up to one entry per producer; tree-mode
+    // announces carry the whole P x C count matrix.
+    capacity = std::max(capacity, producers * sizeof(SyncEntry));
+    if (channel_->tree_termination())
+      capacity =
+          std::max(capacity, producers * consumers * sizeof(std::uint64_t));
+    term_from_.assign(producers, 0);
+    producer_excluded_.assign(producers, 0);
+    adopted_.assign(consumers, 0);
+    synced_slot_.assign(consumers, 0);
+    slot_active_seen_.resize(consumers);
+    for (std::size_t c = 0; c < consumers; ++c)
+      slot_active_seen_[c] =
+          channel_->consumer_active(static_cast<int>(c)) ? 1 : 0;
+    // A rejoined rank (or a consumer attaching after crashes/retires) must
+    // derive the *current* aggregator, not assume slot 0.
+    effective_aggregator_ =
+        resilience::effective_aggregator(*channel_, self.machine());
+    if (channel_->tree_termination()) {
+      tree_v2_ = true;
+      matrix_.assign(producers * consumers, 0);
+      announce_acked_.assign(consumers, 0);
+    }
   }
   element_buffer_.resize(capacity);
   if (cfg.max_inflight > 0) {
@@ -664,6 +849,7 @@ void Stream::await_credit(mpi::Rank& self) {
       self.process().suspend();
       machine.ensure_alive(self.world_rank());
       check_producer_failover(self);
+      check_producer_rebalance(self);
     }
     req->waiter_pid = -1;
     self.process().set_state_note({});
@@ -704,45 +890,124 @@ bool Stream::check_producer_failover(mpi::Rank& self) {
     ++st.failovers;
     st.redirect[flow] = target;
 
-    auto& fl = st.flows[flow];
     auto& p = st.pending[flow];
     // A frame still being packed follows the flow to its new target.
-    if (p.elements > 0)
-      p.dst_world =
-          channel_->comm().world_rank(channel_->consumer_rank(target));
-
-    // Termination repair: every element past the durable point will be
-    // (re)delivered to — and admitted by — the target, so its announced
-    // count moves there. The durable prefix stays attributed to the dead
-    // consumer (nobody waits on a dead consumer's exhaustion).
-    if (channel_->tree_termination() && !sent_per_consumer_.empty()) {
-      const std::uint64_t moved = fl.seq - fl.log.durable_seq();
-      auto& from = sent_per_consumer_[static_cast<std::size_t>(phys)];
-      from -= std::min(from, moved);
-      sent_per_consumer_[static_cast<std::size_t>(target)] += moved;
-    }
-
-    // Hand the flow over: the durable point travels ahead of the replayed
-    // frames (per-source FIFO), so the adopter's cursor skips whatever the
-    // dead consumer already made durable — even mid-frame.
     const int dst_world =
         channel_->comm().world_rank(channel_->consumer_rank(target));
-    if (fl.log.durable_seq() > 0) {
-      const FlowHandoff handoff{fl.log.durable_seq(),
-                                static_cast<std::uint32_t>(flow), 0};
-      self.process().advance(st.send_overhead);
-      machine.post_send(context_, st.producer_index, st.src_world, dst_world,
-                        kTagHandoff, mpi::SendBuf::of(&handoff, 1));
-    }
+    if (p.elements > 0) p.dst_world = dst_world;
+    // A rebind back home (the dead adopter's failover target can be the
+    // flow's own rejoined slot) counts as reconciliation with the current
+    // incarnation — the replay below is the resynchronization.
+    if (target == static_cast<int>(flow))
+      st.flow_incarnation[flow] = machine.incarnation(dst_world);
+    replay_flow(self, flow, dst_world);
+  }
+  return any;
+}
 
-    // Replay: re-post the retained frames verbatim (they are
-    // self-describing: flow id and sequences travel in the epoch header).
-    for (const resilience::RetainedFrame& rf : fl.log.frames()) {
-      self.process().advance(st.send_overhead);
-      machine.post_send(context_, st.producer_index, st.src_world, dst_world,
-                        kTagFrame,
-                        mpi::SendBuf{rf.buf.data(), rf.buf.size(), rf.wire});
-      st.replayed_elements += rf.elements;
+void Stream::replay_flow(mpi::Rank& self, std::size_t flow, int dst_world) {
+  CoalesceState& st = *coalesce_;
+  auto& machine = self.machine();
+  auto& fl = st.flows[flow];
+  // Hand the flow over: the durable point travels ahead of the replayed
+  // frames (per-source FIFO), so the receiver's cursor skips whatever the
+  // previous owner already made durable — even mid-frame.
+  if (fl.log.durable_seq() > 0) {
+    const FlowHandoff handoff{fl.log.durable_seq(),
+                              static_cast<std::uint32_t>(flow), 0};
+    self.process().advance(st.send_overhead);
+    machine.post_send(context_, st.producer_index, st.src_world, dst_world,
+                      kTagHandoff, mpi::SendBuf::of(&handoff, 1));
+  }
+  // Replay: re-post the retained frames verbatim (they are self-describing:
+  // flow id and sequences travel in the epoch header).
+  for (const resilience::RetainedFrame& rf : fl.log.frames()) {
+    self.process().advance(st.send_overhead);
+    machine.post_send(context_, st.producer_index, st.src_world, dst_world,
+                      kTagFrame,
+                      mpi::SendBuf{rf.buf.data(), rf.buf.size(), rf.wire});
+    st.replayed_elements += rf.elements;
+  }
+}
+
+bool Stream::check_producer_rebalance(mpi::Rank& self) {
+  CoalesceState& st = *coalesce_;
+  auto& machine = self.machine();
+  const std::uint64_t re = machine.rejoin_epoch();
+  const std::uint64_t mv = channel_->membership_version();
+  if (st.seen_rejoin_epoch == re && st.seen_membership_version == mv)
+    return false;
+  st.seen_rejoin_epoch = re;
+  st.seen_membership_version = mv;
+
+  bool any = false;
+  const auto consumers = static_cast<std::size_t>(channel_->consumer_count());
+  for (std::size_t flow = 0; flow < consumers; ++flow) {
+    const int home_world = channel_->comm().world_rank(
+        channel_->consumer_rank(static_cast<int>(flow)));
+    const bool home_dead = machine.rank_failed(home_world);
+    const bool home_ok =
+        !home_dead && channel_->consumer_active(static_cast<int>(flow));
+    auto& fl = st.flows[flow];
+    auto& p = st.pending[flow];
+    if (st.redirect[flow] != static_cast<int>(flow)) {
+      if (!home_ok) continue;  // still away; adopter crashes are failover's job
+      // Hand the flow back to its rejoined / re-admitted home slot. New
+      // elements go home; the previous owner gets a handback marker telling
+      // it to ship its cursor to the home slot (per-source FIFO puts the
+      // marker after every element it received from us). Only flows this
+      // producer actually uses need a marker — under Block that includes
+      // the zero-send routed flow, whose term accounting moves with it.
+      const int prev = st.redirect[flow];
+      st.redirect[flow] = static_cast<int>(flow);
+      st.flow_incarnation[flow] = machine.incarnation(home_world);
+      if (p.elements > 0) p.dst_world = home_world;
+      if (fl.seq > 0 ||
+          (!channel_->tree_termination() &&
+           channel_->route(st.producer_index, 0) == static_cast<int>(flow))) {
+        const FlowHandoff marker{fl.seq, static_cast<std::uint32_t>(flow), 0};
+        self.process().advance(st.send_overhead);
+        machine.post_send(
+            context_, st.producer_index, st.src_world,
+            channel_->comm().world_rank(channel_->consumer_rank(prev)),
+            kTagSync, mpi::SendBuf::of(&marker, 1));
+        ++st.rebalances;
+        any = true;
+      }
+      continue;
+    }
+    if (!home_ok) {
+      if (home_dead) continue;  // a crash: check_producer_failover's job
+      // The home slot retired while we were routing to it: move the flow to
+      // its failover target. The retiree's own cursor sync establishes the
+      // target's starting point; the handoff + replay only covers elements
+      // the retiree never processed (anything it did process is at or below
+      // the synced cursor and gets dropped as a duplicate).
+      const int target = resilience::failover_target(
+          *channel_, static_cast<int>(flow), machine);
+      if (target < 0)
+        throw std::runtime_error(
+            "stream rebalance: no consumer of the resilient channel is "
+            "available");
+      st.redirect[flow] = target;
+      const int dst_world =
+          channel_->comm().world_rank(channel_->consumer_rank(target));
+      if (p.elements > 0) p.dst_world = dst_world;
+      replay_flow(self, flow, dst_world);
+      ++st.rebalances;
+      any = true;
+      continue;
+    }
+    const int inc = machine.incarnation(home_world);
+    if (inc != st.flow_incarnation[flow]) {
+      // Crash + restart that this producer never observed while it was
+      // away from the stream: frames sent during the dead window were
+      // dropped at the dead mailbox. Resynchronize the new incarnation —
+      // durable point first, then the whole undurable tail.
+      st.flow_incarnation[flow] = inc;
+      replay_flow(self, flow, home_world);
+      ++st.rebalances;
+      any = true;
     }
   }
   return any;
@@ -750,41 +1015,386 @@ bool Stream::check_producer_failover(mpi::Rank& self) {
 
 void Stream::check_consumer_failover(mpi::Rank& self) {
   auto& machine = self.machine();
-  if (consumer_failure_epoch_ == machine.failure_epoch()) return;
-  consumer_failure_epoch_ = machine.failure_epoch();
+  const std::uint64_t fe = machine.failure_epoch();
+  const std::uint64_t re = machine.rejoin_epoch();
+  const std::uint64_t mv = channel_->membership_version();
+  if (consumer_failure_epoch_ == fe && consumer_rejoin_epoch_ == re &&
+      consumer_membership_version_ == mv)
+    return;
+  consumer_failure_epoch_ = fe;
+  consumer_rejoin_epoch_ = re;
+  consumer_membership_version_ = mv;
 
   const int consumers = channel_->consumer_count();
-  if (adopted_.empty())
-    adopted_.assign(static_cast<std::size_t>(consumers), 0);
   for (int c = 0; c < consumers; ++c) {
-    if (c == my_consumer_ || adopted_[static_cast<std::size_t>(c)] != 0)
-      continue;
-    if (!machine.rank_failed(
-            channel_->comm().world_rank(channel_->consumer_rank(c))))
-      continue;
+    const auto cz = static_cast<std::size_t>(c);
+    const bool dead = machine.rank_failed(
+        channel_->comm().world_rank(channel_->consumer_rank(c)));
+    const bool active = channel_->consumer_active(c);
+    const bool was_active = slot_active_seen_[cz] != 0;
+    slot_active_seen_[cz] = active ? 1 : 0;
+    if (c == my_consumer_ || adopted_[cz] != 0) continue;
+    if (!dead && active) continue;
     if (resilience::failover_target(*channel_, c, machine) != my_consumer_)
       continue;
-    adopted_[static_cast<std::size_t>(c)] = 1;
-    // Block mapping counts terms per routed producer: adopting a dead
-    // consumer's flows means its producers' terms now arrive here. Tree
-    // mode needs no repair — producers move the announced counts to this
-    // consumer's entry before terminating.
+    adopted_[cz] = 1;
+    // A freshly owned slot may have unmet announced counts: re-derive the
+    // matrix verdict from scratch.
+    matrix_satisfied_ = false;
+    // Block mapping counts terms per routed producer: adopting a consumer's
+    // flows means its producers' terms now arrive here.
     if (!channel_->tree_termination())
       expected_terms_ +=
           static_cast<int>(channel_->producers_of(c).size());
+    // Adoption by *retire* (the slot's rank is alive — it deactivated
+    // voluntarily): block for the retiree's cursor sync before touching any
+    // replayed data of the flow. The retiree already processed the
+    // undurable elements the producers are about to replay here; admitting
+    // them before the cursor arrives would double-process them.
+    if (!dead && was_active) await_rebalance_sync(self, c);
+  }
+  // A producer that crashed without terminating leaves a hole in the Block
+  // term count; its undurable tail is unrecoverable (fail-stop), so the
+  // expectation is dropped rather than waited on. Tree mode handles this in
+  // the aggregator's completion rule and the matrix waiver instead.
+  if (!channel_->tree_termination()) {
+    for (int s = 0; s < consumers; ++s) {
+      if (s != my_consumer_ && adopted_[static_cast<std::size_t>(s)] == 0)
+        continue;
+      for (const int p : channel_->producers_of(s)) {
+        const auto pz = static_cast<std::size_t>(p);
+        if (term_from_[pz] != 0 || producer_excluded_[pz] != 0) continue;
+        if (!machine.rank_failed(
+                channel_->comm().world_rank(Channel::producer_rank(p))))
+          continue;
+        producer_excluded_[pz] = 1;
+        --expected_terms_;
+      }
+    }
   }
   if (channel_->tree_termination()) {
     const int aggregator =
         resilience::effective_aggregator(*channel_, machine);
     if (aggregator >= 0 && aggregator != effective_aggregator_) {
       effective_aggregator_ = aggregator;
-      // Adopting the aggregator role is only sound before the collective
-      // term went out (the old aggregator's partial accumulation died with
-      // it; producers re-target their terms to the new aggregator).
-      if (my_consumer_ == aggregator && !counts_known_)
-        expected_terms_ = channel_->producer_count();
+      if (my_consumer_ == aggregator) {
+        // Taking over the role mid-protocol: collect announce-acks afresh.
+        // The release invariant guarantees soundness — either no producer
+        // was released yet (they are still blocked and re-send their
+        // counted terms here) or every live consumer, this one included,
+        // already holds the matrix from the old aggregator's announce.
+        announced_ = false;
+        std::fill(announce_acked_.begin(), announce_acked_.end(), 0);
+      }
+    }
+    if (counts_known_) update_matrix_exhaustion(self);
+  }
+}
+
+void Stream::update_matrix_exhaustion(mpi::Rank& self) {
+  if (!tree_v2_ || !counts_known_ || matrix_satisfied_) return;
+  auto& machine = self.machine();
+  const int producers = channel_->producer_count();
+  const auto consumers = static_cast<std::size_t>(channel_->consumer_count());
+  for (std::size_t s = 0; s < consumers; ++s) {
+    if (static_cast<int>(s) != my_consumer_ && adopted_[s] == 0) continue;
+    for (int p = 0; p < producers; ++p) {
+      const std::uint64_t want =
+          matrix_[static_cast<std::size_t>(p) * consumers + s];
+      if (want == 0 || dedup_.next_seq(p, static_cast<int>(s)) >= want)
+        continue;
+      // A dead producer's missing tail is unrecoverable (fail-stop): only
+      // its durable/delivered prefix counts, so the shortfall is waived.
+      if (machine.rank_failed(
+              channel_->comm().world_rank(Channel::producer_rank(p))))
+        continue;
+      return;  // a live producer's announced elements are still in flight
     }
   }
+  matrix_satisfied_ = true;
+}
+
+void Stream::maybe_ack_announce(mpi::Rank& self) {
+  if (!announce_ack_pending_ || !counts_known_ || !matrix_satisfied_) return;
+  // Everything this consumer owes the matrix has been consumed: run the
+  // flush hook so it is also durable, then commit to the barrier. The hook
+  // may suspend the fiber (file I/O); if an adoption lands meanwhile the
+  // matrix verdict is re-derived and the ack stays owed — the aggregator's
+  // membership-keyed re-announce re-collects the barrier anyway.
+  durable_point_();
+  if (!matrix_satisfied_) return;
+  auto& machine = self.machine();
+  self.process().advance(machine.config().network.send_overhead);
+  machine.post_send(context_, channel_->consumer_rank(my_consumer_),
+                    self.world_rank(), announce_ack_to_, kTagAnnounceAck,
+                    mpi::SendBuf::synthetic(0));
+  ++term_msgs_sent_;
+  announce_ack_pending_ = false;
+}
+
+void Stream::progress_termination(mpi::Rank& self) {
+  if (!tree_v2_ || retired_ || release_done_ || release_seen_) return;
+  if (my_consumer_ != effective_aggregator_) return;
+  auto& machine = self.machine();
+  const int producers = channel_->producer_count();
+  const int consumers = channel_->consumer_count();
+  const auto consumers_z = static_cast<std::size_t>(consumers);
+  if (!counts_known_) {
+    for (int p = 0; p < producers; ++p) {
+      if (term_from_[static_cast<std::size_t>(p)] != 0) continue;
+      if (!machine.rank_failed(
+              channel_->comm().world_rank(Channel::producer_rank(p))))
+        return;  // a live producer has not terminated yet
+      // Dead without reporting: its counts are excluded — the matrix row
+      // stays zero and nobody waits for its lost tail.
+    }
+    counts_known_ = true;
+    expected_data_ = 0;
+    for (int p = 0; p < producers; ++p)
+      expected_data_ += matrix_[static_cast<std::size_t>(p) * consumers_z +
+                                static_cast<std::size_t>(my_consumer_)];
+    update_matrix_exhaustion(self);
+  }
+  auto alive_active = [&](int c) {
+    return !machine.rank_failed(
+               channel_->comm().world_rank(channel_->consumer_rank(c))) &&
+           channel_->consumer_active(c);
+  };
+  // (Re-)announce the matrix. Membership changes reset the send decision so
+  // a consumer that rejoined (fresh state, never acked) is covered; sends
+  // are idempotent and ack-gated, so this stays bounded by membership
+  // events, not poll iterations.
+  const std::uint64_t fe = machine.failure_epoch();
+  const std::uint64_t re = machine.rejoin_epoch();
+  if (!announced_ || fe != announce_failure_epoch_ ||
+      re != announce_rejoin_epoch_) {
+    // Membership moved since the last announce: an adoption may have routed
+    // replayed (undurable) elements to a consumer that already acked, so
+    // the barrier is collected afresh — with durability-gated acks each
+    // consumer then re-certifies its flush state before re-acking.
+    if (announced_)
+      std::fill(announce_acked_.begin(), announce_acked_.end(), 0);
+    announced_ = true;
+    announce_failure_epoch_ = fe;
+    announce_rejoin_epoch_ = re;
+    announce_acked_[static_cast<std::size_t>(my_consumer_)] = 1;
+    for (int c = 0; c < consumers; ++c) {
+      if (c == my_consumer_ ||
+          announce_acked_[static_cast<std::size_t>(c)] != 0 ||
+          !alive_active(c))
+        continue;
+      self.process().advance(machine.config().network.send_overhead);
+      machine.post_send(
+          context_, channel_->consumer_rank(my_consumer_), self.world_rank(),
+          channel_->comm().world_rank(channel_->consumer_rank(c)),
+          kTagAnnounce, mpi::SendBuf::of(matrix_.data(), matrix_.size()));
+      ++term_msgs_sent_;
+    }
+  }
+  for (int c = 0; c < consumers; ++c)
+    if (c != my_consumer_ && alive_active(c) &&
+        announce_acked_[static_cast<std::size_t>(c)] == 0)
+      return;  // barrier still collecting
+  if (manual_durability_ && durable_point_) {
+    // The aggregator certifies its own durability last: everything it owes
+    // the matrix must be consumed and flushed before the release commits —
+    // the release is what tells producers to retire their replay logs. The
+    // hook may suspend (file I/O); if membership moved under the flush the
+    // barrier is stale, so bail and let the next poll re-collect it.
+    if (!matrix_satisfied_) return;
+    durable_point_();
+    if (!matrix_satisfied_ ||
+        machine.failure_epoch() != announce_failure_epoch_ ||
+        machine.rejoin_epoch() != announce_rejoin_epoch_)
+      return;
+  }
+  // Commit the release in one atomic fiber step (post_send never yields;
+  // the overhead is charged once after the burst): either nobody was
+  // released or everybody was, so a crash of this aggregator can never
+  // strand a half-released channel — the property the new-aggregator
+  // takeover in check_consumer_failover relies on.
+  int releases = 0;
+  for (int p = 0; p < producers; ++p) {
+    const int w = channel_->comm().world_rank(Channel::producer_rank(p));
+    if (machine.rank_failed(w)) continue;
+    machine.post_send(durable_context_, channel_->consumer_rank(my_consumer_),
+                      self.world_rank(), w, kTagRelease,
+                      mpi::SendBuf::synthetic(0));
+    ++releases;
+  }
+  for (int c = 0; c < consumers; ++c) {
+    if (c == my_consumer_ || !alive_active(c)) continue;
+    machine.post_send(context_, channel_->consumer_rank(my_consumer_),
+                      self.world_rank(),
+                      channel_->comm().world_rank(channel_->consumer_rank(c)),
+                      kTagRelease, mpi::SendBuf::synthetic(0));
+    ++releases;
+  }
+  release_done_ = true;
+  term_msgs_sent_ += static_cast<std::uint64_t>(releases);
+  if (releases > 0)
+    self.process().advance(machine.config().network.send_overhead *
+                           static_cast<unsigned>(releases));
+}
+
+void Stream::handle_counted_term(mpi::Rank& self, const mpi::Status& status) {
+  const int p = status.source;
+  if (status.synthetic || p < 0 || p >= channel_->producer_count()) return;
+  const auto pz = static_cast<std::size_t>(p);
+  const auto consumers = static_cast<std::size_t>(channel_->consumer_count());
+  const std::size_t n = std::min(status.bytes / sizeof(TermEntry), consumers);
+  term_rx_.resize(n);
+  if (n > 0)
+    std::memcpy(term_rx_.data(), element_buffer_.data(), n * sizeof(TermEntry));
+  // Idempotent row write: a producer re-sends its counted term every time
+  // the aggregator role moves, and rows simply overwrite in place.
+  for (std::size_t c = 0; c < consumers; ++c) matrix_[pz * consumers + c] = 0;
+  for (const TermEntry& e : term_rx_)
+    if (e.consumer < consumers) matrix_[pz * consumers + e.consumer] = e.count;
+  if (term_from_[pz] == 0) {
+    term_from_[pz] = 1;
+    ++terms_seen_;
+  }
+  (void)self;
+}
+
+void Stream::handle_sync(mpi::Rank& self, const mpi::Status& status) {
+  if (!resilient_ || status.synthetic) return;
+  const int producers = channel_->producer_count();
+  if (status.source >= 0 && status.source < producers) {
+    // Handback marker from a producer: its flow returned to the home slot.
+    // Ship this producer's cursor for the flow to the home slot (the marker
+    // is FIFO-after every element the producer sent here, so the cursor is
+    // final) and erase the local entry — the dedup filter's memory bound
+    // under churn.
+    if (status.bytes < sizeof(FlowHandoff)) return;
+    FlowHandoff marker;
+    std::memcpy(&marker, element_buffer_.data(), sizeof marker);
+    const int flow = static_cast<int>(marker.flow);
+    if (flow < 0 || flow >= channel_->consumer_count() ||
+        flow == my_consumer_)
+      return;
+    send_rebalance_sync(self, flow, flow, status.source);
+    if (adopted_[static_cast<std::size_t>(flow)] != 0) {
+      adopted_[static_cast<std::size_t>(flow)] = 0;
+      synced_slot_[static_cast<std::size_t>(flow)] = 0;
+    }
+    // Block mapping: this producer's term now routes to the home slot
+    // again — drop the expectation raised at adoption (unless its term
+    // already landed here and was counted).
+    if (!channel_->tree_termination() &&
+        channel_->route(status.source, 0) == flow &&
+        term_from_[static_cast<std::size_t>(status.source)] == 0)
+      --expected_terms_;
+    return;
+  }
+  // Cursor sync from another consumer (a retiree handing over its slots, or
+  // an adopter answering a handback marker): adopt the carried cursors.
+  const std::size_t n = status.bytes / sizeof(SyncEntry);
+  for (std::size_t i = 0; i < n; ++i) {
+    SyncEntry e;
+    std::memcpy(&e, element_buffer_.data() + i * sizeof(SyncEntry), sizeof e);
+    const int p = static_cast<int>(e.producer);
+    const int flow = static_cast<int>(e.flow);
+    if (p < 0 || p >= producers || flow < 0 ||
+        flow >= channel_->consumer_count())
+      continue;
+    synced_slot_[static_cast<std::size_t>(flow)] = 1;
+    if (e.next > 0) dedup_.advance_to(p, flow, e.next);
+    if (!channel_->tree_termination() && e.termed != 0 &&
+        term_from_[static_cast<std::size_t>(p)] == 0) {
+      // The previous owner consumed this producer's term on our behalf.
+      term_from_[static_cast<std::size_t>(p)] = 1;
+      ++terms_seen_;
+    }
+  }
+  if (tree_v2_ && counts_known_) update_matrix_exhaustion(self);
+}
+
+void Stream::send_rebalance_sync(mpi::Rank& self, int target, int flow,
+                                 int only_producer) {
+  auto& machine = self.machine();
+  const int producers = channel_->producer_count();
+  std::vector<SyncEntry> entries;
+  for (int p = 0; p < producers; ++p) {
+    if (only_producer >= 0 && p != only_producer) continue;
+    const std::uint64_t next = dedup_.next_seq(p, flow);
+    const bool termed = !channel_->tree_termination() &&
+                        term_from_[static_cast<std::size_t>(p)] != 0 &&
+                        channel_->route(p, 0) == flow;
+    dedup_.erase(p, flow);
+    durable_acked_.erase(resilience::DedupFilter::key(p, flow));
+    if (next == 0 && !termed) continue;
+    entries.push_back(SyncEntry{static_cast<std::uint64_t>(p),
+                                static_cast<std::uint64_t>(flow), next,
+                                termed ? 1u : 0u});
+  }
+  // A retiring consumer's sync must arrive even when it carries nothing —
+  // the adopter blocks on it; a bare entry marks the handover.
+  if (entries.empty()) {
+    if (only_producer >= 0) return;  // marker replies may stay silent
+    entries.push_back(SyncEntry{0, static_cast<std::uint64_t>(flow), 0, 0});
+  }
+  self.process().advance(machine.config().network.send_overhead);
+  machine.post_send(context_, channel_->consumer_rank(my_consumer_),
+                    self.world_rank(),
+                    channel_->comm().world_rank(channel_->consumer_rank(target)),
+                    kTagSync,
+                    mpi::SendBuf::of(entries.data(), entries.size()));
+}
+
+void Stream::await_rebalance_sync(mpi::Rank& self, int retiree_flow) {
+  auto& machine = self.machine();
+  const int src = channel_->consumer_rank(retiree_flow);
+  while (synced_slot_[static_cast<std::size_t>(retiree_flow)] == 0) {
+    auto req = machine.post_recv(
+        context_, self.world_rank(), src, kTagSync,
+        mpi::RecvBuf{element_buffer_.data(), element_buffer_.size()}, {},
+        /*fused_wake=*/true);
+    self.wait(req);
+    handle_sync(self, req->status);
+  }
+}
+
+void Stream::retire(mpi::Rank& self) {
+  if (channel_ == nullptr || !channel_->config().resilient())
+    throw std::logic_error(
+        "Stream::retire: elastic membership needs a resilient channel");
+  ensure_consumer_state(self);
+  if (retired_) return;
+  auto& machine = self.machine();
+  // Everything consumed so far becomes the successor's starting point; under
+  // manual durability, retiring asserts the application made it durable.
+  flush_durable_acks(self);
+  // Deactivate first: the failover targets computed below then match what
+  // producers compute when they observe the version bump. (Throws for the
+  // effective aggregator — it must keep servicing the protocol.)
+  channel_->retire_consumer(self, my_consumer_);
+  slot_active_seen_[static_cast<std::size_t>(my_consumer_)] = 0;
+  const int consumers = channel_->consumer_count();
+  for (int s = 0; s < consumers; ++s) {
+    const auto sz = static_cast<std::size_t>(s);
+    if (s != my_consumer_ && adopted_[sz] == 0) continue;
+    const int target = resilience::failover_target(*channel_, s, machine);
+    if (target >= 0 && target != my_consumer_)
+      send_rebalance_sync(self, target, s);
+    adopted_[sz] = 0;
+  }
+  if (tree_v2_) {
+    // Courtesy ack so the aggregator's release barrier stops waiting on us
+    // (recomputed post-deactivation, so it can never be this slot).
+    const int agg = resilience::effective_aggregator(*channel_, machine);
+    if (agg >= 0 && agg != my_consumer_) {
+      self.process().advance(machine.config().network.send_overhead);
+      machine.post_send(
+          context_, channel_->consumer_rank(my_consumer_), self.world_rank(),
+          channel_->comm().world_rank(channel_->consumer_rank(agg)),
+          kTagAnnounceAck, mpi::SendBuf::synthetic(0));
+      ++term_msgs_sent_;
+    }
+  }
+  if (!credit_pending_.empty()) flush_all_credits(self);
+  retired_ = true;
 }
 
 void Stream::drain_durable_acks(mpi::Rank& self) {
@@ -878,6 +1488,8 @@ bool Stream::consume_frame_element(mpi::Rank& self) {
                        sub.wire, frame_source_};
       operator_(el);
     }
+    if (tree_v2_ && counts_known_ && !matrix_satisfied_)
+      update_matrix_exhaustion(self);
     account_data_element(self, frame_source_);
     if (resilient_) {
       if (!manual_durability_ && (seq + 1) % checkpoint_interval_ == 0)
@@ -897,10 +1509,24 @@ bool Stream::consume_frame_element(mpi::Rank& self) {
 
 void Stream::handle(mpi::Rank& self, const mpi::Status& status) {
   if (status.tag == kTagTerm) {
-    if (channel_->tree_termination())
+    if (tree_v2_)
+      handle_counted_term(self, status);
+    else if (channel_->tree_termination())
       handle_tree_term(self, status);
-    else
+    else if (resilient_ && status.source >= 0 &&
+             status.source < channel_->producer_count()) {
+      // Terms are idempotent under churn: a producer re-points its term
+      // whenever its flow changes owners, so the same producer's term can
+      // reach a consumer more than once (directly, or via a handback
+      // cursor sync that already credited it). Count each producer once.
+      auto& from = term_from_[static_cast<std::size_t>(status.source)];
+      if (from == 0) {
+        from = 1;
+        ++terms_seen_;
+      }
+    } else {
       ++terms_seen_;
+    }
     // A term means a producer (or the whole tree) has gone quiet: return
     // every credit still held back so no producer tail blocks on a partial
     // batch.
@@ -915,7 +1541,57 @@ void Stream::handle(mpi::Rank& self, const mpi::Status& status) {
       std::memcpy(&handoff, element_buffer_.data(), sizeof handoff);
       dedup_.advance_to(status.source, static_cast<int>(handoff.flow),
                         handoff.durable);
+      if (tree_v2_ && counts_known_) update_matrix_exhaustion(self);
     }
+    return;
+  }
+  if (status.tag == kTagAnnounce) {
+    if (tree_v2_ && !status.synthetic &&
+        status.bytes >= matrix_.size() * sizeof(std::uint64_t)) {
+      std::memcpy(matrix_.data(), element_buffer_.data(),
+                  matrix_.size() * sizeof(std::uint64_t));
+      counts_known_ = true;
+      const auto consumers = static_cast<std::size_t>(
+          channel_->consumer_count());
+      expected_data_ = 0;
+      for (int p = 0; p < channel_->producer_count(); ++p)
+        expected_data_ += matrix_[static_cast<std::size_t>(p) * consumers +
+                                  static_cast<std::size_t>(my_consumer_)];
+      update_matrix_exhaustion(self);
+      // Ack to whoever announced (the role may move under us; the reply
+      // address, not the derived aggregator, is what keeps the barrier
+      // consistent across takeovers). Announces are idempotent — re-ack
+      // every copy. With a registered durable point the ack is deferred:
+      // it must certify that everything this consumer owes the matrix is
+      // consumed *and* flushed durable, so maybe_ack_announce sends it
+      // after the hook runs.
+      if (manual_durability_ && durable_point_) {
+        announce_ack_pending_ = true;
+        announce_ack_to_ = channel_->comm().world_rank(status.source);
+      } else {
+        auto& machine = self.machine();
+        self.process().advance(machine.config().network.send_overhead);
+        machine.post_send(context_, channel_->consumer_rank(my_consumer_),
+                          self.world_rank(),
+                          channel_->comm().world_rank(status.source),
+                          kTagAnnounceAck, mpi::SendBuf::synthetic(0));
+        ++term_msgs_sent_;
+      }
+    }
+    return;
+  }
+  if (status.tag == kTagAnnounceAck) {
+    const int c = status.source - channel_->producer_count();
+    if (tree_v2_ && c >= 0 && c < channel_->consumer_count())
+      announce_acked_[static_cast<std::size_t>(c)] = 1;
+    return;
+  }
+  if (status.tag == kTagRelease) {
+    if (tree_v2_) release_seen_ = true;
+    return;
+  }
+  if (status.tag == kTagSync) {
+    handle_sync(self, status);
     return;
   }
   ++processed_data_;
@@ -943,26 +1619,76 @@ std::uint64_t Stream::operate_while(mpi::Rank& self,
   // again (frames preserve per-(context,src) order; arrival interleaving
   // across sources happens at frame granularity).
   auto& machine = self.machine();
+  if (!resilient_) {
+    while (true) {
+      if (exhausted() || !keep_going()) break;
+      if (frame_left_ > 0) {
+        if (consume_frame_element(self)) ++processed;
+        continue;
+      }
+      auto req = machine.post_recv(
+          context_, self.world_rank(), mpi::kAnySource, mpi::kAnyTag,
+          element_buffer_.empty()
+              ? mpi::RecvBuf::discard(element_size_)
+              : mpi::RecvBuf{element_buffer_.data(), element_buffer_.size()},
+          {}, /*fused_wake=*/true);
+      self.wait(req);
+      if (req->status.tag == kTagFrame) {
+        // One aggregate recv-overhead advance was fused into this wake-up;
+        // the frame's elements now drain with no further machine traffic.
+        begin_frame(req->status);
+        continue;
+      }
+      handle(self, req->status);
+      if (req->status.tag == kTagData) ++processed;
+    }
+    return processed;
+  }
+  // Resilient loop: never park in a plain blocking receive — a crash,
+  // rejoin, or elastic membership change may be exactly what unblocks
+  // termination (adoption raising the expected term count, a takeover of
+  // the aggregator role, a flow handed back). Idle waits therefore sleep on
+  // probe + failure waiters, waking on the next arrival *or* membership
+  // event, and every iteration re-reacts before re-judging exhaustion.
   while (true) {
-    // React to crashes before judging exhaustion: adopting a dead peer's
-    // flows may raise the expected term count, and must land before this
-    // consumer could otherwise conclude it is done.
-    if (resilient_) check_consumer_failover(self);
-    if (exhausted() || !keep_going()) break;
+    check_consumer_failover(self);
+    if (tree_v2_) {
+      progress_termination(self);
+      maybe_ack_announce(self);
+    }
+    if (exhausted() || !keep_going()) {
+      // Producers block in their termination protocol until their replay
+      // logs are acknowledged durable. Auto-durability acks normally flow
+      // from the data path, but when a *term* (or a membership event) is
+      // what flips exhaustion, nothing after it would ack — flush here so
+      // the producers' durability wait always terminates.
+      if (!manual_durability_) flush_durable_acks(self);
+      break;
+    }
     if (frame_left_ > 0) {
       if (consume_frame_element(self)) ++processed;
       continue;
     }
+    mpi::Status status;
+    if (!machine.match_probe(context_, self.world_rank(), mpi::kAnySource,
+                             mpi::kAnyTag, &status)) {
+      machine.add_probe_waiter(self.world_rank(), self.process().id());
+      machine.add_failure_waiter(self.process().id());
+      self.process().set_state_note(blocked_note("stream poll"));
+      self.process().suspend();
+      machine.ensure_alive(self.world_rank());
+      self.process().set_state_note({});
+      continue;
+    }
+    // After a successful probe the receive completes synchronously inside
+    // post_recv, so wait() never blocks and charges o_r on the spot.
     auto req = machine.post_recv(
-        context_, self.world_rank(), mpi::kAnySource, mpi::kAnyTag,
+        context_, self.world_rank(), status.source, status.tag,
         element_buffer_.empty()
             ? mpi::RecvBuf::discard(element_size_)
-            : mpi::RecvBuf{element_buffer_.data(), element_buffer_.size()},
-        {}, /*fused_wake=*/true);
+            : mpi::RecvBuf{element_buffer_.data(), element_buffer_.size()});
     self.wait(req);
     if (req->status.tag == kTagFrame) {
-      // One aggregate recv-overhead advance was fused into this wake-up;
-      // the frame's elements now drain with no further machine traffic.
       begin_frame(req->status);
       continue;
     }
@@ -979,7 +1705,13 @@ bool Stream::poll_one(mpi::Rank& self) {
   // keep looking, so the return value counts data elements only (matching
   // operate_while accounting). Replay duplicates are likewise absorbed.
   while (true) {
-    if (resilient_) check_consumer_failover(self);
+    if (resilient_) {
+      check_consumer_failover(self);
+      if (tree_v2_) {
+        progress_termination(self);
+        maybe_ack_announce(self);
+      }
+    }
     if (exhausted()) break;
     if (frame_left_ > 0) {
       if (consume_frame_element(self)) return true;

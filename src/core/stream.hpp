@@ -46,13 +46,49 @@
 // durability (automatically at epoch boundaries, or via ack_durable for
 // consumers with external effects), which truncates the log. When fault
 // injection crashes a consumer, producers rebind the dead consumer's flows
-// to the deterministic failover target (resilience::failover_target), replay
-// the retained frames, and repair the termination tallies so the aggregated
-// term tree still exhausts exactly; receivers dedupe by (producer, flow,
-// seq), so application code sees every element exactly once. Recoverability
-// window: crashes are recoverable while producers are still active on the
-// stream (terminate() repairs its own routing); data already durable at the
-// dead consumer is never replayed.
+// to the deterministic failover target (resilience::failover_target) and
+// replay the retained frames; receivers dedupe by (producer, flow, seq), so
+// application code sees every element exactly once. Recoverability window:
+// crashes are recoverable while producers are still active on the stream
+// (terminate() repairs its own routing); data already durable at the dead
+// consumer is never replayed.
+//
+// Resilient termination (tree mappings) runs a release-barrier protocol
+// that covers the remaining failure-matrix cells — producer crash,
+// aggregator crash mid-protocol, rank rejoin, elastic membership:
+//
+//  * Each terminating producer sends its per-flow element counts to the
+//    effective aggregator (first live+active consumer) and then blocks until
+//    a TermRelease, resending the counted term whenever the aggregator role
+//    moves (crash of the old aggregator, or rejoin of an earlier slot) and
+//    servicing durable acks / failover / rebalancing while it waits.
+//  * The aggregator records count vectors idempotently per producer and is
+//    complete once every producer has reported or crashed (a dead producer's
+//    unreported counts are excluded: its undurable in-flight tail is
+//    unrecoverable by definition and nobody waits for it). It then announces
+//    the full (producer x flow) count matrix to every live+active consumer,
+//    collects announce-acks, and only then releases producers and consumers
+//    (in one atomic fiber step). The barrier yields the invariant that makes
+//    an aggregator crash mid-protocol survivable: if any producer was
+//    released, every live consumer already holds the matrix, so a newly
+//    elected aggregator either re-collects terms (producers are still
+//    blocked and resend) or re-announces from its own copy.
+//  * A consumer is exhausted once it holds the matrix, its dedup cursor for
+//    every (live producer, owned flow) pair has reached the announced count,
+//    and it has been released. Per-pair accounting means a dead producer's
+//    lost tail can never mask a live producer's in-flight data.
+//
+// Rejoin and elastic membership ride the same machinery: when a crashed
+// rank restarts (Machine::restart_rank) or a retired slot is re-admitted
+// (Channel::admit_consumer), producers observe the rejoin epoch /
+// membership version at their next stream operation, point the flow back at
+// its home slot, and send the previous owner a handback marker; the owner
+// replies to the home slot with a RebalanceSync carrying its dedup cursors
+// (and erases them — the dedup filter's memory bound), so the rejoined
+// consumer resumes exactly where its predecessor stopped. A consumer leaves
+// voluntarily with Stream::retire(): it flushes durable acks, deactivates
+// its slot in the shared membership ledger, and hands each owned flow to
+// its failover target with a cursor sync before exiting.
 //
 // This is the implementation layer: application code normally uses the
 // typed streams of core/decouple.hpp (decouple::TypedStream / RawStream),
@@ -151,6 +187,28 @@ class Stream {
   /// and in automatic mode (where epoch boundaries ack on their own).
   void ack_durable(mpi::Rank& self);
 
+  /// Consumer (resilient tree streams with manual_durability): register the
+  /// durability hook the termination protocol invokes before this consumer
+  /// commits to the release barrier — right before its announce-ack, and
+  /// (on the aggregator) right before the release broadcast. The hook must
+  /// make every consumed element's external effects durable and call
+  /// ack_durable (e.g. a writer's file flush). With it registered, the
+  /// release certifies global durability: producers may retire their replay
+  /// logs knowing no consumer still holds undurable state a later crash
+  /// could lose. Without a hook the announce-ack is sent immediately (the
+  /// release then certifies only count agreement, as in automatic mode).
+  void set_durable_point(std::function<void()> hook) {
+    durable_point_ = std::move(hook);
+  }
+
+  /// Consumer (resilient streams): leave the channel voluntarily. Flushes
+  /// durable acks, deactivates this slot in the shared membership ledger,
+  /// hands every owned flow to its failover target with a cursor sync, and
+  /// marks the stream exhausted so operate() returns. Producers observe the
+  /// membership change at their next stream operation and re-route; the
+  /// effective aggregator cannot retire (Channel::retire_consumer throws).
+  void retire(mpi::Rank& self);
+
   [[nodiscard]] std::size_t element_size() const noexcept { return element_size_; }
   [[nodiscard]] const Channel& channel() const noexcept { return *channel_; }
   [[nodiscard]] std::uint64_t elements_sent() const noexcept { return sent_; }
@@ -197,6 +255,17 @@ class Stream {
   [[nodiscard]] std::uint64_t retained_elements() const noexcept;
   /// Flow rebinds this producer has performed after consumer crashes.
   [[nodiscard]] std::uint32_t failovers() const noexcept;
+  /// Voluntary flow moves this producer has performed for rank rejoins and
+  /// elastic membership changes (handbacks to a rejoined or re-admitted
+  /// slot, and moves off a retired one).
+  [[nodiscard]] std::uint32_t rebalances() const noexcept;
+  /// Live (producer, flow) cursor entries held by this consumer's
+  /// exactly-once filter. Handbacks and retirement erase entries, so this
+  /// stays bounded by the flows a consumer currently owns rather than
+  /// growing with churn history.
+  [[nodiscard]] std::size_t dedup_entries() const noexcept {
+    return dedup_.dedup_entries();
+  }
   /// Duplicate deliveries this consumer suppressed (exactly-once filter).
   [[nodiscard]] std::uint64_t duplicates_dropped() const noexcept {
     return dedup_.duplicates_dropped();
@@ -206,9 +275,20 @@ class Stream {
     return durable_acks_sent_;
   }
   /// True once the stream's termination protocol has completed for this
-  /// consumer: all terms observed and, under tree termination, every
-  /// announced element processed.
+  /// consumer. Non-resilient / Block: all terms observed and, under tree
+  /// termination, every announced element processed. Resilient tree mode:
+  /// the count matrix is known, every (live producer, owned flow) cursor
+  /// reached its announced count, and the release barrier passed. A retired
+  /// consumer is exhausted by definition.
   [[nodiscard]] bool exhausted() const noexcept {
+    if (retired_) return true;
+    if (tree_v2_) {
+      if (!counts_known_ || !matrix_satisfied_) return false;
+      // Either form of the barrier counts: a consumer that received the
+      // release and is later re-derived as aggregator (the old aggregator
+      // crashed after broadcasting) must not wait for a second one.
+      return release_seen_ || release_done_;
+    }
     if (expected_terms_ < 0 || terms_seen_ < expected_terms_) return false;
     return !counts_known_ || processed_data_ >= expected_data_;
   }
@@ -261,14 +341,51 @@ class Stream {
   // ---- resilience (ds::resilience; active only when the channel config
   // ---- sets checkpoint_interval > 0) ----
   /// Producer: react to newly observed crashes — rebind dead consumers'
-  /// flows to their failover targets, retarget pending frames, move the
-  /// undurable part of the termination tallies, and replay retained frames.
-  /// Returns true when at least one flow was rebound.
+  /// flows to their failover targets, retarget pending frames, and replay
+  /// retained frames. Returns true when at least one flow was rebound.
   bool check_producer_failover(mpi::Rank& self);
-  /// Consumer: react to newly observed crashes — adopt the dead consumers'
-  /// flows this rank is the failover target of (repairing expected term
-  /// counts under Block mapping) and re-derive the effective aggregator.
+  /// Producer: react to rank rejoins and elastic membership changes — hand
+  /// redirected flows back to a rejoined/re-admitted home slot (with a
+  /// handback marker to the previous owner), move flows off a retired slot,
+  /// and resynchronize (handoff + full undurable replay) with a home slot
+  /// whose rank crashed and restarted without the redirect ever moving.
+  /// Returns true when at least one flow moved.
+  bool check_producer_rebalance(mpi::Rank& self);
+  /// Consumer: react to newly observed crashes, rejoins, and membership
+  /// changes — adopt dead/retired consumers' flows this rank is the
+  /// failover target of (repairing expected term counts under Block
+  /// mapping), exclude dead producers' missing terms, and re-derive the
+  /// effective aggregator.
   void check_consumer_failover(mpi::Rank& self);
+  /// Consumer, resilient tree mode, effective aggregator only: drive the
+  /// termination protocol forward — complete term collection (waiving dead
+  /// producers), announce the count matrix, collect announce-acks, release.
+  void progress_termination(mpi::Rank& self);
+  /// Consumer, resilient tree mode: recompute matrix_satisfied_ from the
+  /// dedup cursors against the announced matrix (dead producers waived).
+  void update_matrix_exhaustion(mpi::Rank& self);
+  /// Consumer, resilient tree mode with a registered durable point: once
+  /// everything this consumer owes the matrix is consumed, run the flush
+  /// hook and send the deferred announce-ack.
+  void maybe_ack_announce(mpi::Rank& self);
+  /// Aggregator (resilient tree mode): record one producer's counted term
+  /// as an idempotent matrix row.
+  void handle_counted_term(mpi::Rank& self, const mpi::Status& status);
+  /// Producer: hand one flow to `dst_world` — durable point first, then the
+  /// retained undurable frames, verbatim.
+  void replay_flow(mpi::Rank& self, std::size_t flow, int dst_world);
+  /// Consumer: apply/emit rebalance messages. handle_sync dispatches an
+  /// incoming kTagSync (producer handback marker or consumer cursor sync);
+  /// send_rebalance_sync ships the (producer, `flow`) cursors this rank
+  /// holds to consumer `target` and erases the local entries (all producers,
+  /// or just `only_producer` when answering a single handback marker).
+  void handle_sync(mpi::Rank& self, const mpi::Status& status);
+  void send_rebalance_sync(mpi::Rank& self, int target, int flow,
+                           int only_producer = -1);
+  /// Consumer: block until the live retiree owning `flow` has delivered its
+  /// cursor sync (adoption-by-retire must not admit replayed elements the
+  /// retiree already processed).
+  void await_rebalance_sync(mpi::Rank& self, int retiree_flow);
   /// Producer: consume pending durability acknowledgments, truncating logs.
   void drain_durable_acks(mpi::Rank& self);
   /// Consumer: one durability ack for (producer, flow) up to sequence `upto`.
@@ -331,11 +448,41 @@ class Stream {
   std::uint32_t checkpoint_interval_ = 0;
   resilience::DedupFilter dedup_;
   std::uint64_t consumer_failure_epoch_ = 0;  ///< last crash count reacted to
+  std::uint64_t consumer_rejoin_epoch_ = 0;   ///< last restart count reacted to
+  std::uint64_t consumer_membership_version_ = 0;  ///< last ledger version seen
   std::vector<std::uint8_t> adopted_;  ///< dead consumers whose flows I took
+  std::vector<std::uint8_t> slot_active_seen_;  ///< last observed active bits
+  std::vector<std::uint8_t> synced_slot_;  ///< retiree cursor sync applied
   int effective_aggregator_ = 0;  ///< tree root, re-derived after crashes
   /// Highest durability ack already sent per (producer, flow) key.
   std::unordered_map<std::uint64_t, std::uint64_t> durable_acked_;
   std::uint64_t durable_acks_sent_ = 0;
+
+  // resilient tree-termination protocol (the "v2" release barrier)
+  bool tree_v2_ = false;   ///< resilient_ && tree_termination
+  bool retired_ = false;   ///< this consumer left via retire()
+  std::vector<std::uint8_t> term_from_;  ///< per-producer: term received
+  std::vector<std::uint8_t> producer_excluded_;  ///< Block: dead, term waived
+  std::vector<std::uint64_t> matrix_;  ///< announced counts, P x C flattened
+  bool matrix_satisfied_ = false;  ///< owned cursors reached the matrix
+  bool release_seen_ = false;      ///< TermRelease received (non-aggregator)
+  bool release_done_ = false;      ///< release barrier broadcast (aggregator)
+  bool announced_ = false;         ///< aggregator: matrix broadcast begun
+  std::vector<std::uint8_t> announce_acked_;  ///< aggregator: acks collected
+  std::uint64_t announce_failure_epoch_ = 0;  ///< re-announce keying
+  std::uint64_t announce_rejoin_epoch_ = 0;
+  /// Durability hook (see set_durable_point): flushes this consumer's
+  /// external effects before an announce-ack / the release commits.
+  std::function<void()> durable_point_;
+  bool announce_ack_pending_ = false;  ///< deferred ack owed (durable point)
+  int announce_ack_to_ = -1;           ///< world rank of the announcer
+
+  /// Deadlock-report detail: the blocked-state notes below snprintf the
+  /// stream's termination progress into this buffer so a hung run's report
+  /// names the stuck channel and which protocol step is missing, instead of
+  /// a bare "blocked in stream poll".
+  char state_note_buf_[192] = {};
+  [[nodiscard]] const char* blocked_note(const char* what);
 
   // termination scratch, reserved once and reused across terms/children so
   // the fan-out does not reallocate per child slice
@@ -360,6 +507,23 @@ class Stream {
   /// delivers it first and the adopter's dedup cursor skips the replay's
   /// already-durable prefix.
   static constexpr int kTagHandoff = 5;
+  /// Aggregator -> consumers: the full (producer x flow) count matrix
+  /// (resilient tree termination). Idempotent; resent after membership
+  /// changes until acked.
+  static constexpr int kTagAnnounce = 6;
+  /// Consumer -> aggregator: matrix received (or a retiring consumer's
+  /// courtesy "don't wait for me").
+  static constexpr int kTagAnnounceAck = 7;
+  /// Aggregator -> everyone: release barrier commit. Sent to producers on
+  /// durable_context_ (their wait loop probes there) and to consumers on
+  /// context_, in one atomic fiber step.
+  static constexpr int kTagRelease = 8;
+  /// Rebalance traffic (context_). From a producer: a handback marker — flow
+  /// f returns to its home slot as of the carried sequence; the receiving
+  /// owner replies to the home slot with its cursors. From a consumer: a
+  /// RebalanceSync — dedup cursor entries the receiver adopts (and the
+  /// sender erases).
+  static constexpr int kTagSync = 9;
 };
 
 }  // namespace ds::stream

@@ -44,14 +44,9 @@ void Machine::spawn_rank(int r) {
 }
 
 void Machine::install_faults() {
-  for (const sim::FaultEvent& ev : config_.faults.events) {
-    if (ev.rank < 0 || ev.rank >= config_.world_size)
-      throw std::invalid_argument("FaultPlan: event rank outside the world");
-    if (ev.rank_b >= config_.world_size)
-      throw std::invalid_argument(
-          "FaultPlan: path-degrade endpoint outside the world");
+  config_.faults.validate(config_.world_size);
+  for (const sim::FaultEvent& ev : config_.faults.events)
     engine_.schedule(ev.at, [this, ev] { apply_fault(ev); });
-  }
 }
 
 void Machine::apply_fault(const sim::FaultEvent& event) {
@@ -129,7 +124,20 @@ void Machine::restart_rank(int world_rank) {
   if (dead == 0) return;
   dead = 0;
   ++incarnation_[static_cast<std::size_t>(world_rank)];
+  ++rejoin_epoch_;
   spawn_rank(world_rank);
+  // Rejoin is a membership change exactly like a crash: blocked protocol
+  // loops (credit/term waits) must re-evaluate routing so flows the adopters
+  // took over can be rebalanced back to the respawned rank.
+  for (const int pid : failure_waiters_) engine_.wake(pid);
+  failure_waiters_.clear();
+}
+
+std::shared_ptr<resilience::MembershipLedger> Machine::membership_ledger(
+    std::uint64_t context, int consumer_slots) {
+  auto& slot = ledgers_[context];
+  if (!slot) slot = std::make_shared<resilience::MembershipLedger>(consumer_slots);
+  return slot;
 }
 
 void Machine::add_failure_waiter(int pid) {

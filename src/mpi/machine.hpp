@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "fs/filesystem.hpp"
@@ -12,6 +13,7 @@
 #include "mpi/ops.hpp"
 #include "net/fabric.hpp"
 #include "resilience/fault.hpp"
+#include "resilience/membership.hpp"
 #include "sim/engine.hpp"
 
 namespace ds::mpi {
@@ -120,6 +122,12 @@ class Machine {
   [[nodiscard]] std::uint64_t failure_epoch() const noexcept {
     return failure_epoch_;
   }
+  /// Monotone counter bumped on every rank restart (the rejoin side of the
+  /// membership signal). Streams compare it against a cached value to notice
+  /// that a previously dead rank is live again and rebalance flows back.
+  [[nodiscard]] std::uint64_t rejoin_epoch() const noexcept {
+    return rejoin_epoch_;
+  }
   /// How many times `world_rank`'s program fiber has been (re)started; 0 for
   /// the original incarnation. Restart-aware programs branch on this.
   [[nodiscard]] int incarnation(int world_rank) const noexcept {
@@ -145,10 +153,18 @@ class Machine {
     if (rank_failed(world_rank)) throw RankFailure(world_rank);
   }
 
-  /// Register the calling fiber to be woken at the next crash (one-shot, like
-  /// add_probe_waiter): used by blocking protocol loops (credit waits) that
-  /// must re-evaluate routing when a peer dies.
+  /// Register the calling fiber to be woken at the next crash or rejoin
+  /// (one-shot, like add_probe_waiter): used by blocking protocol loops
+  /// (credit/term waits) that must re-evaluate routing when membership moves.
   void add_failure_waiter(int pid);
+
+  /// Fetch-or-create the shared membership ledger for a channel context —
+  /// the elastic-membership counterpart of the failure record. Every rank
+  /// that creates or attaches to the same channel receives the same ledger,
+  /// so a runtime retire/admit of a consumer slot is observed consistently
+  /// (at each rank's next poll) without extra coordination messages.
+  [[nodiscard]] std::shared_ptr<resilience::MembershipLedger>
+  membership_ledger(std::uint64_t context, int consumer_slots);
 
   /// Control-message wire size used by rendezvous handshakes.
   static constexpr std::size_t kControlBytes = 64;
@@ -180,7 +196,11 @@ class Machine {
   std::vector<std::uint8_t> dead_;         ///< fail-stopped ranks
   std::vector<int> incarnation_;           ///< fiber (re)starts per rank
   std::uint64_t failure_epoch_ = 0;
-  std::vector<int> failure_waiters_;       ///< pids to wake on the next crash
+  std::uint64_t rejoin_epoch_ = 0;
+  std::vector<int> failure_waiters_;  ///< pids to wake on the next crash/rejoin
+  /// Per-channel-context membership ledgers (see membership_ledger).
+  std::unordered_map<std::uint64_t, std::shared_ptr<resilience::MembershipLedger>>
+      ledgers_;
 };
 
 }  // namespace ds::mpi

@@ -59,36 +59,41 @@ std::uint64_t DedupFilter::next_seq(int producer, int flow) const noexcept {
   return it == next_.end() ? 0 : it->second;
 }
 
+namespace {
+bool slot_available(const stream::Channel& channel, int c,
+                    const mpi::Machine& machine) {
+  const int world = channel.comm().world_rank(channel.consumer_rank(c));
+  return !machine.rank_failed(world) && channel.consumer_active(c);
+}
+}  // namespace
+
 int failover_target(const stream::Channel& channel, int dead_consumer,
                     const mpi::Machine& machine) {
   const int consumers = channel.consumer_count();
   const auto& network = machine.config().network;
   const int dead_world =
       channel.comm().world_rank(channel.consumer_rank(dead_consumer));
-  // First choice: a live consumer on the dead consumer's own node — the
+  // First choice: an available consumer on the vacated slot's own node — the
   // adopted flows then travel over shared memory instead of the fabric's
   // (possibly degraded) shared links.
   for (int step = 1; step < consumers; ++step) {
     const int c = (dead_consumer + step) % consumers;
     const int world = channel.comm().world_rank(channel.consumer_rank(c));
-    if (!machine.rank_failed(world) && network.same_node(dead_world, world))
+    if (slot_available(channel, c, machine) &&
+        network.same_node(dead_world, world))
       return c;
   }
   for (int step = 1; step < consumers; ++step) {
     const int c = (dead_consumer + step) % consumers;
-    const int world =
-        channel.comm().world_rank(channel.consumer_rank(c));
-    if (!machine.rank_failed(world)) return c;
+    if (slot_available(channel, c, machine)) return c;
   }
   return -1;
 }
 
 int effective_aggregator(const stream::Channel& channel,
                          const mpi::Machine& machine) {
-  for (int c = 0; c < channel.consumer_count(); ++c) {
-    const int world = channel.comm().world_rank(channel.consumer_rank(c));
-    if (!machine.rank_failed(world)) return c;
-  }
+  for (int c = 0; c < channel.consumer_count(); ++c)
+    if (slot_available(channel, c, machine)) return c;
   return -1;
 }
 

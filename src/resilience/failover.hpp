@@ -101,6 +101,20 @@ class DedupFilter {
     return duplicates_;
   }
 
+  /// Drop the cursor for one (producer, flow): the flow was handed back or
+  /// rebalanced to another consumer, whose sync message now carries the
+  /// cursor. Keeping the entry would leak memory under churn (every adopted
+  /// flow would pin a cursor forever) — and the stat below is the proof
+  /// retention stays bounded by the flows a consumer currently owns.
+  void erase(int producer, int flow) { next_.erase(key(producer, flow)); }
+
+  /// Tracked (producer, flow) cursors — the filter's entire memory
+  /// footprint. Benches/tests assert this stays <= owned-flow count plus
+  /// epoch/window slack under long churn runs.
+  [[nodiscard]] std::size_t dedup_entries() const noexcept {
+    return next_.size();
+  }
+
   /// Visit every tracked flow as fn(producer, flow, next_seq) — the source
   /// of truth for "everything consumed so far" when flushing durability
   /// acknowledgments.
@@ -123,19 +137,22 @@ class DedupFilter {
   std::uint64_t duplicates_ = 0;
 };
 
-/// The deterministic adoption rule, topology-aware: the first live consumer
-/// after `dead_consumer` (cyclically) that shares its node, else the first
-/// live consumer anywhere, judged against `machine`'s failure record and
-/// node structure. With no locality (ranks_per_node = 0) — or when all
+/// The deterministic adoption rule, topology-aware: the first available
+/// consumer after `dead_consumer` (cyclically) that shares its node, else
+/// the first available consumer anywhere. "Available" means the slot's rank
+/// is live in `machine`'s failure record AND the slot is active in the
+/// channel's membership ledger — so the same rule serves crash failover,
+/// rank rejoin (the rule re-admits a respawned rank automatically), and
+/// elastic retire/add. With no locality (ranks_per_node = 0) — or when all
 /// consumers share one node — this is exactly the plain cyclic-next rule.
-/// Returns -1 when every consumer of the channel is dead (unrecoverable).
+/// Returns -1 when no consumer of the channel is available (unrecoverable).
 [[nodiscard]] int failover_target(const stream::Channel& channel,
                                   int dead_consumer,
                                   const mpi::Machine& machine);
 
-/// Who aggregates producer terms on a resilient tree-termination channel:
-/// the first live consumer index (consumer 0 while it survives). -1 when
-/// every consumer is dead.
+/// Who aggregates producer terms on a resilient channel: the first
+/// available (live + active) consumer index (consumer 0 while it
+/// survives). -1 when no consumer is available.
 [[nodiscard]] int effective_aggregator(const stream::Channel& channel,
                                        const mpi::Machine& machine);
 

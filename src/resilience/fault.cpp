@@ -1,5 +1,7 @@
 #include "resilience/fault.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -45,6 +47,52 @@ FaultPlan& FaultPlan::degrade_path(int src, int dst, util::SimTime at,
   ev.rank_b = dst;
   events.push_back(ev);
   return *this;
+}
+
+void FaultPlan::validate(int world_size) const {
+  // Replay the schedule in virtual-time order (stable on ties: insertion
+  // order, matching the engine's deterministic tie-break) and track which
+  // ranks are down at each point.
+  std::vector<std::size_t> order(events.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return events[a].at < events[b].at;
+  });
+  std::vector<std::uint8_t> down(static_cast<std::size_t>(world_size), 0);
+  for (const std::size_t i : order) {
+    const FaultEvent& ev = events[i];
+    if (ev.rank < 0 || ev.rank >= world_size)
+      throw std::invalid_argument(
+          "FaultPlan: event at t=" + std::to_string(ev.at) + " targets rank " +
+          std::to_string(ev.rank) + ", outside world of " +
+          std::to_string(world_size));
+    if (ev.rank_b >= world_size)
+      throw std::invalid_argument(
+          "FaultPlan: path-degrade at t=" + std::to_string(ev.at) +
+          " endpoint " + std::to_string(ev.rank_b) + " outside world of " +
+          std::to_string(world_size));
+    auto& d = down[static_cast<std::size_t>(ev.rank)];
+    switch (ev.kind) {
+      case FaultEvent::Kind::RankCrash:
+        if (d != 0)
+          throw std::invalid_argument(
+              "FaultPlan: duplicate crash of rank " + std::to_string(ev.rank) +
+              " at t=" + std::to_string(ev.at) +
+              " (already down; schedule a restart in between)");
+        d = 1;
+        break;
+      case FaultEvent::Kind::RankRestart:
+        if (d == 0)
+          throw std::invalid_argument(
+              "FaultPlan: restart of rank " + std::to_string(ev.rank) +
+              " at t=" + std::to_string(ev.at) +
+              " which is not down (no earlier crash)");
+        d = 0;
+        break;
+      case FaultEvent::Kind::LinkDegrade:
+        break;
+    }
+  }
 }
 
 util::SimTime FaultPlan::first_crash_at(int rank) const noexcept {

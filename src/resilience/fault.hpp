@@ -71,6 +71,16 @@ struct FaultPlan {
   [[nodiscard]] bool empty() const noexcept { return events.empty(); }
   /// First crash scheduled for `rank`, or -1 when none.
   [[nodiscard]] util::SimTime first_crash_at(int rank) const noexcept;
+
+  /// Whole-schedule validation, run at install time (Machine::run) when the
+  /// world size is known. Replays the schedule in virtual-time order and
+  /// throws std::invalid_argument with a descriptive message for plans that
+  /// would otherwise be silent no-ops or undefined mid-run behavior:
+  ///  * any event addressing a rank outside [0, world_size)
+  ///  * a path-degrade whose second endpoint is outside the world
+  ///  * a crash of a rank that is already down at that time
+  ///  * a restart of a rank that is not down at that time
+  void validate(int world_size) const;
 };
 
 }  // namespace ds::sim

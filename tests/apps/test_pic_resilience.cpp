@@ -44,6 +44,15 @@ namespace {
   return plan.helpers().at(static_cast<std::size_t>(index));
 }
 
+/// World rank of compute-stage member `index` (the chain carves the reduce
+/// stage out of the last worker, so indices below size-1 are compute ranks).
+[[nodiscard]] int compute_world_rank(const mpi::MachineConfig& machine,
+                                     int stride, int index) {
+  mpi::Machine probe(machine);
+  const auto plan = stream::GroupPlan::interleaved(probe.world(), stride);
+  return plan.workers().at(static_cast<std::size_t>(index));
+}
+
 TEST(PicIoResilience, WritebackCrashMidRunDumpsByteIdenticalContent) {
   const PicIoConfig cfg = resilient_config();
 
@@ -102,6 +111,108 @@ TEST(PicIoResilience, SurvivesCrashAtVariousPhases) {
     EXPECT_EQ(ids_of(faulty.file_content), expected)
         << "crash at fraction " << fraction;
   }
+}
+
+TEST(PicIoResilience, ProducerCrashKeepsDumpIdempotentAndByteIdentical) {
+  // Failure-matrix cell: producer crash. Two flavors against the same keyed
+  // (idempotent) resilient baseline:
+  //  * a crash after the producing phase (0.9 of the run) must leave the
+  //    dump literally byte-identical — the termination protocol absorbs the
+  //    dead rank without disturbing a single offset;
+  //  * a crash mid-production (0.45) cannot conjure the dead rank's unsent
+  //    particles, but every byte that IS in the file must sit exactly where
+  //    the fault-free run put it (keyed placement: no duplicates, no
+  //    misplaced replays), and every surviving producer's byte must be
+  //    present.
+  const PicIoConfig cfg = resilient_config();
+  const auto clean =
+      run_pic_io(IoVariant::Decoupled, cfg, testing::tiny_machine(8));
+  ASSERT_GT(clean.file_bytes, 0u);
+
+  {
+    auto machine = testing::tiny_machine(8);
+    const int victim = compute_world_rank(machine, cfg.stride, 0);
+    machine.faults.crash(victim, util::from_seconds(clean.seconds * 0.9));
+    const auto faulty = run_pic_io(IoVariant::Decoupled, cfg, machine);
+    EXPECT_EQ(faulty.file_content, clean.file_content);  // byte-identical
+  }
+  {
+    // Mid-production flavor: stretch the compute phase (the makespan is
+    // dominated by simulated file I/O, so a fraction of the whole run would
+    // land after the last send) and crash inside the producing window. The
+    // particle counts are density-weighted, so pick the densest compute
+    // rank (stage index 2, ~262 particles -> ~105us of compute per step):
+    // a crash at 250us of virtual time lands squarely between its dumps.
+    PicIoConfig slow = cfg;
+    slow.ns_mover_per_particle = 400.0;
+    const auto slow_clean =
+        run_pic_io(IoVariant::Decoupled, slow, testing::tiny_machine(8));
+    auto machine = testing::tiny_machine(8);
+    const int victim = compute_world_rank(machine, slow.stride, 2);
+    machine.faults.crash(victim, util::microseconds(250));
+    const auto faulty = run_pic_io(IoVariant::Decoupled, slow, machine);
+    auto padded = faulty.file_content;
+    padded.resize(slow_clean.file_content.size());  // unwritten tail = holes
+    const auto& clean_content = slow_clean.file_content;
+    const std::size_t slots = clean_content.size() / sizeof(std::uint64_t);
+    std::size_t holes = 0;
+    for (std::size_t k = 0; k < slots; ++k) {
+      std::uint64_t have = 0, want = 0;
+      std::memcpy(&have, padded.data() + k * sizeof have, sizeof have);
+      std::memcpy(&want, clean_content.data() + k * sizeof want, sizeof want);
+      if (have == 0 && want != 0) {
+        // A hole may only belong to the dead compute rank (stage index 2).
+        EXPECT_EQ(want >> 40, 2u) << "lost a surviving producer's particle";
+        ++holes;
+        continue;
+      }
+      EXPECT_EQ(have, want) << "byte landed at the wrong keyed offset";
+    }
+    EXPECT_GT(holes, 0u);  // the crash really did land mid-production
+  }
+}
+
+TEST(PicIoResilience, AggregatorWriterCrashDumpsByteIdenticalContent) {
+  // Failure-matrix cell: aggregator crash mid-protocol. Writer slot 0 is
+  // the effective aggregator of the Directed manifests stream; killing it
+  // forces re-election (writer 1), counted-term replay to the new
+  // aggregator, and adoption + full replay of the dead writer's batch
+  // flows. With keyed writeback the replayed batches overwrite their own
+  // offsets, so the dump is literally byte-identical.
+  const PicIoConfig cfg = resilient_config();
+  const auto clean =
+      run_pic_io(IoVariant::Decoupled, cfg, testing::tiny_machine(8));
+  auto machine = testing::tiny_machine(8);
+  const int victim = writer_world_rank(machine, cfg.stride, 0);
+  machine.faults.crash(victim, util::from_seconds(clean.seconds / 3.0));
+  const auto faulty = run_pic_io(IoVariant::Decoupled, cfg, machine);
+  EXPECT_EQ(faulty.file_bytes, clean.file_bytes);
+  EXPECT_EQ(faulty.file_content, clean.file_content);
+  EXPECT_GT(faulty.seconds, 0.0);
+}
+
+TEST(PicIoResilience, WriterRejoinDumpsByteIdenticalContent) {
+  // Failure-matrix cell: restarted-rank rejoin. Writer 1 crashes at 30% and
+  // its respawned incarnation rejoins at 50% — the pipeline facade attaches
+  // the rejoined rank to the live channels (no collective), producers hand
+  // the writer's flows back voluntarily, and the keyed writeback makes the
+  // three-way split of the dump (dead incarnation's durable prefix, interim
+  // owner's adopted middle, rejoined incarnation's tail) land byte-identical
+  // to the fault-free run.
+  PicIoConfig cfg = resilient_config();
+  // Stretch the producing phase so the rejoin lands while producers are
+  // still streaming (a rejoin after the last producer exits has nobody left
+  // to hand the flows back).
+  cfg.ns_mover_per_particle = 400.0;  // producing window ~120us
+  const auto clean =
+      run_pic_io(IoVariant::Decoupled, cfg, testing::tiny_machine(8));
+  auto machine = testing::tiny_machine(8);
+  const int victim = writer_world_rank(machine, cfg.stride, 1);
+  machine.faults.crash(victim, util::microseconds(40));
+  machine.faults.restart(victim, util::microseconds(80));
+  const auto faulty = run_pic_io(IoVariant::Decoupled, cfg, machine);
+  EXPECT_EQ(faulty.file_bytes, clean.file_bytes);
+  EXPECT_EQ(faulty.file_content, clean.file_content);
 }
 
 }  // namespace

@@ -1,0 +1,459 @@
+// The remaining cells of the failure matrix (ds::resilience): producer
+// crash (count repair + term exclusion), aggregator crash mid-protocol
+// (re-election + release barrier), restarted-rank rejoin (voluntary flow
+// handback), and elastic membership (retire / admit under active streams).
+// Every scenario requires termination (a protocol hole deadlocks the test),
+// exactly-once delivery across the membership change, and full coverage of
+// everything the surviving producers sent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "common/machine_helpers.hpp"
+#include "core/channel.hpp"
+#include "core/stream.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/rank.hpp"
+#include "resilience/fault.hpp"
+
+namespace ds {
+namespace {
+
+using mpi::Rank;
+using mpi::SendBuf;
+using stream::Channel;
+using stream::ChannelConfig;
+using stream::Stream;
+using stream::StreamElement;
+
+[[nodiscard]] std::uint64_t element_id(int producer, int i) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(producer))
+          << 32) |
+         static_cast<std::uint32_t>(i);
+}
+
+[[nodiscard]] bool all_unique(std::vector<std::uint64_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  return std::adjacent_find(ids.begin(), ids.end()) == ids.end();
+}
+
+[[nodiscard]] std::set<std::uint64_t> union_of(
+    const std::vector<std::vector<std::uint64_t>>& views) {
+  std::set<std::uint64_t> seen;
+  for (const auto& v : views) seen.insert(v.begin(), v.end());
+  return seen;
+}
+
+TEST(FaultPlanValidation, InstallTimeChecksRejectBrokenSchedules) {
+  // Satellite: a schedule that would be a silent no-op or undefined mid-run
+  // behavior must fail at install time with a descriptive error.
+  {
+    sim::FaultPlan plan;  // crash of an out-of-world rank
+    plan.crash(7, util::microseconds(10));
+    EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  }
+  {
+    sim::FaultPlan plan;  // duplicate crash of the same rank
+    plan.crash(1, util::microseconds(10)).crash(1, util::microseconds(20));
+    EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  }
+  {
+    sim::FaultPlan plan;  // restart of a rank that never crashed
+    plan.restart(2, util::microseconds(10));
+    EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  }
+  {
+    sim::FaultPlan plan;  // crash -> restart -> crash again is legal
+    plan.crash(1, util::microseconds(10))
+        .restart(1, util::microseconds(20))
+        .crash(1, util::microseconds(30));
+    EXPECT_NO_THROW(plan.validate(4));
+  }
+  {
+    sim::FaultPlan plan;  // a machine run performs the same validation
+    plan.restart(0, util::microseconds(5));
+    auto config = testing::tiny_machine(2);
+    config.faults = plan;
+    EXPECT_THROW(testing::run_program(config, [](Rank&) {}),
+                 std::invalid_argument);
+  }
+}
+
+TEST(FailureMatrix, ProducerCrashTreeTerminationStillCompletes) {
+  // Directed spray with the counted-term protocol; producer 1 dies
+  // mid-stream and never reports its counts. The aggregator waives the dead
+  // producer's matrix row, announces, and the release barrier still
+  // completes — a count hole here deadlocks every consumer.
+  constexpr int kProducers = 2, kConsumers = 3, kEach = 60;
+  auto config = testing::tiny_machine(kProducers + kConsumers);
+  config.faults.crash(/*producer 1=*/1, util::microseconds(40));
+  std::vector<std::vector<std::uint64_t>> delivered(kConsumers);
+  std::array<bool, kConsumers> done{};
+  testing::run_program(config, [&](Rank& self) {
+    const bool producer = self.world_rank() < kProducers;
+    ChannelConfig cfg;
+    cfg.mapping = ChannelConfig::Mapping::Directed;
+    cfg.checkpoint_interval = 8;
+    const Channel ch =
+        Channel::create(self, self.world(), producer, !producer, cfg);
+    const int me = ch.my_consumer_index(self);
+    Stream s = Stream::attach(ch, mpi::Datatype::int64(),
+                              [&](const StreamElement& el) {
+                                std::uint64_t id = 0;
+                                std::memcpy(&id, el.data, sizeof id);
+                                delivered[static_cast<std::size_t>(me)]
+                                    .push_back(id);
+                              });
+    if (producer) {
+      for (int i = 0; i < kEach; ++i) {
+        self.compute(util::microseconds(2));  // crash lands mid-loop
+        const std::uint64_t id = element_id(self.world_rank(), i);
+        s.isend_to(self, i % kConsumers, SendBuf::of(&id, 1));
+      }
+      s.terminate(self);
+    } else {
+      s.operate(self);  // deadlocks if the dead producer's counts are waited on
+      done[static_cast<std::size_t>(me)] = s.exhausted();
+    }
+  });
+  for (int c = 0; c < kConsumers; ++c) {
+    EXPECT_TRUE(done[static_cast<std::size_t>(c)]) << "consumer " << c;
+    EXPECT_TRUE(all_unique(delivered[static_cast<std::size_t>(c)]));
+  }
+  // Everything the surviving producer sent arrived; the dead producer's
+  // deliveries are a subset of what it managed to send.
+  const auto seen = union_of(delivered);
+  for (int i = 0; i < kEach; ++i)
+    EXPECT_TRUE(seen.count(element_id(0, i))) << "lost survivor element " << i;
+  for (const std::uint64_t id : seen)
+    EXPECT_LT(static_cast<std::uint32_t>(id), static_cast<std::uint32_t>(kEach));
+}
+
+TEST(FailureMatrix, ProducerCrashBlockExcludedFromExpectedTerms) {
+  // Block mapping: consumer 1's only producer dies before terminating. The
+  // consumer must observe the crash and strike the dead producer from its
+  // expected term count, or it waits forever on a term that cannot come.
+  constexpr int kProducers = 2, kConsumers = 2, kEach = 60;
+  auto config = testing::tiny_machine(kProducers + kConsumers);
+  config.faults.crash(/*producer 1=*/1, util::microseconds(40));
+  std::vector<std::vector<std::uint64_t>> delivered(kConsumers);
+  std::array<bool, kConsumers> done{};
+  testing::run_program(config, [&](Rank& self) {
+    const bool producer = self.world_rank() < kProducers;
+    ChannelConfig cfg;
+    cfg.checkpoint_interval = 8;
+    const Channel ch =
+        Channel::create(self, self.world(), producer, !producer, cfg);
+    const int me = ch.my_consumer_index(self);
+    Stream s = Stream::attach(ch, mpi::Datatype::int64(),
+                              [&](const StreamElement& el) {
+                                std::uint64_t id = 0;
+                                std::memcpy(&id, el.data, sizeof id);
+                                delivered[static_cast<std::size_t>(me)]
+                                    .push_back(id);
+                              });
+    if (producer) {
+      for (int i = 0; i < kEach; ++i) {
+        self.compute(util::microseconds(2));
+        const std::uint64_t id = element_id(self.world_rank(), i);
+        s.isend(self, SendBuf::of(&id, 1));
+      }
+      s.terminate(self);
+    } else {
+      s.operate(self);
+      done[static_cast<std::size_t>(me)] = s.exhausted();
+    }
+  });
+  EXPECT_TRUE(done[0]);
+  EXPECT_TRUE(done[1]);
+  EXPECT_TRUE(all_unique(delivered[0]));
+  EXPECT_TRUE(all_unique(delivered[1]));
+  // Producer 0 (alive) delivered everything to its block consumer.
+  std::set<std::uint64_t> c0(delivered[0].begin(), delivered[0].end());
+  for (int i = 0; i < kEach; ++i)
+    EXPECT_TRUE(c0.count(element_id(0, i))) << "lost element " << i;
+}
+
+TEST(FailureMatrix, AggregatorCrashMidProtocolReelectsAndReleases) {
+  // The effective aggregator (consumer 0) dies while producers are still
+  // streaming. Producers re-derive the aggregator (first live + active
+  // consumer), re-send their counted terms to it, and the re-elected
+  // aggregator runs announce + release from its own idempotent matrix.
+  constexpr int kProducers = 2, kConsumers = 3, kEach = 60;
+  auto config = testing::tiny_machine(kProducers + kConsumers);
+  config.faults.crash(/*consumer 0=*/kProducers, util::microseconds(80));
+  std::vector<std::vector<std::uint64_t>> delivered(kConsumers);
+  std::array<bool, kConsumers> done{};
+  testing::run_program(config, [&](Rank& self) {
+    const bool producer = self.world_rank() < kProducers;
+    ChannelConfig cfg;
+    cfg.mapping = ChannelConfig::Mapping::Directed;
+    cfg.checkpoint_interval = 8;
+    const Channel ch =
+        Channel::create(self, self.world(), producer, !producer, cfg);
+    const int me = ch.my_consumer_index(self);
+    Stream s = Stream::attach(ch, mpi::Datatype::int64(),
+                              [&](const StreamElement& el) {
+                                std::uint64_t id = 0;
+                                std::memcpy(&id, el.data, sizeof id);
+                                delivered[static_cast<std::size_t>(me)]
+                                    .push_back(id);
+                              });
+    if (producer) {
+      for (int i = 0; i < kEach; ++i) {
+        self.compute(util::microseconds(2));
+        const std::uint64_t id = element_id(self.world_rank(), i);
+        s.isend_to(self, i % kConsumers, SendBuf::of(&id, 1));
+      }
+      s.terminate(self);  // blocks in the release wait across the re-election
+    } else {
+      s.operate(self);
+      done[static_cast<std::size_t>(me)] = s.exhausted();
+    }
+  });
+  EXPECT_TRUE(done[1]);
+  EXPECT_TRUE(done[2]);
+  EXPECT_TRUE(all_unique(delivered[1]));
+  EXPECT_TRUE(all_unique(delivered[2]));
+  // Nothing is lost: the dead aggregator's flows were adopted and replayed.
+  const auto seen = union_of(delivered);
+  for (int p = 0; p < kProducers; ++p)
+    for (int i = 0; i < kEach; ++i)
+      EXPECT_TRUE(seen.count(element_id(p, i)))
+          << "lost element " << p << ":" << i;
+}
+
+TEST(FailureMatrix, RestartedConsumerRejoinsAndFlowsRebalanceBack) {
+  // Crash consumer 1 mid-stream, restart it later: the respawned
+  // incarnation attaches to the channel (no collective), producers observe
+  // the rejoin epoch, hand its flows back voluntarily, and the cursor sync
+  // from the interim owner keeps delivery exactly-once across all three
+  // views (survivor, dead incarnation, rejoined incarnation).
+  static constexpr int kProducers = 2, kConsumers = 2, kEach = 120;
+  auto config = testing::tiny_machine(kProducers + kConsumers);
+  config.faults.crash(/*consumer 1=*/3, util::microseconds(60))
+      .restart(3, util::microseconds(120));
+  // Views: [0] consumer 0, [1] consumer 1 incarnation 0, [2] incarnation 1.
+  std::vector<std::vector<std::uint64_t>> delivered(3);
+  std::uint32_t max_rebalances = 0;
+  bool rejoined_exhausted = false, survivor_exhausted = false;
+  testing::run_program(config, [&](Rank& self) {
+    const bool producer = self.world_rank() < kProducers;
+    const int inc = self.machine().incarnation(self.world_rank());
+    ChannelConfig cfg;
+    cfg.checkpoint_interval = 8;
+    const Channel ch =
+        inc > 0 ? Channel::attach(
+                      self, self.world(),
+                      [](int r) {
+                        return static_cast<std::int8_t>(r < kProducers ? 1 : 2);
+                      },
+                      cfg)
+                : Channel::create(self, self.world(), producer, !producer, cfg);
+    const int me = ch.my_consumer_index(self);
+    const std::size_t view = static_cast<std::size_t>(me + inc);
+    Stream s = Stream::attach(ch, mpi::Datatype::int64(),
+                              [&](const StreamElement& el) {
+                                std::uint64_t id = 0;
+                                std::memcpy(&id, el.data, sizeof id);
+                                delivered[view].push_back(id);
+                              });
+    if (producer) {
+      for (int i = 0; i < kEach; ++i) {
+        self.compute(util::microseconds(2));  // crash and rejoin land mid-loop
+        const std::uint64_t id = element_id(self.world_rank(), i);
+        s.isend(self, SendBuf::of(&id, 1));
+      }
+      s.terminate(self);
+      max_rebalances = std::max(max_rebalances, s.rebalances());
+    } else {
+      s.operate(self);
+      if (me == 0) survivor_exhausted = s.exhausted();
+      if (me == 1 && inc > 0) rejoined_exhausted = s.exhausted();
+    }
+  });
+  EXPECT_TRUE(survivor_exhausted);
+  EXPECT_TRUE(rejoined_exhausted);
+  // The voluntary handback happened (a failover alone would not count).
+  EXPECT_GE(max_rebalances, 1u);
+  // The rejoined incarnation actually got its flow back.
+  EXPECT_FALSE(delivered[2].empty());
+  EXPECT_TRUE(all_unique(delivered[0]));
+  EXPECT_TRUE(all_unique(delivered[2]));
+  // The cursor sync fences the handback: what the interim owner processed
+  // can never reach the rejoined incarnation again.
+  std::set<std::uint64_t> interim(delivered[0].begin(), delivered[0].end());
+  for (const std::uint64_t id : delivered[2])
+    EXPECT_FALSE(interim.count(id)) << "duplicate across handback: " << id;
+  // Full coverage across all views.
+  const auto seen = union_of(delivered);
+  for (int p = 0; p < kProducers; ++p)
+    for (int i = 0; i < kEach; ++i)
+      EXPECT_TRUE(seen.count(element_id(p, i)))
+          << "lost element " << p << ":" << i;
+}
+
+TEST(FailureMatrix, ConsumerRetireMovesFlowsWithoutLossOrDuplication) {
+  // Elastic remove: consumer 1 withdraws voluntarily mid-stream. Its dedup
+  // cursors travel to the adopter ahead of admission, so the producers'
+  // replay of the undurable tail cannot duplicate anything the retiree
+  // already processed — and the retiree's filter memory drops to zero.
+  constexpr int kProducers = 2, kConsumers = 2, kEach = 100;
+  constexpr int kBeforeRetire = 20;
+  auto config = testing::tiny_machine(kProducers + kConsumers);
+  std::vector<std::vector<std::uint64_t>> delivered(kConsumers);
+  std::size_t retiree_entries_after = 99, adopter_entries = 99;
+  bool retiree_exhausted = false, adopter_exhausted = false;
+  std::uint32_t max_rebalances = 0;
+  testing::run_program(config, [&](Rank& self) {
+    const bool producer = self.world_rank() < kProducers;
+    ChannelConfig cfg;
+    cfg.checkpoint_interval = 8;
+    const Channel ch =
+        Channel::create(self, self.world(), producer, !producer, cfg);
+    const int me = ch.my_consumer_index(self);
+    int count = 0;
+    Stream s = Stream::attach(ch, mpi::Datatype::int64(),
+                              [&](const StreamElement& el) {
+                                std::uint64_t id = 0;
+                                std::memcpy(&id, el.data, sizeof id);
+                                delivered[static_cast<std::size_t>(me)]
+                                    .push_back(id);
+                                ++count;
+                              });
+    if (producer) {
+      for (int i = 0; i < kEach; ++i) {
+        self.compute(util::microseconds(2));
+        const std::uint64_t id = element_id(self.world_rank(), i);
+        s.isend(self, SendBuf::of(&id, 1));
+      }
+      s.terminate(self);
+      max_rebalances = std::max(max_rebalances, s.rebalances());
+    } else if (me == 1) {
+      s.operate_while(self, [&] { return count < kBeforeRetire; });
+      s.retire(self);
+      retiree_entries_after = s.dedup_entries();
+      retiree_exhausted = s.exhausted();
+    } else {
+      s.operate(self);
+      adopter_exhausted = s.exhausted();
+      adopter_entries = s.dedup_entries();
+    }
+  });
+  EXPECT_TRUE(retiree_exhausted);
+  EXPECT_TRUE(adopter_exhausted);
+  EXPECT_GE(max_rebalances, 1u);  // the flow moved voluntarily, not by crash
+  // Dedup memory: the retiree handed every cursor away; the adopter holds at
+  // most one entry per (producer, flow).
+  EXPECT_EQ(retiree_entries_after, 0u);
+  EXPECT_LE(adopter_entries,
+            static_cast<std::size_t>(kProducers) * kConsumers);
+  EXPECT_TRUE(all_unique(delivered[0]));
+  EXPECT_TRUE(all_unique(delivered[1]));
+  // Strict exactly-once across the retire: the views are disjoint (the
+  // cursor sync covers everything the retiree processed) and the union
+  // covers every element sent.
+  std::set<std::uint64_t> retiree(delivered[1].begin(), delivered[1].end());
+  for (const std::uint64_t id : delivered[0])
+    EXPECT_FALSE(retiree.count(id)) << "duplicate across retire: " << id;
+  const auto seen = union_of(delivered);
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers) * static_cast<std::size_t>(kEach));
+}
+
+TEST(FailureMatrix, InitiallyInactiveConsumerAdmittedMidRunReceivesFlows) {
+  // Elastic add: consumer 1 starts outside the membership (its flows route
+  // to the failover target) and is admitted mid-stream. Producers redirect
+  // the flow home, the interim owner forwards its cursor, and the late
+  // consumer picks up from there — no loss, no duplication.
+  constexpr int kProducers = 2, kConsumers = 2, kEach = 100;
+  auto config = testing::tiny_machine(kProducers + kConsumers);
+  std::vector<std::vector<std::uint64_t>> delivered(kConsumers);
+  bool late_exhausted = false, interim_exhausted = false;
+  testing::run_program(config, [&](Rank& self) {
+    const bool producer = self.world_rank() < kProducers;
+    ChannelConfig cfg;
+    cfg.checkpoint_interval = 8;
+    cfg.initially_inactive_consumers = {1};
+    const Channel ch =
+        Channel::create(self, self.world(), producer, !producer, cfg);
+    const int me = ch.my_consumer_index(self);
+    Stream s = Stream::attach(ch, mpi::Datatype::int64(),
+                              [&](const StreamElement& el) {
+                                std::uint64_t id = 0;
+                                std::memcpy(&id, el.data, sizeof id);
+                                delivered[static_cast<std::size_t>(me)]
+                                    .push_back(id);
+                              });
+    if (producer) {
+      for (int i = 0; i < kEach; ++i) {
+        self.compute(util::microseconds(2));
+        const std::uint64_t id = element_id(self.world_rank(), i);
+        s.isend(self, SendBuf::of(&id, 1));
+      }
+      s.terminate(self);
+    } else if (me == 1) {
+      self.compute(util::microseconds(60));  // join mid-stream
+      ch.admit_consumer(self, 1);
+      s.operate(self);
+      late_exhausted = s.exhausted();
+    } else {
+      s.operate(self);
+      interim_exhausted = s.exhausted();
+    }
+  });
+  EXPECT_TRUE(late_exhausted);
+  EXPECT_TRUE(interim_exhausted);
+  // The admitted consumer received the live tail of its flow.
+  EXPECT_FALSE(delivered[1].empty());
+  EXPECT_TRUE(all_unique(delivered[0]));
+  EXPECT_TRUE(all_unique(delivered[1]));
+  // Exactly-once across the admission: disjoint views, full coverage.
+  std::set<std::uint64_t> interim(delivered[0].begin(), delivered[0].end());
+  for (const std::uint64_t id : delivered[1])
+    EXPECT_FALSE(interim.count(id)) << "duplicate across admission: " << id;
+  const auto seen = union_of(delivered);
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers) * static_cast<std::size_t>(kEach));
+}
+
+TEST(FailureMatrix, RetireEffectiveAggregatorIsRejected) {
+  // Guard rail: the effective aggregator runs the termination protocol, so
+  // retiring it voluntarily is a usage error (crash + re-election is the
+  // sanctioned path). The ledger must stay untouched.
+  constexpr int kProducers = 1, kConsumers = 2;
+  auto config = testing::tiny_machine(kProducers + kConsumers);
+  bool threw = false;
+  testing::run_program(config, [&](Rank& self) {
+    const bool producer = self.world_rank() < kProducers;
+    ChannelConfig cfg;
+    cfg.mapping = ChannelConfig::Mapping::Directed;
+    cfg.checkpoint_interval = 8;
+    const Channel ch =
+        Channel::create(self, self.world(), producer, !producer, cfg);
+    const int me = ch.my_consumer_index(self);
+    Stream s = Stream::attach(ch, mpi::Datatype::int64(), {});
+    if (producer) {
+      const std::uint64_t id = element_id(0, 0);
+      s.isend_to(self, 0, SendBuf::of(&id, 1));
+      s.terminate(self);
+    } else {
+      if (me == 0) {
+        try {
+          s.retire(self);
+        } catch (const std::logic_error&) {
+          threw = true;
+        }
+      }
+      s.operate(self);
+    }
+  });
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace ds

@@ -11,6 +11,16 @@ The baseline document's top-level "bench" key selects the mode:
     drift means the simulated network or placement behavior changed; the
     tight default is intentional.
 
+  * "fault_recovery" (BENCH_fault_recovery.json): the resilience contract
+    gate. Every scenario the baseline records must exist in the fresh
+    output, and the fresh churn scenario (when the baseline has one) must
+    uphold the failure-matrix acceptance contract: >= 10 crash/rejoin
+    cycles, exactly-once delivery per consumer view, full coverage, and
+    goodput >= 80% of the paced fault-free reference (override the floor
+    with DS_BENCH_FAULT_GOODPUT). The numeric recovery/goodput metrics are
+    archived for trend reading, not drift-gated here — the bench binary
+    itself exits nonzero on every bound it owns.
+
   * anything else (BENCH_simcore.json, predating the key): the simulator
     hot-path mode. The steady_stream scenario must not regress:
     elements_per_sec within DS_BENCH_EPS_TOLERANCE (default 20% — it is a
@@ -111,6 +121,47 @@ def check_topology(baseline_doc, fresh_doc):
           f"{tolerance:.0%} tolerance")
 
 
+def check_fault_recovery(baseline_doc, fresh_doc):
+    """Resilience contract gate: scenario presence plus the churn
+    acceptance bounds (cycles, exactly-once, coverage, goodput floor)."""
+    scenarios = baseline_doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        fail("baseline JSON has no 'scenarios' array")
+        return
+    churn_in_baseline = False
+    for base in scenarios:
+        if not isinstance(base, dict) or "name" not in base:
+            fail("baseline scenario without a 'name'")
+            continue
+        if base["name"] == "churn":
+            churn_in_baseline = True
+        scenario(fresh_doc, base["name"], "fresh")
+    if not churn_in_baseline:
+        print("fault recovery: baseline predates the churn scenario; "
+              "presence-only check")
+        return
+    churn = scenario(fresh_doc, "churn", "fresh")
+    if churn is None:
+        return
+    floor = float(os.environ.get("DS_BENCH_FAULT_GOODPUT", "0.80"))
+    cycles = metric(churn, "cycles", "fresh", "churn")
+    if cycles is not None and cycles < 10:
+        fail(f"churn ran only {cycles:.0f} crash/rejoin cycles (need >= 10)")
+    for key in ("exactly_once", "complete"):
+        value = metric(churn, key, "fresh", "churn")
+        if value is not None and value != 1:
+            fail(f"churn scenario violates '{key}'")
+    ratio = metric(churn, "goodput_ratio", "fresh", "churn")
+    if ratio is not None:
+        print(f"churn goodput: {ratio:.1%} of fault-free (floor {floor:.0%})")
+        if ratio < floor:
+            fail(f"churn goodput {ratio:.1%} below the {floor:.0%} floor")
+    rejoined = metric(churn, "rejoined_views", "fresh", "churn")
+    if rejoined is not None and rejoined < 1:
+        fail("no rejoined incarnation ever received elements "
+             "(churn did not exercise rejoin)")
+
+
 def main():
     if len(sys.argv) != 3:
         raise SystemExit(__doc__)
@@ -119,6 +170,13 @@ def main():
     if isinstance(baseline_doc, dict) and \
             baseline_doc.get("bench") == "topology_sweep":
         check_topology(baseline_doc, fresh_doc)
+        ok = not errors
+        print("bench regression check:",
+              "PASS" if ok else f"FAIL ({len(errors)} problem(s))")
+        return 0 if ok else 1
+    if isinstance(baseline_doc, dict) and \
+            baseline_doc.get("bench") == "fault_recovery":
+        check_fault_recovery(baseline_doc, fresh_doc)
         ok = not errors
         print("bench regression check:",
               "PASS" if ok else f"FAIL ({len(errors)} problem(s))")
