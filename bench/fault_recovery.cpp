@@ -24,6 +24,13 @@
 // consumer view (0 duplicates), full coverage across all views, and churn
 // goodput >= 80% of the same paced run without faults.
 //
+// With --setup-crash another scenario crashes a consumer one nanosecond in
+// — strictly inside Channel::create's role exchange. The failure-aware
+// collectives plus the creation-time agreement rebuild the channel over the
+// surviving membership (no failover, no replay: the victim was never a
+// member), and the run is gated on exactly-once delivery, full coverage,
+// and a bounded virtual-time cost over the fault-free resilient run.
+//
 // Emits BENCH_fault_recovery.json (override with DS_FAULT_BENCH_JSON) for
 // the CI artifact; exits nonzero when any contract above fails.
 #include <algorithm>
@@ -80,10 +87,12 @@ struct RunResult {
 }
 
 RunResult run_stream(int elements_per_producer, bool resilient,
-                     util::SimTime crash_at) {
+                     util::SimTime crash_at, bool setup_crash = false) {
   RunResult result;
   auto config = bench_machine();
-  if (crash_at > 0)
+  if (setup_crash)
+    config.faults.crash_during_setup(kProducers + kVictim);
+  else if (crash_at > 0)
     config.faults.crash(kProducers + kVictim, crash_at);
   mpi::Machine machine(config);
   // Per-consumer delivery records for the exactly-once / coverage checks.
@@ -257,14 +266,22 @@ ChurnResult run_churn(int elements_per_producer, bool inject) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --churn is ours, not BenchOptions'; strip it before the strict parse.
+  // --churn / --setup-crash are ours, not BenchOptions'; strip them before
+  // the strict parse.
   bool churn = false;
+  bool setup_crash = false;
   std::vector<char*> args(argv, argv + argc);
   args.erase(std::remove_if(args.begin(), args.end(),
                             [&](char* a) {
-                              const bool hit = std::strcmp(a, "--churn") == 0;
-                              churn |= hit;
-                              return hit;
+                              if (std::strcmp(a, "--churn") == 0) {
+                                churn = true;
+                                return true;
+                              }
+                              if (std::strcmp(a, "--setup-crash") == 0) {
+                                setup_crash = true;
+                                return true;
+                              }
+                              return false;
                             }),
              args.end());
   const auto opt =
@@ -350,6 +367,43 @@ int main(int argc, char** argv) {
                  std::to_string(crash.replayed),
                  std::to_string(crash.max_replayed_one), note});
 
+  // -- setup crash: a consumer dies inside Channel::create ------------------
+  RunResult setup{};
+  double rebuild_ratio = 0.0;
+  if (setup_crash) {
+    setup = run_stream(elements, /*resilient=*/true, 0, /*setup_crash=*/true);
+    // The victim died before membership settled, so the channel is born over
+    // the survivors: delivery must be complete and exactly-once without any
+    // failover or replay ever triggering — the repair happened at setup.
+    ok &= setup.exactly_once && setup.complete && setup.delivered == total;
+    if (setup.failovers != 0 || setup.replayed != 0) {
+      std::printf(
+          "FAIL: setup crash leaked into the streaming phase "
+          "(failovers=%u replayed=%llu; expected the rebuilt membership to "
+          "exclude the victim)\n",
+          setup.failovers, static_cast<unsigned long long>(setup.replayed));
+      ok = false;
+    }
+    // Recovery-time gate: one retried role exchange plus the agreement, and
+    // the same element volume spread over one fewer consumer. Block mapping
+    // concentrates at most one extra producer on a consumer, so the makespan
+    // must stay within 2x of the fault-free resilient run.
+    rebuild_ratio = fault_free.virtual_s > 0
+                        ? setup.virtual_s / fault_free.virtual_s
+                        : 0.0;
+    if (rebuild_ratio > 2.0) {
+      std::printf("FAIL: setup-crash makespan %.3f ms is %.2fx the "
+                  "fault-free run (bound 2x)\n",
+                  setup.virtual_s * 1e3, rebuild_ratio);
+      ok = false;
+    }
+    std::snprintf(note, sizeof note, "rebuild %.2fx fault-free, %u failovers",
+                  rebuild_ratio, setup.failovers);
+    table.add_row({"setup_crash", std::to_string(setup.delivered),
+                   ms(setup.virtual_s), ms(setup.wall_s / 1e3),
+                   std::to_string(setup.replayed), "-", note});
+  }
+
   // -- churn: ten crash/rejoin cycles under a paced stream ------------------
   ChurnResult churn_ref, churned;
   double goodput_ratio = 1.0;
@@ -431,6 +485,16 @@ int main(int argc, char** argv) {
         crash.virtual_s > 0
             ? static_cast<double>(crash.delivered) / crash.virtual_s
             : 0.0);
+    if (setup_crash)
+      std::fprintf(
+          f,
+          ",{\"name\":\"setup_crash\",\"virtual_s\":%.9f,\"wall_s\":%.6f,"
+          "\"delivered\":%llu,\"rebuild_ratio\":%.4f,\"failovers\":%u,"
+          "\"replayed_elements\":%llu,\"exactly_once\":%d,\"complete\":%d}",
+          setup.virtual_s, setup.wall_s,
+          static_cast<unsigned long long>(setup.delivered), rebuild_ratio,
+          setup.failovers, static_cast<unsigned long long>(setup.replayed),
+          setup.exactly_once ? 1 : 0, setup.complete ? 1 : 0);
     if (churn)
       std::fprintf(
           f,

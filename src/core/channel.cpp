@@ -14,17 +14,41 @@ Channel Channel::create(mpi::Rank& self, const mpi::Comm& parent,
   if (is_producer && is_consumer)
     throw std::invalid_argument(
         "Channel::create: producer and consumer groups must be disjoint");
-  const int me = self.rank_in(parent);
-  if (me < 0)
+  if (self.rank_in(parent) < 0)
     throw std::logic_error("Channel::create: caller not in parent communicator");
-  const int size = parent.size();
 
-  // Everyone learns everyone's role — the same traffic MPI_Comm_split pays.
   const std::int8_t my_role = is_producer ? 1 : (is_consumer ? 2 : 0);
-  std::vector<std::int8_t> roles(static_cast<std::size_t>(size));
-  const std::vector<std::size_t> counts(static_cast<std::size_t>(size), 1);
-  self.allgatherv(parent, mpi::SendBuf::of(&my_role, 1), roles.data(), counts);
-  return build(self, parent, roles, config);
+  mpi::Comm active = parent;
+  for (int attempt = 0;; ++attempt) {
+    const int size = active.size();
+    // Everyone learns everyone's role — the same traffic MPI_Comm_split
+    // pays. Zero-initialized so a block satisfied by failure reads as "not
+    // a member" instead of garbage.
+    std::vector<std::int8_t> roles(static_cast<std::size_t>(size), 0);
+    const std::vector<std::size_t> counts(static_cast<std::size_t>(size), 1);
+    const mpi::Status st = self.allgatherv(
+        active, mpi::SendBuf::of(&my_role, 1), roles.data(), counts);
+    // Commit the exchange through agreement: collective outcomes may
+    // diverge when a crash races the last rounds (one rank completes clean
+    // before the crash instant, its neighbor observes the failure), and a
+    // member that built the channel while the rest retried would leave the
+    // group split forever. The agreement ORs every member's local outcome
+    // and settles one failure view, so either everyone builds from this
+    // exchange or everyone retries.
+    const mpi::AgreeResult verdict =
+        self.agree(active, st.failed ? 1u : 0u);
+    if (verdict.value == 0 && verdict.clean())
+      return build(self, active, roles, config);
+    // A crash landed inside setup: re-derive membership from the agreed
+    // survivor view and retry the exchange over it. Each retry excludes at
+    // least one newly dead rank, so the loop terminates — with a channel
+    // over the survivors, or with build's clean "no producers/consumers
+    // left" error on every survivor alike. Never a deadlock.
+    const std::uint64_t ctx = mpi::Machine::derive_context(
+        parent.context(), 0x5E7B4C0ull + static_cast<std::uint64_t>(attempt),
+        config.channel_id);
+    active = mpi::Comm(ctx, mpi::Group(verdict.survivors));
+  }
 }
 
 Channel Channel::attach(mpi::Rank& self, const mpi::Comm& parent,
@@ -129,11 +153,20 @@ void Channel::admit_consumer(mpi::Rank& self, int c) const {
 
 void Channel::free(mpi::Rank& self) {
   if (!valid() || self.rank_in(comm_) < 0) return;
-  // Resilient channels skip the quiesce barrier: a crashed member can never
-  // join it (all members agree from the shared config, so nobody waits), and
-  // a crashed rank's own unwinding must not start a collective.
-  if (config_.resilient() || self.failed()) return;
-  self.barrier(comm_);
+  // A crashed rank's own unwinding must not start new communication.
+  if (self.failed()) return;
+  if (config_.resilient()) {
+    // Agreement-based drain, replacing the formerly *skipped* quiesce: every
+    // live member (including restarted incarnations that re-attached)
+    // deposits, crashed members are excused by the failure record, and all
+    // survivors leave with the same final membership view instead of
+    // tearing down blind.
+    (void)self.agree(comm_);
+    return;
+  }
+  // The quiesce barrier is failure-aware: it completes (with a failed
+  // outcome) even if a member crashed, so teardown never deadlocks.
+  (void)self.barrier(comm_);
 }
 
 int Channel::my_producer_index(const mpi::Rank& self) const noexcept {

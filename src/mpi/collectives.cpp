@@ -41,12 +41,26 @@ namespace {
 }
 
 /// Common plumbing for collective state machines.
+///
+/// Failure-awareness: every expected message names its sender's world rank,
+/// so a crashed peer's message is *satisfied by failure* (the receive
+/// completes with Status::failed — immediately if the peer is already dead,
+/// or from kill_rank's sweep if it dies while posted) and sends toward dead
+/// peers complete inert. The round schedule therefore runs to structural
+/// completion under any crash pattern — no re-posting, no hang — and the
+/// op's outcome reports the failure: Status::failed is set when any of my
+/// own exchanges was satisfied by failure, or when any member of the
+/// communicator is dead by the time I finish (the scan is gated on
+/// failure_epoch(), so the fault-free path stays O(1) and bit-identical in
+/// timing to the non-failure-aware code).
 struct CollBase : detail::OpState {
   Machine* m = nullptr;
   Comm comm;
   int me = -1;  // my rank in comm
   int size = 0;
   int tag = 0;
+  bool peer_failed = false;       ///< some exchange was satisfied by failure
+  bool last_recv_failed = false;  ///< outcome of the latest crecv, for data steps
 
   void init(Machine& machine, const Comm& c, int my_rank, int coll_tag) {
     m = &machine;
@@ -54,6 +68,21 @@ struct CollBase : detail::OpState {
     me = my_rank;
     size = c.size();
     tag = coll_tag;
+    const util::SimTime budget = machine.config().collective_timeout;
+    if (budget > 0) {
+      // Watchdog (off by default): a collective instance that is neither
+      // complete nor excused (its own rank crashed mid-run and the op was
+      // parked) after `budget` virtual time aborts the run. The event holds
+      // a reference, so the op outlives the check.
+      detail::OpRef<detail::OpState> self(this);
+      Machine* mach = m;
+      const int world = c.world_rank(my_rank);
+      const int t = coll_tag;
+      machine.engine().schedule_after(budget, [self, mach, world, t] {
+        if (!self->complete && !mach->rank_failed(world))
+          throw CollectiveTimeout(world, t);
+      });
+    }
   }
 
   void csend(int dst, SendBuf data, sim::Callback k) {
@@ -61,10 +90,36 @@ struct CollBase : detail::OpState {
                  tag, data, std::move(k));
   }
   void crecv(int src, RecvBuf out, sim::Callback k) {
-    m->post_recv(comm.context(), comm.world_rank(me), src, tag, out,
-                 std::move(k));
+    auto r = m->post_recv(comm.context(), comm.world_rank(me), src, tag, out,
+                          /*on_complete=*/{}, /*fused_wake=*/false,
+                          /*src_world=*/comm.world_rank(src));
+    // The wrapper observes the receive's outcome before advancing the state
+    // machine. A raw pointer is safe: when it runs as on_complete the op is
+    // pinned by complete_op's caller, and the synchronous branch runs under
+    // the local reference.
+    detail::RecvOp* raw = r.get();
+    auto fire = [this, raw, k = std::move(k)]() mutable {
+      last_recv_failed = raw->status.failed;
+      if (last_recv_failed) peer_failed = true;
+      k();
+    };
+    if (r->complete) {
+      fire();
+    } else {
+      r->on_complete = std::move(fire);
+    }
   }
-  void finish() { m->complete_op(*this); }
+  [[nodiscard]] bool observed_failure() const {
+    if (peer_failed) return true;
+    if (m->failure_epoch() == 0) return false;
+    for (int r = 0; r < size; ++r)
+      if (m->rank_failed(comm.world_rank(r))) return true;
+    return false;
+  }
+  void finish() {
+    if (observed_failure()) status.failed = true;
+    m->complete_op(*this);
+  }
 };
 
 // ---------------------------------------------------------------- barrier --
@@ -208,7 +263,10 @@ struct IreduceOp final : CollBase {
               synthetic ? RecvBuf::discard(bytes)
                         : RecvBuf{incoming.data(), bytes},
               [this, self] {
-                if (!synthetic && fn) fn(incoming.data(), accum.data(), bytes);
+                // A child satisfied by failure contributed no data; fold
+                // nothing and let the outcome report the failure.
+                if (!synthetic && fn && !last_recv_failed)
+                  fn(incoming.data(), accum.data(), bytes);
                 step(self);
               });
         return;  // resume from the continuation
@@ -439,23 +497,28 @@ struct CompositeOp final : detail::OpState {
   static Request launch(Machine& m, std::function<Request()> first,
                         std::function<Request()> second) {
     auto op = detail::make_heap_op<CompositeOp>();
-    Request a = first();
+    // Stages are stored before their continuations are attached so the
+    // finish path can read both outcomes (a stage may complete
+    // synchronously, e.g. under satisfied-by-failure fast paths).
+    op->stage1 = first();
     auto chain = [&m, op, second] {
-      Request b = second();
-      auto finish = [&m, op] { m.complete_op(*op); };
-      if (b->complete) {
+      op->stage2 = second();
+      auto finish = [&m, op] {
+        if (op->stage1->status.failed || op->stage2->status.failed)
+          op->status.failed = true;
+        m.complete_op(*op);
+      };
+      if (op->stage2->complete) {
         finish();
       } else {
-        b->on_complete = finish;
+        op->stage2->on_complete = finish;
       }
-      op->stage2 = std::move(b);
     };
-    if (a->complete) {
+    if (op->stage1->complete) {
       chain();
     } else {
-      a->on_complete = chain;
+      op->stage1->on_complete = chain;
     }
-    op->stage1 = std::move(a);
     return op;
   }
 
@@ -472,7 +535,18 @@ Request Rank::ibarrier(const Comm& comm) {
   return IbarrierOp::launch(*machine_, comm, me, next_coll_tag(comm));
 }
 
-void Rank::barrier(const Comm& comm) { wait(ibarrier(comm)); }
+namespace {
+/// Blocking wrappers surface the collective's outcome (Status::failed on a
+/// crash observed mid-collective) instead of hanging or swallowing it.
+[[nodiscard]] Status wait_outcome(Rank& self, const Request& req) {
+  self.wait(req);
+  return req->status;
+}
+}  // namespace
+
+Status Rank::barrier(const Comm& comm) {
+  return wait_outcome(*this, ibarrier(comm));
+}
 
 Request Rank::ibcast(const Comm& comm, int root, RecvBuf data) {
   const int me = rank_in(comm);
@@ -480,8 +554,8 @@ Request Rank::ibcast(const Comm& comm, int root, RecvBuf data) {
   return IbcastOp::launch(*machine_, comm, me, root, data, next_coll_tag(comm));
 }
 
-void Rank::bcast(const Comm& comm, int root, RecvBuf data) {
-  wait(ibcast(comm, root, data));
+Status Rank::bcast(const Comm& comm, int root, RecvBuf data) {
+  return wait_outcome(*this, ibcast(comm, root, data));
 }
 
 Request Rank::ireduce(const Comm& comm, int root, SendBuf in, void* out,
@@ -492,9 +566,9 @@ Request Rank::ireduce(const Comm& comm, int root, SendBuf in, void* out,
                            next_coll_tag(comm));
 }
 
-void Rank::reduce(const Comm& comm, int root, SendBuf in, void* out,
-                  ReduceFn fn) {
-  wait(ireduce(comm, root, in, out, std::move(fn)));
+Status Rank::reduce(const Comm& comm, int root, SendBuf in, void* out,
+                    ReduceFn fn) {
+  return wait_outcome(*this, ireduce(comm, root, in, out, std::move(fn)));
 }
 
 Request Rank::iallreduce(const Comm& comm, SendBuf in, void* out, ReduceFn fn) {
@@ -516,8 +590,8 @@ Request Rank::iallreduce(const Comm& comm, SendBuf in, void* out, ReduceFn fn) {
       });
 }
 
-void Rank::allreduce(const Comm& comm, SendBuf in, void* out, ReduceFn fn) {
-  wait(iallreduce(comm, in, out, std::move(fn)));
+Status Rank::allreduce(const Comm& comm, SendBuf in, void* out, ReduceFn fn) {
+  return wait_outcome(*this, iallreduce(comm, in, out, std::move(fn)));
 }
 
 Request Rank::iallgatherv(const Comm& comm, SendBuf mine, void* out,
@@ -530,9 +604,9 @@ Request Rank::iallgatherv(const Comm& comm, SendBuf mine, void* out,
                                next_coll_tag(comm));
 }
 
-void Rank::allgatherv(const Comm& comm, SendBuf mine, void* out,
-                      const std::vector<std::size_t>& counts) {
-  wait(iallgatherv(comm, mine, out, counts));
+Status Rank::allgatherv(const Comm& comm, SendBuf mine, void* out,
+                        const std::vector<std::size_t>& counts) {
+  return wait_outcome(*this, iallgatherv(comm, mine, out, counts));
 }
 
 Request Rank::ialltoallv(const Comm& comm, const void* send_buf,
@@ -562,19 +636,21 @@ Request Rank::ialltoallv(const Comm& comm, const void* send_buf,
       });
 }
 
-void Rank::alltoallv(const Comm& comm, const void* send_buf,
-                     const std::vector<std::size_t>& send_counts,
-                     void* recv_buf,
-                     const std::vector<std::size_t>& recv_counts) {
-  wait(ialltoallv(comm, send_buf, send_counts, recv_buf, recv_counts));
+Status Rank::alltoallv(const Comm& comm, const void* send_buf,
+                       const std::vector<std::size_t>& send_counts,
+                       void* recv_buf,
+                       const std::vector<std::size_t>& recv_counts) {
+  return wait_outcome(
+      *this, ialltoallv(comm, send_buf, send_counts, recv_buf, recv_counts));
 }
 
-void Rank::gatherv(const Comm& comm, int root, SendBuf mine, void* out,
-                   const std::vector<std::size_t>& counts) {
+Status Rank::gatherv(const Comm& comm, int root, SendBuf mine, void* out,
+                     const std::vector<std::size_t>& counts) {
   const int me = rank_in(comm);
   if (me < 0) throw std::logic_error("gatherv: not a member");
-  wait(IgathervOp::launch(*machine_, comm, me, root, mine, out, counts,
-                          next_coll_tag(comm)));
+  return wait_outcome(*this,
+                      IgathervOp::launch(*machine_, comm, me, root, mine, out,
+                                         counts, next_coll_tag(comm)));
 }
 
 }  // namespace ds::mpi

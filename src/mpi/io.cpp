@@ -28,19 +28,24 @@ File::File(Machine& machine, Comm comm, std::string name, int aggregator_stride)
       file_(machine.filesystem().open(name)),
       aggregator_stride_(std::max(1, aggregator_stride)) {}
 
-void File::write_all(Rank& self, SendBuf local) {
+Status File::write_all(Rank& self, SendBuf local) {
   const int me = self.rank_in(comm_);
   if (me < 0) throw std::logic_error("write_all: caller not in the file's communicator");
   const int size = comm_.size();
   const int tag = self.next_coll_tag(comm_);
 
   // Phase 0: everyone learns everyone's block size (the collective-buffering
-  // equivalent of exchanging file-view offsets).
-  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(size));
+  // equivalent of exchanging file-view offsets). Zero-initialized so a
+  // block satisfied by failure reads as a zero-byte member — the phase
+  // structure below then runs identically on every live member regardless
+  // of where a crash lands (no per-rank decision that could diverge), which
+  // is what makes the whole collective hang-free.
+  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(size), 0);
   const std::uint64_t mine = local.on_wire();
   const std::vector<std::size_t> counts(static_cast<std::size_t>(size),
                                         sizeof(std::uint64_t));
-  self.allgatherv(comm_, SendBuf::of(&mine, 1), sizes.data(), counts);
+  const Status exchanged =
+      self.allgatherv(comm_, SendBuf::of(&mine, 1), sizes.data(), counts);
 
   std::vector<std::uint64_t> displs(static_cast<std::size_t>(size) + 1, 0);
   std::partial_sum(sizes.begin(), sizes.end(), displs.begin() + 1);
@@ -76,7 +81,9 @@ void File::write_all(Rank& self, SendBuf local) {
           real ? RecvBuf{assembled.data() + offset,
                          static_cast<std::size_t>(sizes[static_cast<std::size_t>(r)])}
                : RecvBuf::discard(static_cast<std::size_t>(
-                     sizes[static_cast<std::size_t>(r)]))));
+                     sizes[static_cast<std::size_t>(r)])),
+          /*on_complete=*/{}, /*fused_wake=*/false,
+          /*src_world=*/comm_.world_rank(r)));
     }
     self.wait_all(recvs);
     const util::SimTime done = machine_->filesystem().write(
@@ -91,7 +98,10 @@ void File::write_all(Rank& self, SendBuf local) {
                                             comm_.world_rank(group), tag, local);
     self.wait(req);
   }
-  self.barrier(comm_);
+  const Status synced = self.barrier(comm_);
+  Status out = synced;
+  out.failed = exchanged.failed || synced.failed;
+  return out;
 }
 
 void File::write_shared(Rank& self, SendBuf local) {
@@ -110,15 +120,18 @@ void File::write_at(Rank& self, std::uint64_t offset, SendBuf local) {
   wait_until(self, done);
 }
 
-void File::set_view(Rank& self) {
+Status File::set_view(Rank& self) {
   // Displacement recomputation is client-side; one member refreshes the file
   // metadata, then the collective synchronizes (the per-iteration cost the
-  // paper attributes to iPIC3D's changing particle counts).
+  // paper attributes to iPIC3D's changing particle counts). If the metadata
+  // rank is dead, survivors skip straight to the failure-aware barrier and
+  // observe a failed outcome there — a writer crash inside collective IO
+  // setup is recoverable, not a deadlock.
   if (self.rank_in(comm_) == 0) {
     const util::SimTime done = machine_->filesystem().metadata_rpc(self.now());
     wait_until(self, done, "view");
   }
-  self.barrier(comm_);
+  return self.barrier(comm_);
 }
 
 }  // namespace ds::mpi

@@ -38,7 +38,14 @@ class File {
 
   /// Collective append of each member's block, laid out in rank order.
   /// All members must call; `local.ptr` may be null (synthetic).
-  void write_all(Rank& self, SendBuf local);
+  ///
+  /// Failure-aware: a member crash never hangs the collective. The phase
+  /// structure runs to completion on every live member (a dead member's
+  /// block reads as zero bytes, its exchanges are satisfied by failure) and
+  /// the returned status carries `failed = true` on members that observed
+  /// the crash. File content of a failed collective write is undefined;
+  /// recovery is agree() + a fresh File over the surviving membership.
+  Status write_all(Rank& self, SendBuf local);
 
   /// Independent shared-pointer append.
   void write_shared(Rank& self, SendBuf local);
@@ -47,7 +54,9 @@ class File {
   void write_at(Rank& self, std::uint64_t offset, SendBuf local);
 
   /// Collective file-view (re)definition: per-rank metadata RPC + barrier.
-  void set_view(Rank& self);
+  /// Failure-aware like write_all (a crash of the metadata rank — or any
+  /// member — yields a failed status on the survivors, never a deadlock).
+  Status set_view(Rank& self);
 
   [[nodiscard]] fs::SimFile& sim_file() noexcept { return *file_; }
 

@@ -113,6 +113,30 @@ void Machine::kill_rank(int world_rank) {
   for (const int pid : box.probe_waiters) engine_.wake(pid);
   box.probe_waiters.clear();
 
+  // Satisfied-by-failure on the survivors: a posted receive that names the
+  // dead rank as its only possible sender can never match now. Complete each
+  // with Status::failed so failure-aware callers (collectives, p2p waits,
+  // aggregated IO) observe the crash instead of deadlocking. Collect before
+  // completing: completions run continuations that post new receives into
+  // the very queues being scanned (and can create new context buckets);
+  // interior take() erases, so scan each queue high-to-low.
+  std::vector<detail::OpRef<detail::RecvOp>> orphaned;
+  for (int r = 0; r < config_.world_size; ++r) {
+    if (r == world_rank || dead_[static_cast<std::size_t>(r)] != 0) continue;
+    for (auto& [context, q] : mailboxes_[static_cast<std::size_t>(r)].contexts) {
+      (void)context;
+      for (std::size_t i = q.posted.size(); i-- > 0;) {
+        if (q.posted[i]->src_world == world_rank)
+          orphaned.push_back(q.posted.take(i));
+      }
+    }
+  }
+  for (const auto& recv : orphaned) {
+    recv->status = Status{};
+    recv->status.failed = true;
+    complete_op(*recv);
+  }
+
   // Wake blocked protocol loops (credit waits) on every rank: routing toward
   // the dead rank must be re-evaluated.
   for (const int pid : failure_waiters_) engine_.wake(pid);
@@ -139,6 +163,15 @@ std::shared_ptr<resilience::MembershipLedger> Machine::membership_ledger(
   if (!slot) slot = std::make_shared<resilience::MembershipLedger>(consumer_slots);
   return slot;
 }
+
+std::shared_ptr<resilience::Agreement> Machine::agreement(std::uint64_t key,
+                                                          int size) {
+  auto& slot = agreements_[key];
+  if (!slot) slot = std::make_shared<resilience::Agreement>(size);
+  return slot;
+}
+
+void Machine::release_agreement(std::uint64_t key) { agreements_.erase(key); }
 
 void Machine::add_failure_waiter(int pid) {
   // Registrations outlive individual waits (they are only consumed by the
@@ -233,7 +266,8 @@ detail::OpRef<detail::RecvOp> Machine::post_recv(std::uint64_t context,
                                                  int dst_world, int src_filter,
                                                  int tag_filter, RecvBuf out,
                                                  sim::Callback on_complete,
-                                                 bool fused_wake) {
+                                                 bool fused_wake,
+                                                 int src_world) {
   auto op = recv_pool_.acquire();
   op->context = context;
   op->dst_world = dst_world;
@@ -243,9 +277,12 @@ detail::OpRef<detail::RecvOp> Machine::post_recv(std::uint64_t context,
   op->capacity = out.bytes;
   op->on_complete = std::move(on_complete);
   op->fused_wake = fused_wake;
+  op->src_world = src_world;
 
   auto& box = mailboxes_.at(static_cast<std::size_t>(dst_world));
   auto& q = box.touch(context);
+  // The unexpected queue is scanned first even when the named sender is
+  // already dead: a message that outran the crash still matches.
   for (std::size_t i = 0; i < q.unexpected.size(); ++i) {
     if (detail::matches(*op, *q.unexpected[i])) {
       const auto send = q.unexpected.take(i);
@@ -253,15 +290,32 @@ detail::OpRef<detail::RecvOp> Machine::post_recv(std::uint64_t context,
       return op;
     }
   }
+  if (rank_failed(dst_world) || (src_world >= 0 && rank_failed(src_world))) {
+    // Satisfied-by-failure: either the only sender that could match is dead,
+    // or the receiver itself is — arrivals toward it are dropped, so the
+    // receive could never complete. Failing it immediately lets a crashed
+    // rank's collective state machine run to structural completion (event
+    // context, no fiber) instead of parking pool slots in a dead mailbox.
+    op->status = Status{};
+    op->status.failed = true;
+    complete_op(*op);
+    return op;
+  }
   q.posted.push_back(op);
   return op;
 }
 
 void Machine::deposit(const detail::OpRef<detail::SendOp>& msg) {
-  // Fault injection: arrivals at a crashed rank are dropped. Completing the
-  // op here keeps rendezvous senders (whose completion normally waits for a
-  // matching receive) from blocking forever on a dead peer.
-  if (rank_failed(msg->dst_world)) {
+  // Fault injection: arrivals at a crashed rank are dropped, and so are
+  // arrivals *from* a rank that crashed while the message was in flight —
+  // fail-stop cuts traffic off at the crash instant, matching the repair
+  // protocols (a dead producer's undurable in-flight frames are excluded)
+  // and the satisfied-by-failure receives (which have already completed
+  // with Status::failed and must not be shadowed by a late arrival that
+  // would then sit in the unexpected queue forever, leaking its pool slot).
+  // Completing the op here keeps rendezvous senders (whose completion
+  // normally waits for a matching receive) from blocking forever.
+  if (rank_failed(msg->dst_world) || rank_failed(msg->src_world)) {
     if (!msg->complete) complete_op(*msg);
     return;
   }

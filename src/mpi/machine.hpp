@@ -12,6 +12,7 @@
 #include "mpi/comm.hpp"
 #include "mpi/ops.hpp"
 #include "net/fabric.hpp"
+#include "resilience/agreement.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/membership.hpp"
 #include "sim/engine.hpp"
@@ -27,6 +28,12 @@ struct MachineConfig {
   sim::EngineConfig engine{};
   /// Fault-injection schedule executed during run() (see resilience/fault.hpp).
   sim::FaultPlan faults{};
+  /// When nonzero, every collective arms a watchdog: an instance still
+  /// incomplete after this much virtual time throws CollectiveTimeout out of
+  /// run() instead of wedging the event loop. Off by default; tests enable
+  /// it so a future non-failure-aware hang fails in bounded virtual time
+  /// rather than hanging ctest.
+  util::SimTime collective_timeout = 0;
 
   [[nodiscard]] static MachineConfig testbed(int world_size) {
     MachineConfig c;
@@ -71,11 +78,19 @@ class Machine {
   /// pre-charged, replacing the wake + separate-advance pair (streams'
   /// per-message context-switch floor). No effect on receives that complete
   /// synchronously or are tested/continued instead of waited on.
+  ///
+  /// `src_world`, when >= 0, names the world rank of the only sender that
+  /// can match: if that rank is already dead (and no message of its outran
+  /// the crash into the unexpected queue), the receive completes immediately
+  /// with Status::failed, and if it dies while the receive is posted,
+  /// kill_rank completes it the same way (satisfied-by-failure). Receives
+  /// with kAnySource keep the pre-existing semantics.
   detail::OpRef<detail::RecvOp> post_recv(std::uint64_t context, int dst_world,
                                           int src_filter, int tag_filter,
                                           RecvBuf out,
                                           sim::Callback on_complete = {},
-                                          bool fused_wake = false);
+                                          bool fused_wake = false,
+                                          int src_world = kAnySource);
 
   /// Non-consuming look into dst's unexpected queue. Returns true and fills
   /// `out` when a matching message has arrived.
@@ -166,6 +181,15 @@ class Machine {
   [[nodiscard]] std::shared_ptr<resilience::MembershipLedger>
   membership_ledger(std::uint64_t context, int consumer_slots);
 
+  /// Fetch-or-create the shared agreement ledger for one Rank::agree
+  /// instance (`key` = context derived from the communicator and the
+  /// per-context agreement sequence number, so every participant of the
+  /// same call lands on the same ledger). `release_agreement` drops the
+  /// entry once the last live participant has read the frozen result.
+  [[nodiscard]] std::shared_ptr<resilience::Agreement> agreement(
+      std::uint64_t key, int size);
+  void release_agreement(std::uint64_t key);
+
   /// Control-message wire size used by rendezvous handshakes.
   static constexpr std::size_t kControlBytes = 64;
 
@@ -201,6 +225,9 @@ class Machine {
   /// Per-channel-context membership ledgers (see membership_ledger).
   std::unordered_map<std::uint64_t, std::shared_ptr<resilience::MembershipLedger>>
       ledgers_;
+  /// Live agreement ledgers (see agreement()); erased when read out.
+  std::unordered_map<std::uint64_t, std::shared_ptr<resilience::Agreement>>
+      agreements_;
 };
 
 }  // namespace ds::mpi

@@ -229,6 +229,13 @@ struct RecvOp final : OpState {
   int dst_world = 0;
   int src_filter = kAnySource;  ///< comm rank or kAnySource
   int tag_filter = kAnyTag;
+  /// World rank of the one sender that can match this receive, or
+  /// kAnySource when unknown. Failure-aware paths (collectives, p2p,
+  /// aggregated IO) set it so a crash of that sender completes the receive
+  /// with Status::failed (satisfied-by-failure) instead of leaving it
+  /// posted forever; wildcard/stream receives leave it unset and keep the
+  /// pre-existing semantics.
+  int src_world = kAnySource;
   void* out = nullptr;
   std::size_t capacity = 0;
   bool overhead_charged = false;  ///< o_r charged at observation, once
@@ -242,6 +249,7 @@ struct RecvOp final : OpState {
     reset_base();
     src_filter = kAnySource;
     tag_filter = kAnyTag;
+    src_world = kAnySource;
     out = nullptr;
     capacity = 0;
     overhead_charged = false;

@@ -30,6 +30,12 @@ Request Rank::irecv(const Comm& comm, int src, int tag, RecvBuf out) {
   require_member(comm, world_rank_, "irecv");
   if (tag != kAnyTag && tag < kMinUserTag)
     throw std::invalid_argument("irecv: user tags must be >= 0 or kAnyTag");
+  // Deliberately not failure-aware (src_world stays kAnySource): a posted
+  // p2p receive toward a crashed peer remains posted and can match the
+  // peer's restarted incarnation — restart-transparent point-to-point is
+  // part of the rejoin contract. Collectives, agree, and aggregated IO opt
+  // into satisfied-by-failure instead, because a restarted incarnation
+  // re-enters those protocols from the beginning.
   return machine_->post_recv(comm.context(), world_rank_, src, tag, out);
 }
 
@@ -114,6 +120,77 @@ Status Rank::probe(const Comm& comm, int src, int tag) {
 bool Rank::iprobe(const Comm& comm, int src, int tag, Status* status) {
   require_member(comm, world_rank_, "iprobe");
   return machine_->match_probe(comm.context(), world_rank_, src, tag, status);
+}
+
+namespace {
+/// Freeze the agreement iff every group member has either deposited or is
+/// dead in the machine's failure record. Idempotent; the first observer
+/// snapshots value + dead set and wakes everyone still blocked.
+bool try_freeze(Machine& machine, resilience::Agreement& a, const Comm& comm) {
+  if (a.frozen) return true;
+  for (int r = 0; r < comm.size(); ++r) {
+    if (!a.deposited[static_cast<std::size_t>(r)] &&
+        !machine.rank_failed(comm.world_rank(r)))
+      return false;
+  }
+  a.frozen = true;
+  for (int r = 0; r < comm.size(); ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    if (a.deposited[idx]) a.value |= a.contribution[idx];
+    if (machine.rank_failed(comm.world_rank(r))) a.dead.push_back(r);
+  }
+  for (const int pid : a.waiters) machine.engine().wake(pid);
+  a.waiters.clear();
+  return true;
+}
+}  // namespace
+
+AgreeResult Rank::agree(const Comm& comm, std::uint64_t contribution) {
+  machine_->ensure_alive(world_rank_);
+  const int me = require_member(comm, world_rank_, "agree");
+  // All participants of the same call derive the same ledger key from the
+  // communicator and the per-context agreement sequence (same ordering
+  // contract as collectives). A restarted incarnation restarts its sequence
+  // at 0, which is consistent as long as it re-enters the protocol from the
+  // beginning — the same contract attach-based rejoin already follows.
+  const std::uint64_t seq = agree_seq_[comm.context()]++;
+  const std::uint64_t key =
+      Machine::derive_context(comm.context(), 0xA64EE0ull, seq);
+  auto ledger = machine_->agreement(key, comm.size());
+  const auto idx = static_cast<std::size_t>(me);
+  if (!ledger->deposited[idx]) {
+    ledger->deposited[idx] = 1;
+    ledger->contribution[idx] = contribution;
+    ++ledger->readers_left;
+    // This deposit may complete the freeze condition for blocked peers.
+    for (const int pid : ledger->waiters) machine_->engine().wake(pid);
+    ledger->waiters.clear();
+  }
+  // The agreement's wire cost: log-P failure-aware synchronization rounds.
+  // Its outcome is irrelevant (the ledger is the source of truth); what
+  // matters is that it never hangs and prices the exchange.
+  wait(ibarrier(comm));
+  while (!ledger->frozen && !try_freeze(*machine_, *ledger, comm)) {
+    ledger->waiters.push_back(process_->id());
+    machine_->add_failure_waiter(process_->id());
+    process_->set_state_note("blocked in agree()");
+    process_->suspend();
+    machine_->ensure_alive(world_rank_);
+  }
+  process_->set_state_note({});
+  AgreeResult out;
+  out.value = ledger->value;
+  for (int r = 0; r < comm.size(); ++r) out.survivors.push_back(comm.world_rank(r));
+  for (const int r : ledger->dead) {
+    out.failed.push_back(comm.world_rank(r));
+    out.survivors.erase(std::find(out.survivors.begin(), out.survivors.end(),
+                                  comm.world_rank(r)));
+  }
+  // Drop the ledger once the last live depositor has read the frozen
+  // result. (A depositor that crashes post-freeze without reading leaves
+  // the entry behind — bounded by such crashes, negligible.)
+  if (--ledger->readers_left == 0) machine_->release_agreement(key);
+  return out;
 }
 
 int Rank::next_coll_tag(const Comm& comm) {

@@ -20,6 +20,18 @@
 
 namespace ds::mpi {
 
+/// Outcome of Rank::agree: the agreed value plus the consistent failure
+/// view every participant observes. All survivors of one agree() call
+/// return the exact same triple (the ledger freezes it exactly once), which
+/// is what lets them rebuild a shrunken membership without further
+/// coordination.
+struct AgreeResult {
+  std::uint64_t value = 0;     ///< OR over every deposited contribution
+  std::vector<int> survivors;  ///< world ranks alive at the freeze
+  std::vector<int> failed;     ///< world ranks dead at the freeze
+  [[nodiscard]] bool clean() const noexcept { return failed.empty(); }
+};
+
 class Rank {
  public:
   Rank(Machine& machine, sim::Process& process, int world_rank)
@@ -81,42 +93,62 @@ class Rank {
   bool iprobe(const Comm& comm, int src, int tag, Status* status = nullptr);
 
   // ---- collectives (all members of `comm` must call, in the same order) ----
-  void barrier(const Comm& comm);
+  //
+  // All collectives are failure-aware: a peer crash never hangs them.
+  // Expected messages from a rank that crashes are satisfied by failure,
+  // the round schedule runs to structural completion, and the outcome
+  // (blocking return value / Request's status) carries `failed = true` on
+  // every member that observed the crash. Outcomes may differ across ranks
+  // when the crash races the last rounds (ULFM semantics); survivors that
+  // must act consistently settle the view with agree() first. Data results
+  // of a failed collective are undefined.
+  Status barrier(const Comm& comm);
   Request ibarrier(const Comm& comm);
 
   /// Broadcast `data` (significant at root) to all members.
-  void bcast(const Comm& comm, int root, RecvBuf data);
+  Status bcast(const Comm& comm, int root, RecvBuf data);
   Request ibcast(const Comm& comm, int root, RecvBuf data);
 
   /// Reduce elementwise into `out` at root. `fn` combines byte buffers; null
   /// `in.ptr` or `out` runs the collective with synthetic payloads.
-  void reduce(const Comm& comm, int root, SendBuf in, void* out, ReduceFn fn);
+  Status reduce(const Comm& comm, int root, SendBuf in, void* out, ReduceFn fn);
   Request ireduce(const Comm& comm, int root, SendBuf in, void* out, ReduceFn fn);
 
-  void allreduce(const Comm& comm, SendBuf in, void* out, ReduceFn fn);
+  Status allreduce(const Comm& comm, SendBuf in, void* out, ReduceFn fn);
   Request iallreduce(const Comm& comm, SendBuf in, void* out, ReduceFn fn);
 
   /// Gather variable-size blocks from all ranks into `out` on every rank.
   /// `counts[r]` is rank r's block size in bytes; block r lands at offset
   /// sum(counts[0..r)). `mine.bytes` must equal `counts[my rank]`.
-  void allgatherv(const Comm& comm, SendBuf mine, void* out,
-                  const std::vector<std::size_t>& counts);
+  Status allgatherv(const Comm& comm, SendBuf mine, void* out,
+                    const std::vector<std::size_t>& counts);
   Request iallgatherv(const Comm& comm, SendBuf mine, void* out,
                       const std::vector<std::size_t>& counts);
 
   /// Variable all-to-all; `send_counts[r]`/`recv_counts[r]` are byte counts
   /// to/from rank r, packed contiguously in rank order. As with
   /// MPI_Ialltoallv, the count arrays must stay valid until completion.
-  void alltoallv(const Comm& comm, const void* send_buf,
-                 const std::vector<std::size_t>& send_counts, void* recv_buf,
-                 const std::vector<std::size_t>& recv_counts);
+  Status alltoallv(const Comm& comm, const void* send_buf,
+                   const std::vector<std::size_t>& send_counts, void* recv_buf,
+                   const std::vector<std::size_t>& recv_counts);
   Request ialltoallv(const Comm& comm, const void* send_buf,
                      const std::vector<std::size_t>& send_counts, void* recv_buf,
                      const std::vector<std::size_t>& recv_counts);
 
   /// Gather variable-size blocks to `root` only.
-  void gatherv(const Comm& comm, int root, SendBuf mine, void* out,
-               const std::vector<std::size_t>& counts);
+  Status gatherv(const Comm& comm, int root, SendBuf mine, void* out,
+                 const std::vector<std::size_t>& counts);
+
+  /// Fault-tolerant agreement (ULFM-shrink style). Every live member of
+  /// `comm` deposits `contribution` into a shared ledger and runs log-P
+  /// failure-aware synchronization rounds; the call returns once every
+  /// member has either deposited or crashed. The result — OR over all
+  /// deposited contributions plus the dead/survivor view at the freeze —
+  /// is identical on every participant, tolerating crashes at any point
+  /// mid-agreement (each deposit or crash strictly advances the freeze
+  /// condition). Like collectives, concurrent agreements on one
+  /// communicator must be issued in the same order on every member.
+  AgreeResult agree(const Comm& comm, std::uint64_t contribution = 0);
 
   /// Partition `comm` by color; ranks order by (key, old rank). Negative
   /// color returns an invalid Comm (MPI_UNDEFINED semantics).
@@ -134,6 +166,7 @@ class Rank {
   int world_rank_;
   std::map<std::uint64_t, std::uint64_t> coll_seq_;
   std::map<std::uint64_t, std::uint64_t> split_seq_;
+  std::map<std::uint64_t, std::uint64_t> agree_seq_;
 };
 
 }  // namespace ds::mpi

@@ -46,6 +46,24 @@ class RankFailure : public std::runtime_error {
   int world_rank_;
 };
 
+/// Thrown out of Machine::run when MachineConfig::collective_timeout is set
+/// and a collective instance is still incomplete after that much virtual
+/// time. A watchdog for regressions: a collective that stops being
+/// failure-aware fails the run in bounded virtual time instead of wedging
+/// the event loop (and the surrounding ctest invocation).
+class CollectiveTimeout : public std::runtime_error {
+ public:
+  CollectiveTimeout(int world_rank, int tag)
+      : std::runtime_error("collective (tag " + std::to_string(tag) +
+                           ") on rank " + std::to_string(world_rank) +
+                           " exceeded MachineConfig::collective_timeout"),
+        world_rank_(world_rank) {}
+  [[nodiscard]] int world_rank() const noexcept { return world_rank_; }
+
+ private:
+  int world_rank_;
+};
+
 /// Outgoing payload. `ptr == nullptr` marks a *synthetic* payload: the
 /// message occupies `bytes` on the simulated wire but carries no host memory.
 /// Benches use synthetic payloads so that 8,192-rank runs do not allocate

@@ -19,6 +19,14 @@ FaultPlan& FaultPlan::crash(int rank, util::SimTime at) {
   return *this;
 }
 
+FaultPlan& FaultPlan::crash_during_setup(int rank) {
+  // One nanosecond of virtual time: after the program fibers have started
+  // (a t=0 crash is rejected by validate), but well inside the first wire
+  // round of any setup collective — network latency alone is three orders
+  // of magnitude larger.
+  return crash(rank, util::nanoseconds(1));
+}
+
 FaultPlan& FaultPlan::restart(int rank, util::SimTime at) {
   require_rank(rank, "FaultPlan::restart");
   events.push_back(FaultEvent{FaultEvent::Kind::RankRestart, at, rank, 1.0, 0});
@@ -74,6 +82,13 @@ void FaultPlan::validate(int world_size) const {
     auto& d = down[static_cast<std::size_t>(ev.rank)];
     switch (ev.kind) {
       case FaultEvent::Kind::RankCrash:
+        if (ev.at == 0)
+          throw std::invalid_argument(
+              "FaultPlan: crash of rank " + std::to_string(ev.rank) +
+              " at exactly t=0 — the rank would be dead before its program "
+              "fiber ever runs, which silently tests nothing. Use "
+              "crash_during_setup(rank) for the earliest useful crash, or "
+              "shrink the world instead.");
         if (d != 0)
           throw std::invalid_argument(
               "FaultPlan: duplicate crash of rank " + std::to_string(ev.rank) +

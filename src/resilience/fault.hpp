@@ -21,13 +21,16 @@
 // mpi::MachineConfig::faults and executed by the engine at exact virtual
 // times — runs remain pure functions of (program, seed, plan).
 //
-// Collectives are not failure-aware: a crash that lands while surviving
-// ranks are inside a collective with the victim (including the allgatherv
-// in Channel::create and communicator splits) leaves them waiting on a
-// contribution that never comes — a DeadlockError, not a recovery. Schedule
-// crashes after setup collectives complete; the stream failover protocol
-// (core/stream.hpp) then recovers crashes observed while producers are
-// active. Failure-aware collectives are a ROADMAP follow-up.
+// Collectives are failure-aware: a crash that lands while surviving ranks
+// are inside a collective with the victim (including the role exchange in
+// Channel::create, communicator splits, and collective IO) completes on
+// every survivor with Status::failed instead of deadlocking — a message
+// from a dead peer is satisfied by the failure record. Survivors then
+// resolve a consistent view with Rank::agree and rebuild over the agreed
+// membership (Channel::create retries internally). Crashes may therefore be
+// scheduled at any virtual time t > 0, including inside setup and teardown;
+// the stream failover protocol (core/stream.hpp) recovers crashes observed
+// while producers are active.
 #pragma once
 
 #include <vector>
@@ -60,6 +63,11 @@ struct FaultPlan {
   std::vector<FaultEvent> events;
 
   FaultPlan& crash(int rank, util::SimTime at);
+  /// Crash `rank` inside the program's setup collectives: the first role
+  /// exchange of a Channel::create (or any other setup collective) spans
+  /// several wire rounds from t=0, so a crash at one nanosecond of virtual
+  /// time lands mid-protocol. Exercises the failure-aware setup path.
+  FaultPlan& crash_during_setup(int rank);
   FaultPlan& restart(int rank, util::SimTime at);
   FaultPlan& degrade_link(int rank, util::SimTime at, double factor,
                           util::SimTime duration = 0);
@@ -78,6 +86,8 @@ struct FaultPlan {
   /// would otherwise be silent no-ops or undefined mid-run behavior:
   ///  * any event addressing a rank outside [0, world_size)
   ///  * a path-degrade whose second endpoint is outside the world
+  ///  * a crash at exactly t=0 (the rank would die before its program fiber
+  ///    ever runs — crash_during_setup schedules the earliest useful crash)
   ///  * a crash of a rank that is already down at that time
   ///  * a restart of a rank that is not down at that time
   void validate(int world_size) const;

@@ -17,7 +17,12 @@ The baseline document's top-level "bench" key selects the mode:
     uphold the failure-matrix acceptance contract: >= 10 crash/rejoin
     cycles, exactly-once delivery per consumer view, full coverage, and
     goodput >= 80% of the paced fault-free reference (override the floor
-    with DS_BENCH_FAULT_GOODPUT). The numeric recovery/goodput metrics are
+    with DS_BENCH_FAULT_GOODPUT). A setup_crash scenario (when the
+    baseline has one) must show exactly-once complete delivery with zero
+    failovers/replay — the crash inside Channel::create must be repaired
+    by membership agreement, not by the streaming failover path — and a
+    rebuild makespan within 2x of the fault-free run (override with
+    DS_BENCH_SETUP_REBUILD). The numeric recovery/goodput metrics are
     archived for trend reading, not drift-gated here — the bench binary
     itself exits nonzero on every bound it owns.
 
@@ -129,13 +134,38 @@ def check_fault_recovery(baseline_doc, fresh_doc):
         fail("baseline JSON has no 'scenarios' array")
         return
     churn_in_baseline = False
+    setup_in_baseline = False
     for base in scenarios:
         if not isinstance(base, dict) or "name" not in base:
             fail("baseline scenario without a 'name'")
             continue
         if base["name"] == "churn":
             churn_in_baseline = True
+        if base["name"] == "setup_crash":
+            setup_in_baseline = True
         scenario(fresh_doc, base["name"], "fresh")
+    if setup_in_baseline:
+        setup = scenario(fresh_doc, "setup_crash", "fresh")
+        if setup is not None:
+            for key in ("exactly_once", "complete"):
+                value = metric(setup, key, "fresh", "setup_crash")
+                if value is not None and value != 1:
+                    fail(f"setup_crash scenario violates '{key}'")
+            for key in ("failovers", "replayed_elements"):
+                value = metric(setup, key, "fresh", "setup_crash")
+                if value is not None and value != 0:
+                    fail(f"setup_crash scenario has nonzero '{key}': the "
+                         f"crash inside channel creation must be repaired "
+                         f"by the membership agreement, not by streaming "
+                         f"failover")
+            bound = float(os.environ.get("DS_BENCH_SETUP_REBUILD", "2.0"))
+            ratio = metric(setup, "rebuild_ratio", "fresh", "setup_crash")
+            if ratio is not None:
+                print(f"setup-crash rebuild: {ratio:.2f}x fault-free "
+                      f"(bound {bound:.1f}x)")
+                if ratio > bound:
+                    fail(f"setup-crash rebuild {ratio:.2f}x exceeds the "
+                         f"{bound:.1f}x bound")
     if not churn_in_baseline:
         print("fault recovery: baseline predates the churn scenario; "
               "presence-only check")
