@@ -1,22 +1,51 @@
 // Figure 2: execution trace of the PIC code on 7 ranks, reference vs
 // decoupled — the HPCToolkit view from the paper's motivation section.
-// Rows are ranks, columns are time buckets: 'c' = particle computation,
-// 'm' = particle communication, 'a' = helper aggregation, '.' = idle.
+// Rows are ranks, columns are time buckets, glyphs per the printed legend
+// ('c' = particle computation, blocked waits / collectives / stream
+// operate get their own glyphs, '.' = idle, '!' = instant event).
+//
+// The spans come from the ds::obs auto-instrumentation (no manual
+// begin/end bookkeeping in the app); alongside the ASCII view the bench
+// writes each variant's Chrome trace-event JSON — open it in Perfetto or
+// chrome://tracing — and its ds.metrics.v1 document:
+//   fig2_trace_{reference,decoupled}.json
+//   fig2_metrics_{reference,decoupled}.json
+// (directory overridable via DS_BENCH_OUT_DIR).
 //
 // Paper result: in the reference, computation and communication alternate
 // as staged phases on every rank; in the decoupled run the helper handles
 // the communication while the workers compute, the phases overlap on the
 // timeline, and the makespan shrinks.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "apps/pic/pic_app.hpp"
 #include "bench/bench_common.hpp"
+
+namespace {
+
+void write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fig2: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
 
 int main() {
   using namespace ds;
   bench::print_header("Fig. 2 — PIC execution trace, 7 ranks",
                       "reference (top) vs decoupled (bottom); decoupling "
                       "overlaps comm with comp and shortens the run");
+
+  const char* out_env = std::getenv("DS_BENCH_OUT_DIR");
+  const std::string out_dir = out_env != nullptr ? std::string(out_env) : ".";
 
   double reference_seconds = 0.0;
   for (const auto variant : {apps::pic::ExchangeVariant::Reference,
@@ -35,6 +64,10 @@ int main() {
                 is_reference ? "REFERENCE" : "DECOUPLED",
                 traced.result.seconds, traced.result.comm_seconds,
                 traced.ascii_trace.c_str());
+    const char* tag = is_reference ? "reference" : "decoupled";
+    write_file(out_dir + "/fig2_trace_" + tag + ".json", traced.chrome_trace);
+    write_file(out_dir + "/fig2_metrics_" + tag + ".json",
+               traced.metrics_json);
     if (is_reference) {
       reference_seconds = traced.result.seconds;
     } else {

@@ -25,10 +25,16 @@
 //  * coalesce_budget — fabric messages/element and throughput across frame
 //    budgets (0 = per-element transport .. 8 KiB), pinned (no self-tuning),
 //    plus the self-tuned default the steady_stream scenario runs with.
+//  * obs_enabled     — the steady scenario with the ds::obs layer fully on
+//    (span tracing + metrics): the observability overhead contract. Gated
+//    at <= 5% eps loss vs. the disabled run, best-of-3 each to damp host
+//    noise (tolerance overridable via DS_BENCH_OBS_TOLERANCE).
 //
 // Writes BENCH_simcore.json (override with DS_BENCH_JSON) for the CI
-// artifact. Exits nonzero when steady-state eager elements allocate, or
-// when any scenario loses elements.
+// artifact. Exits nonzero when steady-state eager elements allocate, when
+// enabled-mode observability overhead exceeds its gate, or when any
+// scenario loses elements.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -101,10 +107,11 @@ struct RunResult {
   std::uint64_t fabric_messages = 0;
 };
 
-[[nodiscard]] mpi::MachineConfig bench_machine() {
+[[nodiscard]] mpi::MachineConfig bench_machine(bool obs_on = false) {
   mpi::MachineConfig config;
   config.world_size = kWorld;
   config.engine.stack_bytes = 64 * 1024;
+  if (obs_on) config.observability = obs::ObsConfig::all();
   return config;
 }
 
@@ -119,9 +126,10 @@ constexpr std::uint32_t kLibraryDefault = 0xFFFFFFFFu;
 /// self-tuning off; kLibraryDefault runs the out-of-the-box transport.
 RunResult run_steady(int elements_per_producer, std::uint32_t ack_interval,
                      std::uint32_t window,
-                     std::uint32_t coalesce_budget = kLibraryDefault) {
+                     std::uint32_t coalesce_budget = kLibraryDefault,
+                     bool obs_on = false) {
   RunResult result;
-  mpi::Machine machine(bench_machine());
+  mpi::Machine machine(bench_machine(obs_on));
   const auto t0 = std::chrono::steady_clock::now();
   const auto allocs0 = g_alloc_count;
   machine.run([&](mpi::Rank& self) {
@@ -344,9 +352,49 @@ int main() {
     json += entry;
     first = false;
   }
-  json += "]}\n";
+  json += "],";
+
+  // -- obs_enabled: the observability overhead contract ----------------------
+  // Disabled-mode cost is covered by the allocation/eps gates above (the
+  // hot path pays one null check per hook). Enabled mode — every blocked
+  // wait a span, metrics registry live — must stay within a few percent:
+  // best-of-3 on each side damps host scheduling noise.
+  const double obs_tolerance =
+      util::env_double("DS_BENCH_OBS_TOLERANCE", 0.05);
+  double best_off = 0.0, best_on = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const RunResult off = run_steady(e_long, /*ack_interval=*/0, /*window=*/64);
+    const RunResult on = run_steady(e_long, /*ack_interval=*/0, /*window=*/64,
+                                    kLibraryDefault, /*obs_on=*/true);
+    ok &= off.elements == steady.elements && on.elements == steady.elements;
+    best_off = std::max(best_off,
+                        static_cast<double>(off.elements) / off.wall_s);
+    best_on = std::max(best_on, static_cast<double>(on.elements) / on.wall_s);
+  }
+  const double obs_overhead = best_off > 0 ? 1.0 - best_on / best_off : 0.0;
+  table.add_row({"obs_enabled", std::to_string(steady.elements), "-",
+                 fmt(best_on), fmt(obs_overhead * 100.0) + "% overhead", "-"});
+  std::snprintf(entry, sizeof entry,
+                "\"obs_enabled\":{\"elements\":%llu,"
+                "\"elements_per_sec_disabled\":%.1f,"
+                "\"elements_per_sec_enabled\":%.1f,\"overhead_frac\":%.4f,"
+                "\"tolerance\":%.4f}}\n",
+                static_cast<unsigned long long>(steady.elements), best_off,
+                best_on, obs_overhead, obs_tolerance);
+  json += entry;
 
   bench::print_table(table);
+
+  if (obs_overhead > obs_tolerance) {
+    std::printf("\nFAIL: observability enabled-mode overhead %.1f%% exceeds "
+                "%.1f%% eps gate\n",
+                obs_overhead * 100.0, obs_tolerance * 100.0);
+    ok = false;
+  } else {
+    std::printf("\nobservability enabled-mode overhead: %.1f%% of eps "
+                "(gate %.0f%%, PASS)\n",
+                obs_overhead * 100.0, obs_tolerance * 100.0);
+  }
 
   // The acceptance gates: the windowed eager steady state must not touch
   // the heap (a regression in the pooled hot path), and the coalesced

@@ -101,7 +101,6 @@ void run_reference_program(Rank& self, const PicConfig& cfg, const Domain& domai
     // ---- iterative six-neighbour forwarding (rounds bounded by
     //      DimX + DimY + DimZ, terminated by a global allreduce) ----
     const util::SimTime comm_begin = self.now();
-    self.process().trace_begin("mesg");
     while (true) {
       std::uint64_t received_total = 0;
       std::size_t present_index = 0;
@@ -180,7 +179,6 @@ void run_reference_program(Rank& self, const PicConfig& cfg, const Domain& domai
                      mpi::reduce_sum<std::uint64_t>());
       if (global_moving == 0) break;
     }
-    self.process().trace_end();
     comm_time[static_cast<std::size_t>(me)] +=
         util::to_seconds(self.now() - comm_begin);
     if (cfg.real_data) my_count = mine.size();
@@ -294,7 +292,6 @@ void run_decoupled_program(Rank& self, const PicConfig& cfg, const Domain& domai
           "comp");
 
       const util::SimTime comm_begin = self.now();
-      self.process().trace_begin("mesg");
       current_step = step;
       closes_seen = 0;
       if (cfg.real_data) {
@@ -350,7 +347,6 @@ void run_decoupled_program(Rank& self, const PicConfig& cfg, const Domain& domai
           return closes_seen < static_cast<int>(close_sources.size());
         });
       }
-      self.process().trace_end();
       comm_time[static_cast<std::size_t>(w)] +=
           util::to_seconds(self.now() - comm_begin);
       if (cfg.real_data) my_count = mine.size();
@@ -507,14 +503,16 @@ PicResult run_pic(ExchangeVariant variant, const PicConfig& config,
 
 PicTraceResult run_pic_traced(ExchangeVariant variant, const PicConfig& config,
                               mpi::MachineConfig machine_config) {
-  machine_config.engine.record_trace = true;
+  machine_config.observability = obs::ObsConfig::all();
   mpi::Machine machine(machine_config);
   PicTraceResult traced;
   traced.result = run_pic_on(machine, variant, config);
   if (auto* trace = machine.engine().trace()) {
     traced.ascii_trace = trace->to_ascii();
     traced.csv_trace = trace->to_csv();
+    traced.chrome_trace = trace->to_chrome_json();
   }
+  if (auto* metrics = machine.metrics()) traced.metrics_json = metrics->to_json();
   return traced;
 }
 

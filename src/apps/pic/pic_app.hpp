@@ -67,12 +67,16 @@ struct PicResult {
 [[nodiscard]] PicResult run_pic(ExchangeVariant variant, const PicConfig& config,
                                 const mpi::MachineConfig& machine_config);
 
-/// Like run_pic, but records an execution trace (paper Fig. 2's HPCToolkit
-/// view): per-rank timelines with 'c'=compute, 'm'=communication.
+/// Like run_pic, but with observability fully on (paper Fig. 2's HPCToolkit
+/// view): auto-instrumented per-rank timelines (compute, blocked waits,
+/// collectives, stream operate), exported as ASCII, CSV, a Chrome
+/// trace-event JSON (loadable in Perfetto), and a ds.metrics.v1 document.
 struct PicTraceResult {
   PicResult result;
   std::string ascii_trace;
   std::string csv_trace;
+  std::string chrome_trace;  ///< trace-event JSON (Perfetto / chrome://tracing)
+  std::string metrics_json;  ///< ds.metrics.v1
 };
 [[nodiscard]] PicTraceResult run_pic_traced(ExchangeVariant variant,
                                             const PicConfig& config,

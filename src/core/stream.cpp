@@ -477,6 +477,13 @@ void Stream::isend_to(mpi::Rank& self, int consumer, mpi::SendBuf element) {
 }
 
 void Stream::terminate(mpi::Rank& self) {
+  terminate_impl(self);
+  // Reached only on clean completion: a crashed producer's counters are
+  // lost with it, like everything else about a fail-stop rank.
+  flush_producer_metrics(self);
+}
+
+void Stream::terminate_impl(mpi::Rank& self) {
   const int p = channel_->my_producer_index(self);
   if (p < 0) throw std::logic_error("Stream::terminate: caller is not a producer");
   if (terminated_) return;
@@ -831,6 +838,8 @@ void Stream::flush_all_credits(mpi::Rank& self) {
 }
 
 void Stream::await_credit(mpi::Rank& self) {
+  const sim::SpanScope span(self.process(), obs::SpanKind::SendBlocked,
+                            "credit-wait");
   std::uint64_t granted = 0;
   auto req = self.machine().post_recv(ack_context_, self.world_rank(),
                                       mpi::kAnySource, kTagAck,
@@ -902,10 +911,13 @@ bool Stream::check_producer_failover(mpi::Rank& self) {
       st.flow_incarnation[flow] = machine.incarnation(dst_world);
     replay_flow(self, flow, dst_world);
   }
+  if (any) self.process().trace_instant("failover");
   return any;
 }
 
 void Stream::replay_flow(mpi::Rank& self, std::size_t flow, int dst_world) {
+  const sim::SpanScope span(self.process(), obs::SpanKind::StreamReplay,
+                            "replay");
   CoalesceState& st = *coalesce_;
   auto& machine = self.machine();
   auto& fl = st.flows[flow];
@@ -913,6 +925,7 @@ void Stream::replay_flow(mpi::Rank& self, std::size_t flow, int dst_world) {
   // frames (per-source FIFO), so the receiver's cursor skips whatever the
   // previous owner already made durable — even mid-frame.
   if (fl.log.durable_seq() > 0) {
+    self.process().trace_instant("handoff");
     const FlowHandoff handoff{fl.log.durable_seq(),
                               static_cast<std::uint32_t>(flow), 0};
     self.process().advance(st.send_overhead);
@@ -1010,6 +1023,7 @@ bool Stream::check_producer_rebalance(mpi::Rank& self) {
       any = true;
     }
   }
+  if (any) self.process().trace_instant("rejoin-rebalance");
   return any;
 }
 
@@ -1395,6 +1409,8 @@ void Stream::retire(mpi::Rank& self) {
   }
   if (!credit_pending_.empty()) flush_all_credits(self);
   retired_ = true;
+  self.process().trace_instant("retire");
+  flush_consumer_metrics(self);
 }
 
 void Stream::drain_durable_acks(mpi::Rank& self) {
@@ -1612,6 +1628,15 @@ std::uint64_t Stream::operate(mpi::Rank& self) {
 std::uint64_t Stream::operate_while(mpi::Rank& self,
                                     const std::function<bool()>& keep_going) {
   ensure_consumer_state(self);
+  const sim::SpanScope span(self.process(), obs::SpanKind::StreamOperate,
+                            "stream-operate");
+  const std::uint64_t processed = operate_loop(self, keep_going);
+  if (exhausted()) flush_consumer_metrics(self);
+  return processed;
+}
+
+std::uint64_t Stream::operate_loop(mpi::Rank& self,
+                                   const std::function<bool()>& keep_going) {
   std::uint64_t processed = 0;
   // First-come-first-served across every producer: whichever element arrives
   // next gets processed, regardless of which peer sent it. A partially
@@ -1738,6 +1763,51 @@ bool Stream::poll_one(mpi::Rank& self) {
     if (req->status.tag == kTagData) return true;
   }
   return false;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics lifecycle flush (ds::obs). Counters accumulate across the rank's
+// streams, so a rank using several channels reports its per-role totals.
+// ---------------------------------------------------------------------------
+
+void Stream::flush_term_metrics(mpi::Rank& self) {
+  // Terms are sent by both roles (producer terminate, consumer tree
+  // fan-out), so a dual-role rank would double-report a plain total: flush
+  // the delta since the last flush instead.
+  auto* m = self.machine().metrics();
+  if (m == nullptr) return;
+  m->counter("stream.term_messages", self.world_rank())
+      .add(term_msgs_sent_ - term_msgs_flushed_);
+  term_msgs_flushed_ = term_msgs_sent_;
+}
+
+void Stream::flush_producer_metrics(mpi::Rank& self) {
+  auto* m = self.machine().metrics();
+  if (m == nullptr || producer_metrics_flushed_) return;
+  producer_metrics_flushed_ = true;
+  const int r = self.world_rank();
+  m->counter("stream.elements_sent", r).add(sent_);
+  m->counter("stream.frames_sent", r).add(frames_sent());
+  m->counter("stream.coalesced_elements", r).add(coalesced_elements_sent());
+  m->counter("stream.credits_received", r).add(acks_seen_);
+  m->counter("stream.replayed_elements", r).add(replayed_elements());
+  m->counter("stream.failovers", r).add(failovers());
+  m->counter("stream.rebalances", r).add(rebalances());
+  m->counter("stream.retained_elements", r).add(retained_elements());
+  flush_term_metrics(self);
+}
+
+void Stream::flush_consumer_metrics(mpi::Rank& self) {
+  auto* m = self.machine().metrics();
+  if (m == nullptr || consumer_metrics_flushed_) return;
+  consumer_metrics_flushed_ = true;
+  const int r = self.world_rank();
+  m->counter("stream.elements_consumed", r).add(processed_data_);
+  m->counter("stream.ack_messages", r).add(ack_msgs_sent_);
+  m->counter("stream.duplicates_dropped", r).add(duplicates_dropped());
+  m->counter("stream.dedup_entries", r).add(dedup_entries());
+  m->counter("stream.durable_acks", r).add(durable_acks_sent_);
+  flush_term_metrics(self);
 }
 
 }  // namespace ds::stream

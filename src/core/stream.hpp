@@ -394,6 +394,18 @@ class Stream {
   /// Consumer: ack the current consumption point of every tracked flow.
   void flush_durable_acks(mpi::Rank& self);
   [[nodiscard]] std::uint32_t window_now() const noexcept;
+  /// The real bodies of terminate()/operate_while(); the public entry
+  /// points wrap them with the ds::obs span and the lifecycle metrics
+  /// flush so every exit path (including RankFailure unwinds) is covered.
+  void terminate_impl(mpi::Rank& self);
+  std::uint64_t operate_loop(mpi::Rank& self,
+                             const std::function<bool()>& keep_going);
+  /// Lifecycle flush into the machine's metrics registry (ds::obs): each
+  /// role adds its totals once, when it completes — the per-element hot
+  /// path never touches the registry.
+  void flush_producer_metrics(mpi::Rank& self);
+  void flush_consumer_metrics(mpi::Rank& self);
+  void flush_term_metrics(mpi::Rank& self);
 
   const Channel* channel_ = nullptr;
   std::uint64_t context_ = 0;      ///< matching context derived per stream
@@ -406,6 +418,10 @@ class Stream {
   std::uint64_t sent_ = 0;
   std::uint64_t acks_seen_ = 0;
   bool terminated_ = false;
+  // one-shot latches for the metrics lifecycle flush (see flush_*_metrics)
+  bool producer_metrics_flushed_ = false;
+  bool consumer_metrics_flushed_ = false;
+  std::uint64_t term_msgs_flushed_ = 0;  ///< term msgs already flushed
   std::vector<std::uint64_t> sent_per_consumer_;  ///< tree termination only
   /// Coalescing state box (null until the first isend, or when coalescing
   /// is disabled). Shared with the backstop events scheduled at each frame

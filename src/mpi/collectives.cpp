@@ -545,6 +545,7 @@ namespace {
 }  // namespace
 
 Status Rank::barrier(const Comm& comm) {
+  const sim::SpanScope span(*process_, obs::SpanKind::Collective, "barrier");
   return wait_outcome(*this, ibarrier(comm));
 }
 
@@ -555,6 +556,7 @@ Request Rank::ibcast(const Comm& comm, int root, RecvBuf data) {
 }
 
 Status Rank::bcast(const Comm& comm, int root, RecvBuf data) {
+  const sim::SpanScope span(*process_, obs::SpanKind::Collective, "bcast");
   return wait_outcome(*this, ibcast(comm, root, data));
 }
 
@@ -568,6 +570,7 @@ Request Rank::ireduce(const Comm& comm, int root, SendBuf in, void* out,
 
 Status Rank::reduce(const Comm& comm, int root, SendBuf in, void* out,
                     ReduceFn fn) {
+  const sim::SpanScope span(*process_, obs::SpanKind::Collective, "reduce");
   return wait_outcome(*this, ireduce(comm, root, in, out, std::move(fn)));
 }
 
@@ -591,6 +594,7 @@ Request Rank::iallreduce(const Comm& comm, SendBuf in, void* out, ReduceFn fn) {
 }
 
 Status Rank::allreduce(const Comm& comm, SendBuf in, void* out, ReduceFn fn) {
+  const sim::SpanScope span(*process_, obs::SpanKind::Collective, "allreduce");
   return wait_outcome(*this, iallreduce(comm, in, out, std::move(fn)));
 }
 
@@ -606,6 +610,7 @@ Request Rank::iallgatherv(const Comm& comm, SendBuf mine, void* out,
 
 Status Rank::allgatherv(const Comm& comm, SendBuf mine, void* out,
                         const std::vector<std::size_t>& counts) {
+  const sim::SpanScope span(*process_, obs::SpanKind::Collective, "allgatherv");
   return wait_outcome(*this, iallgatherv(comm, mine, out, counts));
 }
 
@@ -640,12 +645,14 @@ Status Rank::alltoallv(const Comm& comm, const void* send_buf,
                        const std::vector<std::size_t>& send_counts,
                        void* recv_buf,
                        const std::vector<std::size_t>& recv_counts) {
+  const sim::SpanScope span(*process_, obs::SpanKind::Collective, "alltoallv");
   return wait_outcome(
       *this, ialltoallv(comm, send_buf, send_counts, recv_buf, recv_counts));
 }
 
 Status Rank::gatherv(const Comm& comm, int root, SendBuf mine, void* out,
                      const std::vector<std::size_t>& counts) {
+  const sim::SpanScope span(*process_, obs::SpanKind::Collective, "gatherv");
   const int me = rank_in(comm);
   if (me < 0) throw std::logic_error("gatherv: not a member");
   return wait_outcome(*this,

@@ -9,16 +9,51 @@
 
 namespace ds::mpi {
 
+namespace {
+/// The legacy engine switch and the obs config must agree: either one turns
+/// span tracing on (engine.record_trace predates ObsConfig and existing
+/// callers still set it directly).
+MachineConfig normalized(MachineConfig c) {
+  c.observability.trace = c.observability.trace || c.engine.record_trace;
+  c.engine.record_trace = c.observability.trace;
+  return c;
+}
+}  // namespace
+
 Machine::Machine(MachineConfig config)
-    : config_(config),
-      engine_(config.engine),
-      fabric_(config.network, config.world_size),
-      filesystem_(config.filesystem),
-      world_(/*context=*/1, Group::world(config.world_size)),
-      mailboxes_(static_cast<std::size_t>(config.world_size)),
-      pids_(static_cast<std::size_t>(config.world_size), -1),
-      dead_(static_cast<std::size_t>(config.world_size), 0),
-      incarnation_(static_cast<std::size_t>(config.world_size), 0) {}
+    : config_(normalized(std::move(config))),
+      engine_(config_.engine),
+      fabric_(config_.network, config_.world_size),
+      filesystem_(config_.filesystem),
+      world_(/*context=*/1, Group::world(config_.world_size)),
+      mailboxes_(static_cast<std::size_t>(config_.world_size)),
+      pids_(static_cast<std::size_t>(config_.world_size), -1),
+      dead_(static_cast<std::size_t>(config_.world_size), 0),
+      incarnation_(static_cast<std::size_t>(config_.world_size), 0) {
+  if (config_.observability.metrics) {
+    metrics_ = std::make_unique<obs::Metrics>();
+    // Pull-style machine state: snapshotted by collect()/to_json(), never
+    // touched on the per-message path.
+    metrics_->add_collector([this](obs::Metrics& m) {
+      m.gauge("engine.events_executed")
+          .set(static_cast<double>(engine_.events_executed()));
+      m.gauge("engine.virtual_time_s").set(util::to_seconds(engine_.now()));
+      const PoolStats pools = pool_stats();
+      m.gauge("pool.send.created").set(static_cast<double>(pools.send.created));
+      m.gauge("pool.send.reused").set(static_cast<double>(pools.send.reused()));
+      m.gauge("pool.send.outstanding")
+          .set(static_cast<double>(pools.send.outstanding()));
+      m.gauge("pool.recv.created").set(static_cast<double>(pools.recv.created));
+      m.gauge("pool.recv.reused").set(static_cast<double>(pools.recv.reused()));
+      m.gauge("pool.recv.outstanding")
+          .set(static_cast<double>(pools.recv.outstanding()));
+      m.gauge("resilience.failure_epoch")
+          .set(static_cast<double>(failure_epoch_));
+      m.gauge("resilience.rejoin_epoch").set(static_cast<double>(rejoin_epoch_));
+      fabric_.sample_metrics(m);
+    });
+  }
+}
 
 Machine::~Machine() = default;
 
@@ -33,6 +68,9 @@ util::SimTime Machine::run(std::function<void(Rank&)> program) {
 void Machine::spawn_rank(int r) {
   pids_[static_cast<std::size_t>(r)] =
       engine_.spawn([this, r](sim::Process& p) {
+        // Every incarnation of a world rank records on the same trace track,
+        // even though restart_rank fibers get fresh engine pids.
+        p.set_trace_rank(r);
         Rank rank(*this, p, r);
         try {
           program_(rank);
@@ -58,6 +96,8 @@ void Machine::apply_fault(const sim::FaultEvent& event) {
       restart_rank(event.rank);
       break;
     case sim::FaultEvent::Kind::LinkDegrade:
+      if (auto* t = engine_.trace())
+        t->instant(event.rank, engine_.now(), "link-degrade");
       if (event.rank_b >= 0) {
         // Path form: the fault addresses the shared links on the topology
         // route (a cable/switch-port failure). No compute perturbation —
@@ -89,6 +129,13 @@ void Machine::kill_rank(int world_rank) {
   if (dead != 0) return;
   dead = 1;
   ++failure_epoch_;
+  if (auto* t = engine_.trace()) {
+    // Fail-stop cuts the rank's activity off mid-span; close what is open so
+    // the track stays balanced, then mark the crash as an instant event.
+    t->instant(world_rank, engine_.now(), "crash");
+    t->close_all(world_rank, engine_.now());
+  }
+  if (metrics_) metrics_->counter("resilience.crashes", world_rank).add();
 
   // Drain the dead rank's mailbox. Unexpected arrivals are dropped — taking
   // them releases the queue's references, so the pooled send ops recycle
@@ -149,6 +196,9 @@ void Machine::restart_rank(int world_rank) {
   dead = 0;
   ++incarnation_[static_cast<std::size_t>(world_rank)];
   ++rejoin_epoch_;
+  if (auto* t = engine_.trace())
+    t->instant(world_rank, engine_.now(), "rejoin");
+  if (metrics_) metrics_->counter("resilience.rejoins", world_rank).add();
   spawn_rank(world_rank);
   // Rejoin is a membership change exactly like a crash: blocked protocol
   // loops (credit/term waits) must re-evaluate routing so flows the adopters

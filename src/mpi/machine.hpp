@@ -12,6 +12,8 @@
 #include "mpi/comm.hpp"
 #include "mpi/ops.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "resilience/agreement.hpp"
 #include "resilience/fault.hpp"
 #include "resilience/membership.hpp"
@@ -28,6 +30,11 @@ struct MachineConfig {
   sim::EngineConfig engine{};
   /// Fault-injection schedule executed during run() (see resilience/fault.hpp).
   sim::FaultPlan faults{};
+  /// Observability switches (ds::obs): span tracing and the metrics
+  /// registry. Off by default — the hot path pays one null check per hook
+  /// when disabled. `engine.record_trace` implies `observability.trace`
+  /// (and vice versa), so legacy trace users keep working.
+  obs::ObsConfig observability{};
   /// When nonzero, every collective arms a watchdog: an instance still
   /// incomplete after this much virtual time throws CollectiveTimeout out of
   /// run() instead of wedging the event loop. Off by default; tests enable
@@ -57,6 +64,15 @@ class Machine {
   [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
   [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
   [[nodiscard]] fs::FileSystem& filesystem() noexcept { return filesystem_; }
+
+  /// Metrics registry (ds::obs), or nullptr when
+  /// MachineConfig::observability.metrics is off. Runtime layers feed it at
+  /// lifecycle points; machine collectors (fabric link bytes/occupancy,
+  /// op-pool stats, engine event count) snapshot on collect()/to_json().
+  [[nodiscard]] obs::Metrics* metrics() noexcept { return metrics_.get(); }
+  [[nodiscard]] bool metrics_enabled() const noexcept {
+    return metrics_ != nullptr;
+  }
   [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
   [[nodiscard]] int world_size() const noexcept { return config_.world_size; }
   [[nodiscard]] const Comm& world() const noexcept { return world_; }
@@ -211,6 +227,7 @@ class Machine {
   sim::Engine engine_;
   net::Fabric fabric_;
   fs::FileSystem filesystem_;
+  std::unique_ptr<obs::Metrics> metrics_;  ///< null = metrics disabled
   Comm world_;
   std::vector<detail::Mailbox> mailboxes_;  // by world rank
 

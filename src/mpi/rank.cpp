@@ -14,6 +14,13 @@ namespace {
     throw std::logic_error(std::string(who) + ": calling rank is not in the communicator");
   return r;
 }
+
+/// Span kind for a blocked wait on `req`: receives show up as recv-blocked
+/// time, everything else (sends, rendezvous completions) as send-blocked.
+[[nodiscard]] obs::SpanKind blocked_kind(const Request& req) noexcept {
+  return req->kind == detail::OpKind::Recv ? obs::SpanKind::RecvBlocked
+                                           : obs::SpanKind::SendBlocked;
+}
 }  // namespace
 
 Request Rank::isend(const Comm& comm, int dst, int tag, SendBuf data) {
@@ -61,14 +68,21 @@ Status Rank::sendrecv(const Comm& comm, int dst, int send_tag, SendBuf data,
 void Rank::wait(const Request& req) {
   if (!req) throw std::invalid_argument("wait: null request");
   machine_->ensure_alive(world_rank_);
-  while (!req->complete) {
-    req->waiter_pid = process_->id();
-    process_->set_state_note("blocked in wait()");
-    process_->suspend();
-    // Fail-stop observation point: kill_rank completes this rank's posted
-    // receives (Status::failed) and wakes it precisely so the fiber lands
-    // here and unwinds.
-    machine_->ensure_alive(world_rank_);
+  if (!req->complete) {
+    // Span only over actual blocking: an already-complete request costs one
+    // branch, and traces show genuine blocked time rather than wait() calls.
+    const sim::SpanScope span(
+        *process_, blocked_kind(req),
+        req->kind == detail::OpKind::Recv ? "recv-wait" : "send-wait");
+    while (!req->complete) {
+      req->waiter_pid = process_->id();
+      process_->set_state_note("blocked in wait()");
+      process_->suspend();
+      // Fail-stop observation point: kill_rank completes this rank's posted
+      // receives (Status::failed) and wakes it precisely so the fiber lands
+      // here and unwinds.
+      machine_->ensure_alive(world_rank_);
+    }
   }
   req->waiter_pid = -1;
   process_->set_state_note({});
@@ -88,6 +102,7 @@ void Rank::wait_all(std::span<const Request> reqs) {
 
 std::size_t Rank::wait_any(std::span<const Request> reqs) {
   if (reqs.empty()) throw std::invalid_argument("wait_any: empty request list");
+  const sim::SpanScope span(*process_, blocked_kind(reqs[0]), "wait-any");
   while (true) {
     for (std::size_t i = 0; i < reqs.size(); ++i) {
       if (reqs[i]->complete) {
@@ -107,6 +122,7 @@ std::size_t Rank::wait_any(std::span<const Request> reqs) {
 Status Rank::probe(const Comm& comm, int src, int tag) {
   require_member(comm, world_rank_, "probe");
   Status st;
+  const sim::SpanScope span(*process_, obs::SpanKind::RecvBlocked, "probe");
   while (!machine_->match_probe(comm.context(), world_rank_, src, tag, &st)) {
     machine_->add_probe_waiter(world_rank_, process_->id());
     process_->set_state_note("blocked in probe()");
@@ -147,6 +163,7 @@ bool try_freeze(Machine& machine, resilience::Agreement& a, const Comm& comm) {
 
 AgreeResult Rank::agree(const Comm& comm, std::uint64_t contribution) {
   machine_->ensure_alive(world_rank_);
+  const sim::SpanScope span(*process_, obs::SpanKind::Agreement, "agree");
   const int me = require_member(comm, world_rank_, "agree");
   // All participants of the same call derive the same ledger key from the
   // communicator and the per-context agreement sequence (same ordering
@@ -186,6 +203,9 @@ AgreeResult Rank::agree(const Comm& comm, std::uint64_t contribution) {
     out.survivors.erase(std::find(out.survivors.begin(), out.survivors.end(),
                                   comm.world_rank(r)));
   }
+  // A failure-detecting agreement is a membership event worth a marker on
+  // the timeline, next to the crash/rejoin instants it reacts to.
+  if (!out.failed.empty()) process_->trace_instant("agreement");
   // Drop the ledger once the last live depositor has read the frozen
   // result. (A depositor that crashes post-freeze without reading leaves
   // the entry behind — bounded by such crashes, negligible.)

@@ -118,4 +118,24 @@ DeliverySchedule Fabric::schedule_message(int src, int dst, std::size_t bytes,
   return DeliverySchedule{rx_end, tx_end};
 }
 
+void Fabric::sample_metrics(obs::Metrics& m) const {
+  m.gauge("fabric.total_bytes").set(static_cast<double>(total_bytes_));
+  m.gauge("fabric.total_messages").set(static_cast<double>(total_messages_));
+  m.gauge("fabric.links").set(static_cast<double>(link_bytes_.size()));
+  // Per-link gauges are capped: a big machine's link set belongs in the
+  // histogram, not as thousands of JSON entries.
+  constexpr std::size_t kMaxLinkGauges = 64;
+  auto& hist = m.histogram("fabric.link_bytes");
+  hist.reset();
+  for (std::size_t link = 0; link < link_bytes_.size(); ++link) {
+    hist.add(static_cast<double>(link_bytes_[link]));
+    if (link < kMaxLinkGauges) {
+      m.gauge("fabric.link_bytes", static_cast<int>(link))
+          .set(static_cast<double>(link_bytes_[link]));
+      m.gauge("fabric.link_busy_until_s", static_cast<int>(link))
+          .set(util::to_seconds(link_free_[link]));
+    }
+  }
+}
+
 }  // namespace ds::net

@@ -11,6 +11,7 @@
 
 #include "net/network.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "util/time.hpp"
 
 namespace ds::net {
@@ -71,6 +72,11 @@ class Fabric {
   [[nodiscard]] util::SimTime link_busy_until(int link) const {
     return link_free_.at(static_cast<std::size_t>(link));
   }
+
+  /// Snapshot fabric state into the metrics registry (a ds::obs collector):
+  /// message/byte totals, a distribution over per-link carried bytes, and
+  /// per-link byte gauges (link id as the rank dimension) for the heat map.
+  void sample_metrics(obs::Metrics& m) const;
 
  private:
   void check_endpoint(int endpoint, const char* what) const;

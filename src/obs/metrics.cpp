@@ -1,0 +1,156 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ds::obs {
+
+namespace {
+/// Bucket index: 0 holds [0,1), bucket i>0 holds [2^(i-1), 2^i).
+[[nodiscard]] int bucket_of(double v) noexcept {
+  if (!(v >= 1.0)) return 0;  // negatives and NaN clamp to the first bucket
+  const int b = std::ilogb(v) + 1;
+  return b >= 64 ? 63 : b;
+}
+}  // namespace
+
+void Histogram::add(double v) noexcept {
+  if (v < 0 || std::isnan(v)) v = 0;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[bucket_of(v)];
+}
+
+double Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= target && buckets_[b] > 0) {
+      const double upper = b == 0 ? 1.0 : std::ldexp(1.0, b);
+      return std::clamp(upper, min_, max_);
+    }
+  }
+  return max_;
+}
+
+Counter& Metrics::counter(const std::string& name, int rank) {
+  return counters_[Key{name, rank}];
+}
+Gauge& Metrics::gauge(const std::string& name, int rank) {
+  return gauges_[Key{name, rank}];
+}
+Histogram& Metrics::histogram(const std::string& name, int rank) {
+  return histograms_[Key{name, rank}];
+}
+
+const Counter* Metrics::find_counter(const std::string& name, int rank) const {
+  const auto it = counters_.find(Key{name, rank});
+  return it == counters_.end() ? nullptr : &it->second;
+}
+const Gauge* Metrics::find_gauge(const std::string& name, int rank) const {
+  const auto it = gauges_.find(Key{name, rank});
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+const Histogram* Metrics::find_histogram(const std::string& name,
+                                         int rank) const {
+  const auto it = histograms_.find(Key{name, rank});
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t Metrics::counter_total(const std::string& name) const {
+  std::uint64_t total = 0;
+  for (auto it = counters_.lower_bound(Key{name, kMachine});
+       it != counters_.end() && it->first.first == name; ++it)
+    total += it->second.value();
+  return total;
+}
+
+void Metrics::add_collector(std::function<void(Metrics&)> fn) {
+  collectors_.push_back(std::move(fn));
+}
+
+void Metrics::collect() {
+  for (const auto& fn : collectors_) fn(*this);
+}
+
+namespace {
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(static_cast<unsigned char>(c) < 0x20 ? ' ' : c);
+  }
+}
+void append_number(std::string& out, double v) {
+  char buf[48];
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "0");
+  }
+  out += buf;
+}
+}  // namespace
+
+std::string Metrics::to_json() {
+  collect();
+  std::string out = "{\"schema\":\"ds.metrics.v1\",\"counters\":[";
+  bool first = true;
+  for (const auto& [key, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"";
+    append_escaped(out, key.first);
+    out += "\",\"rank\":" + std::to_string(key.second) +
+           ",\"value\":" + std::to_string(c.value()) + "}";
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& [key, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"";
+    append_escaped(out, key.first);
+    out += "\",\"rank\":" + std::to_string(key.second) + ",\"value\":";
+    append_number(out, g.value());
+    out += "}";
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& [key, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"";
+    append_escaped(out, key.first);
+    out += "\",\"rank\":" + std::to_string(key.second) +
+           ",\"count\":" + std::to_string(h.count()) + ",\"sum\":";
+    append_number(out, h.sum());
+    out += ",\"min\":";
+    append_number(out, h.min());
+    out += ",\"max\":";
+    append_number(out, h.max());
+    out += ",\"p50\":";
+    append_number(out, h.percentile(0.50));
+    out += ",\"p90\":";
+    append_number(out, h.percentile(0.90));
+    out += ",\"p99\":";
+    append_number(out, h.percentile(0.99));
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace ds::obs

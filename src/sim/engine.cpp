@@ -22,7 +22,7 @@ void Process::advance(util::SimTime d) {
 
 void Process::compute(util::SimTime nominal, const char* label) {
   const util::SimTime d = engine_->noise().perturb(nominal, rng_, degrade_);
-  trace_begin(label);
+  trace_begin(label, obs::SpanKind::Compute);
   advance(d);
   trace_end();
 }
@@ -38,17 +38,22 @@ void Process::suspend() {
   Fiber::yield();
 }
 
-void Process::trace_begin(const char* label) {
-  if (auto* t = engine_->trace()) t->begin(id_, engine_->now(), label);
+void Process::trace_begin(const char* label, obs::SpanKind kind) {
+  if (auto* t = engine_->trace())
+    t->begin(trace_rank_, engine_->now(), label, kind);
 }
 
 void Process::trace_end() {
-  if (auto* t = engine_->trace()) t->end(id_, engine_->now());
+  if (auto* t = engine_->trace()) t->end(trace_rank_, engine_->now());
+}
+
+void Process::trace_instant(const char* name) {
+  if (auto* t = engine_->trace()) t->instant(trace_rank_, engine_->now(), name);
 }
 
 Engine::Engine(EngineConfig config)
     : config_(config), noise_(config.noise) {
-  if (config_.record_trace) trace_ = std::make_unique<TraceRecorder>();
+  if (config_.record_trace) trace_ = std::make_unique<obs::Recorder>();
 }
 
 Engine::~Engine() = default;

@@ -21,10 +21,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fiber.hpp"
 #include "sim/noise.hpp"
-#include "sim/trace.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -58,16 +58,27 @@ class Process {
   void advance(util::SimTime d);
 
   /// Occupy this process for `nominal` perturbed by the engine's noise model;
-  /// records a trace interval labeled `label` when tracing is on.
+  /// records a Compute span labeled `label` when tracing is on.
   void compute(util::SimTime nominal, const char* label = "comp");
 
   /// Sleep until woken. Returns immediately (consuming the token) if a wake
   /// arrived since the last suspend.
   void suspend();
 
-  /// Trace-section helpers (no-ops when tracing is off).
-  void trace_begin(const char* label);
+  /// Trace-section helpers (no-ops when tracing is off). The runtime layers
+  /// auto-instrument their spans through these; applications rarely need
+  /// them directly (compute() labels cover the usual case).
+  void trace_begin(const char* label, obs::SpanKind kind = obs::SpanKind::Other);
   void trace_end();
+  /// Record an instant event on this process's trace track (no-op when
+  /// tracing is off).
+  void trace_instant(const char* name);
+
+  /// Trace track this process records spans on. Defaults to the engine pid;
+  /// layers that respawn fibers (Machine::restart_rank) pin it to the world
+  /// rank so every incarnation of a rank shares one track.
+  void set_trace_rank(int rank) noexcept { trace_rank_ = rank; }
+  [[nodiscard]] int trace_rank() const noexcept { return trace_rank_; }
 
   /// State tag shown in deadlock reports ("blocked in wait()"). Takes a
   /// string literal (or other static-storage string): the hot blocking
@@ -78,12 +89,14 @@ class Process {
  private:
   friend class Engine;
   Process(Engine* engine, int id, std::uint64_t seed)
-      : engine_(engine), id_(id), rng_(util::Rng::for_stream(seed, static_cast<std::uint64_t>(id))) {}
+      : engine_(engine), id_(id), trace_rank_(id),
+        rng_(util::Rng::for_stream(seed, static_cast<std::uint64_t>(id))) {}
 
   enum class State { Created, Runnable, Running, Suspended, Finished };
 
   Engine* engine_;
   int id_;
+  int trace_rank_;
   util::Rng rng_;
   State state_ = State::Created;
   bool wake_pending_ = false;
@@ -139,8 +152,9 @@ class Engine {
   void set_compute_degrade(int pid, double factor);
   [[nodiscard]] double compute_degrade(int pid) const;
 
-  /// Trace recorder, or nullptr when EngineConfig::record_trace is false.
-  [[nodiscard]] TraceRecorder* trace() noexcept { return trace_.get(); }
+  /// Span/instant recorder (ds::obs), or nullptr when tracing is off
+  /// (EngineConfig::record_trace / mpi::MachineConfig::observability).
+  [[nodiscard]] obs::Recorder* trace() noexcept { return trace_.get(); }
 
   /// Events executed so far (proxy for simulation cost; used by benches).
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return events_executed_; }
@@ -157,8 +171,29 @@ class Engine {
   std::vector<std::unique_ptr<Process>> processes_;
   std::size_t live_ = 0;
   Process* running_ = nullptr;
-  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<obs::Recorder> trace_;
   std::uint64_t events_executed_ = 0;
+};
+
+/// RAII span over a blocking runtime section: opens a span on construction
+/// and closes it on destruction (exception-safe — a crash unwinding the
+/// fiber still closes it). Costs one null check when tracing is off, so it
+/// is safe to put on hot blocking paths.
+class SpanScope {
+ public:
+  SpanScope(Process& p, obs::SpanKind kind, const char* label) {
+    if (p.engine().trace() == nullptr) return;
+    p_ = &p;
+    p.trace_begin(label, kind);
+  }
+  ~SpanScope() {
+    if (p_ != nullptr) p_->trace_end();
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  Process* p_ = nullptr;
 };
 
 }  // namespace ds::sim

@@ -1,0 +1,135 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ds::obs {
+namespace {
+
+TEST(Metrics, CountersAccumulatePerRank) {
+  Metrics m;
+  m.counter("msgs", 0).add();
+  m.counter("msgs", 0).add(4);
+  m.counter("msgs", 1).add(2);
+  m.counter("msgs").add(10);  // machine-wide series
+  EXPECT_EQ(m.counter("msgs", 0).value(), 5u);
+  EXPECT_EQ(m.counter("msgs", 1).value(), 2u);
+  EXPECT_EQ(m.counter_total("msgs"), 17u);
+  EXPECT_EQ(m.counter_total("nothing"), 0u);
+}
+
+TEST(Metrics, HandlesAreStableAcrossInsertions) {
+  Metrics m;
+  Counter& c = m.counter("a", 0);
+  for (int r = 0; r < 100; ++r) m.counter("b", r);
+  c.add(7);
+  EXPECT_EQ(m.counter("a", 0).value(), 7u);
+}
+
+TEST(Metrics, FindDoesNotCreate) {
+  Metrics m;
+  EXPECT_EQ(m.find_counter("x"), nullptr);
+  EXPECT_EQ(m.find_gauge("x"), nullptr);
+  EXPECT_EQ(m.find_histogram("x"), nullptr);
+  EXPECT_EQ(m.series_count(), 0u);
+  m.counter("x").add();
+  ASSERT_NE(m.find_counter("x"), nullptr);
+  EXPECT_EQ(m.find_counter("x")->value(), 1u);
+  EXPECT_EQ(m.series_count(), 1u);
+}
+
+TEST(Metrics, GaugeHoldsLatestValue) {
+  Metrics m;
+  m.gauge("occ", 3).set(1.5);
+  m.gauge("occ", 3).set(2.5);
+  EXPECT_DOUBLE_EQ(m.gauge("occ", 3).value(), 2.5);
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, TracksMomentsAndBounds) {
+  Histogram h;
+  for (const double v : {1.0, 2.0, 4.0, 8.0}) h.add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.75);
+}
+
+TEST(Histogram, PercentileWithinOnePowerOfTwo) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(100.0);
+  const double p50 = h.percentile(0.5);
+  // 100 lives in [64, 128): the estimate is that bucket's upper edge,
+  // clamped to the observed max.
+  EXPECT_GE(p50, 100.0);
+  EXPECT_LE(p50, 128.0);
+  // Out-of-range p clamps.
+  EXPECT_LE(h.percentile(2.0), h.max());
+  EXPECT_GE(h.percentile(-1.0), 0.0);
+}
+
+TEST(Histogram, ResetDropsSamples) {
+  Histogram h;
+  h.add(5.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(Metrics, CollectorsRunOnCollect) {
+  Metrics m;
+  int calls = 0;
+  m.add_collector([&](Metrics& reg) {
+    ++calls;
+    reg.gauge("snapshot").set(static_cast<double>(calls));
+  });
+  m.collect();
+  m.collect();
+  EXPECT_EQ(calls, 2);
+  EXPECT_DOUBLE_EQ(m.gauge("snapshot").value(), 2.0);
+}
+
+TEST(Metrics, JsonSchemaShape) {
+  Metrics m;
+  m.counter("stream.elements", 0).add(42);
+  m.gauge("fabric.bytes").set(1024.0);
+  m.histogram("lat", 1).add(3.0);
+  bool collected = false;
+  m.add_collector([&](Metrics&) { collected = true; });
+  const std::string json = m.to_json();
+  EXPECT_TRUE(collected);  // to_json() collects first
+  EXPECT_NE(json.find("\"schema\":\"ds.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":["), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":["), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":["), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"stream.elements\",\"rank\":0,\"value\":42}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(Metrics, JsonIsDeterministicallySorted) {
+  Metrics m1, m2;
+  m1.counter("b", 1).add(1);
+  m1.counter("a", 2).add(2);
+  m2.counter("a", 2).add(2);
+  m2.counter("b", 1).add(1);
+  EXPECT_EQ(m1.to_json(), m2.to_json());
+  // (name, rank) order: "a" before "b".
+  const std::string json = m1.to_json();
+  EXPECT_LT(json.find("\"name\":\"a\""), json.find("\"name\":\"b\""));
+}
+
+}  // namespace
+}  // namespace ds::obs

@@ -58,6 +58,31 @@ TEST(Percentile, InterpolatesBetweenValues) {
   EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
 }
 
+TEST(Percentile, SingleSampleIsThatSampleAtAnyP) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 7.0);
+}
+
+TEST(Percentile, OutOfRangePClampsToExtremes) {
+  const std::vector<double> v{4.0, 2.0, 8.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -0.5), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.5), 8.0);
+}
+
+TEST(Percentile, UnsortedInputWithTies) {
+  // The function must sort a copy; duplicated values interpolate flat.
+  const std::vector<double> v{5.0, 1.0, 5.0, 5.0, 1.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 1.0);    // lands exactly on sorted[1]
+  EXPECT_DOUBLE_EQ(percentile(v, 0.375), 3.0);   // halfway between 1 and 5
+  // Input order must not matter.
+  EXPECT_DOUBLE_EQ(percentile(v, 0.9), percentile({1.0, 1.0, 5.0, 5.0, 5.0}, 0.9));
+  // And the input vector is left untouched.
+  EXPECT_DOUBLE_EQ(v.front(), 5.0);
+}
+
 TEST(CoefficientOfVariation, ZeroMeanSafe) {
   RunningStats s;
   s.add(-1.0);

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file (the ds::obs exporter format).
+
+Checks, per file:
+  * well-formed JSON with a top-level {"traceEvents": [...]} object;
+  * every event has the required fields for its phase
+    (B/E: ts+pid+tid, B additionally name; i: name+ts+pid+tid; M: name);
+  * timestamps are monotone non-decreasing per (pid, tid) track;
+  * B/E pairs balance on every track (no unmatched end, nothing left open).
+
+Usage: tools/check_trace.py TRACE.json [TRACE2.json ...]
+Exits nonzero on the first file that fails, printing what and where.
+"""
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"check_trace: {path}: {msg}")
+    sys.exit(1)
+
+
+def check(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"not readable JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(path, "top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(path, "traceEvents is not an array")
+
+    last_ts = {}    # (pid, tid) -> last timestamp seen
+    depth = {}      # (pid, tid) -> open B count
+    counts = {"B": 0, "E": 0, "i": 0, "M": 0}
+    for n, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            fail(path, f"event {n}: not an object with a ph field")
+        ph = ev["ph"]
+        if ph not in counts:
+            fail(path, f"event {n}: unknown phase {ph!r}")
+        counts[ph] += 1
+        if ph == "M":
+            if "name" not in ev:
+                fail(path, f"event {n}: metadata event without name")
+            continue
+        for field in ("ts", "pid", "tid"):
+            if field not in ev:
+                fail(path, f"event {n} (ph={ph}): missing {field}")
+        if ph in ("B", "i") and "name" not in ev:
+            fail(path, f"event {n} (ph={ph}): missing name")
+        ts = float(ev["ts"])
+        track = (ev["pid"], ev["tid"])
+        if ts < last_ts.get(track, float("-inf")):
+            fail(path,
+                 f"event {n}: ts {ts} goes backwards on track {track} "
+                 f"(previous {last_ts[track]})")
+        last_ts[track] = ts
+        if ph == "B":
+            depth[track] = depth.get(track, 0) + 1
+        elif ph == "E":
+            if depth.get(track, 0) == 0:
+                fail(path, f"event {n}: E without matching B on track {track}")
+            depth[track] -= 1
+
+    open_tracks = {t: d for t, d in depth.items() if d != 0}
+    if open_tracks:
+        fail(path, f"unbalanced B/E pairs left open: {open_tracks}")
+    if counts["B"] == 0:
+        fail(path, "trace contains no spans at all")
+    print(f"check_trace: {path}: OK "
+          f"({counts['B']} spans, {counts['i']} instants, "
+          f"{len(last_ts)} tracks)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        check(path)
+
+
+if __name__ == "__main__":
+    main()
